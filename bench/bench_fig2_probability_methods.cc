@@ -1,0 +1,142 @@
+// Figure 2 of the paper: spread-prediction accuracy of the edge-
+// probability assignment methods under the IC model.
+//   (a)/(c) RMSE between predicted and actual spread, binned by actual
+//           spread, for TV / WC / UN / EM / PT on both datasets;
+//   (b)     scatter of predicted vs actual spread.
+// Ground truth: for each held-out propagation, seeds = its initiators,
+// actual spread = its size (Section 3, "Experiment 2").
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "eval/spread_prediction.h"
+#include "eval/table_printer.h"
+#include "probability/assigners.h"
+#include "probability/em_learner.h"
+#include "propagation/monte_carlo.h"
+
+namespace influmax {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::StandardOptions opts;
+  std::int64_t max_traces = 0;
+  std::int64_t scatter_rows = 12;
+  FlagParser flags;
+  bench::RegisterStandardFlags(&flags, &opts);
+  flags.AddInt("max_traces", &max_traces,
+               "cap on test propagations evaluated (0 = all)");
+  flags.AddInt("scatter_rows", &scatter_rows,
+               "sample rows to print for the Fig. 2(b) scatter");
+  if (const int rc = bench::ParseFlagsOrDie(&flags, argc, argv); rc != 0) {
+    return rc == 2 ? 0 : rc;
+  }
+
+  for (const auto& prepared : bench::PrepareRequestedDatasets(opts)) {
+    const Graph& graph = prepared.data.graph;
+    const ActionLog& train = prepared.split.train;
+    std::fprintf(stderr, "[fig2] %s: learning EM probabilities...\n",
+                 prepared.name.c_str());
+    auto em = LearnIcProbabilitiesEm(graph, train, EmConfig{});
+    INFLUMAX_CHECK(em.ok()) << em.status();
+
+    MonteCarloConfig mc;
+    mc.num_simulations = static_cast<int>(opts.mc);
+    mc.seed = static_cast<std::uint64_t>(opts.seed) + 5;
+    mc.num_threads = static_cast<std::size_t>(opts.threads);
+
+    struct Method {
+      std::string name;
+      EdgeProbabilities probs;
+    };
+    std::vector<Method> methods;
+    methods.push_back({"TV", AssignTrivalency(
+                                 graph,
+                                 static_cast<std::uint64_t>(opts.seed) + 1)});
+    methods.push_back({"WC", AssignWeightedCascade(graph)});
+    methods.push_back({"UN", AssignUniform(graph)});
+    methods.push_back({"EM", em->probabilities});
+    methods.push_back(
+        {"PT", PerturbProbabilities(em->probabilities, 0.2,
+                                    static_cast<std::uint64_t>(opts.seed) +
+                                        2)});
+
+    std::vector<SpreadPredictor> predictors;
+    for (const Method& method : methods) {
+      predictors.push_back(
+          {method.name, [&graph, &method, &mc](const std::vector<NodeId>& s) {
+             return EstimateIcSpread(graph, method.probs, s, mc).mean;
+           }});
+    }
+
+    WallTimer timer;
+    auto result =
+        RunSpreadPrediction(graph, prepared.split.test, predictors,
+                            static_cast<std::size_t>(max_traces));
+    INFLUMAX_CHECK(result.ok()) << result.status();
+    std::fprintf(stderr, "[fig2] %s: %zu test propagations in %.1fs\n",
+                 prepared.name.c_str(), result->samples.size(),
+                 timer.ElapsedSeconds());
+
+    // Bin width: the paper uses multiples of 100 on Flixster Small and
+    // 20 on Flickr Small; scale with the observed max spread.
+    const auto actual = result->Actuals();
+    double max_actual = 0.0;
+    for (double a : actual) max_actual = std::max(max_actual, a);
+    const double bin_width = std::max(5.0, max_actual / 10.0);
+
+    std::printf("Figure 2 (%s): RMSE vs actual spread, bin width %.0f\n\n",
+                prepared.name.c_str(), bin_width);
+    TablePrinter table({"bin", "n", "TV", "WC", "UN", "EM", "PT"});
+    const auto reference_bins =
+        ComputeBinnedRmse(actual, result->PredictionsOf(0), bin_width);
+    for (std::size_t b = 0; b < reference_bins.size(); ++b) {
+      std::vector<std::string> row = {
+          FormatInterval(reference_bins[b].lower, reference_bins[b].upper),
+          std::to_string(reference_bins[b].count)};
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        const auto bins =
+            ComputeBinnedRmse(actual, result->PredictionsOf(m), bin_width);
+        row.push_back(FormatDouble(bins[b].rmse, 1));
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+
+    TablePrinter overall({"method", "overall RMSE", "MAE"});
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      overall.AddRow({methods[m].name,
+                      FormatDouble(
+                          ComputeRmse(actual, result->PredictionsOf(m)), 1),
+                      FormatDouble(
+                          ComputeMae(actual, result->PredictionsOf(m)), 1)});
+    }
+    std::printf("%s\n", overall.ToString().c_str());
+
+    std::printf("Figure 2(b) scatter sample (actual vs predicted):\n");
+    TablePrinter scatter({"actual", "TV", "WC", "UN", "EM", "PT"});
+    const std::size_t stride =
+        std::max<std::size_t>(1, result->samples.size() /
+                                     static_cast<std::size_t>(scatter_rows));
+    for (std::size_t i = 0; i < result->samples.size(); i += stride) {
+      const PredictionSample& s = result->samples[i];
+      scatter.AddRow({FormatDouble(s.actual_spread, 0),
+                      FormatDouble(s.predicted[0], 1),
+                      FormatDouble(s.predicted[1], 1),
+                      FormatDouble(s.predicted[2], 1),
+                      FormatDouble(s.predicted[3], 1),
+                      FormatDouble(s.predicted[4], 1)});
+    }
+    std::printf("%s\n", scatter.ToString().c_str());
+    std::printf(
+        "Paper shape: TV/WC grossly over-predict, UN only fits small "
+        "spreads, EM tracks actual spread best and PT is indistinguishable "
+        "from EM.\n\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace influmax
+
+int main(int argc, char** argv) { return influmax::Main(argc, argv); }

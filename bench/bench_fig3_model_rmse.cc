@@ -1,0 +1,77 @@
+// Figure 3 of the paper: RMSE of predicted vs actual spread for the IC
+// (EM probabilities), LT (learned weights), and CD models, binned by
+// actual propagation size, on both datasets.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "model_predictions.h"
+
+namespace influmax {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::StandardOptions opts;
+  std::int64_t max_traces = 0;
+  FlagParser flags;
+  bench::RegisterStandardFlags(&flags, &opts);
+  flags.AddInt("max_traces", &max_traces,
+               "cap on test propagations evaluated (0 = all)");
+  if (const int rc = bench::ParseFlagsOrDie(&flags, argc, argv); rc != 0) {
+    return rc == 2 ? 0 : rc;
+  }
+
+  for (const auto& prepared : bench::PrepareRequestedDatasets(opts)) {
+    const auto predictions = bench::RunModelPredictions(
+        prepared, opts, static_cast<std::size_t>(max_traces));
+    const auto actual = predictions.result.Actuals();
+    double max_actual = 0.0;
+    for (double a : actual) max_actual = std::max(max_actual, a);
+    const double bin_width = std::max(5.0, max_actual / 10.0);
+
+    std::printf("Figure 3 (%s): RMSE vs actual spread, bin width %.0f\n\n",
+                prepared.name.c_str(), bin_width);
+    TablePrinter table({"bin", "n", "IC", "LT", "CD"});
+    const auto reference_bins = ComputeBinnedRmse(
+        actual, predictions.result.PredictionsOf(0), bin_width);
+    for (std::size_t b = 0; b < reference_bins.size(); ++b) {
+      std::vector<std::string> row = {
+          FormatInterval(reference_bins[b].lower, reference_bins[b].upper),
+          std::to_string(reference_bins[b].count)};
+      for (std::size_t m = 0; m < predictions.names.size(); ++m) {
+        const auto bins = ComputeBinnedRmse(
+            actual, predictions.result.PredictionsOf(m), bin_width);
+        row.push_back(FormatDouble(bins[b].rmse, 1));
+      }
+      table.AddRow(row);
+    }
+    std::printf("%s\n", table.ToString().c_str());
+
+    // Summary: overall RMSE is dominated by the few large outlier
+    // propagations (as the paper notes, every model under-predicts
+    // those); MAE and the capture ratio weigh the typical case.
+    const double tolerance = bin_width / 2.0;
+    TablePrinter overall({"model", "overall RMSE", "MAE",
+                          "captured@" + FormatDouble(tolerance, 0)});
+    for (std::size_t m = 0; m < predictions.names.size(); ++m) {
+      const auto predicted = predictions.result.PredictionsOf(m);
+      const auto capture =
+          ComputeCaptureCurve(actual, predicted, tolerance, 1);
+      overall.AddRow({predictions.names[m],
+                      FormatDouble(ComputeRmse(actual, predicted), 1),
+                      FormatDouble(ComputeMae(actual, predicted), 1),
+                      FormatDouble(capture[0].ratio, 3)});
+    }
+    std::printf("%s\n", overall.ToString().c_str());
+    std::printf(
+        "Paper shape: CD has the lowest RMSE on both datasets; IC beats LT "
+        "on Flixster-like data but loses on Flickr-like data.\n\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace influmax
+
+int main(int argc, char** argv) { return influmax::Main(argc, argv); }

@@ -1,0 +1,75 @@
+// Figure 4 of the paper: the fraction of test propagations whose
+// absolute prediction error is within x, as a function of x, for the IC,
+// LT, and CD models ("ratio of propagations captured against absolute
+// error"). CD dominating the other two curves is the paper's headline
+// accuracy result.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "model_predictions.h"
+
+namespace influmax {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::StandardOptions opts;
+  std::int64_t max_traces = 0;
+  double max_error = 0.0;
+  std::int64_t steps = 16;
+  FlagParser flags;
+  bench::RegisterStandardFlags(&flags, &opts);
+  flags.AddInt("max_traces", &max_traces,
+               "cap on test propagations evaluated (0 = all)");
+  flags.AddDouble("max_error", &max_error,
+                  "largest error tolerance plotted (0 = auto)");
+  flags.AddInt("steps", &steps, "points on the capture curve");
+  if (const int rc = bench::ParseFlagsOrDie(&flags, argc, argv); rc != 0) {
+    return rc == 2 ? 0 : rc;
+  }
+
+  for (const auto& prepared : bench::PrepareRequestedDatasets(opts)) {
+    const auto predictions = bench::RunModelPredictions(
+        prepared, opts, static_cast<std::size_t>(max_traces));
+    const auto actual = predictions.result.Actuals();
+
+    double tolerance_cap = max_error;
+    if (tolerance_cap <= 0.0) {
+      // Default to the scale the paper plots: about the median actual
+      // spread's order of magnitude.
+      double mean = 0.0;
+      for (double a : actual) mean += a;
+      tolerance_cap = std::max(10.0, mean / actual.size());
+    }
+
+    std::printf(
+        "Figure 4 (%s): ratio of propagations captured within absolute "
+        "error\n\n",
+        prepared.name.c_str());
+    TablePrinter table({"abs.error", "IC", "LT", "CD"});
+    std::vector<std::vector<CapturePoint>> curves;
+    for (std::size_t m = 0; m < predictions.names.size(); ++m) {
+      curves.push_back(ComputeCaptureCurve(
+          actual, predictions.result.PredictionsOf(m), tolerance_cap,
+          static_cast<int>(steps)));
+    }
+    for (std::size_t p = 0; p < curves[0].size(); ++p) {
+      table.AddRow({FormatDouble(curves[0][p].abs_error, 1),
+                    FormatDouble(curves[0][p].ratio, 3),
+                    FormatDouble(curves[1][p].ratio, 3),
+                    FormatDouble(curves[2][p].ratio, 3)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    std::printf(
+        "Paper shape: CD captures the largest fraction at every error "
+        "tolerance (67%% vs 46%% IC / 26%% LT within 30 on Flixster "
+        "Small).\n\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace influmax
+
+int main(int argc, char** argv) { return influmax::Main(argc, argv); }

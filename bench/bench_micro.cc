@@ -1,0 +1,181 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// operations behind the experiment harnesses: the Algorithm 2 scan,
+// marginal-gain evaluation, seed commits, the sigma_cd evaluator DP,
+// one IC / LT Monte Carlo cascade, propagation-DAG construction, and a
+// PageRank iteration.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "actionlog/propagation_dag.h"
+#include "common/logging.h"
+#include "core/cd_evaluator.h"
+#include "core/cd_model.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "graph/generators.h"
+#include "graph/pagerank.h"
+#include "probability/em_learner.h"
+#include "probability/time_params.h"
+#include "propagation/monte_carlo.h"
+
+namespace influmax {
+namespace {
+
+// Shared dataset; built once, sized by the benchmark range argument.
+struct MicroFixture {
+  SyntheticDataset data;
+  InfluenceTimeParams params;
+
+  explicit MicroFixture(NodeId nodes) {
+    auto graph = GeneratePreferentialAttachment({nodes, 4, 0.6}, 77);
+    INFLUMAX_CHECK(graph.ok());
+    CascadeConfig config;
+    config.num_actions = nodes / 2;
+    config.seed = 78;
+    auto generated = GenerateCascadeDataset(std::move(graph).value(), config);
+    INFLUMAX_CHECK(generated.ok());
+    data = std::move(generated).value();
+    auto learned = LearnTimeParams(data.graph, data.log);
+    INFLUMAX_CHECK(learned.ok());
+    params = std::move(learned).value();
+  }
+};
+
+const MicroFixture& Fixture(NodeId nodes) {
+  static auto* fixtures =
+      new std::map<NodeId, std::unique_ptr<MicroFixture>>();
+  auto& slot = (*fixtures)[nodes];
+  if (!slot) slot = std::make_unique<MicroFixture>(nodes);
+  return *slot;
+}
+
+void BM_ScanActionLog(benchmark::State& state) {
+  const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
+  TimeDecayDirectCredit credit(fx.params);
+  CdConfig config;
+  for (auto _ : state) {
+    auto model = CreditDistributionModel::Build(fx.data.graph, fx.data.log,
+                                                credit, config);
+    benchmark::DoNotOptimize(model.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.data.log.num_tuples()));
+}
+BENCHMARK(BM_ScanActionLog)->Arg(500)->Arg(2000);
+
+void BM_MarginalGain(benchmark::State& state) {
+  const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
+  TimeDecayDirectCredit credit(fx.params);
+  CdConfig config;
+  auto model = CreditDistributionModel::Build(fx.data.graph, fx.data.log,
+                                              credit, config);
+  INFLUMAX_CHECK(model.ok());
+  NodeId node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->MarginalGain(node));
+    node = (node + 1) % fx.data.graph.num_nodes();
+  }
+}
+BENCHMARK(BM_MarginalGain)->Arg(500)->Arg(2000);
+
+void BM_CommitSeed(benchmark::State& state) {
+  const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
+  TimeDecayDirectCredit credit(fx.params);
+  CdConfig config;
+  for (auto _ : state) {
+    state.PauseTiming();  // rebuilding the store is not the measured op
+    auto model = CreditDistributionModel::Build(fx.data.graph, fx.data.log,
+                                                credit, config);
+    INFLUMAX_CHECK(model.ok());
+    state.ResumeTiming();
+    model->CommitSeed(0);
+    benchmark::DoNotOptimize(model->credit_entries());
+  }
+}
+BENCHMARK(BM_CommitSeed)->Arg(500);
+
+void BM_CdEvaluatorSpread(benchmark::State& state) {
+  const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
+  TimeDecayDirectCredit credit(fx.params);
+  auto evaluator =
+      CdSpreadEvaluator::Build(fx.data.graph, fx.data.log, credit);
+  INFLUMAX_CHECK(evaluator.ok());
+  const std::vector<NodeId> seeds = {0, 5, 10, 15, 20};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator->Spread(seeds));
+  }
+}
+BENCHMARK(BM_CdEvaluatorSpread)->Arg(500)->Arg(2000);
+
+void BM_IcCascade(benchmark::State& state) {
+  const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
+  IcSimulator simulator(fx.data.graph, fx.data.true_probabilities);
+  const std::vector<NodeId> seeds = {0, 1, 2};
+  std::uint64_t sim = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulator.RunOnce(seeds, SimulationSeed(9, sim++)));
+  }
+}
+BENCHMARK(BM_IcCascade)->Arg(500)->Arg(2000);
+
+void BM_LtCascade(benchmark::State& state) {
+  const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
+  // In-degree-normalized weights are always LT-valid.
+  EdgeProbabilities weights(fx.data.graph.num_edges());
+  for (NodeId v = 0; v < fx.data.graph.num_nodes(); ++v) {
+    const EdgeIndex base = fx.data.graph.OutEdgeBegin(v);
+    const auto out = fx.data.graph.OutNeighbors(v);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      weights[base + i] = 1.0 / fx.data.graph.InDegree(out[i]);
+    }
+  }
+  LtSimulator simulator(fx.data.graph, weights);
+  const std::vector<NodeId> seeds = {0, 1, 2};
+  std::uint64_t sim = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulator.RunOnce(seeds, SimulationSeed(11, sim++)));
+  }
+}
+BENCHMARK(BM_LtCascade)->Arg(500)->Arg(2000);
+
+void BM_BuildPropagationDag(benchmark::State& state) {
+  const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
+  ActionId action = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildPropagationDag(fx.data.graph, fx.data.log.ActionTrace(action)));
+    action = (action + 1) % fx.data.log.num_actions();
+  }
+}
+BENCHMARK(BM_BuildPropagationDag)->Arg(500)->Arg(2000);
+
+void BM_PageRank(benchmark::State& state) {
+  const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
+  PageRankConfig config;
+  config.max_iterations = 20;
+  config.tolerance = 0.0;  // fixed 20 iterations for stable timing
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePageRank(fx.data.graph, config));
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(500)->Arg(2000);
+
+void BM_EmIteration(benchmark::State& state) {
+  const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
+  EmConfig config;
+  config.max_iterations = 1;  // one E+M step per run
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LearnIcProbabilitiesEm(fx.data.graph, fx.data.log, config).ok());
+  }
+}
+BENCHMARK(BM_EmIteration)->Arg(500);
+
+}  // namespace
+}  // namespace influmax
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table 1 of the paper: statistics of the four experiment datasets
+// (#nodes, #directed edges, average degree, #propagations, #tuples).
+// Ours are synthetic stand-ins (see DESIGN.md §2); this harness prints
+// the same rows for the generated data.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/table_printer.h"
+#include "graph/graph.h"
+
+namespace influmax {
+namespace {
+
+int Main(int argc, char** argv) {
+  bench::StandardOptions opts;
+  bool include_large = true;
+  FlagParser flags;
+  bench::RegisterStandardFlags(&flags, &opts);
+  flags.AddBool("large", &include_large,
+                "also generate the Large scalability presets");
+  if (const int rc = bench::ParseFlagsOrDie(&flags, argc, argv); rc != 0) {
+    return rc == 2 ? 0 : rc;
+  }
+
+  std::vector<DatasetPreset> presets = {FlixsterSmallPreset(opts.scale),
+                                        FlickrSmallPreset(opts.scale)};
+  if (include_large) {
+    presets.push_back(FlixsterLargePreset(opts.scale));
+    presets.push_back(FlickrLargePreset(opts.scale));
+  }
+
+  TablePrinter table({"dataset", "#nodes", "#dir.edges", "avg.degree",
+                      "#propagations", "#tuples"});
+  for (const DatasetPreset& preset : presets) {
+    WallTimer timer;
+    auto data =
+        BuildPresetDataset(preset, static_cast<std::uint64_t>(opts.seed));
+    INFLUMAX_CHECK(data.ok()) << data.status();
+    const GraphStats graph_stats = ComputeGraphStats(data->graph);
+    const ActionLogStats log_stats = ComputeActionLogStats(data->log);
+    table.AddRow({preset.name, std::to_string(graph_stats.num_nodes),
+                  std::to_string(graph_stats.num_edges),
+                  FormatDouble(graph_stats.average_degree, 1),
+                  std::to_string(log_stats.num_propagations),
+                  std::to_string(log_stats.num_tuples)});
+    std::fprintf(stderr, "[table1] generated %s in %.1fs\n",
+                 preset.name.c_str(), timer.ElapsedSeconds());
+  }
+  std::printf("Table 1: dataset statistics (synthetic stand-ins)\n\n%s\n",
+              table.ToString().c_str());
+  std::printf(
+      "Paper reference: Flixster Small 13K/192.4K/14.8/25K/1.84M, "
+      "Flickr Small 14.8K/1.17M/79/28.5K/478K (Table 1).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace influmax
+
+int main(int argc, char** argv) { return influmax::Main(argc, argv); }

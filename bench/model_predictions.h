@@ -1,0 +1,82 @@
+#ifndef INFLUMAX_BENCH_MODEL_PREDICTIONS_H_
+#define INFLUMAX_BENCH_MODEL_PREDICTIONS_H_
+
+// Shared helper for Figures 3 and 4: run the three learned models of
+// Section 6 — IC with EM-learned probabilities, LT with learned weights,
+// and the CD model with Eq. 9 credits — as spread predictors over the
+// held-out test propagations.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/spread_prediction.h"
+#include "probability/em_learner.h"
+#include "probability/lt_weights.h"
+#include "propagation/monte_carlo.h"
+
+namespace influmax {
+namespace bench {
+
+struct ModelPredictions {
+  std::vector<std::string> names;  // {"IC", "LT", "CD"}
+  SpreadPredictionResult result;
+};
+
+inline ModelPredictions RunModelPredictions(const PreparedDataset& prepared,
+                                            const StandardOptions& opts,
+                                            std::size_t max_traces) {
+  const Graph& graph = prepared.data.graph;
+  const ActionLog& train = prepared.split.train;
+
+  std::fprintf(stderr, "[models] %s: learning EM probabilities...\n",
+               prepared.name.c_str());
+  auto em = LearnIcProbabilitiesEm(graph, train, EmConfig{});
+  INFLUMAX_CHECK(em.ok()) << em.status();
+  auto lt = LearnLtWeights(graph, prepared.time_params);
+
+  TimeDecayDirectCredit credit(prepared.time_params);
+  auto cd = CdSpreadEvaluator::Build(graph, train, credit);
+  INFLUMAX_CHECK(cd.ok()) << cd.status();
+
+  MonteCarloConfig mc;
+  mc.num_simulations = static_cast<int>(opts.mc);
+  mc.seed = static_cast<std::uint64_t>(opts.seed) + 500;
+  mc.num_threads = static_cast<std::size_t>(opts.threads);
+
+  std::vector<SpreadPredictor> predictors;
+  predictors.push_back(
+      {"IC", [&graph, em = em->probabilities,
+              mc](const std::vector<NodeId>& seeds) {
+         return EstimateIcSpread(graph, em, seeds, mc).mean;
+       }});
+  predictors.push_back(
+      {"LT", [&graph, lt, mc](const std::vector<NodeId>& seeds) {
+         return EstimateLtSpread(graph, lt, seeds, mc).mean;
+       }});
+  predictors.push_back(
+      {"CD", [cd = std::make_shared<CdSpreadEvaluator>(std::move(cd).value())](
+                 const std::vector<NodeId>& seeds) {
+         return cd->Spread(seeds);
+       }});
+
+  WallTimer timer;
+  auto result = RunSpreadPrediction(graph, prepared.split.test, predictors,
+                                    max_traces);
+  INFLUMAX_CHECK(result.ok()) << result.status();
+  std::fprintf(stderr, "[models] %s: %zu test propagations in %.1fs\n",
+               prepared.name.c_str(), result->samples.size(),
+               timer.ElapsedSeconds());
+
+  ModelPredictions predictions;
+  predictions.names = {"IC", "LT", "CD"};
+  predictions.result = std::move(result).value();
+  return predictions;
+}
+
+}  // namespace bench
+}  // namespace influmax
+
+#endif  // INFLUMAX_BENCH_MODEL_PREDICTIONS_H_

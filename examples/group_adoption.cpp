@@ -1,0 +1,100 @@
+// Group-adoption forecasting (the paper's Flickr scenario): given the
+// users who founded an interest group (the initiators of a held-out
+// propagation), predict how large the group will eventually grow. The
+// CD model answers directly from historical propagation data — no
+// Monte Carlo simulation — and this example measures its forecast error
+// on held-out group-join cascades.
+//
+// Run: ./build/examples/group_adoption [--scale 0.5] [--show 10]
+#include <algorithm>
+#include <cstdio>
+
+#include "actionlog/split.h"
+#include "common/flags.h"
+#include "core/cd_evaluator.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "eval/metrics.h"
+#include "eval/spread_prediction.h"
+#include "probability/time_params.h"
+
+int main(int argc, char** argv) {
+  using namespace influmax;
+
+  double scale = 0.5;
+  int show = 10;
+  FlagParser flags;
+  flags.AddDouble("scale", &scale, "dataset scale");
+  flags.AddInt("show", &show, "sample forecasts to print");
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  auto dataset = BuildPresetDataset(FlickrSmallPreset(scale));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto split = SplitByPropagationSize(dataset->log, {});
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+
+  auto params = LearnTimeParams(dataset->graph, split->train);
+  if (!params.ok()) {
+    std::fprintf(stderr, "%s\n", params.status().ToString().c_str());
+    return 1;
+  }
+  TimeDecayDirectCredit credit(*params);
+  auto evaluator =
+      CdSpreadEvaluator::Build(dataset->graph, split->train, credit);
+  if (!evaluator.ok()) {
+    std::fprintf(stderr, "%s\n", evaluator.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<SpreadPredictor> predictors;
+  predictors.push_back({"CD", [&](const std::vector<NodeId>& founders) {
+                          return evaluator->Spread(founders);
+                        }});
+  auto result =
+      RunSpreadPrediction(dataset->graph, split->test, predictors);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Forecasting %zu held-out group-adoption cascades "
+              "(%u users, %u training cascades)\n\n",
+              result->samples.size(), dataset->graph.num_nodes(),
+              split->train.num_actions());
+
+  std::printf("  %-9s %-12s %-12s\n", "founders", "actual size",
+              "CD forecast");
+  const std::size_t stride = std::max<std::size_t>(
+      1, result->samples.size() / static_cast<std::size_t>(show));
+  for (std::size_t i = 0; i < result->samples.size(); i += stride) {
+    const PredictionSample& s = result->samples[i];
+    std::printf("  %-9zu %-12.0f %-12.1f\n", s.initiators.size(),
+                s.actual_spread, s.predicted[0]);
+  }
+
+  const auto actual = result->Actuals();
+  const auto predicted = result->PredictionsOf(0);
+  std::printf("\n  overall RMSE %.1f | MAE %.1f over %zu cascades\n",
+              ComputeRmse(actual, predicted), ComputeMae(actual, predicted),
+              actual.size());
+  const auto curve = ComputeCaptureCurve(actual, predicted, 30.0, 3);
+  std::printf("  forecasts within +-10 joins: %.0f%%; +-20: %.0f%%; "
+              "+-30: %.0f%%\n",
+              100 * curve[0].ratio, 100 * curve[1].ratio,
+              100 * curve[2].ratio);
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Model comparison: run all three learned influence models (IC with
+// EM-learned probabilities, LT with learned weights, CD with Eq. 9
+// credits) on the same dataset, then show (a) how differently they rank
+// influencers and (b) how well each predicts held-out cascade sizes —
+// a compact, end-to-end tour of the paper's Section 6.
+//
+// Run: ./build/examples/model_comparison [--scale 0.4] [--k 15]
+#include <cstdio>
+
+#include "actionlog/split.h"
+#include "common/flags.h"
+#include "core/cd_evaluator.h"
+#include "core/cd_model.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "eval/metrics.h"
+#include "eval/spread_prediction.h"
+#include "im/ldag.h"
+#include "im/pmia.h"
+#include "probability/em_learner.h"
+#include "probability/lt_weights.h"
+#include "probability/time_params.h"
+#include "propagation/monte_carlo.h"
+
+int main(int argc, char** argv) {
+  using namespace influmax;
+
+  double scale = 0.4;
+  int k = 15;
+  int mc = 150;
+  FlagParser flags;
+  flags.AddDouble("scale", &scale, "dataset scale");
+  flags.AddInt("k", &k, "seeds per model");
+  flags.AddInt("mc", &mc, "Monte Carlo simulations per estimate");
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  auto dataset = BuildPresetDataset(FlixsterSmallPreset(scale));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto split = SplitByPropagationSize(dataset->log, {});
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& graph = dataset->graph;
+  const ActionLog& train = split->train;
+  std::printf("dataset: %u users, %u training / %u test cascades\n\n",
+              graph.num_nodes(), train.num_actions(),
+              split->test.num_actions());
+
+  // --- Learn all three models from the training log.
+  auto em = LearnIcProbabilitiesEm(graph, train, EmConfig{});
+  if (!em.ok()) {
+    std::fprintf(stderr, "%s\n", em.status().ToString().c_str());
+    return 1;
+  }
+  auto lt_weights = LearnLtWeights(graph, train);
+  if (!lt_weights.ok()) {
+    std::fprintf(stderr, "%s\n", lt_weights.status().ToString().c_str());
+    return 1;
+  }
+  auto params = LearnTimeParams(graph, train);
+  if (!params.ok()) {
+    std::fprintf(stderr, "%s\n", params.status().ToString().c_str());
+    return 1;
+  }
+  TimeDecayDirectCredit credit(*params);
+  std::printf("EM learned %llu edges with evidence in %d iterations "
+              "(log-likelihood %.1f)\n\n",
+              static_cast<unsigned long long>(em->edges_with_evidence),
+              em->iterations, em->log_likelihood);
+
+  // --- (a) Seed sets.
+  PmiaConfig pmia_config;
+  auto pmia = PmiaModel::Build(graph, em->probabilities, pmia_config);
+  if (!pmia.ok()) {
+    std::fprintf(stderr, "%s\n", pmia.status().ToString().c_str());
+    return 1;
+  }
+  auto ic_seeds = pmia->SelectSeeds(static_cast<NodeId>(k));
+
+  LdagConfig ldag_config;
+  auto ldag = LdagModel::Build(graph, *lt_weights, ldag_config);
+  if (!ldag.ok()) {
+    std::fprintf(stderr, "%s\n", ldag.status().ToString().c_str());
+    return 1;
+  }
+  auto lt_seeds = ldag->SelectSeeds(static_cast<NodeId>(k));
+
+  CdConfig cd_config;
+  auto cd_model = CreditDistributionModel::Build(graph, train, credit,
+                                                 cd_config);
+  if (!cd_model.ok()) {
+    std::fprintf(stderr, "%s\n", cd_model.status().ToString().c_str());
+    return 1;
+  }
+  auto cd_seeds = cd_model->SelectSeeds(static_cast<NodeId>(k));
+  if (!ic_seeds.ok() || !lt_seeds.ok() || !cd_seeds.ok()) {
+    std::fprintf(stderr, "seed selection failed\n");
+    return 1;
+  }
+
+  std::printf("seed-set overlap (k = %d):  IC&LT = %d, IC&CD = %d, "
+              "LT&CD = %d\n\n",
+              k, SeedIntersectionSize(ic_seeds->seeds, lt_seeds->seeds),
+              SeedIntersectionSize(ic_seeds->seeds, cd_seeds->seeds),
+              SeedIntersectionSize(lt_seeds->seeds, cd_seeds->seeds));
+
+  // --- (b) Held-out forecast accuracy.
+  auto evaluator = CdSpreadEvaluator::Build(graph, train, credit);
+  if (!evaluator.ok()) {
+    std::fprintf(stderr, "%s\n", evaluator.status().ToString().c_str());
+    return 1;
+  }
+  MonteCarloConfig mc_config;
+  mc_config.num_simulations = mc;
+  std::vector<SpreadPredictor> predictors;
+  predictors.push_back({"IC", [&](const std::vector<NodeId>& seeds) {
+                          return EstimateIcSpread(graph, em->probabilities,
+                                                  seeds, mc_config)
+                              .mean;
+                        }});
+  predictors.push_back({"LT", [&](const std::vector<NodeId>& seeds) {
+                          return EstimateLtSpread(graph, *lt_weights, seeds,
+                                                  mc_config)
+                              .mean;
+                        }});
+  predictors.push_back({"CD", [&](const std::vector<NodeId>& seeds) {
+                          return evaluator->Spread(seeds);
+                        }});
+  auto prediction = RunSpreadPrediction(graph, split->test, predictors);
+  if (!prediction.ok()) {
+    std::fprintf(stderr, "%s\n", prediction.status().ToString().c_str());
+    return 1;
+  }
+  const auto actual = prediction->Actuals();
+  std::printf("held-out cascade-size forecast error (%zu cascades):\n",
+              actual.size());
+  for (std::size_t m = 0; m < predictors.size(); ++m) {
+    std::printf("  %-3s RMSE %8.1f   MAE %8.1f\n",
+                prediction->predictor_names[m].c_str(),
+                ComputeRmse(actual, prediction->PredictionsOf(m)),
+                ComputeMae(actual, prediction->PredictionsOf(m)));
+  }
+  std::printf(
+      "\nExpected result (the paper's): CD clearly ahead, and the three "
+      "models recommending largely different influencers.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: the whole influmax pipeline in ~60 lines.
+//
+//  1. Generate a small synthetic social network + action log (stand-in
+//     for a crawl like Flixster; swap in ReadEdgeListFile /
+//     ReadActionLogFile to use your own data).
+//  2. Learn the temporal influence parameters (tau, infl) from the log.
+//  3. Scan the log once to build the credit-distribution model (Alg. 2).
+//  4. Pick the k most influential users with greedy + CELF (Alg. 3-5).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/cd_model.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "probability/time_params.h"
+
+int main() {
+  using namespace influmax;
+
+  // 1. Data: a Flixster-like community at 1/4 scale.
+  auto dataset = BuildPresetDataset(FlixsterSmallPreset(/*scale=*/0.25));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& graph = dataset->graph;
+  const ActionLog& log = dataset->log;
+  std::printf("dataset: %u users, %llu follow edges, %u propagations, "
+              "%zu log tuples\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              log.num_actions(), log.num_tuples());
+
+  // 2. Learn tau_{v,u} (propagation delays) and infl(u)
+  //    (influenceability) — the inputs of the Eq. 9 direct credit.
+  auto params = LearnTimeParams(graph, log);
+  if (!params.ok()) {
+    std::fprintf(stderr, "learning failed: %s\n",
+                 params.status().ToString().c_str());
+    return 1;
+  }
+  TimeDecayDirectCredit credit(*params);
+
+  // 3. One scan of the action log builds the sparse credit store.
+  CdConfig config;
+  config.truncation_threshold = 0.001;  // the paper's default lambda
+  auto model = CreditDistributionModel::Build(graph, log, credit, config);
+  if (!model.ok()) {
+    std::fprintf(stderr, "scan failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("scan done: %llu credit entries\n",
+              static_cast<unsigned long long>(model->credit_entries()));
+
+  // 4. Greedy + CELF seed selection.
+  auto seeds = model->SelectSeeds(/*k=*/10);
+  if (!seeds.ok()) {
+    std::fprintf(stderr, "selection failed: %s\n",
+                 seeds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n top influencers (seed, marginal gain, total spread):\n");
+  for (std::size_t i = 0; i < seeds->seeds.size(); ++i) {
+    std::printf("  #%zu  user %-6u  +%-8.2f  sigma_cd = %.2f\n", i + 1,
+                seeds->seeds[i], seeds->marginal_gains[i],
+                seeds->cumulative_spread[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Viral marketing scenario (the paper's motivating application): a
+// studio wants to hand out k free movie passes so that as many users as
+// possible end up rating the movie. Compare three ways of picking the
+// recipients on a Flixster-like ratings dataset:
+//
+//   * CD greedy        — the paper's data-based method,
+//   * High Degree      — "give passes to the users with most followers",
+//   * PageRank         — "give passes to the most central users",
+//
+// and report the expected spread of each choice under the CD model (the
+// most accurate predictor available), plus who the chosen users actually
+// are (activity profile).
+//
+// Run: ./build/examples/viral_marketing [--k 20] [--scale 1.0]
+#include <cstdio>
+
+#include "actionlog/split.h"
+#include "common/flags.h"
+#include "core/cd_evaluator.h"
+#include "core/cd_model.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "im/baselines.h"
+#include "probability/time_params.h"
+
+int main(int argc, char** argv) {
+  using namespace influmax;
+
+  int k = 20;
+  double scale = 0.5;
+  FlagParser flags;
+  flags.AddInt("k", &k, "number of free passes (seeds)");
+  flags.AddDouble("scale", &scale, "dataset scale");
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+
+  auto dataset = BuildPresetDataset(FlixsterSmallPreset(scale));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  // Train on 80% of the campaigns; the rest stays out as honest holdout.
+  auto split = SplitByPropagationSize(dataset->log, {});
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& graph = dataset->graph;
+  const ActionLog& train = split->train;
+
+  auto params = LearnTimeParams(graph, train);
+  if (!params.ok()) {
+    std::fprintf(stderr, "%s\n", params.status().ToString().c_str());
+    return 1;
+  }
+  TimeDecayDirectCredit credit(*params);
+
+  // The campaign planner: CD greedy.
+  CdConfig config;
+  auto model = CreditDistributionModel::Build(graph, train, credit, config);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  auto cd_seeds = model->SelectSeeds(static_cast<NodeId>(k));
+  if (!cd_seeds.ok()) {
+    std::fprintf(stderr, "%s\n", cd_seeds.status().ToString().c_str());
+    return 1;
+  }
+
+  // The two folk heuristics.
+  const auto degree_seeds = HighDegreeSeeds(graph, static_cast<NodeId>(k));
+  const auto pagerank_seeds = PageRankSeeds(graph, static_cast<NodeId>(k));
+
+  // Judge all three with the CD spread estimate.
+  auto evaluator = CdSpreadEvaluator::Build(graph, train, credit);
+  if (!evaluator.ok()) {
+    std::fprintf(stderr, "%s\n", evaluator.status().ToString().c_str());
+    return 1;
+  }
+
+  auto describe = [&](const char* name, const std::vector<NodeId>& seeds) {
+    double activity = 0.0;
+    double followers = 0.0;
+    for (NodeId s : seeds) {
+      activity += train.ActionsPerformedBy(s);
+      followers += graph.OutDegree(s);
+    }
+    std::printf("  %-11s expected spread %8.1f users | avg %6.1f ratings "
+                "| avg %6.1f followers\n",
+                name, evaluator->Spread(seeds), activity / seeds.size(),
+                followers / seeds.size());
+  };
+
+  std::printf("Campaign: %d free passes on a network of %u users\n\n", k,
+              graph.num_nodes());
+  describe("CD greedy", cd_seeds->seeds);
+  describe("HighDegree", degree_seeds);
+  describe("PageRank", pagerank_seeds);
+
+  std::printf("\nCD's pick, in order (user, gain):\n  ");
+  for (std::size_t i = 0; i < cd_seeds->seeds.size(); ++i) {
+    std::printf("%u(+%.1f)%s", cd_seeds->seeds[i],
+                cd_seeds->marginal_gains[i],
+                i + 1 == cd_seeds->seeds.size() ? "\n" : ", ");
+  }
+  std::printf(
+      "\nNote how CD picks *active, demonstrably influential* users, not "
+      "merely well-connected ones — the paper's core argument for using "
+      "propagation data.\n");
+  return 0;
+}

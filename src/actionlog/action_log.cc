@@ -1,0 +1,179 @@
+#include "actionlog/action_log.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace influmax {
+
+Timestamp ActionLog::TimeOf(NodeId u, ActionId a) const {
+  const auto actions = UserActions(u);
+  const auto it = std::lower_bound(
+      actions.begin(), actions.end(), a,
+      [](const UserAction& ua, ActionId needle) { return ua.action < needle; });
+  if (it != actions.end() && it->action == a) return it->time;
+  return kNeverPerformed;
+}
+
+ActionLog ActionLog::RestrictToActions(
+    const std::vector<ActionId>& actions) const {
+  ActionLog out;
+  out.num_users_ = num_users_;
+  out.original_action_id_.reserve(actions.size());
+  out.action_offsets_.reserve(actions.size() + 1);
+  out.action_offsets_.push_back(0);
+  ActionId next = 0;
+  for (ActionId a : actions) {
+    for (const ActionTuple& t : ActionTrace(a)) {
+      out.tuples_.push_back({t.user, next, t.time});
+    }
+    out.action_offsets_.push_back(out.tuples_.size());
+    out.original_action_id_.push_back(original_action_id_[a]);
+    ++next;
+  }
+  // Rebuild the per-user index.
+  out.user_offsets_.assign(num_users_ + 1, 0);
+  for (const ActionTuple& t : out.tuples_) out.user_offsets_[t.user + 1]++;
+  for (NodeId u = 0; u < num_users_; ++u) {
+    out.user_offsets_[u + 1] += out.user_offsets_[u];
+  }
+  out.user_actions_.resize(out.tuples_.size());
+  std::vector<std::uint64_t> cursor(out.user_offsets_.begin(),
+                                    out.user_offsets_.end() - 1);
+  for (const ActionTuple& t : out.tuples_) {
+    out.user_actions_[cursor[t.user]++] = {t.action, t.time};
+  }
+  // tuples_ are grouped by new action id in increasing order, and actions
+  // were appended in increasing new-id order, so user_actions_ is sorted
+  // by action id within each user.
+  return out;
+}
+
+ActionLog ActionLog::RestrictToUsers(const std::vector<NodeId>& user_new_id,
+                                     NodeId new_num_users) const {
+  ActionLogBuilder builder(new_num_users);
+  for (ActionId a = 0; a < num_actions(); ++a) {
+    for (const ActionTuple& t : ActionTrace(a)) {
+      const NodeId nu = user_new_id[t.user];
+      if (nu != kInvalidNode) {
+        builder.Add(nu, original_action_id_[a], t.time);
+      }
+    }
+  }
+  Result<ActionLog> rebuilt = builder.Build();
+  // Inputs came from a valid log, so rebuilding cannot fail.
+  return std::move(rebuilt).value();
+}
+
+std::uint64_t ActionLog::MemoryBytes() const {
+  return tuples_.size() * sizeof(ActionTuple) +
+         action_offsets_.size() * sizeof(std::uint64_t) +
+         user_offsets_.size() * sizeof(std::uint64_t) +
+         user_actions_.size() * sizeof(UserAction) +
+         original_action_id_.size() * sizeof(std::uint32_t);
+}
+
+Result<ActionLog> ActionLogBuilder::Build() {
+  for (const RawTuple& t : raw_) {
+    if (t.user >= num_users_) {
+      return Status::InvalidArgument("tuple user " + std::to_string(t.user) +
+                                     " out of range for " +
+                                     std::to_string(num_users_) + " users");
+    }
+    if (!std::isfinite(t.time)) {
+      return Status::InvalidArgument("tuple time must be finite");
+    }
+  }
+
+  // Densify action ids, preserving the numeric order of the input ids.
+  std::vector<std::uint32_t> distinct;
+  distinct.reserve(raw_.size());
+  for (const RawTuple& t : raw_) distinct.push_back(t.action);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  std::unordered_map<std::uint32_t, ActionId> dense;
+  dense.reserve(distinct.size());
+  for (ActionId i = 0; i < distinct.size(); ++i) dense[distinct[i]] = i;
+
+  ActionLog log;
+  log.num_users_ = num_users_;
+  log.original_action_id_ = std::move(distinct);
+  log.tuples_.reserve(raw_.size());
+  for (const RawTuple& t : raw_) {
+    log.tuples_.push_back({t.user, dense[t.action], t.time});
+  }
+  raw_.clear();
+  raw_.shrink_to_fit();
+
+  // Sort by (action, time, user); then drop repeat performances keeping
+  // the earliest.
+  std::sort(log.tuples_.begin(), log.tuples_.end(),
+            [](const ActionTuple& a, const ActionTuple& b) {
+              if (a.action != b.action) return a.action < b.action;
+              if (a.time != b.time) return a.time < b.time;
+              return a.user < b.user;
+            });
+  {
+    std::unordered_map<std::uint64_t, bool> performed;
+    performed.reserve(log.tuples_.size());
+    auto key = [](ActionId a, NodeId u) {
+      return (static_cast<std::uint64_t>(a) << 32) | u;
+    };
+    std::erase_if(log.tuples_, [&](const ActionTuple& t) {
+      const bool inserted =
+          performed.emplace(key(t.action, t.user), true).second;
+      return !inserted;  // later (>= time) duplicate: drop
+    });
+  }
+
+  const ActionId num_actions =
+      static_cast<ActionId>(log.original_action_id_.size());
+  log.action_offsets_.assign(num_actions + 1, 0);
+  for (const ActionTuple& t : log.tuples_) {
+    log.action_offsets_[t.action + 1]++;
+  }
+  for (ActionId a = 0; a < num_actions; ++a) {
+    log.action_offsets_[a + 1] += log.action_offsets_[a];
+  }
+
+  // Per-user index; counting pass over action-sorted tuples keeps each
+  // user's actions sorted by action id.
+  log.user_offsets_.assign(num_users_ + 1, 0);
+  for (const ActionTuple& t : log.tuples_) log.user_offsets_[t.user + 1]++;
+  for (NodeId u = 0; u < num_users_; ++u) {
+    log.user_offsets_[u + 1] += log.user_offsets_[u];
+  }
+  log.user_actions_.resize(log.tuples_.size());
+  std::vector<std::uint64_t> cursor(log.user_offsets_.begin(),
+                                    log.user_offsets_.end() - 1);
+  for (const ActionTuple& t : log.tuples_) {
+    log.user_actions_[cursor[t.user]++] = {t.action, t.time};
+  }
+  return log;
+}
+
+ActionLogStats ComputeActionLogStats(const ActionLog& log) {
+  ActionLogStats stats;
+  stats.num_users = log.num_users();
+  stats.num_propagations = log.num_actions();
+  stats.num_tuples = log.num_tuples();
+  for (ActionId a = 0; a < log.num_actions(); ++a) {
+    stats.max_propagation_size =
+        std::max(stats.max_propagation_size, log.ActionSize(a));
+  }
+  stats.avg_propagation_size =
+      log.num_actions() == 0
+          ? 0.0
+          : static_cast<double>(log.num_tuples()) / log.num_actions();
+  for (NodeId u = 0; u < log.num_users(); ++u) {
+    if (log.ActionsPerformedBy(u) > 0) ++stats.active_users;
+  }
+  stats.avg_actions_per_user =
+      stats.active_users == 0
+          ? 0.0
+          : static_cast<double>(log.num_tuples()) / stats.active_users;
+  return stats;
+}
+
+}  // namespace influmax

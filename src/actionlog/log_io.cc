@@ -1,0 +1,121 @@
+#include "actionlog/log_io.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "common/text_io.h"
+
+namespace influmax {
+
+Result<ActionLog> ReadActionLogFile(const std::string& path) {
+  LineReader reader(path);
+  if (!reader.status().ok()) return reader.status();
+
+  struct Row {
+    NodeId user;
+    std::uint32_t action;
+    Timestamp time;
+  };
+  std::vector<Row> rows;
+  NodeId declared_users = 0;
+  bool has_header = false;
+  NodeId max_user = 0;
+
+  std::string line;
+  bool first = true;
+  while (reader.Next(&line)) {
+    const auto fields = SplitFields(line, '\t');
+    if (first && fields.size() == 2 && fields[0] == "users") {
+      Result<std::uint32_t> n = ParseU32(fields[1]);
+      if (!n.ok()) return n.status();
+      declared_users = *n;
+      has_header = true;
+      first = false;
+      continue;
+    }
+    first = false;
+    if (fields.size() != 3) {
+      return Status::Corruption(path + ":" +
+                                std::to_string(reader.line_number()) +
+                                ": expected 'user<TAB>action<TAB>time'");
+    }
+    Result<std::uint32_t> user = ParseU32(fields[0]);
+    if (!user.ok()) return user.status();
+    Result<std::uint32_t> action = ParseU32(fields[1]);
+    if (!action.ok()) return action.status();
+    Result<double> time = ParseDouble(fields[2]);
+    if (!time.ok()) return time.status();
+    rows.push_back({*user, *action, *time});
+    max_user = std::max(max_user, *user);
+  }
+
+  const NodeId num_users =
+      has_header ? declared_users : (rows.empty() ? 0 : max_user + 1);
+  ActionLogBuilder builder(num_users);
+  for (const Row& r : rows) builder.Add(r.user, r.action, r.time);
+  return builder.Build();
+}
+
+Status WriteActionLogFile(const ActionLog& log, const std::string& path) {
+  std::ostringstream out;
+  out << "# influmax action log: user<TAB>action<TAB>time per line\n";
+  out << "users\t" << log.num_users() << "\n";
+  out.precision(17);  // doubles round-trip exactly
+  for (ActionId a = 0; a < log.num_actions(); ++a) {
+    for (const ActionTuple& t : log.ActionTrace(a)) {
+      out << t.user << "\t" << log.OriginalActionId(a) << "\t" << t.time
+          << "\n";
+    }
+  }
+  return WriteTextFile(path, out.str());
+}
+
+namespace {
+constexpr std::uint64_t kLogMagic = 0x584D464C474F4C41ULL;  // "ALOGLFMX"
+constexpr std::uint32_t kLogVersion = 1;
+}  // namespace
+
+Status WriteActionLogBinary(const ActionLog& log, const std::string& path) {
+  BinaryWriter writer(path, kLogMagic, kLogVersion);
+  INFLUMAX_RETURN_IF_ERROR(writer.status());
+  writer.WriteU32(log.num_users());
+  std::vector<NodeId> users;
+  std::vector<std::uint32_t> actions;  // original ids, like the text format
+  std::vector<double> times;
+  users.reserve(log.num_tuples());
+  actions.reserve(log.num_tuples());
+  times.reserve(log.num_tuples());
+  for (ActionId a = 0; a < log.num_actions(); ++a) {
+    for (const ActionTuple& t : log.ActionTrace(a)) {
+      users.push_back(t.user);
+      actions.push_back(log.OriginalActionId(a));
+      times.push_back(t.time);
+    }
+  }
+  writer.WriteVector(users);
+  writer.WriteVector(actions);
+  writer.WriteVector(times);
+  return writer.Finish();
+}
+
+Result<ActionLog> ReadActionLogBinary(const std::string& path) {
+  BinaryReader reader(path, kLogMagic, kLogVersion);
+  INFLUMAX_RETURN_IF_ERROR(reader.status());
+  const NodeId num_users = reader.ReadU32();
+  constexpr std::uint64_t kMaxTuples = 1ULL << 34;  // sanity bound
+  const auto users = reader.ReadVector<NodeId>(kMaxTuples);
+  const auto actions = reader.ReadVector<std::uint32_t>(kMaxTuples);
+  const auto times = reader.ReadVector<double>(kMaxTuples);
+  INFLUMAX_RETURN_IF_ERROR(reader.Finish());
+  if (users.size() != actions.size() || users.size() != times.size()) {
+    return Status::Corruption("tuple array size mismatch in '" + path + "'");
+  }
+  ActionLogBuilder builder(num_users);
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    builder.Add(users[i], actions[i], times[i]);
+  }
+  return builder.Build();
+}
+
+}  // namespace influmax

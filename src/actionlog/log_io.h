@@ -1,0 +1,27 @@
+#ifndef INFLUMAX_ACTIONLOG_LOG_IO_H_
+#define INFLUMAX_ACTIONLOG_LOG_IO_H_
+
+#include <string>
+
+#include "actionlog/action_log.h"
+#include "common/status.h"
+
+namespace influmax {
+
+/// Text action-log format, one `user<TAB>action<TAB>time` triple per line;
+/// `#` comments and blank lines skipped. An optional first line
+/// `users<TAB><n>` fixes the user-id space; otherwise it is max(user)+1.
+Result<ActionLog> ReadActionLogFile(const std::string& path);
+
+/// Writes `log` in the same format (with the `users` header). Action ids
+/// written are the original (pre-densification) ids so restrictions
+/// round-trip against their source logs.
+Status WriteActionLogFile(const ActionLog& log, const std::string& path);
+
+/// Binary action-log format (fast local round-trips; ~16 bytes/tuple).
+Status WriteActionLogBinary(const ActionLog& log, const std::string& path);
+Result<ActionLog> ReadActionLogBinary(const std::string& path);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_ACTIONLOG_LOG_IO_H_

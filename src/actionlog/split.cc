@@ -1,0 +1,64 @@
+#include "actionlog/split.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace influmax {
+
+Result<TrainTestSplit> SplitByPropagationSize(const ActionLog& log,
+                                              const SplitConfig& config) {
+  if (config.stride < 2) {
+    return Status::InvalidArgument("split stride must be >= 2");
+  }
+  if (config.phase >= config.stride) {
+    return Status::InvalidArgument("split phase must be < stride");
+  }
+
+  std::vector<ActionId> ranking(log.num_actions());
+  std::iota(ranking.begin(), ranking.end(), 0u);
+  std::sort(ranking.begin(), ranking.end(), [&](ActionId a, ActionId b) {
+    if (log.ActionSize(a) != log.ActionSize(b)) {
+      return log.ActionSize(a) > log.ActionSize(b);
+    }
+    return a < b;
+  });
+
+  TrainTestSplit split;
+  for (std::size_t rank = 0; rank < ranking.size(); ++rank) {
+    if (rank % config.stride == config.phase) {
+      split.test_actions.push_back(ranking[rank]);
+    } else {
+      split.train_actions.push_back(ranking[rank]);
+    }
+  }
+  // Restore id order so the restricted logs keep the original relative
+  // action numbering.
+  std::sort(split.train_actions.begin(), split.train_actions.end());
+  std::sort(split.test_actions.begin(), split.test_actions.end());
+  split.train = log.RestrictToActions(split.train_actions);
+  split.test = log.RestrictToActions(split.test_actions);
+  return split;
+}
+
+ActionLog SampleByTupleBudget(const ActionLog& log, std::size_t max_tuples,
+                              std::uint64_t seed) {
+  std::vector<ActionId> order(log.num_actions());
+  std::iota(order.begin(), order.end(), 0u);
+  Rng rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  std::vector<ActionId> chosen;
+  std::size_t tuples = 0;
+  for (ActionId a : order) {
+    if (tuples >= max_tuples) break;
+    chosen.push_back(a);
+    tuples += log.ActionSize(a);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return log.RestrictToActions(chosen);
+}
+
+}  // namespace influmax

@@ -1,0 +1,48 @@
+#ifndef INFLUMAX_ACTIONLOG_SPLIT_H_
+#define INFLUMAX_ACTIONLOG_SPLIT_H_
+
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/status.h"
+
+namespace influmax {
+
+/// Train/test split of an action log by whole propagation traces,
+/// reproducing Section 3 of the paper: "we sorted the propagation traces
+/// based on their size and put every fifth propagation in this ranking in
+/// the test set", which keeps the size distributions of the two sets
+/// similar. A trace is never split across the two sets.
+struct SplitConfig {
+  /// Every `stride`-th trace in the size ranking goes to test.
+  std::uint32_t stride = 5;
+  /// Which residue of the ranking goes to test (0 would put the single
+  /// largest trace in test; the default keeps it in training).
+  std::uint32_t phase = 2;
+};
+
+struct TrainTestSplit {
+  ActionLog train;
+  ActionLog test;
+  /// Dense action ids (in the source log) that went to each side.
+  std::vector<ActionId> train_actions;
+  std::vector<ActionId> test_actions;
+};
+
+/// Splits `log` per `config`. Traces are ranked by descending size (ties
+/// by action id). Returns InvalidArgument for stride < 2 or phase >=
+/// stride.
+Result<TrainTestSplit> SplitByPropagationSize(const ActionLog& log,
+                                              const SplitConfig& config);
+
+/// Selects a training prefix by *tuple budget*: whole traces are drawn in
+/// a deterministic pseudo-random order (seeded shuffle) until at least
+/// `max_tuples` tuples are accumulated. This reproduces the scalability
+/// experiments (Figures 8 and 9): "we created the training data set by
+/// randomly choosing propagation traces from the complete action log".
+ActionLog SampleByTupleBudget(const ActionLog& log, std::size_t max_tuples,
+                              std::uint64_t seed);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_ACTIONLOG_SPLIT_H_

@@ -1,0 +1,64 @@
+#include "common/binary_io.h"
+
+namespace influmax {
+
+BinaryWriter::BinaryWriter(const std::string& path, std::uint64_t magic,
+                           std::uint32_t version) {
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_.is_open()) {
+    status_ = Status::IoError("cannot open '" + path + "' for writing");
+    return;
+  }
+  WriteU64(magic);
+  WriteU32(version);
+}
+
+void BinaryWriter::WriteRaw(const void* data, std::size_t bytes) {
+  if (!status_.ok()) return;
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(bytes));
+  if (!out_.good()) status_ = Status::IoError("short binary write");
+}
+
+Status BinaryWriter::Finish() {
+  if (status_.ok()) {
+    out_.flush();
+    if (!out_.good()) status_ = Status::IoError("flush failed");
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path,
+                           std::uint64_t expected_magic,
+                           std::uint32_t expected_version) {
+  in_.open(path, std::ios::binary);
+  if (!in_.is_open()) {
+    status_ = Status::IoError("cannot open '" + path + "'");
+    return;
+  }
+  const std::uint64_t magic = ReadU64();
+  if (status_.ok() && magic != expected_magic) {
+    status_ = Status::Corruption("bad magic in '" + path + "'");
+    return;
+  }
+  const std::uint32_t version = ReadU32();
+  if (status_.ok() && version != expected_version) {
+    status_ = Status::Corruption("unsupported version " +
+                                 std::to_string(version) + " in '" + path +
+                                 "'");
+  }
+}
+
+void BinaryReader::ReadRaw(void* data, std::size_t bytes) {
+  if (!status_.ok()) return;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in_.gcount() != static_cast<std::streamsize>(bytes)) {
+    status_ = Status::Corruption("truncated binary file");
+  }
+}
+
+void BinaryReader::Fail(const std::string& message) {
+  if (status_.ok()) status_ = Status::Corruption(message);
+}
+
+}  // namespace influmax

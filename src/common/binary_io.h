@@ -1,0 +1,103 @@
+#ifndef INFLUMAX_COMMON_BINARY_IO_H_
+#define INFLUMAX_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace influmax {
+
+/// Little binary container format shared by the graph and action-log
+/// serializers: an 8-byte magic, a format version, then typed sections.
+/// Intended for fast local round-trips of generated datasets (the text
+/// formats stay the interchange format); files are not portable across
+/// endianness.
+class BinaryWriter {
+ public:
+  /// Opens `path` for truncation-writing; check status() before use.
+  BinaryWriter(const std::string& path, std::uint64_t magic,
+               std::uint32_t version);
+
+  const Status& status() const { return status_; }
+
+  void WriteU32(std::uint32_t value) { WriteRaw(&value, sizeof(value)); }
+  void WriteU64(std::uint64_t value) { WriteRaw(&value, sizeof(value)); }
+  void WriteDouble(double value) { WriteRaw(&value, sizeof(value)); }
+
+  /// Length-prefixed vector of trivially copyable elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(values.size());
+    if (!values.empty()) {
+      WriteRaw(values.data(), values.size() * sizeof(T));
+    }
+  }
+
+  /// Flushes and reports any accumulated I/O error.
+  Status Finish();
+
+ private:
+  void WriteRaw(const void* data, std::size_t bytes);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Reader counterpart; validates magic and version on open.
+class BinaryReader {
+ public:
+  BinaryReader(const std::string& path, std::uint64_t expected_magic,
+               std::uint32_t expected_version);
+
+  const Status& status() const { return status_; }
+
+  std::uint32_t ReadU32() {
+    std::uint32_t value = 0;
+    ReadRaw(&value, sizeof(value));
+    return value;
+  }
+  std::uint64_t ReadU64() {
+    std::uint64_t value = 0;
+    ReadRaw(&value, sizeof(value));
+    return value;
+  }
+  double ReadDouble() {
+    double value = 0;
+    ReadRaw(&value, sizeof(value));
+    return value;
+  }
+
+  /// Reads a length-prefixed vector; enforces `max_elements` so corrupt
+  /// length fields cannot trigger huge allocations.
+  template <typename T>
+  std::vector<T> ReadVector(std::uint64_t max_elements) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t count = ReadU64();
+    if (count > max_elements) {
+      Fail("vector length " + std::to_string(count) + " exceeds limit");
+      return {};
+    }
+    std::vector<T> values(count);
+    if (count > 0) ReadRaw(values.data(), count * sizeof(T));
+    return values;
+  }
+
+  /// OK iff everything read so far was present and well-formed.
+  Status Finish() const { return status_; }
+
+ private:
+  void ReadRaw(void* data, std::size_t bytes);
+  void Fail(const std::string& message);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_BINARY_IO_H_

@@ -1,0 +1,150 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace influmax {
+namespace {
+
+std::string Repr(std::int64_t v) { return std::to_string(v); }
+std::string Repr(int v) { return std::to_string(v); }
+std::string Repr(double v) {
+  std::ostringstream oss;
+  oss << v;
+  return oss.str();
+}
+std::string Repr(const std::string& v) { return v.empty() ? "\"\"" : v; }
+std::string Repr(bool v) { return v ? "true" : "false"; }
+
+}  // namespace
+
+void FlagParser::AddInt(const std::string& name, std::int64_t* target,
+                        const std::string& help) {
+  flags_[name] = {Kind::kInt64, target, help, Repr(*target)};
+}
+
+void FlagParser::AddInt(const std::string& name, int* target,
+                        const std::string& help) {
+  flags_[name] = {Kind::kInt, target, help, Repr(*target)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  flags_[name] = {Kind::kDouble, target, help, Repr(*target)};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_[name] = {Kind::kString, target, help, Repr(*target)};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_[name] = {Kind::kBool, target, help, Repr(*target)};
+}
+
+Status FlagParser::SetValue(const std::string& name,
+                            const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  FlagInfo& info = it->second;
+  errno = 0;
+  char* end = nullptr;
+  switch (info.kind) {
+    case Kind::kInt64: {
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": bad integer '" + value + "'");
+      }
+      *static_cast<std::int64_t*>(info.target) = v;
+      break;
+    }
+    case Kind::kInt: {
+      long v = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": bad integer '" + value + "'");
+      }
+      *static_cast<int*>(info.target) = static_cast<int>(v);
+      break;
+    }
+    case Kind::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("flag --" + name +
+                                       ": bad double '" + value + "'");
+      }
+      *static_cast<double*>(info.target) = v;
+      break;
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(info.target) = value;
+      break;
+    case Kind::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(info.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(info.target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name + ": bad bool '" +
+                                       value + "'");
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument '" +
+                                     arg + "'");
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name;
+    std::string value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        return Status::InvalidArgument("unknown flag --" + name);
+      }
+      if (it->second.kind == Kind::kBool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + name +
+                                         " expects a value");
+        }
+        value = argv[++i];
+      }
+    }
+    INFLUMAX_RETURN_IF_ERROR(SetValue(name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream oss;
+  oss << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, info] : flags_) {
+    oss << "  --" << name << "  " << info.help
+        << " (default: " << info.default_repr << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace influmax

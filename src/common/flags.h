@@ -1,0 +1,66 @@
+#ifndef INFLUMAX_COMMON_FLAGS_H_
+#define INFLUMAX_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace influmax {
+
+/// Minimal command-line flag parser used by the experiment binaries in
+/// bench/ and examples/. Supports `--name=value`, `--name value`, and bare
+/// boolean `--name`. Unknown flags are an error so that typos in sweep
+/// scripts fail loudly.
+///
+/// Usage:
+///   FlagParser flags;
+///   int k = 50;
+///   flags.AddInt("k", &k, "number of seeds");
+///   INFLUMAX_CHECK_OK(flags.Parse(argc, argv));
+class FlagParser {
+ public:
+  /// Registers an int64 flag backed by `*target` (default = current value).
+  void AddInt(const std::string& name, std::int64_t* target,
+              const std::string& help);
+  /// Registers an int flag backed by `*target`.
+  void AddInt(const std::string& name, int* target, const std::string& help);
+  /// Registers a double flag backed by `*target`.
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  /// Registers a string flag backed by `*target`.
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  /// Registers a bool flag backed by `*target` (`--name`, `--name=false`).
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv; fills registered targets. Returns InvalidArgument on an
+  /// unknown flag or malformed value. `--help` populates HelpRequested().
+  Status Parse(int argc, char** argv);
+
+  /// True if `--help` was seen; callers should print Usage() and exit 0.
+  bool help_requested() const { return help_requested_; }
+
+  /// Human-readable flag summary.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt64, kInt, kDouble, kString, kBool };
+  struct FlagInfo {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, FlagInfo> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_FLAGS_H_

@@ -1,0 +1,89 @@
+#ifndef INFLUMAX_COMMON_LOGGING_H_
+#define INFLUMAX_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace influmax {
+namespace internal_logging {
+
+/// Severity of a log statement.
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log sink; flushes on destruction, aborts on kFatal. Not
+/// intended for hot paths — the library itself logs nothing in inner loops.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << Prefix() << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* Prefix() const {
+    switch (level_) {
+      case LogLevel::kInfo:
+        return "[INFO ";
+      case LogLevel::kWarning:
+        return "[WARN ";
+      case LogLevel::kError:
+        return "[ERROR";
+      case LogLevel::kFatal:
+        return "[FATAL";
+    }
+    return "[?    ";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace influmax
+
+#define INFLUMAX_LOG_INFO                                              \
+  ::influmax::internal_logging::LogMessage(                            \
+      ::influmax::internal_logging::LogLevel::kInfo, __FILE__, __LINE__) \
+      .stream()
+#define INFLUMAX_LOG_WARN                                                  \
+  ::influmax::internal_logging::LogMessage(                                \
+      ::influmax::internal_logging::LogLevel::kWarning, __FILE__, __LINE__) \
+      .stream()
+#define INFLUMAX_LOG_FATAL                                               \
+  ::influmax::internal_logging::LogMessage(                              \
+      ::influmax::internal_logging::LogLevel::kFatal, __FILE__, __LINE__) \
+      .stream()
+
+/// Invariant check that stays on in release builds (experiment harnesses
+/// are built in Release mode, where assert() would vanish).
+#define INFLUMAX_CHECK(cond)                                   \
+  if (!(cond))                                                 \
+  INFLUMAX_LOG_FATAL << "Check failed: " #cond " "
+
+#define INFLUMAX_CHECK_OK(expr)                                \
+  do {                                                         \
+    const ::influmax::Status _st = (expr);                     \
+    if (!_st.ok())                                             \
+      INFLUMAX_LOG_FATAL << "Status not OK: " << _st.ToString(); \
+  } while (0)
+
+#endif  // INFLUMAX_COMMON_LOGGING_H_

@@ -1,0 +1,58 @@
+#include "common/memory.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace influmax {
+namespace {
+
+// Reads a "<Field>:   <value> kB" line from /proc/self/status.
+std::uint64_t ReadStatusFieldKb(const char* field) {
+  std::ifstream in("/proc/self/status");
+  if (!in.is_open()) return 0;
+  std::string line;
+  const std::size_t field_len = std::strlen(field);
+  while (std::getline(in, line)) {
+    if (line.compare(0, field_len, field) == 0) {
+      std::uint64_t kb = 0;
+      std::istringstream iss(line.substr(field_len + 1));
+      iss >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t CurrentRssBytes() { return ReadStatusFieldKb("VmRSS") * 1024; }
+
+std::uint64_t PeakRssBytes() {
+  // Some containerized kernels expose VmRSS but not VmHWM; fall back to
+  // the current value so callers always get a usable lower bound.
+  const std::uint64_t hwm = ReadStatusFieldKb("VmHWM") * 1024;
+  return hwm != 0 ? hwm : CurrentRssBytes();
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1000.0 && unit < 4) {
+    value /= 1000.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace influmax

@@ -1,0 +1,25 @@
+#ifndef INFLUMAX_COMMON_MEMORY_H_
+#define INFLUMAX_COMMON_MEMORY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace influmax {
+
+/// Returns the current resident set size of this process in bytes, read
+/// from /proc/self/status (VmRSS), or 0 if unavailable. Used by the
+/// scalability experiment (Figure 8) and the truncation-threshold study
+/// (Table 4) to report memory usage.
+std::uint64_t CurrentRssBytes();
+
+/// Returns the peak resident set size (VmHWM) in bytes, or 0 if
+/// unavailable.
+std::uint64_t PeakRssBytes();
+
+/// Renders `bytes` as e.g. "512 B", "14.2 MB", "1.53 GB" (base-10 units,
+/// matching the paper's GB figures).
+std::string FormatBytes(std::uint64_t bytes);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_MEMORY_H_

@@ -1,0 +1,60 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace influmax {
+
+std::size_t EffectiveThreadCount(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelForChunked(
+    std::size_t total, std::size_t num_threads,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (total == 0) return;
+  const std::size_t workers =
+      std::min(EffectiveThreadCount(num_threads), total);
+  if (workers == 1) {
+    body(0, 0, total);
+    return;
+  }
+  const std::size_t chunk = (total + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(begin + chunk, total);
+    if (begin >= end) break;
+    threads.emplace_back([&body, t, begin, end] { body(t, begin, end); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+void ParallelForDynamic(
+    std::size_t total, std::size_t num_threads,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (total == 0) return;
+  const std::size_t workers =
+      std::min(EffectiveThreadCount(num_threads), total);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < total; ++i) body(0, i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) {
+    threads.emplace_back([&body, &next, total, t] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) return;
+        body(t, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace influmax

@@ -1,0 +1,38 @@
+#ifndef INFLUMAX_COMMON_PARALLEL_H_
+#define INFLUMAX_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace influmax {
+
+/// Returns the degree of parallelism to use when the caller passes 0
+/// ("auto"): hardware concurrency, at least 1.
+std::size_t EffectiveThreadCount(std::size_t requested);
+
+/// Runs `body(thread_index, begin, end)` over a static partition of
+/// [0, total) across `num_threads` workers (0 = auto). Blocks until all
+/// workers finish. With num_threads == 1 the body runs inline, which the
+/// tests use for determinism.
+///
+/// The Monte Carlo engines use the thread_index to pick an independent
+/// RNG stream, so results are reproducible for a fixed thread count.
+void ParallelForChunked(
+    std::size_t total, std::size_t num_threads,
+    const std::function<void(std::size_t thread_index, std::size_t begin,
+                             std::size_t end)>& body);
+
+/// Dynamic work-stealing variant: workers repeatedly grab the next index
+/// from a shared counter and run `body(thread_index, index)`. Better for
+/// heavily skewed per-item costs (e.g. per-action scans).
+void ParallelForDynamic(
+    std::size_t total, std::size_t num_threads,
+    const std::function<void(std::size_t thread_index, std::size_t index)>&
+        body);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_PARALLEL_H_

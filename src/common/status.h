@@ -1,0 +1,135 @@
+#ifndef INFLUMAX_COMMON_STATUS_H_
+#define INFLUMAX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace influmax {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight status object for fallible operations (I/O, parsing,
+/// configuration validation). Modeled after the common database-library
+/// idiom (RocksDB/Arrow): cheap to copy in the OK case, carries a message
+/// otherwise. Programming errors are asserted, not Status-returned.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Value-or-error holder, the companion of Status for functions that
+/// produce a value. `value()` asserts on access when not ok.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value)  // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result must not be built from an OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "Result::value() on error");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "Result::value() on error");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() on error");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define INFLUMAX_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::influmax::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_STATUS_H_

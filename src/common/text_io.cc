@@ -1,0 +1,90 @@
+#include "common/text_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace influmax {
+
+std::vector<std::string_view> SplitFields(std::string_view line, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == delim) {
+      out.push_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+Result<std::uint32_t> ParseU32(std::string_view token) {
+  if (token.empty()) return Status::InvalidArgument("empty integer token");
+  std::uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad integer token '" +
+                                     std::string(token) + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0xFFFFFFFFULL) {
+      return Status::InvalidArgument("integer token out of range '" +
+                                     std::string(token) + "'");
+    }
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view token) {
+  if (token.empty()) return Status::InvalidArgument("empty double token");
+  std::string buf(token);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument("bad double token '" + buf + "'");
+  }
+  return value;
+}
+
+struct LineReader::Impl {
+  std::ifstream in;
+};
+
+LineReader::LineReader(const std::string& path) : impl_(new Impl) {
+  impl_->in.open(path);
+  if (!impl_->in.is_open()) {
+    status_ = Status::IoError("cannot open '" + path + "'");
+  }
+}
+
+LineReader::~LineReader() { delete impl_; }
+
+bool LineReader::Next(std::string* line) {
+  if (!status_.ok()) return false;
+  while (std::getline(impl_->in, *line)) {
+    ++line_number_;
+    if (line->empty() || (*line)[0] == '#') continue;
+    // Tolerate CRLF input.
+    if (line->back() == '\r') line->pop_back();
+    if (line->empty()) continue;
+    return true;
+  }
+  return false;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace influmax

@@ -1,0 +1,56 @@
+#ifndef INFLUMAX_COMMON_TEXT_IO_H_
+#define INFLUMAX_COMMON_TEXT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace influmax {
+
+/// Splits `line` on `delim`, trimming nothing. Empty fields are kept.
+std::vector<std::string_view> SplitFields(std::string_view line, char delim);
+
+/// Parses an unsigned 32-bit integer; returns InvalidArgument on garbage.
+Result<std::uint32_t> ParseU32(std::string_view token);
+
+/// Parses a double; returns InvalidArgument on garbage.
+Result<double> ParseDouble(std::string_view token);
+
+/// Streaming line reader over a whitespace/TSV-style text file. Skips
+/// blank lines and lines starting with '#'. Keeps the file handle open for
+/// the lifetime of the object.
+class LineReader {
+ public:
+  /// Opens `path`; check `status()` before use.
+  explicit LineReader(const std::string& path);
+  ~LineReader();
+
+  LineReader(const LineReader&) = delete;
+  LineReader& operator=(const LineReader&) = delete;
+
+  /// OK iff the file opened successfully.
+  const Status& status() const { return status_; }
+
+  /// Reads the next payload line into `*line`; returns false at EOF.
+  bool Next(std::string* line);
+
+  /// 1-based number of the last line returned (for error messages).
+  std::size_t line_number() const { return line_number_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  Status status_;
+  std::size_t line_number_ = 0;
+};
+
+/// Writes `content` to `path` atomically enough for our purposes
+/// (truncate + write + flush); returns IoError on failure.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_TEXT_IO_H_

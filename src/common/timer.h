@@ -1,0 +1,32 @@
+#ifndef INFLUMAX_COMMON_TIMER_H_
+#define INFLUMAX_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace influmax {
+
+/// Monotonic wall-clock stopwatch used by the experiment harnesses
+/// (Figures 7 and 8 report wall time).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_TIMER_H_

@@ -1,0 +1,37 @@
+#ifndef INFLUMAX_COMMON_TYPES_H_
+#define INFLUMAX_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace influmax {
+
+/// Dense node identifier. Nodes of a graph are always numbered 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Dense action identifier. Actions of a log are numbered 0..m-1.
+using ActionId = std::uint32_t;
+
+/// Continuous event time. The credit-distribution model (Eq. 9 of the
+/// paper) applies an exponential decay in (t(u,a) - t(v,a)), so time is
+/// kept continuous rather than discretized.
+using Timestamp = double;
+
+/// Index into a CSR edge array.
+using EdgeIndex = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no action".
+inline constexpr ActionId kInvalidAction =
+    std::numeric_limits<ActionId>::max();
+
+/// Sentinel timestamp for "user never performed the action"; compares
+/// greater than every real timestamp.
+inline constexpr Timestamp kNeverPerformed =
+    std::numeric_limits<Timestamp>::infinity();
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_TYPES_H_

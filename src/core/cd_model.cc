@@ -1,0 +1,174 @@
+#include "core/cd_model.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "actionlog/propagation_dag.h"
+#include "common/parallel.h"
+
+namespace influmax {
+
+Result<CreditDistributionModel> CreditDistributionModel::Build(
+    const Graph& graph, const ActionLog& log,
+    const DirectCreditModel& credit_model, const CdConfig& config) {
+  if (log.num_users() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "CD scan: action log user space does not match graph");
+  }
+  if (config.truncation_threshold < 0.0) {
+    return Status::InvalidArgument(
+        "CD scan: truncation threshold must be >= 0");
+  }
+
+  CreditDistributionModel model(graph, log);
+  model.store_ = UserCreditStore(log.num_actions());
+  model.is_seed_.assign(graph.num_nodes(), false);
+  const double lambda = config.truncation_threshold;
+
+  // Algorithm 2: one pass over the log, processing each action's tuples
+  // chronologically. The propagation DAG gives each activation its
+  // potential-influencer set N_in(u, a); total credits accumulate by the
+  // recursive definition (Eq. 5) in topological order. Actions touch only
+  // their own credit table, so the pass is parallel across actions with
+  // results independent of the thread count.
+  ParallelForDynamic(
+      log.num_actions(), config.scan_threads,
+      [&](std::size_t /*thread*/, std::size_t action) {
+        const ActionId a = static_cast<ActionId>(action);
+        const PropagationDag dag =
+            BuildPropagationDag(graph, log.ActionTrace(a));
+        ActionCreditTable& table = model.store_.table(a);
+        for (NodeId pos = 0; pos < dag.size(); ++pos) {
+          const auto parents = dag.Parents(pos);
+          if (parents.empty()) continue;
+          const auto edges = dag.ParentEdges(pos);
+          const NodeId u = dag.UserAt(pos);
+          const std::uint32_t din =
+              static_cast<std::uint32_t>(parents.size());
+          for (std::size_t i = 0; i < parents.size(); ++i) {
+            const NodeId v = dag.UserAt(parents[i]);
+            const double gamma = credit_model.Gamma(
+                u, din, dag.TimeAt(pos) - dag.TimeAt(parents[i]), edges[i]);
+            if (gamma < lambda || gamma <= 0.0) continue;
+            // Transitive credit: everyone already crediting v passes
+            // credit through to u, scaled by gamma (Eq. 5), subject to
+            // truncation.
+            for (NodeId w : table.Creditors(v)) {
+              const double transitive = table.Credit(w, v) * gamma;
+              if (transitive >= lambda && transitive > 0.0) {
+                table.AddCredit(w, u, transitive);
+              }
+            }
+            table.AddCredit(v, u, gamma);
+          }
+        }
+      });
+  return model;
+}
+
+double CreditDistributionModel::MarginalGain(NodeId x) const {
+  // Algorithm 4, evaluating Theorem 3:
+  //   sigma(S+x) - sigma(S) =
+  //     sum_a (1 - Gamma_{S,x}(a)) * sum_u Gamma^{V-S}_{x,u}(a) / A_u,
+  // where the u = x term contributes 1/A_x for every action x performed.
+  if (is_seed_[x]) return 0.0;  // Theorem 3 assumes x is not in S
+  const std::uint32_t ax = log_->ActionsPerformedBy(x);
+  if (ax == 0) return 0.0;
+  const double inv_ax = 1.0 / ax;
+
+  double mg = 0.0;
+  for (const UserAction& ua : log_->UserActions(x)) {
+    const ActionCreditTable& table = store_.table(ua.action);
+    double mga = inv_ax;
+    for (NodeId u : table.CreditedUsers(x)) {
+      const double credit = table.Credit(x, u);
+      if (credit > 0.0) {
+        mga += credit / log_->ActionsPerformedBy(u);
+      }
+    }
+    mg += mga * (1.0 - store_.SetCredit(x, ua.action));
+  }
+  return mg;
+}
+
+void CreditDistributionModel::CommitSeed(NodeId x) {
+  // Algorithm 5. For every action x performed: fold x's credit into SC
+  // (Lemma 3), subtract the through-x paths from every (v, u) pair
+  // (Lemma 2), then drop x's row and column — x has left the induced
+  // subgraph V - S.
+  for (const UserAction& ua : log_->UserActions(x)) {
+    ActionCreditTable& table = store_.table(ua.action);
+    const double sc_x = store_.SetCredit(x, ua.action);
+    const auto credited = table.CreditedUsers(x);
+    const auto creditors = table.Creditors(x);
+    for (NodeId u : credited) {
+      const double cxu = table.Credit(x, u);
+      if (cxu <= 0.0) continue;  // stale adjacency entry
+      for (NodeId v : creditors) {
+        const double cvx = table.Credit(v, x);
+        if (cvx <= 0.0) continue;
+        table.SubtractCredit(v, u, cvx * cxu);
+      }
+      store_.AddSetCredit(u, ua.action, cxu * (1.0 - sc_x));
+    }
+    for (NodeId u : credited) table.Erase(x, u);
+    for (NodeId v : creditors) table.Erase(v, x);
+  }
+  current_seeds_.push_back(x);
+  is_seed_[x] = true;
+}
+
+Result<CreditDistributionModel::SeedSelection>
+CreditDistributionModel::SelectSeeds(NodeId k) {
+  if (selection_done_) {
+    return Status::FailedPrecondition(
+        "SelectSeeds already ran on this model (the greedy loop consumes "
+        "the credit store); Build() a fresh model to select again");
+  }
+  selection_done_ = true;
+
+  // Algorithm 3: greedy with CELF lazy-forward evaluation. Queue entries
+  // carry the iteration (|S| value) their gain was computed at; thanks to
+  // submodularity (Theorem 2) a stale gain is an upper bound, so an entry
+  // that stays on top after recomputation is the true argmax.
+  struct QueueEntry {
+    double gain;
+    NodeId node;
+    NodeId iteration;
+    bool operator<(const QueueEntry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return node > other.node;  // deterministic tie-break: smaller id wins
+    }
+  };
+
+  SeedSelection selection;
+  std::priority_queue<QueueEntry> queue;
+  for (NodeId x = 0; x < log_->num_users(); ++x) {
+    if (log_->ActionsPerformedBy(x) == 0) continue;  // gain is always 0
+    queue.push({MarginalGain(x), x, 0});
+    ++selection.gain_evaluations;
+  }
+
+  double spread = 0.0;
+  while (selection.seeds.size() < k && !queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    const NodeId current_size = static_cast<NodeId>(selection.seeds.size());
+    if (top.iteration == current_size) {
+      if (top.gain <= 0.0) break;  // nothing left to gain
+      CommitSeed(top.node);
+      spread += top.gain;
+      selection.seeds.push_back(top.node);
+      selection.marginal_gains.push_back(top.gain);
+      selection.cumulative_spread.push_back(spread);
+    } else {
+      top.gain = MarginalGain(top.node);
+      top.iteration = current_size;
+      queue.push(top);
+      ++selection.gain_evaluations;
+    }
+  }
+  return selection;
+}
+
+}  // namespace influmax

@@ -1,0 +1,95 @@
+#ifndef INFLUMAX_CORE_CD_MODEL_H_
+#define INFLUMAX_CORE_CD_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/status.h"
+#include "core/credit_store.h"
+#include "core/direct_credit.h"
+#include "graph/graph.h"
+
+namespace influmax {
+
+/// Scan / greedy configuration for the credit-distribution model.
+struct CdConfig {
+  /// Truncation threshold lambda (Section 5.3): credits below this are
+  /// discarded during the scan, bounding UC memory. The paper uses 0.001
+  /// as its default and studies the trade-off in Table 4. Set to 0 for an
+  /// exact scan (tests do this).
+  double truncation_threshold = 0.001;
+
+  /// Worker threads for the scan (0 = all hardware threads). Actions'
+  /// credit tables are mutually independent, so the scan parallelizes
+  /// across actions with bit-identical results for any thread count.
+  std::size_t scan_threads = 0;
+};
+
+/// Influence maximization under the Credit Distribution model
+/// (Problem 2 + Algorithms 2-5 of the paper).
+///
+/// Lifecycle: Build() scans the action log once (Algorithm 2), filling
+/// the sparse UC structure; SelectSeeds() then runs greedy + CELF
+/// (Algorithm 3) using the incremental marginal-gain identity of
+/// Theorem 3 (Algorithm 4) and the Lemma 2/3 updates (Algorithm 5).
+/// SelectSeeds mutates UC/SC destructively, so it can be called once per
+/// Build; greedy selection is incremental, so one call with the largest
+/// k of interest yields seeds for every smaller k as prefixes.
+class CreditDistributionModel {
+ public:
+  /// Scans `log` over `graph` under `credit_model`. All three referents
+  /// must outlive the returned object.
+  static Result<CreditDistributionModel> Build(
+      const Graph& graph, const ActionLog& log,
+      const DirectCreditModel& credit_model, const CdConfig& config);
+
+  /// Result of the greedy + CELF selection.
+  struct SeedSelection {
+    std::vector<NodeId> seeds;            // in pick order
+    std::vector<double> marginal_gains;   // gain of each pick
+    std::vector<double> cumulative_spread;  // sigma_cd of each prefix
+    /// Marginal-gain evaluations (computeMG calls) — the CELF efficiency
+    /// metric; plain greedy would use k * |candidates|.
+    std::uint64_t gain_evaluations = 0;
+  };
+
+  /// Picks up to `k` seeds (fewer if gains hit zero or candidates run
+  /// out). One-shot: a second call returns FailedPrecondition.
+  Result<SeedSelection> SelectSeeds(NodeId k);
+
+  /// Marginal gain sigma_cd(S + x) - sigma_cd(S) of candidate `x` against
+  /// the *current* internal seed set (Algorithm 4 / Theorem 3); 0 when x
+  /// is already a seed. Exposed for tests; SelectSeeds uses it internally.
+  double MarginalGain(NodeId x) const;
+
+  /// Commits `x` as a seed: applies Algorithm 5's UC/SC updates. Exposed
+  /// for tests; SelectSeeds uses it internally.
+  void CommitSeed(NodeId x);
+
+  /// Live UC entries after the scan / current entries during selection.
+  std::uint64_t credit_entries() const { return store_.total_entries(); }
+
+  /// Approximate UC + SC heap usage.
+  std::uint64_t ApproxMemoryBytes() const {
+    return store_.ApproxMemoryBytes();
+  }
+
+  /// Read access to the scanned store (tests).
+  const UserCreditStore& store() const { return store_; }
+
+ private:
+  CreditDistributionModel(const Graph& graph, const ActionLog& log)
+      : graph_(&graph), log_(&log) {}
+
+  const Graph* graph_;
+  const ActionLog* log_;
+  UserCreditStore store_;
+  bool selection_done_ = false;
+  std::vector<NodeId> current_seeds_;
+  std::vector<bool> is_seed_;
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_CORE_CD_MODEL_H_

@@ -1,0 +1,56 @@
+#include "core/credit_store.h"
+
+namespace influmax {
+
+void ActionCreditTable::AddCredit(NodeId v, NodeId u, double delta) {
+  auto [it, inserted] = credit_.emplace(Key(v, u), delta);
+  if (inserted) {
+    forward_[v].push_back(u);
+    backward_[u].push_back(v);
+  } else {
+    it->second += delta;
+  }
+}
+
+void ActionCreditTable::SubtractCredit(NodeId v, NodeId u, double delta) {
+  const auto it = credit_.find(Key(v, u));
+  if (it == credit_.end()) return;  // truncated away earlier; stays 0
+  it->second -= delta;
+  if (it->second <= kZeroEpsilon) {
+    credit_.erase(it);  // adjacency entries go stale; readers re-check
+  }
+}
+
+void ActionCreditTable::Erase(NodeId v, NodeId u) {
+  credit_.erase(Key(v, u));
+}
+
+std::uint64_t ActionCreditTable::ApproxMemoryBytes() const {
+  // unordered_map node: key + value + bucket/next pointers (~2 words).
+  constexpr std::uint64_t kHashNode = sizeof(std::uint64_t) +
+                                      sizeof(double) + 2 * sizeof(void*);
+  std::uint64_t bytes = credit_.size() * kHashNode;
+  for (const auto& [v, list] : forward_) {
+    bytes += sizeof(v) + 2 * sizeof(void*) + list.capacity() * sizeof(NodeId);
+  }
+  for (const auto& [u, list] : backward_) {
+    bytes += sizeof(u) + 2 * sizeof(void*) + list.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+std::uint64_t UserCreditStore::total_entries() const {
+  std::uint64_t total = 0;
+  for (const auto& t : tables_) total += t.num_entries();
+  return total;
+}
+
+std::uint64_t UserCreditStore::ApproxMemoryBytes() const {
+  constexpr std::uint64_t kHashNode = sizeof(std::uint64_t) +
+                                      sizeof(double) + 2 * sizeof(void*);
+  std::uint64_t bytes = sc_.size() * kHashNode;
+  for (const auto& t : tables_) bytes += t.ApproxMemoryBytes();
+  return bytes;
+}
+
+}  // namespace influmax

@@ -1,0 +1,118 @@
+#ifndef INFLUMAX_CORE_CREDIT_STORE_H_
+#define INFLUMAX_CORE_CREDIT_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace influmax {
+
+/// Sparse per-action credit matrix: UC[v][u][a] of Algorithms 2-5, for one
+/// action a. Keys are user ids. Besides the (v, u) -> credit map, forward
+/// (v -> credited users) and backward (u -> creditors) adjacency lists are
+/// kept so that Algorithm 5's update touches only affected pairs.
+///
+/// Adjacency lists may contain *stale* entries after erasures; readers
+/// must treat Credit() == 0 as "no entry". This avoids O(list) deletion
+/// during the greedy loop, where credits only ever shrink.
+class ActionCreditTable {
+ public:
+  /// Gamma credit from v to u, or 0 when absent.
+  double Credit(NodeId v, NodeId u) const {
+    const auto it = credit_.find(Key(v, u));
+    return it == credit_.end() ? 0.0 : it->second;
+  }
+
+  /// Adds `delta` (> 0) to the (v, u) credit, creating the entry and
+  /// adjacency on first touch. Scan-time only.
+  void AddCredit(NodeId v, NodeId u, double delta);
+
+  /// Subtracts `delta` from an existing (v, u) credit; erases the entry
+  /// when it falls below kZeroEpsilon (credits are sums of path products,
+  /// so exact-arithmetic values never go negative; float dust is clamped).
+  void SubtractCredit(NodeId v, NodeId u, double delta);
+
+  /// Removes the (v, u) entry if present.
+  void Erase(NodeId v, NodeId u);
+
+  /// Users that v currently credits (may contain stale ids).
+  std::span<const NodeId> CreditedUsers(NodeId v) const {
+    const auto it = forward_.find(v);
+    return it == forward_.end() ? std::span<const NodeId>()
+                                : std::span<const NodeId>(it->second);
+  }
+
+  /// Users crediting u (may contain stale ids).
+  std::span<const NodeId> Creditors(NodeId u) const {
+    const auto it = backward_.find(u);
+    return it == backward_.end() ? std::span<const NodeId>()
+                                 : std::span<const NodeId>(it->second);
+  }
+
+  /// Live (non-erased) credit entries.
+  std::size_t num_entries() const { return credit_.size(); }
+
+  /// Approximate heap bytes (hash nodes + adjacency payloads).
+  std::uint64_t ApproxMemoryBytes() const;
+
+  static constexpr double kZeroEpsilon = 1e-12;
+
+ private:
+  static std::uint64_t Key(NodeId v, NodeId u) {
+    return (static_cast<std::uint64_t>(v) << 32) | u;
+  }
+
+  std::unordered_map<std::uint64_t, double> credit_;
+  std::unordered_map<NodeId, std::vector<NodeId>> forward_;
+  std::unordered_map<NodeId, std::vector<NodeId>> backward_;
+};
+
+/// The full UC structure: one ActionCreditTable per action, plus the SC
+/// table (Gamma_{S,x}(a), the credit a candidate x gives to the current
+/// seed set S for action a).
+class UserCreditStore {
+ public:
+  UserCreditStore() = default;
+  explicit UserCreditStore(ActionId num_actions)
+      : tables_(num_actions) {}
+
+  ActionId num_actions() const {
+    return static_cast<ActionId>(tables_.size());
+  }
+
+  ActionCreditTable& table(ActionId a) { return tables_[a]; }
+  const ActionCreditTable& table(ActionId a) const { return tables_[a]; }
+
+  /// SC[x][a] = Gamma_{S,x}(a); 0 when never set.
+  double SetCredit(NodeId x, ActionId a) const {
+    const auto it = sc_.find(Key(x, a));
+    return it == sc_.end() ? 0.0 : it->second;
+  }
+
+  /// SC[x][a] += delta.
+  void AddSetCredit(NodeId x, ActionId a, double delta) {
+    sc_[Key(x, a)] += delta;
+  }
+
+  /// Total live UC entries across all actions (the paper's memory knob —
+  /// Table 4 reports how the truncation threshold bounds this).
+  std::uint64_t total_entries() const;
+
+  /// Approximate heap bytes of UC + SC.
+  std::uint64_t ApproxMemoryBytes() const;
+
+ private:
+  static std::uint64_t Key(NodeId x, ActionId a) {
+    return (static_cast<std::uint64_t>(x) << 32) | a;
+  }
+
+  std::vector<ActionCreditTable> tables_;
+  std::unordered_map<std::uint64_t, double> sc_;
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_CORE_CREDIT_STORE_H_

@@ -1,0 +1,61 @@
+#include "core/naive_estimator.h"
+
+#include <algorithm>
+
+#include "actionlog/propagation_dag.h"
+
+namespace influmax {
+
+std::uint64_t NaiveFrequencyEstimator::HashSeedSet(
+    std::vector<NodeId> sorted) {
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  // FNV-1a over the sorted ids; set equality -> hash equality.
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (NodeId u : sorted) {
+    for (int byte = 0; byte < 4; ++byte) {
+      hash ^= (u >> (8 * byte)) & 0xFF;
+      hash *= 0x100000001B3ULL;
+    }
+  }
+  return hash;
+}
+
+Result<NaiveFrequencyEstimator> NaiveFrequencyEstimator::Build(
+    const Graph& graph, const ActionLog& log) {
+  if (log.num_users() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "naive estimator: action log user space does not match graph");
+  }
+  NaiveFrequencyEstimator estimator;
+  for (ActionId a = 0; a < log.num_actions(); ++a) {
+    const PropagationDag dag = BuildPropagationDag(graph, log.ActionTrace(a));
+    if (dag.size() == 0) continue;
+    SetStats& stats = estimator.index_[HashSeedSet(dag.InitiatorUsers())];
+    stats.count++;
+    stats.total_size += dag.size();
+  }
+  return estimator;
+}
+
+NaiveFrequencyEstimator::Estimate NaiveFrequencyEstimator::Spread(
+    const std::vector<NodeId>& seeds) const {
+  Estimate estimate;
+  const auto it = index_.find(HashSeedSet(seeds));
+  if (it == index_.end()) return estimate;
+  estimate.supporting_actions = it->second.count;
+  estimate.spread = static_cast<double>(it->second.total_size) /
+                    it->second.count;
+  return estimate;
+}
+
+double NaiveFrequencyEstimator::singleton_fraction() const {
+  if (index_.empty()) return 0.0;
+  std::size_t singletons = 0;
+  for (const auto& [hash, stats] : index_) {
+    if (stats.count == 1) ++singletons;
+  }
+  return static_cast<double>(singletons) / index_.size();
+}
+
+}  // namespace influmax

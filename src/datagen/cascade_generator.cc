@@ -1,0 +1,300 @@
+#include "datagen/cascade_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace influmax {
+namespace {
+
+// Samples an index from the cumulative weight array via binary search.
+std::size_t SampleCumulative(const std::vector<double>& cumulative,
+                             Rng& rng) {
+  const double x = rng.NextDouble() * cumulative.back();
+  return static_cast<std::size_t>(
+      std::upper_bound(cumulative.begin(), cumulative.end(), x) -
+      cumulative.begin());
+}
+
+// Poisson draw via inversion (small means only, which is all we need for
+// background adopters).
+std::uint32_t SamplePoisson(double mean, Rng& rng) {
+  if (mean <= 0.0) return 0;
+  const double limit = std::exp(-mean);
+  double product = rng.NextDouble();
+  std::uint32_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng.NextDouble();
+  }
+  return count;
+}
+
+}  // namespace
+
+Result<SyntheticDataset> GenerateCascadeDataset(Graph graph,
+                                                const CascadeConfig& config) {
+  if (config.num_actions == 0) {
+    return Status::InvalidArgument("CascadeConfig: num_actions must be > 0");
+  }
+  if (config.edge_prob_min < 0.0 || config.edge_prob_max > 1.0 ||
+      config.edge_prob_min > config.edge_prob_max) {
+    return Status::InvalidArgument(
+        "CascadeConfig: need 0 <= edge_prob_min <= edge_prob_max <= 1");
+  }
+  if (config.delay_min <= 0.0 || config.delay_min > config.delay_max) {
+    return Status::InvalidArgument(
+        "CascadeConfig: need 0 < delay_min <= delay_max");
+  }
+  if (config.initiator_zipf_alpha <= 1.0) {
+    return Status::InvalidArgument(
+        "CascadeConfig: initiator_zipf_alpha must be > 1");
+  }
+  if (config.influence_proneness_min < 0.0 ||
+      config.influence_proneness_min > config.influence_proneness_max) {
+    return Status::InvalidArgument(
+        "CascadeConfig: need 0 <= influence_proneness_min <= "
+        "influence_proneness_max");
+  }
+  const NodeId n = graph.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument("CascadeConfig: graph has no nodes");
+  }
+
+  SyntheticDataset data;
+  Rng rng(config.seed);
+
+  // Hidden truth: susceptibility, edge probabilities, edge delays.
+  data.susceptibility.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    data.susceptibility[u] =
+        rng.NextUniform(config.susceptibility_min, config.susceptibility_max);
+  }
+  data.true_probabilities = EdgeProbabilities(graph.num_edges());
+  data.true_mean_delay.resize(graph.num_edges());
+  for (NodeId v = 0; v < n; ++v) {
+    const EdgeIndex base = graph.OutEdgeBegin(v);
+    const auto neighbors = graph.OutNeighbors(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const NodeId u = neighbors[i];
+      const double raw =
+          config.edge_prob_min +
+          (config.edge_prob_max - config.edge_prob_min) *
+              std::pow(rng.NextDouble(), config.edge_prob_shape);
+      data.true_probabilities[base + i] =
+          std::clamp(raw * data.susceptibility[u], 0.0, 1.0);
+      data.true_mean_delay[base + i] =
+          rng.NextUniform(config.delay_min, config.delay_max);
+    }
+  }
+
+  // Activity weights: a heavy-tailed random component (shuffled rank to
+  // decorrelate from node id) times a degree coupling — well-followed
+  // users initiate disproportionately many actions, so cascade sizes
+  // carry signal about their initiators.
+  std::vector<double> activity_cumulative(n);
+  {
+    std::vector<NodeId> rank_of(n);
+    for (NodeId u = 0; u < n; ++u) rank_of[u] = u;
+    for (NodeId i = n; i > 1; --i) {
+      std::swap(rank_of[i - 1], rank_of[rng.NextBounded(i)]);
+    }
+    double acc = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      const double random_part = std::pow(
+          static_cast<double>(rank_of[u]) + 1.0, -config.activity_skew);
+      const double degree_part =
+          std::pow(static_cast<double>(graph.OutDegree(u)) + 1.0,
+                   config.activity_degree_exponent);
+      acc += random_part * degree_part;
+      activity_cumulative[u] = acc;
+    }
+  }
+
+  // Cascade simulation. Event queue keyed by adoption time; each edge
+  // fires at most once per action.
+  struct Event {
+    Timestamp time;
+    NodeId user;
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+  ActionLogBuilder log_builder(n);
+  std::vector<Timestamp> adopted_at(n, kNeverPerformed);
+  std::vector<NodeId> touched;
+
+  for (ActionId a = 0; a < config.num_actions; ++a) {
+    const Timestamp t0 = static_cast<Timestamp>(a) * config.action_time_gap;
+    touched.clear();
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+    const std::uint32_t num_initiators = std::min<std::uint32_t>(
+        config.max_initiators,
+        static_cast<std::uint32_t>(
+            rng.NextZipf(config.initiator_zipf_alpha, config.max_initiators)));
+    for (std::uint32_t i = 0; i < num_initiators; ++i) {
+      const NodeId u =
+          static_cast<NodeId>(SampleCumulative(activity_cumulative, rng));
+      // Initiators adopt within a small jitter window so multi-initiator
+      // traces have distinct, realistic start times.
+      queue.push({t0 + rng.NextUniform(0.0, 0.25), u});
+    }
+    // Background adopters: spontaneous, uniform over users, spread across
+    // a window comparable to typical cascade depth, scaled by the
+    // action's popularity.
+    const double popularity = static_cast<double>(
+        rng.NextZipf(config.popularity_zipf_alpha, config.popularity_max));
+    const std::uint32_t background = SamplePoisson(
+        config.background_adopters_per_action * popularity, rng);
+    const double proneness = rng.NextUniform(
+        config.influence_proneness_min, config.influence_proneness_max);
+    for (std::uint32_t i = 0; i < background; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+      queue.push({t0 + rng.NextUniform(0.0, 10.0 * config.delay_max), u});
+    }
+
+    NodeId cascade_size = 0;
+    while (!queue.empty()) {
+      const Event ev = queue.top();
+      queue.pop();
+      if (adopted_at[ev.user] != kNeverPerformed) continue;  // already in
+      if (config.max_cascade_size != 0 &&
+          cascade_size >= config.max_cascade_size) {
+        break;
+      }
+      adopted_at[ev.user] = ev.time;
+      touched.push_back(ev.user);
+      ++cascade_size;
+      log_builder.Add(ev.user, a, ev.time);
+
+      const EdgeIndex base = graph.OutEdgeBegin(ev.user);
+      const auto neighbors = graph.OutNeighbors(ev.user);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const NodeId next = neighbors[i];
+        if (adopted_at[next] != kNeverPerformed) continue;
+        const double success_prob = std::min(
+            1.0, data.true_probabilities[base + i] * proneness);
+        if (rng.NextBernoulli(success_prob)) {
+          const Timestamp t =
+              ev.time + rng.NextExponential(data.true_mean_delay[base + i]);
+          queue.push({t, next});
+        }
+      }
+    }
+    for (NodeId u : touched) adopted_at[u] = kNeverPerformed;
+  }
+
+  Result<ActionLog> log = log_builder.Build();
+  if (!log.ok()) return log.status();
+  data.log = std::move(log).value();
+  data.graph = std::move(graph);
+  return data;
+}
+
+namespace {
+
+DatasetPreset MakePreset(std::string name, double scale, NodeId nodes,
+                         std::uint32_t epn, double recip, ActionId actions,
+                         double activity_skew, double edge_prob_max,
+                         double background) {
+  DatasetPreset preset;
+  preset.name = std::move(name);
+  preset.num_nodes = std::max<NodeId>(100, static_cast<NodeId>(nodes * scale));
+  preset.edges_per_node = epn;
+  preset.reciprocation_prob = recip;
+  preset.cascades.num_actions =
+      std::max<ActionId>(50, static_cast<ActionId>(actions * scale));
+  preset.cascades.activity_skew = activity_skew;
+  preset.cascades.edge_prob_max = edge_prob_max;
+  preset.cascades.background_adopters_per_action = background;
+  // Community subgraphs have flatter degree tails than whole crawls, and
+  // activity only partially tracks follower count.
+  preset.uniform_attachment_fraction = 0.5;
+  preset.cascades.activity_degree_exponent = 0.5;
+  return preset;
+}
+
+}  // namespace
+
+DatasetPreset FlixsterSmallPreset(double scale) {
+  // Flixster Small (paper): 13K nodes, 192.4K edges (avg deg ~15),
+  // 25K propagations. Mutual friendships -> full reciprocation. Movie
+  // adoption is mostly spontaneous (popularity-driven) with a social
+  // boost, so ties are weak-ish and background adoption is heavy — this
+  // is what gives large propagations their large initiator sets.
+  DatasetPreset p = MakePreset("flixster_small", scale, /*nodes=*/2600,
+                               /*epn=*/4, /*recip=*/1.0, /*actions=*/1200,
+                               /*activity_skew=*/0.9, /*edge_prob_max=*/0.25,
+                               /*background=*/2.0);
+  p.cascades.popularity_zipf_alpha = 1.5;
+  p.cascades.popularity_max = 100;
+  p.cascades.influence_proneness_min = 0.25;
+  p.cascades.influence_proneness_max = 1.75;
+  p.cascades.seed = 101;
+  return p;
+}
+
+DatasetPreset FlickrSmallPreset(double scale) {
+  // Flickr Small (paper): 14.8K nodes, 1.17M edges (avg deg ~79) —
+  // follow edges, sparse reciprocation, denser graph.
+  DatasetPreset p = MakePreset("flickr_small", scale, /*nodes=*/3000,
+                               /*epn=*/12, /*recip=*/0.3, /*actions=*/1400,
+                               /*activity_skew=*/0.7, /*edge_prob_max=*/0.10,
+                               /*background=*/2.5);
+  p.cascades.popularity_zipf_alpha = 1.6;
+  p.cascades.popularity_max = 100;
+  p.cascades.influence_proneness_min = 0.25;
+  p.cascades.influence_proneness_max = 1.75;
+  p.cascades.seed = 202;
+  return p;
+}
+
+DatasetPreset FlixsterLargePreset(double scale) {
+  // Bigger graphs make the same per-edge strengths supercritical, so the
+  // Large presets use weaker ties plus a hard cascade cap (real cascades
+  // never swallow the whole graph either).
+  DatasetPreset p = MakePreset("flixster_large", scale, /*nodes=*/40000,
+                               /*epn=*/7, /*recip=*/1.0, /*actions=*/12000,
+                               /*activity_skew=*/0.9, /*edge_prob_max=*/0.18,
+                               /*background=*/1.0);
+  p.cascades.max_cascade_size = 1500;
+  p.cascades.influence_proneness_min = 0.25;
+  p.cascades.influence_proneness_max = 1.75;
+  p.cascades.seed = 303;
+  return p;
+}
+
+DatasetPreset FlickrLargePreset(double scale) {
+  DatasetPreset p = MakePreset("flickr_large", scale, /*nodes=*/50000,
+                               /*epn=*/15, /*recip=*/0.3, /*actions=*/16000,
+                               /*activity_skew=*/0.7, /*edge_prob_max=*/0.08,
+                               /*background=*/1.5);
+  p.cascades.max_cascade_size = 1500;
+  p.cascades.influence_proneness_min = 0.25;
+  p.cascades.influence_proneness_max = 1.75;
+  p.cascades.seed = 404;
+  return p;
+}
+
+Result<SyntheticDataset> BuildPresetDataset(const DatasetPreset& preset,
+                                            std::uint64_t seed_override) {
+  PreferentialAttachmentConfig graph_config;
+  graph_config.num_nodes = preset.num_nodes;
+  graph_config.edges_per_node = preset.edges_per_node;
+  graph_config.reciprocation_prob = preset.reciprocation_prob;
+  graph_config.uniform_attachment_fraction =
+      preset.uniform_attachment_fraction;
+  const std::uint64_t seed =
+      seed_override != 0 ? seed_override : preset.cascades.seed;
+  Result<Graph> graph = GeneratePreferentialAttachment(graph_config, seed);
+  if (!graph.ok()) return graph.status();
+
+  CascadeConfig cascades = preset.cascades;
+  cascades.seed = seed + 1;
+  return GenerateCascadeDataset(std::move(graph).value(), cascades);
+}
+
+}  // namespace influmax

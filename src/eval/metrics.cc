@@ -1,0 +1,110 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+namespace influmax {
+
+std::vector<RmseBin> ComputeBinnedRmse(const std::vector<double>& actual,
+                                       const std::vector<double>& predicted,
+                                       double bin_width) {
+  assert(actual.size() == predicted.size());
+  assert(bin_width > 0.0);
+  std::map<std::int64_t, std::pair<double, int>> bins;  // index -> (sse, n)
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const auto index = static_cast<std::int64_t>(actual[i] / bin_width);
+    const double err = predicted[i] - actual[i];
+    auto& [sse, n] = bins[index];
+    sse += err * err;
+    ++n;
+  }
+  std::vector<RmseBin> out;
+  out.reserve(bins.size());
+  for (const auto& [index, acc] : bins) {
+    RmseBin bin;
+    bin.lower = static_cast<double>(index) * bin_width;
+    bin.upper = bin.lower + bin_width;
+    bin.count = acc.second;
+    bin.rmse = std::sqrt(acc.first / acc.second);
+    out.push_back(bin);
+  }
+  return out;
+}
+
+double ComputeRmse(const std::vector<double>& actual,
+                   const std::vector<double>& predicted) {
+  assert(actual.size() == predicted.size());
+  if (actual.empty()) return 0.0;
+  double sse = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double err = predicted[i] - actual[i];
+    sse += err * err;
+  }
+  return std::sqrt(sse / actual.size());
+}
+
+double ComputeMae(const std::vector<double>& actual,
+                  const std::vector<double>& predicted) {
+  assert(actual.size() == predicted.size());
+  if (actual.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    sum += std::abs(predicted[i] - actual[i]);
+  }
+  return sum / actual.size();
+}
+
+std::vector<CapturePoint> ComputeCaptureCurve(
+    const std::vector<double>& actual, const std::vector<double>& predicted,
+    double max_error, int steps) {
+  assert(actual.size() == predicted.size());
+  assert(steps > 0);
+  std::vector<double> abs_errors(actual.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    abs_errors[i] = std::abs(predicted[i] - actual[i]);
+  }
+  std::sort(abs_errors.begin(), abs_errors.end());
+
+  std::vector<CapturePoint> curve;
+  curve.reserve(steps);
+  for (int s = 1; s <= steps; ++s) {
+    const double tolerance = max_error * s / steps;
+    const auto captured = static_cast<double>(
+        std::upper_bound(abs_errors.begin(), abs_errors.end(), tolerance) -
+        abs_errors.begin());
+    curve.push_back({tolerance, abs_errors.empty()
+                                    ? 0.0
+                                    : captured / abs_errors.size()});
+  }
+  return curve;
+}
+
+int SeedIntersectionSize(const std::vector<NodeId>& a,
+                         const std::vector<NodeId>& b) {
+  std::unordered_set<NodeId> set(a.begin(), a.end());
+  int count = 0;
+  std::unordered_set<NodeId> counted;
+  for (NodeId x : b) {
+    if (set.count(x) != 0 && counted.insert(x).second) ++count;
+  }
+  return count;
+}
+
+std::vector<std::vector<int>> SeedIntersectionMatrix(
+    const std::vector<std::vector<NodeId>>& seed_sets) {
+  const std::size_t n = seed_sets.size();
+  std::vector<std::vector<int>> matrix(n, std::vector<int>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const int size = SeedIntersectionSize(seed_sets[i], seed_sets[j]);
+      matrix[i][j] = size;
+      matrix[j][i] = size;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace influmax

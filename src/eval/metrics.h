@@ -1,0 +1,62 @@
+#ifndef INFLUMAX_EVAL_METRICS_H_
+#define INFLUMAX_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace influmax {
+
+/// Evaluation metrics used by the paper's figures: binned RMSE between
+/// predicted and actual spread (Figures 2-3), error-capture curves
+/// (Figure 4), and seed-set intersections (Table 2, Figure 5).
+
+/// One bin of the RMSE-vs-actual-spread plots. Propagations are grouped
+/// by actual spread ("bins are defined at multiples of 100 / 20").
+struct RmseBin {
+  double lower = 0.0;   // inclusive
+  double upper = 0.0;   // exclusive
+  int count = 0;        // samples in the bin
+  double rmse = 0.0;
+};
+
+/// Bins samples by `actual` with width `bin_width` and computes the RMSE
+/// of `predicted` inside each bin. Empty bins are omitted.
+std::vector<RmseBin> ComputeBinnedRmse(const std::vector<double>& actual,
+                                       const std::vector<double>& predicted,
+                                       double bin_width);
+
+/// Overall root-mean-squared error.
+double ComputeRmse(const std::vector<double>& actual,
+                   const std::vector<double>& predicted);
+
+/// Mean absolute error.
+double ComputeMae(const std::vector<double>& actual,
+                  const std::vector<double>& predicted);
+
+/// One point of Figure 4: the fraction of samples whose absolute
+/// prediction error is <= abs_error.
+struct CapturePoint {
+  double abs_error = 0.0;
+  double ratio = 0.0;
+};
+
+/// Capture curve over `steps` evenly spaced error tolerances in
+/// (0, max_error].
+std::vector<CapturePoint> ComputeCaptureCurve(
+    const std::vector<double>& actual, const std::vector<double>& predicted,
+    double max_error, int steps);
+
+/// |a intersect b| for seed sets (inputs need not be sorted).
+int SeedIntersectionSize(const std::vector<NodeId>& a,
+                         const std::vector<NodeId>& b);
+
+/// Pairwise intersection matrix over several seed sets, as reported in
+/// Table 2 and Figure 5 (entry [i][j] = |S_i intersect S_j|).
+std::vector<std::vector<int>> SeedIntersectionMatrix(
+    const std::vector<std::vector<NodeId>>& seed_sets);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_EVAL_METRICS_H_

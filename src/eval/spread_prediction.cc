@@ -1,0 +1,64 @@
+#include "eval/spread_prediction.h"
+
+#include "actionlog/propagation_dag.h"
+
+namespace influmax {
+
+std::vector<double> SpreadPredictionResult::Actuals() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const PredictionSample& s : samples) out.push_back(s.actual_spread);
+  return out;
+}
+
+std::vector<double> SpreadPredictionResult::PredictionsOf(
+    std::size_t predictor_index) const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const PredictionSample& s : samples) {
+    out.push_back(s.predicted[predictor_index]);
+  }
+  return out;
+}
+
+Result<SpreadPredictionResult> RunSpreadPrediction(
+    const Graph& graph, const ActionLog& test_log,
+    const std::vector<SpreadPredictor>& predictors,
+    std::size_t max_traces) {
+  if (test_log.num_users() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "spread prediction: test log user space does not match graph");
+  }
+  if (predictors.empty()) {
+    return Status::InvalidArgument("spread prediction: no predictors given");
+  }
+
+  SpreadPredictionResult result;
+  for (const SpreadPredictor& p : predictors) {
+    result.predictor_names.push_back(p.name);
+  }
+
+  const ActionId limit =
+      max_traces == 0
+          ? test_log.num_actions()
+          : static_cast<ActionId>(
+                std::min<std::size_t>(max_traces, test_log.num_actions()));
+  for (ActionId a = 0; a < limit; ++a) {
+    const auto trace = test_log.ActionTrace(a);
+    if (trace.empty()) continue;
+    const PropagationDag dag = BuildPropagationDag(graph, trace);
+    PredictionSample sample;
+    sample.test_action = a;
+    sample.initiators = dag.InitiatorUsers();
+    if (sample.initiators.empty()) continue;
+    sample.actual_spread = static_cast<double>(trace.size());
+    sample.predicted.reserve(predictors.size());
+    for (const SpreadPredictor& p : predictors) {
+      sample.predicted.push_back(p.predict(sample.initiators));
+    }
+    result.samples.push_back(std::move(sample));
+  }
+  return result;
+}
+
+}  // namespace influmax

@@ -1,0 +1,53 @@
+#ifndef INFLUMAX_EVAL_SPREAD_PREDICTION_H_
+#define INFLUMAX_EVAL_SPREAD_PREDICTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace influmax {
+
+/// The spread-prediction experiment of Sections 3 and 6: for every
+/// propagation in the *test* log, take its initiators (the users who
+/// performed the action before any of their neighbors) as the seed set;
+/// the ground-truth "actual spread" is the propagation size; each method
+/// predicts sigma_m(initiators), and the errors are binned (Figures 2-4).
+
+/// A named spread predictor: model name + sigma estimate for a seed set.
+struct SpreadPredictor {
+  std::string name;
+  std::function<double(const std::vector<NodeId>&)> predict;
+};
+
+/// One test propagation's outcome.
+struct PredictionSample {
+  ActionId test_action = 0;          // dense id in the test log
+  std::vector<NodeId> initiators;    // ground-truth seed set
+  double actual_spread = 0.0;        // propagation size
+  std::vector<double> predicted;     // aligned with predictor order
+};
+
+struct SpreadPredictionResult {
+  std::vector<std::string> predictor_names;
+  std::vector<PredictionSample> samples;
+
+  /// Column extraction helpers for the metrics functions.
+  std::vector<double> Actuals() const;
+  std::vector<double> PredictionsOf(std::size_t predictor_index) const;
+};
+
+/// Runs all predictors on (up to `max_traces`, 0 = all) test
+/// propagations. Traces with no initiator (cannot happen with strict-time
+/// DAGs, kept as a guard) or no participants are skipped.
+Result<SpreadPredictionResult> RunSpreadPrediction(
+    const Graph& graph, const ActionLog& test_log,
+    const std::vector<SpreadPredictor>& predictors,
+    std::size_t max_traces = 0);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_EVAL_SPREAD_PREDICTION_H_

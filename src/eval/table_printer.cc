@@ -1,0 +1,73 @@
+#include "eval/table_printer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace influmax {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatInterval(double lo, double hi, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%.*f,%.*f)", precision, lo, precision,
+                hi);
+  return buf;
+}
+
+std::string FormatSeries(const std::string& title,
+                         const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  std::ostringstream out;
+  out << "# " << title << "\n";
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out << FormatDouble(x[i], 4) << "\t" << FormatDouble(y[i], 4) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace influmax

@@ -1,0 +1,40 @@
+#ifndef INFLUMAX_EVAL_TABLE_PRINTER_H_
+#define INFLUMAX_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace influmax {
+
+/// Column-aligned ASCII tables for the experiment harnesses — the bench
+/// binaries print the same rows the paper's tables/figures report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline and right-padded columns.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the point.
+std::string FormatDouble(double value, int precision = 2);
+
+/// Formats a half-open interval "[lo,hi)" (used for RMSE bin labels).
+std::string FormatInterval(double lo, double hi, int precision = 0);
+
+/// Renders an (x, y) series as gnuplot-pasteable lines under a title,
+/// mirroring the paper's figure data.
+std::string FormatSeries(const std::string& title,
+                         const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_EVAL_TABLE_PRINTER_H_

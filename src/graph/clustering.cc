@@ -1,0 +1,141 @@
+#include "graph/clustering.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace influmax {
+
+Clustering LabelPropagationCommunities(const Graph& g,
+                                       const LabelPropagationConfig& config) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> label(n);
+  std::iota(label.begin(), label.end(), 0u);
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  Rng rng(config.seed);
+
+  std::unordered_map<std::uint32_t, std::uint32_t> counts;
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    // Shuffle the visit order each round (asynchronous LPA).
+    for (NodeId i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    bool changed = false;
+    for (NodeId u : order) {
+      counts.clear();
+      for (NodeId v : g.OutNeighbors(u)) counts[label[v]]++;
+      for (NodeId v : g.InNeighbors(u)) counts[label[v]]++;
+      if (counts.empty()) continue;
+      std::uint32_t best = label[u];
+      std::uint32_t best_count = 0;
+      for (const auto& [lab, cnt] : counts) {
+        if (cnt > best_count || (cnt == best_count && lab < best)) {
+          best = lab;
+          best_count = cnt;
+        }
+      }
+      if (best != label[u]) {
+        label[u] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Optionally absorb tiny communities into their most-connected neighbor.
+  if (config.min_community_size > 1) {
+    std::unordered_map<std::uint32_t, NodeId> size_of;
+    for (NodeId u = 0; u < n; ++u) size_of[label[u]]++;
+    for (NodeId u = 0; u < n; ++u) {
+      if (size_of[label[u]] >= config.min_community_size) continue;
+      counts.clear();
+      for (NodeId v : g.OutNeighbors(u)) counts[label[v]]++;
+      for (NodeId v : g.InNeighbors(u)) counts[label[v]]++;
+      std::uint32_t best = label[u];
+      std::uint32_t best_count = 0;
+      for (const auto& [lab, cnt] : counts) {
+        if (size_of[lab] >= config.min_community_size &&
+            (cnt > best_count || (cnt == best_count && lab < best))) {
+          best = lab;
+          best_count = cnt;
+        }
+      }
+      if (best != label[u]) {
+        size_of[label[u]]--;
+        size_of[best]++;
+        label[u] = best;
+      }
+    }
+  }
+
+  // Renumber labels densely.
+  Clustering result;
+  result.community_of.resize(n);
+  std::unordered_map<std::uint32_t, std::uint32_t> dense;
+  for (NodeId u = 0; u < n; ++u) {
+    auto [it, inserted] =
+        dense.emplace(label[u], static_cast<std::uint32_t>(dense.size()));
+    result.community_of[u] = it->second;
+    if (inserted) result.community_size.push_back(0);
+    result.community_size[it->second]++;
+  }
+  result.num_communities = static_cast<std::uint32_t>(dense.size());
+  return result;
+}
+
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const Graph& g, const std::vector<NodeId>& nodes) {
+  InducedSubgraph sub;
+  sub.new_id.assign(g.num_nodes(), kInvalidNode);
+  sub.original_id = nodes;
+  std::sort(sub.original_id.begin(), sub.original_id.end());
+  for (NodeId i = 0; i < sub.original_id.size(); ++i) {
+    const NodeId orig = sub.original_id[i];
+    if (orig >= g.num_nodes()) {
+      return Status::InvalidArgument("subgraph node " + std::to_string(orig) +
+                                     " out of range");
+    }
+    if (sub.new_id[orig] != kInvalidNode) {
+      return Status::InvalidArgument("duplicate subgraph node " +
+                                     std::to_string(orig));
+    }
+    sub.new_id[orig] = static_cast<NodeId>(i);
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(sub.original_id.size()));
+  for (NodeId i = 0; i < sub.original_id.size(); ++i) {
+    for (NodeId v : g.OutNeighbors(sub.original_id[i])) {
+      if (sub.new_id[v] != kInvalidNode) {
+        builder.AddEdge(static_cast<NodeId>(i), sub.new_id[v]);
+      }
+    }
+  }
+  Result<Graph> built = builder.Build();
+  if (!built.ok()) return built.status();
+  sub.graph = std::move(built).value();
+  return sub;
+}
+
+Result<InducedSubgraph> ExtractLargestCommunity(
+    const Graph& g, const LabelPropagationConfig& config) {
+  const Clustering clustering = LabelPropagationCommunities(g, config);
+  if (clustering.num_communities == 0) {
+    return Status::FailedPrecondition("graph has no nodes to cluster");
+  }
+  const std::uint32_t largest = static_cast<std::uint32_t>(
+      std::max_element(clustering.community_size.begin(),
+                       clustering.community_size.end()) -
+      clustering.community_size.begin());
+  std::vector<NodeId> members;
+  members.reserve(clustering.community_size[largest]);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (clustering.community_of[u] == largest) members.push_back(u);
+  }
+  return ExtractInducedSubgraph(g, members);
+}
+
+}  // namespace influmax

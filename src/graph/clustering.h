@@ -1,0 +1,59 @@
+#ifndef INFLUMAX_GRAPH_CLUSTERING_H_
+#define INFLUMAX_GRAPH_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace influmax {
+
+/// Community detection + subgraph extraction. The paper builds its
+/// "Small" datasets by clustering the full graph with Graclus and taking
+/// one community; we reproduce the role with label propagation (treating
+/// edges as undirected for the purpose of clustering), which needs no
+/// external solver.
+
+struct LabelPropagationConfig {
+  int max_iterations = 50;
+  std::uint64_t seed = 1;
+  /// Communities smaller than this are merged into their most-connected
+  /// neighbor community at the end (0 disables merging).
+  NodeId min_community_size = 0;
+};
+
+/// Result of clustering: community id per node, plus community sizes.
+struct Clustering {
+  std::vector<std::uint32_t> community_of;  // size n
+  std::vector<NodeId> community_size;       // size = #communities
+  std::uint32_t num_communities = 0;
+};
+
+/// Synchronous-free label propagation over the undirected view of `g`:
+/// nodes repeatedly adopt the most frequent label among neighbors (ties
+/// broken by smaller label) until stable or max_iterations.
+Clustering LabelPropagationCommunities(const Graph& g,
+                                       const LabelPropagationConfig& config);
+
+/// A node-induced subgraph with the mapping back to original ids.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> original_id;  // new id -> original id
+  std::vector<NodeId> new_id;       // original id -> new id (kInvalidNode
+                                    // for nodes outside the subgraph)
+};
+
+/// Extracts the subgraph induced by `nodes` (need not be sorted; duplicate
+/// entries are an error).
+Result<InducedSubgraph> ExtractInducedSubgraph(
+    const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Extracts the largest community found by label propagation — the
+/// "take one community as the Small dataset" operation of Section 3.
+Result<InducedSubgraph> ExtractLargestCommunity(
+    const Graph& g, const LabelPropagationConfig& config);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_GRAPH_CLUSTERING_H_

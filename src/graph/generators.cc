@@ -1,0 +1,213 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace influmax {
+namespace {
+
+// Geometric-skip iteration over Bernoulli(p) trials: returns the gap to the
+// next success (>= 1), so a row of n candidates costs O(successes).
+std::uint64_t NextSuccessGap(Rng& rng, double p) {
+  if (p >= 1.0) return 1;
+  const double u = rng.NextDouble();
+  return 1 + static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+Status ValidateProb(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be in [0, 1], got " +
+                                   std::to_string(p));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiConfig& config,
+                                 std::uint64_t seed) {
+  if (config.num_nodes == 0) {
+    return Status::InvalidArgument("ErdosRenyi: num_nodes must be > 0");
+  }
+  INFLUMAX_RETURN_IF_ERROR(ValidateProb(config.edge_prob, "edge_prob"));
+
+  Rng rng(seed);
+  GraphBuilder builder(config.num_nodes);
+  const NodeId n = config.num_nodes;
+  if (config.edge_prob > 0.0) {
+    // Iterate over the flattened space of ordered pairs excluding the
+    // diagonal: position k encodes (u, v) with u = k / (n-1) and v skipping
+    // the diagonal entry.
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(n) * (n - 1);
+    std::uint64_t pos = NextSuccessGap(rng, config.edge_prob) - 1;
+    while (pos < total) {
+      const NodeId u = static_cast<NodeId>(pos / (n - 1));
+      NodeId v = static_cast<NodeId>(pos % (n - 1));
+      if (v >= u) ++v;  // skip the diagonal
+      builder.AddEdge(u, v);
+      pos += NextSuccessGap(rng, config.edge_prob);
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GeneratePreferentialAttachment(
+    const PreferentialAttachmentConfig& config, std::uint64_t seed) {
+  if (config.num_nodes == 0) {
+    return Status::InvalidArgument(
+        "PreferentialAttachment: num_nodes must be > 0");
+  }
+  if (config.edges_per_node == 0) {
+    return Status::InvalidArgument(
+        "PreferentialAttachment: edges_per_node must be > 0");
+  }
+  INFLUMAX_RETURN_IF_ERROR(
+      ValidateProb(config.reciprocation_prob, "reciprocation_prob"));
+  INFLUMAX_RETURN_IF_ERROR(ValidateProb(config.uniform_attachment_fraction,
+                                        "uniform_attachment_fraction"));
+
+  Rng rng(seed);
+  GraphBuilder builder(config.num_nodes);
+
+  // `attachment_pool` holds each node once (the "+1" smoothing) plus one
+  // extra copy per follower it has gained, so uniform sampling from the
+  // pool is preferential sampling by follower count.
+  std::vector<NodeId> attachment_pool;
+  attachment_pool.reserve(static_cast<std::size_t>(config.num_nodes) *
+                          (1 + config.edges_per_node));
+
+  const NodeId kSeedNodes =
+      std::min<NodeId>(config.num_nodes, config.edges_per_node + 1);
+  // Seed clique: the first few nodes all follow each other.
+  for (NodeId u = 0; u < kSeedNodes; ++u) {
+    attachment_pool.push_back(u);
+    for (NodeId v = 0; v < u; ++v) {
+      builder.AddReciprocalEdge(u, v);
+      attachment_pool.push_back(u);
+      attachment_pool.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> picked;
+  for (NodeId u = kSeedNodes; u < config.num_nodes; ++u) {
+    picked.clear();
+    const std::uint32_t degree =
+        std::min<std::uint32_t>(config.edges_per_node, u);
+    // Rejection loop for distinct targets; degree << u so this terminates
+    // quickly in practice.
+    while (picked.size() < degree) {
+      const NodeId v =
+          rng.NextBernoulli(config.uniform_attachment_fraction)
+              ? static_cast<NodeId>(rng.NextBounded(u))
+              : attachment_pool[rng.NextBounded(attachment_pool.size())];
+      if (std::find(picked.begin(), picked.end(), v) == picked.end()) {
+        picked.push_back(v);
+      }
+    }
+    attachment_pool.push_back(u);
+    for (NodeId v : picked) {
+      builder.AddEdge(v, u);  // v influences its new follower u
+      attachment_pool.push_back(v);
+      if (rng.NextBernoulli(config.reciprocation_prob)) {
+        builder.AddEdge(u, v);
+        attachment_pool.push_back(u);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+std::uint32_t StochasticBlockOf(NodeId node, NodeId num_nodes,
+                                std::uint32_t num_blocks) {
+  // Contiguous blocks of size ceil(n / B); the last block may be smaller.
+  const NodeId block_size = (num_nodes + num_blocks - 1) / num_blocks;
+  return node / block_size;
+}
+
+Result<Graph> GenerateStochasticBlock(const StochasticBlockConfig& config,
+                                      std::uint64_t seed) {
+  if (config.num_nodes == 0) {
+    return Status::InvalidArgument("StochasticBlock: num_nodes must be > 0");
+  }
+  if (config.num_blocks == 0) {
+    return Status::InvalidArgument("StochasticBlock: num_blocks must be > 0");
+  }
+  INFLUMAX_RETURN_IF_ERROR(
+      ValidateProb(config.intra_block_prob, "intra_block_prob"));
+  INFLUMAX_RETURN_IF_ERROR(
+      ValidateProb(config.inter_block_prob, "inter_block_prob"));
+
+  Rng rng(seed);
+  GraphBuilder builder(config.num_nodes);
+  const NodeId n = config.num_nodes;
+  const NodeId block_size = (n + config.num_blocks - 1) / config.num_blocks;
+
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId block_begin = (u / block_size) * block_size;
+    const NodeId block_end = std::min<NodeId>(block_begin + block_size, n);
+
+    // Intra-block edges over [block_begin, block_end).
+    if (config.intra_block_prob > 0.0) {
+      std::uint64_t pos = NextSuccessGap(rng, config.intra_block_prob) - 1;
+      while (block_begin + pos < block_end) {
+        const NodeId v = static_cast<NodeId>(block_begin + pos);
+        if (v != u) builder.AddEdge(u, v);
+        pos += NextSuccessGap(rng, config.intra_block_prob);
+      }
+    }
+    // Inter-block edges over [0, block_begin) ++ [block_end, n), flattened.
+    if (config.inter_block_prob > 0.0) {
+      const std::uint64_t outside =
+          static_cast<std::uint64_t>(block_begin) + (n - block_end);
+      std::uint64_t pos = NextSuccessGap(rng, config.inter_block_prob) - 1;
+      while (pos < outside) {
+        const NodeId v = pos < block_begin
+                             ? static_cast<NodeId>(pos)
+                             : static_cast<NodeId>(block_end +
+                                                   (pos - block_begin));
+        builder.AddEdge(u, v);
+        pos += NextSuccessGap(rng, config.inter_block_prob);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateWattsStrogatz(const WattsStrogatzConfig& config,
+                                    std::uint64_t seed) {
+  if (config.num_nodes == 0) {
+    return Status::InvalidArgument("WattsStrogatz: num_nodes must be > 0");
+  }
+  if (config.neighbors_each_side == 0 ||
+      2 * config.neighbors_each_side >= config.num_nodes) {
+    return Status::InvalidArgument(
+        "WattsStrogatz: need 0 < 2*neighbors_each_side < num_nodes");
+  }
+  INFLUMAX_RETURN_IF_ERROR(ValidateProb(config.rewire_prob, "rewire_prob"));
+
+  Rng rng(seed);
+  GraphBuilder builder(config.num_nodes);
+  const NodeId n = config.num_nodes;
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::uint32_t d = 1; d <= config.neighbors_each_side; ++d) {
+      for (NodeId v : {static_cast<NodeId>((u + d) % n),
+                       static_cast<NodeId>((u + n - d) % n)}) {
+        NodeId head = v;
+        if (rng.NextBernoulli(config.rewire_prob)) {
+          do {
+            head = static_cast<NodeId>(rng.NextBounded(n));
+          } while (head == u);
+        }
+        builder.AddEdge(u, head);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace influmax

@@ -1,0 +1,82 @@
+#ifndef INFLUMAX_GRAPH_GENERATORS_H_
+#define INFLUMAX_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace influmax {
+
+/// Random graph generators. The paper's datasets (Flixster, Flickr) are
+/// social graphs with heavy-tailed degree distributions and community
+/// structure; these generators provide the synthetic substitutes
+/// (documented in DESIGN.md §2). All generators are deterministic given
+/// the seed.
+
+/// G(n, p): every ordered pair (u, v), u != v, is an edge independently
+/// with probability `edge_prob`. Generated with geometric skipping, so the
+/// cost is O(n + m), not O(n^2).
+struct ErdosRenyiConfig {
+  NodeId num_nodes = 0;
+  double edge_prob = 0.0;
+};
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiConfig& config,
+                                 std::uint64_t seed);
+
+/// Directed preferential attachment ("celebrity" model). Nodes arrive one
+/// at a time; each newcomer u follows `edges_per_node` existing accounts v
+/// chosen proportionally to v's current follower count (+1), creating the
+/// influence edge (v, u). With probability `reciprocation_prob` the tie is
+/// reciprocated, i.e. (u, v) is added too — Flixster friendships are
+/// mutual, Flickr contacts are not, so the presets differ in this knob.
+/// Produces a heavy-tailed out-degree ("influencer") distribution.
+struct PreferentialAttachmentConfig {
+  NodeId num_nodes = 0;
+  std::uint32_t edges_per_node = 0;
+  double reciprocation_prob = 0.0;
+  /// With this probability each follow edge picks its target uniformly
+  /// among existing nodes instead of preferentially. 0 gives the pure
+  /// rich-get-richer tail; higher values flatten it toward the degree
+  /// profile of a community subgraph (the paper's "Small" datasets are
+  /// Graclus communities, not whole crawls).
+  double uniform_attachment_fraction = 0.0;
+};
+Result<Graph> GeneratePreferentialAttachment(
+    const PreferentialAttachmentConfig& config, std::uint64_t seed);
+
+/// Stochastic block model: nodes are split into `num_blocks` contiguous,
+/// nearly equal blocks; the ordered pair (u, v) is an edge with probability
+/// `intra_block_prob` when the endpoints share a block and
+/// `inter_block_prob` otherwise. This mimics the community structure that
+/// the paper exploits by carving "Small" datasets out of the full graphs
+/// with Graclus.
+struct StochasticBlockConfig {
+  NodeId num_nodes = 0;
+  std::uint32_t num_blocks = 1;
+  double intra_block_prob = 0.0;
+  double inter_block_prob = 0.0;
+};
+Result<Graph> GenerateStochasticBlock(const StochasticBlockConfig& config,
+                                      std::uint64_t seed);
+
+/// Block of `node` under the contiguous SBM layout used above.
+std::uint32_t StochasticBlockOf(NodeId node, NodeId num_nodes,
+                                std::uint32_t num_blocks);
+
+/// Watts-Strogatz small world, directed variant: each node starts with
+/// out-edges to its `neighbors_each_side` ring successors and predecessors;
+/// each edge's head is rewired to a uniform random node with probability
+/// `rewire_prob`.
+struct WattsStrogatzConfig {
+  NodeId num_nodes = 0;
+  std::uint32_t neighbors_each_side = 1;
+  double rewire_prob = 0.0;
+};
+Result<Graph> GenerateWattsStrogatz(const WattsStrogatzConfig& config,
+                                    std::uint64_t seed);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_GRAPH_GENERATORS_H_

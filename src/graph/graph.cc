@@ -1,0 +1,99 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace influmax {
+
+EdgeIndex Graph::FindOutEdge(NodeId u, NodeId v) const {
+  const NodeId* begin = out_targets_.data() + out_offsets_[u];
+  const NodeId* end = out_targets_.data() + out_offsets_[u + 1];
+  const NodeId* it = std::lower_bound(begin, end, v);
+  if (it != end && *it == v) {
+    return static_cast<EdgeIndex>(it - out_targets_.data());
+  }
+  return num_edges();
+}
+
+Graph Graph::Transposed() const {
+  GraphBuilder builder(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : OutNeighbors(u)) builder.AddEdge(v, u);
+  }
+  Result<Graph> result = builder.Build();
+  assert(result.ok());  // a valid graph always transposes cleanly
+  return std::move(result).value();
+}
+
+std::uint64_t Graph::MemoryBytes() const {
+  return out_offsets_.size() * sizeof(EdgeIndex) +
+         out_targets_.size() * sizeof(NodeId) +
+         in_offsets_.size() * sizeof(EdgeIndex) +
+         in_sources_.size() * sizeof(NodeId) +
+         in_to_out_edge_.size() * sizeof(EdgeIndex);
+}
+
+Result<Graph> GraphBuilder::Build() {
+  for (const auto& [from, to] : edges_) {
+    if (from >= num_nodes_ || to >= num_nodes_) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(from) + ", " + std::to_string(to) +
+          ") out of range for " + std::to_string(num_nodes_) + " nodes");
+    }
+  }
+
+  // Drop self-loops, then sort + dedupe.
+  std::erase_if(edges_, [](const auto& e) { return e.first == e.second; });
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  const std::size_t n = num_nodes_;
+  const std::size_t m = edges_.size();
+  g.out_offsets_.assign(n + 1, 0);
+  g.out_targets_.resize(m);
+  g.in_offsets_.assign(n + 1, 0);
+  g.in_sources_.resize(m);
+  g.in_to_out_edge_.resize(m);
+
+  // Out-CSR: edges_ is already sorted by (from, to).
+  for (const auto& [from, to] : edges_) g.out_offsets_[from + 1]++;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.out_offsets_[i + 1] += g.out_offsets_[i];
+  }
+  for (std::size_t e = 0; e < m; ++e) g.out_targets_[e] = edges_[e].second;
+
+  // In-CSR with cross-reference to out-edge indices. Counting sort by
+  // target preserves source order within each target bucket, so
+  // in_sources_ ends up sorted per node.
+  for (const auto& [from, to] : edges_) g.in_offsets_[to + 1]++;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.in_offsets_[i + 1] += g.in_offsets_[i];
+  }
+  std::vector<EdgeIndex> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    const NodeId to = edges_[e].second;
+    const EdgeIndex pos = cursor[to]++;
+    g.in_sources_[pos] = edges_[e].first;
+    g.in_to_out_edge_[pos] = static_cast<EdgeIndex>(e);
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats stats;
+  stats.num_nodes = g.num_nodes();
+  stats.num_edges = g.num_edges();
+  stats.average_degree = g.average_degree();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    stats.max_out_degree = std::max(stats.max_out_degree, g.OutDegree(u));
+    stats.max_in_degree = std::max(stats.max_in_degree, g.InDegree(u));
+    if (g.OutDegree(u) == 0 && g.InDegree(u) == 0) ++stats.isolated_nodes;
+  }
+  return stats;
+}
+
+}  // namespace influmax

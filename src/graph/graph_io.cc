@@ -1,0 +1,106 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/text_io.h"
+
+namespace influmax {
+
+Result<Graph> ReadEdgeListFile(const std::string& path) {
+  LineReader reader(path);
+  if (!reader.status().ok()) return reader.status();
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId declared_nodes = 0;
+  bool has_header = false;
+  NodeId max_id = 0;
+
+  std::string line;
+  bool first = true;
+  while (reader.Next(&line)) {
+    const auto fields = SplitFields(line, '\t');
+    if (first && fields.size() == 2 && fields[0] == "nodes") {
+      Result<std::uint32_t> n = ParseU32(fields[1]);
+      if (!n.ok()) return n.status();
+      declared_nodes = *n;
+      has_header = true;
+      first = false;
+      continue;
+    }
+    first = false;
+    if (fields.size() != 2) {
+      return Status::Corruption(path + ":" +
+                                std::to_string(reader.line_number()) +
+                                ": expected 'from<TAB>to'");
+    }
+    Result<std::uint32_t> from = ParseU32(fields[0]);
+    if (!from.ok()) return from.status();
+    Result<std::uint32_t> to = ParseU32(fields[1]);
+    if (!to.ok()) return to.status();
+    edges.emplace_back(*from, *to);
+    max_id = std::max({max_id, *from, *to});
+  }
+
+  const NodeId num_nodes =
+      has_header ? declared_nodes : (edges.empty() ? 0 : max_id + 1);
+  GraphBuilder builder(num_nodes);
+  for (const auto& [from, to] : edges) builder.AddEdge(from, to);
+  return builder.Build();
+}
+
+Status WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ostringstream out;
+  out << "# influmax edge list: from<TAB>to per line\n";
+  out << "nodes\t" << g.num_nodes() << "\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      out << u << "\t" << v << "\n";
+    }
+  }
+  return WriteTextFile(path, out.str());
+}
+
+namespace {
+constexpr std::uint64_t kGraphMagic = 0x584D464C47524148ULL;  // "HARGLFMX"
+constexpr std::uint32_t kGraphVersion = 1;
+}  // namespace
+
+Status WriteGraphBinary(const Graph& g, const std::string& path) {
+  BinaryWriter writer(path, kGraphMagic, kGraphVersion);
+  INFLUMAX_RETURN_IF_ERROR(writer.status());
+  writer.WriteU32(g.num_nodes());
+  // Flat (from, to) pairs; the in-CSR is rebuilt on load.
+  std::vector<NodeId> sources;
+  sources.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (std::size_t i = 0; i < g.OutNeighbors(u).size(); ++i) {
+      sources.push_back(u);
+    }
+  }
+  writer.WriteVector(sources);
+  writer.WriteVector(g.out_targets());
+  return writer.Finish();
+}
+
+Result<Graph> ReadGraphBinary(const std::string& path) {
+  BinaryReader reader(path, kGraphMagic, kGraphVersion);
+  INFLUMAX_RETURN_IF_ERROR(reader.status());
+  const NodeId num_nodes = reader.ReadU32();
+  constexpr std::uint64_t kMaxEdges = 1ULL << 34;  // sanity bound
+  const std::vector<NodeId> sources = reader.ReadVector<NodeId>(kMaxEdges);
+  const std::vector<NodeId> targets = reader.ReadVector<NodeId>(kMaxEdges);
+  INFLUMAX_RETURN_IF_ERROR(reader.Finish());
+  if (sources.size() != targets.size()) {
+    return Status::Corruption("edge array size mismatch in '" + path + "'");
+  }
+  GraphBuilder builder(num_nodes);
+  for (std::size_t e = 0; e < sources.size(); ++e) {
+    builder.AddEdge(sources[e], targets[e]);
+  }
+  return builder.Build();
+}
+
+}  // namespace influmax

@@ -1,0 +1,28 @@
+#ifndef INFLUMAX_GRAPH_GRAPH_IO_H_
+#define INFLUMAX_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace influmax {
+
+/// Edge-list text format, one `from<TAB>to` pair per line; `#` comments
+/// and blank lines are skipped. The first non-comment line may optionally
+/// be `nodes<TAB><n>` to fix the node count; otherwise the count is
+/// max(id)+1.
+Result<Graph> ReadEdgeListFile(const std::string& path);
+
+/// Writes `g` in the same format (with the `nodes` header so isolated
+/// trailing nodes round-trip).
+Status WriteEdgeListFile(const Graph& g, const std::string& path);
+
+/// Binary graph format (fast local round-trips; see common/binary_io.h
+/// for the container conventions).
+Status WriteGraphBinary(const Graph& g, const std::string& path);
+Result<Graph> ReadGraphBinary(const std::string& path);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_GRAPH_GRAPH_IO_H_

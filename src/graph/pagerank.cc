@@ -1,0 +1,71 @@
+#include "graph/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace influmax {
+
+PageRankResult ComputePageRank(const Graph& g, const PageRankConfig& config) {
+  const NodeId n = g.num_nodes();
+  PageRankResult result;
+  if (n == 0) return result;
+
+  // With reverse_edges, mass flows u -> its in-neighbors; the "out-degree"
+  // of the walk at u is then u's in-degree in g.
+  auto walk_degree = [&](NodeId u) {
+    return config.reverse_edges ? g.InDegree(u) : g.OutDegree(u);
+  };
+
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  const double teleport = (1.0 - config.damping) / n;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (walk_degree(u) == 0) dangling_mass += rank[u];
+    }
+    std::fill(next.begin(), next.end(),
+              teleport + config.damping * dangling_mass / n);
+    // Pull formulation: each node gathers from the nodes that point at it
+    // along the walk direction.
+    for (NodeId u = 0; u < n; ++u) {
+      const double share =
+          walk_degree(u) == 0 ? 0.0 : config.damping * rank[u] / walk_degree(u);
+      if (share == 0.0) continue;
+      const auto targets =
+          config.reverse_edges ? g.InNeighbors(u) : g.OutNeighbors(u);
+      for (NodeId v : targets) next[v] += share;
+    }
+    double delta = 0.0;
+    for (NodeId u = 0; u < n; ++u) delta += std::abs(next[u] - rank[u]);
+    rank.swap(next);
+    result.iterations = iter + 1;
+    if (delta < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(rank);
+  return result;
+}
+
+std::vector<NodeId> TopPageRankNodes(const Graph& g,
+                                     const PageRankConfig& config, NodeId k) {
+  const PageRankResult pr = ComputePageRank(g, config);
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  const NodeId take = std::min<NodeId>(k, g.num_nodes());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (pr.scores[a] != pr.scores[b]) {
+                        return pr.scores[a] > pr.scores[b];
+                      }
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace influmax

@@ -1,0 +1,41 @@
+#ifndef INFLUMAX_GRAPH_PAGERANK_H_
+#define INFLUMAX_GRAPH_PAGERANK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace influmax {
+
+/// PageRank configuration. The influence-maximization baseline (Figure 6,
+/// following Kempe et al. and Chen et al.) ranks *influencers*: since an
+/// edge (v, u) means v influences u, the random surfer must walk from the
+/// influenced node back to the influencer, i.e. along *reversed* edges —
+/// which `reverse_edges = true` (the default) does.
+struct PageRankConfig {
+  double damping = 0.85;
+  int max_iterations = 100;
+  /// Stop when the L1 change between iterations drops below this.
+  double tolerance = 1e-9;
+  bool reverse_edges = true;
+};
+
+/// Result of a PageRank computation.
+struct PageRankResult {
+  std::vector<double> scores;  // size n, sums to 1
+  int iterations = 0;          // iterations actually run
+  bool converged = false;      // tolerance reached before max_iterations
+};
+
+/// Power-iteration PageRank with uniform teleport and dangling-mass
+/// redistribution.
+PageRankResult ComputePageRank(const Graph& g, const PageRankConfig& config);
+
+/// Convenience: the `k` nodes with the highest PageRank scores, ties broken
+/// by smaller node id. Used by the PageRank seed-selection baseline.
+std::vector<NodeId> TopPageRankNodes(const Graph& g,
+                                     const PageRankConfig& config, NodeId k);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_GRAPH_PAGERANK_H_

@@ -1,0 +1,89 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace influmax {
+
+void MarkReachable(const Graph& g, const std::vector<NodeId>& sources,
+                   const std::vector<bool>* live_edge,
+                   std::vector<bool>* visited) {
+  visited->assign(g.num_nodes(), false);
+  std::vector<NodeId> stack;
+  stack.reserve(sources.size());
+  for (NodeId s : sources) {
+    if (s < g.num_nodes() && !(*visited)[s]) {
+      (*visited)[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    const EdgeIndex base = g.OutEdgeBegin(u);
+    const auto neighbors = g.OutNeighbors(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (live_edge != nullptr && !(*live_edge)[base + i]) continue;
+      const NodeId v = neighbors[i];
+      if (!(*visited)[v]) {
+        (*visited)[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+}
+
+NodeId CountReachable(const Graph& g, const std::vector<NodeId>& sources,
+                      const std::vector<bool>* live_edge) {
+  std::vector<bool> visited;
+  MarkReachable(g, sources, live_edge, &visited);
+  return static_cast<NodeId>(std::count(visited.begin(), visited.end(), true));
+}
+
+WeakComponents ComputeWeakComponents(const Graph& g) {
+  WeakComponents result;
+  const NodeId n = g.num_nodes();
+  constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+  result.component_of.assign(n, kUnset);
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (result.component_of[root] != kUnset) continue;
+    const std::uint32_t comp = result.num_components++;
+    result.component_of[root] = comp;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (result.component_of[v] == kUnset) {
+          result.component_of[v] = comp;
+          stack.push_back(v);
+        }
+      }
+      for (NodeId v : g.InNeighbors(u)) {
+        if (result.component_of[v] == kUnset) {
+          result.component_of[v] = comp;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> TopOutDegreeNodes(const Graph& g, NodeId k) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0u);
+  const NodeId take = std::min<NodeId>(k, g.num_nodes());
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (g.OutDegree(a) != g.OutDegree(b)) {
+                        return g.OutDegree(a) > g.OutDegree(b);
+                      }
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace influmax

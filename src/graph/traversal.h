@@ -1,0 +1,38 @@
+#ifndef INFLUMAX_GRAPH_TRAVERSAL_H_
+#define INFLUMAX_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace influmax {
+
+/// Number of nodes reachable from `sources` (including the sources
+/// themselves) following out-edges, optionally restricted to edges listed
+/// in `live_edge` (indexed by out-edge index; nullptr = all edges live).
+/// This is exactly sigma_X(S) for a possible world X in the live-edge
+/// formulation of the IC model (Eq. 1-2 of the paper).
+NodeId CountReachable(const Graph& g, const std::vector<NodeId>& sources,
+                      const std::vector<bool>* live_edge = nullptr);
+
+/// Marks every node reachable from `sources` in `*visited` (resized to n).
+void MarkReachable(const Graph& g, const std::vector<NodeId>& sources,
+                   const std::vector<bool>* live_edge,
+                   std::vector<bool>* visited);
+
+/// Weakly connected components: component id per node plus the number of
+/// components (edge direction ignored).
+struct WeakComponents {
+  std::vector<std::uint32_t> component_of;
+  std::uint32_t num_components = 0;
+};
+WeakComponents ComputeWeakComponents(const Graph& g);
+
+/// The `k` nodes with the highest out-degree (the "High Degree" baseline
+/// of Figure 6); ties broken by smaller node id.
+std::vector<NodeId> TopOutDegreeNodes(const Graph& g, NodeId k);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,33 @@
+#ifndef INFLUMAX_IM_BASELINES_H_
+#define INFLUMAX_IM_BASELINES_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "graph/pagerank.h"
+#include "graph/traversal.h"
+
+namespace influmax {
+
+/// The two structural seed-selection heuristics of Figure 6 (as in Kempe
+/// et al. and Chen et al.): no propagation model, no data — pure graph
+/// centrality.
+
+/// Top-k nodes by out-degree (number of people they can influence).
+inline std::vector<NodeId> HighDegreeSeeds(const Graph& g, NodeId k) {
+  return TopOutDegreeNodes(g, k);
+}
+
+/// Top-k nodes by PageRank over reversed influence edges (see
+/// PageRankConfig for why reversal is the right direction here).
+inline std::vector<NodeId> PageRankSeeds(const Graph& g, NodeId k,
+                                         double damping = 0.85) {
+  PageRankConfig config;
+  config.damping = damping;
+  return TopPageRankNodes(g, config, k);
+}
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_IM_BASELINES_H_

@@ -1,0 +1,227 @@
+#include "im/greedy.h"
+
+#include <numeric>
+#include <queue>
+
+namespace influmax {
+namespace {
+
+std::vector<NodeId> AllNodes(NodeId n) {
+  std::vector<NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  return nodes;
+}
+
+GreedyResult RunPlainGreedy(SpreadOracle& oracle, NodeId k,
+                            const std::vector<NodeId>& candidates) {
+  GreedyResult result;
+  std::vector<bool> chosen(oracle.num_nodes(), false);
+  double current_spread = 0.0;
+  std::vector<NodeId> trial;
+
+  while (result.seeds.size() < k) {
+    double best_gain = 0.0;
+    NodeId best_node = kInvalidNode;
+    double best_spread = current_spread;
+    for (NodeId x : candidates) {
+      if (chosen[x]) continue;
+      trial = result.seeds;
+      trial.push_back(x);
+      const double spread = oracle.EstimateSpread(trial);
+      ++result.oracle_calls;
+      const double gain = spread - current_spread;
+      if (best_node == kInvalidNode || gain > best_gain) {
+        best_gain = gain;
+        best_node = x;
+        best_spread = spread;
+      }
+    }
+    if (best_node == kInvalidNode || best_gain <= 0.0) break;
+    chosen[best_node] = true;
+    result.seeds.push_back(best_node);
+    result.marginal_gains.push_back(best_gain);
+    result.cumulative_spread.push_back(best_spread);
+    current_spread = best_spread;
+  }
+  return result;
+}
+
+GreedyResult RunCelfGreedy(SpreadOracle& oracle, NodeId k,
+                           const std::vector<NodeId>& candidates) {
+  struct QueueEntry {
+    double gain;
+    NodeId node;
+    NodeId iteration;
+    bool operator<(const QueueEntry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return node > other.node;
+    }
+  };
+
+  GreedyResult result;
+  std::priority_queue<QueueEntry> queue;
+  std::vector<NodeId> trial;
+  for (NodeId x : candidates) {
+    const double spread = oracle.EstimateSpread({x});
+    ++result.oracle_calls;
+    queue.push({spread, x, 0});
+  }
+
+  double current_spread = 0.0;
+  while (result.seeds.size() < k && !queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    const NodeId size = static_cast<NodeId>(result.seeds.size());
+    if (top.iteration == size) {
+      if (top.gain <= 0.0) break;
+      result.seeds.push_back(top.node);
+      result.marginal_gains.push_back(top.gain);
+      current_spread += top.gain;
+      result.cumulative_spread.push_back(current_spread);
+    } else {
+      trial = result.seeds;
+      trial.push_back(top.node);
+      top.gain = oracle.EstimateSpread(trial) - current_spread;
+      ++result.oracle_calls;
+      top.iteration = size;
+      queue.push(top);
+    }
+  }
+  return result;
+}
+
+// CELF++ (Goyal, Lu & Lakshmanan, WWW 2011): alongside the marginal gain
+// mg1 w.r.t. the current seed set S, each entry carries mg2, the gain
+// w.r.t. S + {best candidate seen while mg1 was computed}. If that best
+// candidate is indeed the next seed, mg1 can be refreshed from mg2 with
+// no oracle call at all.
+GreedyResult RunCelfPlusPlus(SpreadOracle& oracle, NodeId k,
+                             const std::vector<NodeId>& candidates) {
+  struct QueueEntry {
+    double mg1;
+    double mg2;
+    NodeId node;
+    NodeId prev_best;
+    NodeId iteration;  // |S| when mg1 was computed
+    bool mg2_valid;
+    bool operator<(const QueueEntry& other) const {
+      if (mg1 != other.mg1) return mg1 < other.mg1;
+      return node > other.node;
+    }
+  };
+
+  GreedyResult result;
+  std::priority_queue<QueueEntry> queue;
+  std::vector<NodeId> trial;
+
+  // Initial pass. `round_best` tracks the highest-gain candidate seen so
+  // far in the current round; mg2 is evaluated against it.
+  NodeId round_best = kInvalidNode;
+  double round_best_sigma = 0.0;  // sigma(S + round_best)
+  for (NodeId x : candidates) {
+    QueueEntry entry;
+    entry.node = x;
+    entry.iteration = 0;
+    entry.mg1 = oracle.EstimateSpread({x});
+    ++result.oracle_calls;
+    if (round_best != kInvalidNode) {
+      entry.prev_best = round_best;
+      entry.mg2 = oracle.EstimateSpread({round_best, x}) - round_best_sigma;
+      ++result.oracle_calls;
+      entry.mg2_valid = true;
+    } else {
+      entry.prev_best = kInvalidNode;
+      entry.mg2 = 0.0;
+      entry.mg2_valid = false;
+    }
+    if (round_best == kInvalidNode || entry.mg1 > round_best_sigma) {
+      round_best = x;
+      round_best_sigma = entry.mg1;  // S is empty: sigma({x}) == gain
+    }
+    queue.push(entry);
+  }
+
+  double current_spread = 0.0;
+  NodeId last_seed = kInvalidNode;
+  // Per-round state for mg2 evaluation.
+  double round_best_gain = 0.0;
+  bool round_best_sigma_known = false;
+
+  while (result.seeds.size() < k && !queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    const NodeId size = static_cast<NodeId>(result.seeds.size());
+    if (top.iteration == size) {
+      if (top.mg1 <= 0.0) break;
+      result.seeds.push_back(top.node);
+      result.marginal_gains.push_back(top.mg1);
+      current_spread += top.mg1;
+      result.cumulative_spread.push_back(current_spread);
+      last_seed = top.node;
+      round_best = kInvalidNode;
+      round_best_gain = 0.0;
+      round_best_sigma_known = false;
+      continue;
+    }
+
+    if (top.mg2_valid && top.prev_best == last_seed &&
+        top.iteration + 1 == size) {
+      // The set mg2 was computed against IS the current seed set.
+      top.mg1 = top.mg2;
+      top.mg2_valid = false;
+    } else {
+      trial = result.seeds;
+      trial.push_back(top.node);
+      top.mg1 = oracle.EstimateSpread(trial) - current_spread;
+      ++result.oracle_calls;
+      if (round_best != kInvalidNode && round_best != top.node) {
+        if (!round_best_sigma_known) {
+          trial = result.seeds;
+          trial.push_back(round_best);
+          round_best_sigma = oracle.EstimateSpread(trial);
+          ++result.oracle_calls;
+          round_best_sigma_known = true;
+        }
+        trial = result.seeds;
+        trial.push_back(round_best);
+        trial.push_back(top.node);
+        top.mg2 = oracle.EstimateSpread(trial) - round_best_sigma;
+        ++result.oracle_calls;
+        top.prev_best = round_best;
+        top.mg2_valid = true;
+      } else {
+        top.mg2_valid = false;
+      }
+    }
+    top.iteration = size;
+    if (round_best == kInvalidNode || top.mg1 > round_best_gain) {
+      round_best = top.node;
+      round_best_gain = top.mg1;
+      round_best_sigma_known = false;
+    }
+    queue.push(top);
+  }
+  return result;
+}
+
+}  // namespace
+
+GreedyResult SelectSeedsGreedy(SpreadOracle& oracle, NodeId k,
+                               const GreedyConfig& config) {
+  const std::vector<NodeId>& candidates =
+      config.candidates.empty() ? AllNodes(oracle.num_nodes())
+                                : config.candidates;
+  // With a noiseless submodular oracle all variants return identical
+  // seeds; they differ only in how many oracle calls they spend.
+  switch (config.variant) {
+    case GreedyVariant::kPlain:
+      return RunPlainGreedy(oracle, k, candidates);
+    case GreedyVariant::kCelf:
+      return RunCelfGreedy(oracle, k, candidates);
+    case GreedyVariant::kCelfPlusPlus:
+      return RunCelfPlusPlus(oracle, k, candidates);
+  }
+  return RunCelfGreedy(oracle, k, candidates);
+}
+
+}  // namespace influmax

@@ -1,0 +1,244 @@
+#include "im/ldag.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace influmax {
+namespace {
+
+// Greedy LDAG(v, theta) construction (Algorithm 3 of Chen et al. 2010):
+// repeatedly admit the outside node with the largest estimated influence
+// on v, Inf(u) = sum over admitted out-neighbors w of b(u, w) * Inf(w),
+// while Inf >= theta. Inf values only grow as nodes are admitted, so a
+// lazy max-heap works.
+struct Admitted {
+  NodeId node;
+  double influence;
+};
+
+std::vector<Admitted> BuildLocalDagOrder(
+    const Graph& g, const EdgeProbabilities& w, NodeId root, double theta,
+    NodeId max_size, std::vector<double>* influence,
+    std::vector<std::uint32_t>* stamp, std::vector<bool>* admitted_flag,
+    std::uint32_t epoch) {
+  struct HeapItem {
+    double influence;
+    NodeId node;
+    bool operator<(const HeapItem& o) const {
+      if (influence != o.influence) return influence < o.influence;
+      return node > o.node;  // deterministic tie-break: smaller id first
+    }
+  };
+  std::priority_queue<HeapItem> heap;
+  std::vector<Admitted> order;
+
+  auto touch = [&](NodeId u) {
+    if ((*stamp)[u] != epoch) {
+      (*stamp)[u] = epoch;
+      (*influence)[u] = 0.0;
+      (*admitted_flag)[u] = false;
+    }
+  };
+
+  touch(root);
+  (*influence)[root] = 1.0;
+  heap.push({1.0, root});
+  while (!heap.empty()) {
+    const HeapItem item = heap.top();
+    heap.pop();
+    const NodeId u = item.node;
+    touch(u);
+    if ((*admitted_flag)[u]) continue;               // already inside
+    if (item.influence < (*influence)[u]) continue;  // stale entry
+    if (item.influence < theta) break;
+    (*admitted_flag)[u] = true;
+    order.push_back({u, item.influence});
+    if (max_size != 0 && order.size() >= max_size) break;
+    // Admitting u raises the influence of its in-neighbors by
+    // b(x, u) * Inf(u).
+    const EdgeIndex in_begin = g.InEdgeBegin(u);
+    const auto in_neighbors = g.InNeighbors(u);
+    for (std::size_t i = 0; i < in_neighbors.size(); ++i) {
+      const NodeId x = in_neighbors[i];
+      touch(x);
+      if ((*admitted_flag)[x]) continue;
+      const double weight = w[g.InPosToOutEdge(in_begin + i)];
+      if (weight <= 0.0) continue;
+      (*influence)[x] += weight * item.influence;
+      heap.push({(*influence)[x], x});
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<LdagModel> LdagModel::Build(const Graph& g, const EdgeProbabilities& w,
+                                   const LdagConfig& config) {
+  if (config.theta <= 0.0 || config.theta > 1.0) {
+    return Status::InvalidArgument("LDAG: theta must be in (0, 1]");
+  }
+  INFLUMAX_RETURN_IF_ERROR(ValidateLtWeights(g, w));
+
+  LdagModel model;
+  const NodeId n = g.num_nodes();
+  model.num_nodes_ = n;
+  model.dags_.resize(n);
+  model.dags_containing_.assign(n, {});
+  model.inc_inf_.assign(n, 0.0);
+  model.is_seed_.assign(n, false);
+
+  std::vector<double> influence(n, 0.0);
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::vector<bool> admitted(n, false);
+  std::unordered_map<NodeId, std::uint32_t> index_of;
+
+  for (NodeId v = 0; v < n; ++v) {
+    const auto order =
+        BuildLocalDagOrder(g, w, v, config.theta, config.max_dag_size,
+                           &influence, &stamp, &admitted, v + 1);
+    LocalDag& dag = model.dags_[v];
+    const std::size_t size = order.size();
+    dag.nodes.resize(size);
+    index_of.clear();
+    for (std::size_t i = 0; i < size; ++i) {
+      dag.nodes[i] = order[i].node;
+      index_of.emplace(order[i].node, static_cast<std::uint32_t>(i));
+      model.dags_containing_[order[i].node].push_back(v);
+    }
+    // Edges from each node to *earlier-admitted* nodes only: guarantees
+    // acyclicity regardless of cycles in the social graph.
+    dag.out_offsets.assign(size + 1, 0);
+    for (std::size_t i = 0; i < size; ++i) {
+      const NodeId u = dag.nodes[i];
+      const EdgeIndex base = g.OutEdgeBegin(u);
+      const auto out = g.OutNeighbors(u);
+      for (std::size_t e = 0; e < out.size(); ++e) {
+        const auto it = index_of.find(out[e]);
+        if (it != index_of.end() && it->second < i && w[base + e] > 0.0) {
+          dag.out_to.push_back(it->second);
+          dag.out_weight.push_back(w[base + e]);
+          dag.out_offsets[i + 1]++;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < size; ++i) {
+      dag.out_offsets[i + 1] += dag.out_offsets[i];
+    }
+    model.ComputeAp(dag, model.is_seed_);
+    model.ComputeAlpha(dag, model.is_seed_);
+    for (std::size_t i = 0; i < size; ++i) {
+      model.inc_inf_[dag.nodes[i]] += dag.alpha[i] * (1.0 - dag.ap[i]);
+    }
+    model.total_root_ap_ += size == 0 ? 0.0 : dag.ap[0];
+  }
+  return model;
+}
+
+void LdagModel::ComputeAp(LocalDag& dag,
+                          const std::vector<bool>& is_seed) const {
+  const std::size_t size = dag.nodes.size();
+  dag.ap.assign(size, 0.0);
+  // Reverse admission order is topological for influence flow: node i's
+  // activation mass is final when reached, then pushed along its
+  // out-edges to earlier nodes.
+  for (std::size_t i = size; i-- > 0;) {
+    if (is_seed[dag.nodes[i]]) dag.ap[i] = 1.0;
+    const double ap_i = dag.ap[i];
+    if (ap_i == 0.0) continue;
+    for (std::uint32_t e = dag.out_offsets[i]; e < dag.out_offsets[i + 1];
+         ++e) {
+      if (!is_seed[dag.nodes[dag.out_to[e]]]) {
+        dag.ap[dag.out_to[e]] += dag.out_weight[e] * ap_i;
+      }
+    }
+  }
+}
+
+void LdagModel::ComputeAlpha(LocalDag& dag,
+                             const std::vector<bool>& is_seed) const {
+  const std::size_t size = dag.nodes.size();
+  dag.alpha.assign(size, 0.0);
+  if (size == 0) return;
+  dag.alpha[0] = 1.0;
+  // Admission order: node i's alpha depends on earlier (downstream)
+  // nodes' alphas.
+  for (std::size_t i = 1; i < size; ++i) {
+    double total = 0.0;
+    for (std::uint32_t e = dag.out_offsets[i]; e < dag.out_offsets[i + 1];
+         ++e) {
+      const std::uint32_t j = dag.out_to[e];
+      if (!is_seed[dag.nodes[j]]) {
+        total += dag.out_weight[e] * dag.alpha[j];
+      }
+    }
+    dag.alpha[i] = total;
+  }
+}
+
+Result<LdagModel::Selection> LdagModel::SelectSeeds(NodeId k) {
+  if (selection_done_) {
+    return Status::FailedPrecondition(
+        "LDAG SelectSeeds already ran; Build() a fresh model");
+  }
+  selection_done_ = true;
+
+  Selection selection;
+  while (selection.seeds.size() < k) {
+    NodeId best = kInvalidNode;
+    double best_gain = 0.0;
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      if (is_seed_[u]) continue;
+      if (best == kInvalidNode || inc_inf_[u] > best_gain) {
+        best = u;
+        best_gain = inc_inf_[u];
+      }
+    }
+    if (best == kInvalidNode || best_gain <= 0.0) break;
+
+    is_seed_[best] = true;
+    for (NodeId root : dags_containing_[best]) {
+      LocalDag& dag = dags_[root];
+      for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+        inc_inf_[dag.nodes[i]] -= dag.alpha[i] * (1.0 - dag.ap[i]);
+      }
+      total_root_ap_ -= dag.ap[0];
+      ComputeAp(dag, is_seed_);
+      ComputeAlpha(dag, is_seed_);
+      for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+        inc_inf_[dag.nodes[i]] += dag.alpha[i] * (1.0 - dag.ap[i]);
+      }
+      total_root_ap_ += dag.ap[0];
+    }
+    selection.seeds.push_back(best);
+    selection.marginal_gains.push_back(best_gain);
+    selection.cumulative_spread.push_back(total_root_ap_);
+  }
+  return selection;
+}
+
+double LdagModel::EstimateSpread(const std::vector<NodeId>& seeds) const {
+  std::vector<bool> seed_set(num_nodes_, false);
+  for (NodeId s : seeds) seed_set[s] = true;
+  double total = 0.0;
+  LocalDag scratch;
+  for (const LocalDag& dag : dags_) {
+    if (dag.nodes.empty()) continue;
+    scratch.nodes = dag.nodes;
+    scratch.out_offsets = dag.out_offsets;
+    scratch.out_to = dag.out_to;
+    scratch.out_weight = dag.out_weight;
+    ComputeAp(scratch, seed_set);
+    total += scratch.ap[0];
+  }
+  return total;
+}
+
+std::uint64_t LdagModel::total_dag_nodes() const {
+  std::uint64_t total = 0;
+  for (const LocalDag& dag : dags_) total += dag.nodes.size();
+  return total;
+}
+
+}  // namespace influmax

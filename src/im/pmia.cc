@@ -1,0 +1,237 @@
+#include "im/pmia.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace influmax {
+namespace {
+
+// Dijkstra on -log(p) from `root` along *in*-edges, pruned at
+// -log(theta): settles exactly the nodes whose maximum-influence path to
+// root has probability >= theta.
+struct Settled {
+  NodeId node;
+  std::int32_t parent_index;  // index into the settle order
+  double to_parent_prob;
+};
+
+std::vector<Settled> DijkstraMiia(const Graph& g, const EdgeProbabilities& p,
+                                  NodeId root, double theta,
+                                  NodeId max_size,
+                                  std::vector<std::uint32_t>* stamp_scratch,
+                                  std::uint32_t epoch) {
+  const double max_dist = -std::log(theta);
+  struct HeapItem {
+    double dist;
+    NodeId node;
+    std::int32_t parent_index;
+    double edge_prob;
+    bool operator>(const HeapItem& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      return node > o.node;  // deterministic tie-break
+    }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap;
+  std::vector<Settled> order;
+  auto& stamp = *stamp_scratch;
+
+  heap.push({0.0, root, -1, 1.0});
+  while (!heap.empty()) {
+    const HeapItem item = heap.top();
+    heap.pop();
+    if (stamp[item.node] == epoch) continue;  // already settled
+    stamp[item.node] = epoch;
+    order.push_back({item.node, item.parent_index, item.edge_prob});
+    if (max_size != 0 && order.size() >= max_size) break;
+    const std::int32_t my_index = static_cast<std::int32_t>(order.size() - 1);
+    // Extend paths backwards: predecessor u reaches root through
+    // item.node with probability p(u -> item.node) * pp(item.node).
+    const NodeId w = item.node;
+    const EdgeIndex in_begin = g.InEdgeBegin(w);
+    const auto in_neighbors = g.InNeighbors(w);
+    for (std::size_t i = 0; i < in_neighbors.size(); ++i) {
+      const NodeId u = in_neighbors[i];
+      if (stamp[u] == epoch) continue;
+      const double prob = p[g.InPosToOutEdge(in_begin + i)];
+      if (prob <= 0.0) continue;
+      const double cand = item.dist - std::log(prob);
+      if (cand <= max_dist) {
+        heap.push({cand, u, my_index, prob});
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<PmiaModel> PmiaModel::Build(const Graph& g, const EdgeProbabilities& p,
+                                   const PmiaConfig& config) {
+  if (config.theta <= 0.0 || config.theta > 1.0) {
+    return Status::InvalidArgument("PMIA: theta must be in (0, 1]");
+  }
+  INFLUMAX_RETURN_IF_ERROR(ValidateIcProbabilities(g, p));
+
+  PmiaModel model;
+  const NodeId n = g.num_nodes();
+  model.num_nodes_ = n;
+  model.arbors_.resize(n);
+  model.arbors_containing_.assign(n, {});
+  model.inc_inf_.assign(n, 0.0);
+  model.is_seed_.assign(n, false);
+
+  std::vector<std::uint32_t> stamp(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto order =
+        DijkstraMiia(g, p, v, config.theta, config.max_arborescence_size,
+                     &stamp, v + 1);
+    Arborescence& arbor = model.arbors_[v];
+    const std::size_t size = order.size();
+    arbor.nodes.resize(size);
+    arbor.parent.resize(size);
+    arbor.to_parent_prob.resize(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      arbor.nodes[i] = order[i].node;
+      arbor.parent[i] = order[i].parent_index;
+      arbor.to_parent_prob[i] = order[i].to_parent_prob;
+      model.arbors_containing_[order[i].node].push_back(v);
+    }
+    // Children CSR.
+    arbor.child_offsets.assign(size + 1, 0);
+    for (std::size_t i = 1; i < size; ++i) {
+      arbor.child_offsets[arbor.parent[i] + 1]++;
+    }
+    for (std::size_t i = 0; i < size; ++i) {
+      arbor.child_offsets[i + 1] += arbor.child_offsets[i];
+    }
+    arbor.children.resize(size == 0 ? 0 : size - 1);
+    std::vector<std::uint32_t> cursor(arbor.child_offsets.begin(),
+                                      arbor.child_offsets.end() - 1);
+    for (std::size_t i = 1; i < size; ++i) {
+      arbor.children[cursor[arbor.parent[i]]++] = static_cast<std::uint32_t>(i);
+    }
+    model.ComputeAp(arbor, model.is_seed_);
+    model.ComputeAlpha(arbor, model.is_seed_);
+    for (std::size_t i = 0; i < size; ++i) {
+      model.inc_inf_[arbor.nodes[i]] += arbor.alpha[i] * (1.0 - arbor.ap[i]);
+    }
+    model.total_root_ap_ += size == 0 ? 0.0 : arbor.ap[0];
+  }
+  return model;
+}
+
+void PmiaModel::ComputeAp(Arborescence& arbor,
+                          const std::vector<bool>& is_seed) const {
+  const std::size_t size = arbor.nodes.size();
+  arbor.ap.assign(size, 0.0);
+  // Children settle after parents in Dijkstra order, so a reverse pass is
+  // bottom-up.
+  for (std::size_t i = size; i-- > 0;) {
+    if (is_seed[arbor.nodes[i]]) {
+      arbor.ap[i] = 1.0;
+      continue;
+    }
+    double not_activated = 1.0;
+    for (std::uint32_t c = arbor.child_offsets[i];
+         c < arbor.child_offsets[i + 1]; ++c) {
+      const std::uint32_t child = arbor.children[c];
+      not_activated *= 1.0 - arbor.ap[child] * arbor.to_parent_prob[child];
+    }
+    arbor.ap[i] = 1.0 - not_activated;
+  }
+}
+
+void PmiaModel::ComputeAlpha(Arborescence& arbor,
+                             const std::vector<bool>& is_seed) const {
+  const std::size_t size = arbor.nodes.size();
+  arbor.alpha.assign(size, 0.0);
+  if (size == 0) return;
+  arbor.alpha[0] = 1.0;
+  for (std::size_t i = 1; i < size; ++i) {
+    const std::int32_t w = arbor.parent[i];
+    // A seed parent is pinned at ap = 1: changing this subtree cannot
+    // move the root's activation probability.
+    if (is_seed[arbor.nodes[w]]) {
+      arbor.alpha[i] = 0.0;
+      continue;
+    }
+    double siblings = 1.0;
+    for (std::uint32_t c = arbor.child_offsets[w];
+         c < arbor.child_offsets[w + 1]; ++c) {
+      const std::uint32_t sibling = arbor.children[c];
+      if (sibling == i) continue;
+      siblings *= 1.0 - arbor.ap[sibling] * arbor.to_parent_prob[sibling];
+    }
+    arbor.alpha[i] = arbor.alpha[w] * arbor.to_parent_prob[i] * siblings;
+  }
+}
+
+Result<PmiaModel::Selection> PmiaModel::SelectSeeds(NodeId k) {
+  if (selection_done_) {
+    return Status::FailedPrecondition(
+        "PMIA SelectSeeds already ran; Build() a fresh model");
+  }
+  selection_done_ = true;
+
+  Selection selection;
+  while (selection.seeds.size() < k) {
+    NodeId best = kInvalidNode;
+    double best_gain = 0.0;
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      if (is_seed_[u]) continue;
+      if (best == kInvalidNode || inc_inf_[u] > best_gain) {
+        best = u;
+        best_gain = inc_inf_[u];
+      }
+    }
+    if (best == kInvalidNode || best_gain <= 0.0) break;
+
+    is_seed_[best] = true;
+    // Refresh every arborescence containing the new seed.
+    for (NodeId root : arbors_containing_[best]) {
+      Arborescence& arbor = arbors_[root];
+      for (std::size_t i = 0; i < arbor.nodes.size(); ++i) {
+        inc_inf_[arbor.nodes[i]] -= arbor.alpha[i] * (1.0 - arbor.ap[i]);
+      }
+      total_root_ap_ -= arbor.ap[0];
+      ComputeAp(arbor, is_seed_);
+      ComputeAlpha(arbor, is_seed_);
+      for (std::size_t i = 0; i < arbor.nodes.size(); ++i) {
+        inc_inf_[arbor.nodes[i]] += arbor.alpha[i] * (1.0 - arbor.ap[i]);
+      }
+      total_root_ap_ += arbor.ap[0];
+    }
+    selection.seeds.push_back(best);
+    selection.marginal_gains.push_back(best_gain);
+    selection.cumulative_spread.push_back(total_root_ap_);
+  }
+  return selection;
+}
+
+double PmiaModel::EstimateSpread(const std::vector<NodeId>& seeds) const {
+  std::vector<bool> seed_set(num_nodes_, false);
+  for (NodeId s : seeds) seed_set[s] = true;
+  double total = 0.0;
+  Arborescence scratch;
+  for (const Arborescence& arbor : arbors_) {
+    if (arbor.nodes.empty()) continue;
+    scratch.nodes = arbor.nodes;
+    scratch.parent = arbor.parent;
+    scratch.to_parent_prob = arbor.to_parent_prob;
+    scratch.child_offsets = arbor.child_offsets;
+    scratch.children = arbor.children;
+    ComputeAp(scratch, seed_set);
+    total += scratch.ap[0];
+  }
+  return total;
+}
+
+std::uint64_t PmiaModel::total_arborescence_nodes() const {
+  std::uint64_t total = 0;
+  for (const Arborescence& arbor : arbors_) total += arbor.nodes.size();
+  return total;
+}
+
+}  // namespace influmax

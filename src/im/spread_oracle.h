@@ -1,0 +1,89 @@
+#ifndef INFLUMAX_IM_SPREAD_ORACLE_H_
+#define INFLUMAX_IM_SPREAD_ORACLE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/cd_evaluator.h"
+#include "graph/graph.h"
+#include "propagation/monte_carlo.h"
+
+namespace influmax {
+
+/// Interface the generic greedy/CELF optimizer maximizes over: an
+/// estimator of the expected spread sigma_m(S) under some propagation
+/// model m. Implementations may keep scratch state (EstimateSpread is
+/// non-const); they must be deterministic for a fixed configuration so
+/// experiments replay.
+class SpreadOracle {
+ public:
+  virtual ~SpreadOracle() = default;
+
+  /// Estimated sigma_m(seeds).
+  virtual double EstimateSpread(const std::vector<NodeId>& seeds) = 0;
+
+  /// Size of the candidate universe (nodes are 0..num_nodes()-1).
+  virtual NodeId num_nodes() const = 0;
+};
+
+/// sigma_IC via Monte Carlo — the standard approach the paper compares
+/// against (Kempe et al. with simulations).
+class IcMonteCarloOracle final : public SpreadOracle {
+ public:
+  IcMonteCarloOracle(const Graph& g, const EdgeProbabilities& p,
+                     const MonteCarloConfig& config)
+      : graph_(&g), probs_(&p), config_(config) {}
+
+  double EstimateSpread(const std::vector<NodeId>& seeds) override {
+    return EstimateIcSpread(*graph_, *probs_, seeds, config_).mean;
+  }
+
+  NodeId num_nodes() const override { return graph_->num_nodes(); }
+
+ private:
+  const Graph* graph_;
+  const EdgeProbabilities* probs_;
+  MonteCarloConfig config_;
+};
+
+/// sigma_LT via Monte Carlo.
+class LtMonteCarloOracle final : public SpreadOracle {
+ public:
+  LtMonteCarloOracle(const Graph& g, const EdgeProbabilities& w,
+                     const MonteCarloConfig& config)
+      : graph_(&g), weights_(&w), config_(config) {}
+
+  double EstimateSpread(const std::vector<NodeId>& seeds) override {
+    return EstimateLtSpread(*graph_, *weights_, seeds, config_).mean;
+  }
+
+  NodeId num_nodes() const override { return graph_->num_nodes(); }
+
+ private:
+  const Graph* graph_;
+  const EdgeProbabilities* weights_;
+  MonteCarloConfig config_;
+};
+
+/// sigma_cd through the DAG evaluator — lets the *generic* greedy run
+/// under the CD objective too (the property tests use this to check that
+/// the specialized Algorithm 3-5 pipeline matches a from-scratch greedy).
+class CdOracle final : public SpreadOracle {
+ public:
+  /// `evaluator` must outlive this oracle.
+  explicit CdOracle(const CdSpreadEvaluator& evaluator)
+      : evaluator_(&evaluator) {}
+
+  double EstimateSpread(const std::vector<NodeId>& seeds) override {
+    return evaluator_->Spread(seeds);
+  }
+
+  NodeId num_nodes() const override { return evaluator_->num_users(); }
+
+ private:
+  const CdSpreadEvaluator* evaluator_;
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_IM_SPREAD_ORACLE_H_

@@ -1,0 +1,48 @@
+#include "probability/assigners.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace influmax {
+
+EdgeProbabilities AssignUniform(const Graph& g, double p) {
+  return EdgeProbabilities(g.num_edges(), p);
+}
+
+EdgeProbabilities AssignTrivalency(const Graph& g, std::uint64_t seed) {
+  static constexpr double kLevels[3] = {0.1, 0.01, 0.001};
+  EdgeProbabilities probs(g.num_edges());
+  Rng rng(seed);
+  for (EdgeIndex e = 0; e < g.num_edges(); ++e) {
+    probs[e] = kLevels[rng.NextBounded(3)];
+  }
+  return probs;
+}
+
+EdgeProbabilities AssignWeightedCascade(const Graph& g) {
+  EdgeProbabilities probs(g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const EdgeIndex base = g.OutEdgeBegin(v);
+    const auto neighbors = g.OutNeighbors(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      probs[base + i] = 1.0 / g.InDegree(neighbors[i]);
+    }
+  }
+  return probs;
+}
+
+EdgeProbabilities PerturbProbabilities(const EdgeProbabilities& p,
+                                       double noise_fraction,
+                                       std::uint64_t seed) {
+  EdgeProbabilities out(p.size());
+  Rng rng(seed);
+  for (EdgeIndex e = 0; e < p.size(); ++e) {
+    const double factor =
+        1.0 + rng.NextUniform(-noise_fraction, noise_fraction);
+    out[e] = std::clamp(p[e] * factor, 0.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace influmax

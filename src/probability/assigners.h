@@ -1,0 +1,36 @@
+#ifndef INFLUMAX_PROBABILITY_ASSIGNERS_H_
+#define INFLUMAX_PROBABILITY_ASSIGNERS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "propagation/edge_probabilities.h"
+
+namespace influmax {
+
+/// The ad-hoc edge-probability assignment methods compared in Section 3
+/// of the paper. None of them look at the action log — that is the point
+/// the paper makes against them.
+
+/// UN: every edge gets probability `p` (paper uses 0.01).
+EdgeProbabilities AssignUniform(const Graph& g, double p = 0.01);
+
+/// TV ("trivalency"): each edge gets a value drawn uniformly at random
+/// from {0.1, 0.01, 0.001}.
+EdgeProbabilities AssignTrivalency(const Graph& g, std::uint64_t seed);
+
+/// WC ("weighted cascade"): edge (v, u) gets 1 / in-degree(u).
+EdgeProbabilities AssignWeightedCascade(const Graph& g);
+
+/// PT: multiplicative noise on learned probabilities — each edge is
+/// perturbed by a percentage drawn uniformly from
+/// [-noise_fraction, +noise_fraction] and clamped to [0, 1]. The paper
+/// uses noise_fraction = 0.2 to probe the robustness of EM-learned
+/// probabilities.
+EdgeProbabilities PerturbProbabilities(const EdgeProbabilities& p,
+                                       double noise_fraction,
+                                       std::uint64_t seed);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_PROBABILITY_ASSIGNERS_H_

@@ -1,0 +1,171 @@
+#include "probability/em_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "actionlog/propagation_dag.h"
+
+namespace influmax {
+namespace {
+
+// Flattened positive evidence: one "group" per activation-with-parents,
+// holding the out-edge ids of the potential influencer edges.
+struct Evidence {
+  std::vector<EdgeIndex> group_edges;
+  std::vector<std::uint64_t> group_offsets;  // size = #groups + 1
+  std::vector<std::uint32_t> positives;      // per edge
+  std::vector<std::uint32_t> trials;         // per edge: positives + negatives
+};
+
+Evidence CollectEvidence(const Graph& g, const ActionLog& log,
+                         const EmConfig& config) {
+  Evidence ev;
+  const EdgeIndex m = g.num_edges();
+  ev.positives.assign(m, 0);
+  ev.trials.assign(m, 0);
+  ev.group_offsets.push_back(0);
+
+  // both[e]: number of actions in which both endpoints of e participated
+  // (any order, including ties). negatives = A_v - both.
+  std::vector<std::uint32_t> both(m, 0);
+  std::unordered_map<NodeId, Timestamp> participants;
+
+  for (ActionId a = 0; a < log.num_actions(); ++a) {
+    const auto trace = log.ActionTrace(a);
+    const PropagationDag dag = BuildPropagationDag(g, trace);
+
+    // Positive groups from the DAG.
+    for (NodeId pos = 0; pos < dag.size(); ++pos) {
+      const auto parents = dag.Parents(pos);
+      const auto edges = dag.ParentEdges(pos);
+      const std::size_t before = ev.group_edges.size();
+      for (std::size_t i = 0; i < parents.size(); ++i) {
+        if (config.strict_discrete_time &&
+            dag.TimeAt(pos) - dag.TimeAt(parents[i]) >
+                config.discrete_window) {
+          continue;
+        }
+        ev.group_edges.push_back(edges[i]);
+        ev.positives[edges[i]]++;
+      }
+      if (ev.group_edges.size() > before) {
+        ev.group_offsets.push_back(ev.group_edges.size());
+      }
+    }
+
+    // Joint-participation counts for the negative side.
+    participants.clear();
+    for (const ActionTuple& t : trace) participants.emplace(t.user, t.time);
+    for (const ActionTuple& t : trace) {
+      const EdgeIndex base = g.OutEdgeBegin(t.user);
+      const auto neighbors = g.OutNeighbors(t.user);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        if (participants.count(neighbors[i]) != 0) both[base + i]++;
+      }
+    }
+  }
+
+  // trials = positives + negatives; negatives = A_v - both.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint32_t av = log.ActionsPerformedBy(v);
+    const EdgeIndex base = g.OutEdgeBegin(v);
+    const std::uint32_t deg = g.OutDegree(v);
+    for (std::uint32_t i = 0; i < deg; ++i) {
+      const EdgeIndex e = base + i;
+      ev.trials[e] = ev.positives[e] + (av - both[e]);
+    }
+  }
+  return ev;
+}
+
+}  // namespace
+
+Result<EmResult> LearnIcProbabilitiesEm(const Graph& g, const ActionLog& log,
+                                        const EmConfig& config) {
+  if (config.max_iterations < 1) {
+    return Status::InvalidArgument("EmConfig: max_iterations must be >= 1");
+  }
+  if (config.initial_probability <= 0.0 || config.initial_probability > 1.0) {
+    return Status::InvalidArgument(
+        "EmConfig: initial_probability must be in (0, 1]");
+  }
+  if (log.num_users() != g.num_nodes()) {
+    return Status::InvalidArgument(
+        "EM: action log user space does not match graph");
+  }
+
+  const Evidence ev = CollectEvidence(g, log, config);
+  const EdgeIndex m = g.num_edges();
+
+  EmResult result;
+  result.probabilities = EdgeProbabilities(m, 0.0);
+  for (EdgeIndex e = 0; e < m; ++e) {
+    if (ev.positives[e] > 0) {
+      result.probabilities[e] = config.initial_probability;
+      ++result.edges_with_evidence;
+    }
+  }
+
+  const std::size_t num_groups = ev.group_offsets.size() - 1;
+  std::vector<double> responsibility(m, 0.0);
+  constexpr double kMinActivationProb = 1e-12;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    std::fill(responsibility.begin(), responsibility.end(), 0.0);
+    // E-step.
+    for (std::size_t gidx = 0; gidx < num_groups; ++gidx) {
+      const std::uint64_t begin = ev.group_offsets[gidx];
+      const std::uint64_t end = ev.group_offsets[gidx + 1];
+      double not_activated = 1.0;
+      for (std::uint64_t i = begin; i < end; ++i) {
+        not_activated *= 1.0 - result.probabilities[ev.group_edges[i]];
+      }
+      const double p_activated =
+          std::max(1.0 - not_activated, kMinActivationProb);
+      for (std::uint64_t i = begin; i < end; ++i) {
+        const EdgeIndex e = ev.group_edges[i];
+        responsibility[e] += result.probabilities[e] / p_activated;
+      }
+    }
+    // M-step.
+    double max_delta = 0.0;
+    for (EdgeIndex e = 0; e < m; ++e) {
+      if (ev.positives[e] == 0) continue;
+      const double updated =
+          std::min(1.0, responsibility[e] / ev.trials[e]);
+      max_delta = std::max(max_delta,
+                           std::abs(updated - result.probabilities[e]));
+      result.probabilities[e] = updated;
+    }
+    result.iterations = iter + 1;
+    if (max_delta < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final log-likelihood: activations contribute log P_u^a; failed
+  // attempts contribute negatives * log(1 - p).
+  double ll = 0.0;
+  for (std::size_t gidx = 0; gidx < num_groups; ++gidx) {
+    double not_activated = 1.0;
+    for (std::uint64_t i = ev.group_offsets[gidx];
+         i < ev.group_offsets[gidx + 1]; ++i) {
+      not_activated *= 1.0 - result.probabilities[ev.group_edges[i]];
+    }
+    ll += std::log(std::max(1.0 - not_activated, kMinActivationProb));
+  }
+  for (EdgeIndex e = 0; e < m; ++e) {
+    const std::uint32_t negatives = ev.trials[e] - ev.positives[e];
+    if (negatives > 0 && result.probabilities[e] > 0.0) {
+      ll += negatives *
+            std::log(std::max(1.0 - result.probabilities[e], 1e-300));
+    }
+  }
+  result.log_likelihood = ll;
+  return result;
+}
+
+}  // namespace influmax

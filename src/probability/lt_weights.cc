@@ -1,0 +1,33 @@
+#include "probability/lt_weights.h"
+
+namespace influmax {
+
+EdgeProbabilities LearnLtWeights(const Graph& g,
+                                 const InfluenceTimeParams& params) {
+  EdgeProbabilities weights(g.num_edges(), 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const EdgeIndex in_begin = g.InEdgeBegin(u);
+    const std::uint32_t din = g.InDegree(u);
+    std::uint64_t normalizer = 0;
+    for (std::uint32_t i = 0; i < din; ++i) {
+      normalizer +=
+          params.edge_propagation_count[g.InPosToOutEdge(in_begin + i)];
+    }
+    if (normalizer == 0) continue;
+    for (std::uint32_t i = 0; i < din; ++i) {
+      const EdgeIndex e = g.InPosToOutEdge(in_begin + i);
+      weights[e] = static_cast<double>(params.edge_propagation_count[e]) /
+                   static_cast<double>(normalizer);
+    }
+  }
+  return weights;
+}
+
+Result<EdgeProbabilities> LearnLtWeights(const Graph& g,
+                                         const ActionLog& log) {
+  Result<InfluenceTimeParams> params = LearnTimeParams(g, log);
+  if (!params.ok()) return params.status();
+  return LearnLtWeights(g, *params);
+}
+
+}  // namespace influmax

@@ -1,0 +1,28 @@
+#ifndef INFLUMAX_PROBABILITY_LT_WEIGHTS_H_
+#define INFLUMAX_PROBABILITY_LT_WEIGHTS_H_
+
+#include "actionlog/action_log.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "probability/time_params.h"
+#include "propagation/edge_probabilities.h"
+
+namespace influmax {
+
+/// LT weight learning as used in Section 6 of the paper ("we take ideas
+/// from [10] and [7]"): the weight of edge (v, u) is
+///   b_{v,u} = A_{v2u} / N_u,
+/// where A_{v2u} is the number of actions that propagated from v to u in
+/// the training log and N_u normalizes the incoming weights of u to sum
+/// to 1 (nodes whose neighbors never influenced them get all-zero
+/// incoming weights).
+EdgeProbabilities LearnLtWeights(const Graph& g,
+                                 const InfluenceTimeParams& params);
+
+/// Convenience overload that learns the propagation counts itself.
+Result<EdgeProbabilities> LearnLtWeights(const Graph& g,
+                                         const ActionLog& log);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_PROBABILITY_LT_WEIGHTS_H_

@@ -1,0 +1,76 @@
+#include "probability/time_params.h"
+
+#include <algorithm>
+
+#include "actionlog/propagation_dag.h"
+#include "common/types.h"
+
+namespace influmax {
+
+Result<InfluenceTimeParams> LearnTimeParams(const Graph& g,
+                                            const ActionLog& log) {
+  if (log.num_users() != g.num_nodes()) {
+    return Status::InvalidArgument(
+        "time params: action log user space does not match graph");
+  }
+
+  InfluenceTimeParams params;
+  const EdgeIndex m = g.num_edges();
+  std::vector<double> delay_sum(m, 0.0);
+  params.edge_propagation_count.assign(m, 0);
+  params.influenceability.assign(g.num_nodes(), 0.0);
+
+  // Pass 1: accumulate per-edge propagation delays.
+  double global_sum = 0.0;
+  for (ActionId a = 0; a < log.num_actions(); ++a) {
+    const PropagationDag dag = BuildPropagationDag(g, log.ActionTrace(a));
+    for (NodeId pos = 0; pos < dag.size(); ++pos) {
+      const auto parents = dag.Parents(pos);
+      const auto edges = dag.ParentEdges(pos);
+      for (std::size_t i = 0; i < parents.size(); ++i) {
+        const double delta = dag.TimeAt(pos) - dag.TimeAt(parents[i]);
+        delay_sum[edges[i]] += delta;
+        params.edge_propagation_count[edges[i]]++;
+        global_sum += delta;
+        ++params.total_propagation_events;
+      }
+    }
+  }
+  params.edge_mean_delay.assign(m, kNeverPerformed);
+  for (EdgeIndex e = 0; e < m; ++e) {
+    if (params.edge_propagation_count[e] > 0) {
+      params.edge_mean_delay[e] =
+          delay_sum[e] / params.edge_propagation_count[e];
+    }
+  }
+  if (params.total_propagation_events > 0) {
+    params.global_mean_delay =
+        global_sum / static_cast<double>(params.total_propagation_events);
+  }
+
+  // Pass 2: influenceability — count actions performed "under influence"
+  // of at least one potential influencer within its learned tau.
+  std::vector<std::uint32_t> influenced_actions(g.num_nodes(), 0);
+  for (ActionId a = 0; a < log.num_actions(); ++a) {
+    const PropagationDag dag = BuildPropagationDag(g, log.ActionTrace(a));
+    for (NodeId pos = 0; pos < dag.size(); ++pos) {
+      const auto parents = dag.Parents(pos);
+      const auto edges = dag.ParentEdges(pos);
+      for (std::size_t i = 0; i < parents.size(); ++i) {
+        const double delta = dag.TimeAt(pos) - dag.TimeAt(parents[i]);
+        if (delta <= params.edge_mean_delay[edges[i]]) {
+          influenced_actions[dag.UserAt(pos)]++;
+          break;
+        }
+      }
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const std::uint32_t au = log.ActionsPerformedBy(u);
+    params.influenceability[u] =
+        au == 0 ? 0.0 : static_cast<double>(influenced_actions[u]) / au;
+  }
+  return params;
+}
+
+}  // namespace influmax

@@ -1,0 +1,48 @@
+#include "propagation/edge_probabilities.h"
+
+#include <cmath>
+
+namespace influmax {
+
+Status ValidateIcProbabilities(const Graph& g, const EdgeProbabilities& p) {
+  if (p.size() != g.num_edges()) {
+    return Status::InvalidArgument(
+        "probability array size " + std::to_string(p.size()) +
+        " != edge count " + std::to_string(g.num_edges()));
+  }
+  for (EdgeIndex e = 0; e < p.size(); ++e) {
+    if (!(p[e] >= 0.0 && p[e] <= 1.0)) {  // negated to catch NaN
+      return Status::InvalidArgument("edge " + std::to_string(e) +
+                                     " probability " + std::to_string(p[e]) +
+                                     " outside [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+double IncomingWeightSum(const Graph& g, const EdgeProbabilities& w,
+                         NodeId u) {
+  double sum = 0.0;
+  const EdgeIndex begin = g.InEdgeBegin(u);
+  const EdgeIndex end = begin + g.InDegree(u);
+  for (EdgeIndex pos = begin; pos < end; ++pos) {
+    sum += w[g.InPosToOutEdge(pos)];
+  }
+  return sum;
+}
+
+Status ValidateLtWeights(const Graph& g, const EdgeProbabilities& w) {
+  INFLUMAX_RETURN_IF_ERROR(ValidateIcProbabilities(g, w));
+  constexpr double kEps = 1e-9;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const double sum = IncomingWeightSum(g, w, u);
+    if (sum > 1.0 + kEps) {
+      return Status::InvalidArgument(
+          "node " + std::to_string(u) + " incoming LT weight sum " +
+          std::to_string(sum) + " exceeds 1");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace influmax

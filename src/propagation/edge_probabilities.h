@@ -1,0 +1,56 @@
+#ifndef INFLUMAX_PROPAGATION_EDGE_PROBABILITIES_H_
+#define INFLUMAX_PROPAGATION_EDGE_PROBABILITIES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace influmax {
+
+/// Per-edge influence values aligned with a Graph's out-edge indexes:
+/// entry `g.OutEdgeBegin(v) + i` refers to the edge from v to its i-th
+/// out-neighbor. The same container serves as IC probabilities p_{v,u}
+/// and as LT weights b_{v,u}; the two validators below enforce the
+/// respective model constraints.
+class EdgeProbabilities {
+ public:
+  EdgeProbabilities() = default;
+
+  /// All edges initialized to `initial`.
+  explicit EdgeProbabilities(EdgeIndex num_edges, double initial = 0.0)
+      : values_(num_edges, initial) {}
+
+  EdgeIndex size() const { return values_.size(); }
+
+  double operator[](EdgeIndex e) const { return values_[e]; }
+  double& operator[](EdgeIndex e) { return values_[e]; }
+
+  /// Probability of the edge (v, u); num_edges() sentinel (edge absent)
+  /// is a programming error.
+  double OnEdge(const Graph& g, NodeId v, NodeId u) const {
+    const EdgeIndex e = g.FindOutEdge(v, u);
+    return values_[e];
+  }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// IC validity: every entry in [0, 1], size matches the graph.
+Status ValidateIcProbabilities(const Graph& g, const EdgeProbabilities& p);
+
+/// LT validity: IC validity plus sum of incoming weights <= 1 (+eps) for
+/// every node.
+Status ValidateLtWeights(const Graph& g, const EdgeProbabilities& w);
+
+/// Sum of incoming weights of `u` (used by the LT validator and tests).
+double IncomingWeightSum(const Graph& g, const EdgeProbabilities& w, NodeId u);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_PROPAGATION_EDGE_PROBABILITIES_H_

@@ -1,0 +1,80 @@
+#include "propagation/exact.h"
+
+#include "graph/traversal.h"
+
+namespace influmax {
+
+Result<double> ExactIcSpread(const Graph& g, const EdgeProbabilities& p,
+                             const std::vector<NodeId>& seeds,
+                             int max_edges) {
+  const EdgeIndex m = g.num_edges();
+  if (m > static_cast<EdgeIndex>(max_edges)) {
+    return Status::InvalidArgument(
+        "ExactIcSpread: " + std::to_string(m) + " edges exceeds limit " +
+        std::to_string(max_edges));
+  }
+  double expected = 0.0;
+  std::vector<bool> live(m);
+  const std::uint64_t worlds = 1ULL << m;
+  for (std::uint64_t mask = 0; mask < worlds; ++mask) {
+    double prob = 1.0;
+    for (EdgeIndex e = 0; e < m; ++e) {
+      const bool on = (mask >> e) & 1;
+      live[e] = on;
+      prob *= on ? p[e] : (1.0 - p[e]);
+    }
+    if (prob == 0.0) continue;
+    expected += prob * CountReachable(g, seeds, &live);
+  }
+  return expected;
+}
+
+Result<double> ExactLtSpread(const Graph& g, const EdgeProbabilities& w,
+                             const std::vector<NodeId>& seeds,
+                             std::uint64_t max_worlds) {
+  const NodeId n = g.num_nodes();
+  // Count the number of live-edge selections: prod (d_in + 1).
+  double world_count = 1.0;
+  for (NodeId u = 0; u < n; ++u) {
+    world_count *= g.InDegree(u) + 1.0;
+    if (world_count > static_cast<double>(max_worlds)) {
+      return Status::InvalidArgument(
+          "ExactLtSpread: live-edge world count exceeds limit");
+    }
+  }
+
+  // choice[u] in [0, d_in(u)]: which in-edge is selected (d_in = none).
+  std::vector<std::uint32_t> choice(n, 0);
+  std::vector<bool> live(g.num_edges());
+  double expected = 0.0;
+  for (;;) {
+    double prob = 1.0;
+    std::fill(live.begin(), live.end(), false);
+    for (NodeId u = 0; u < n && prob > 0.0; ++u) {
+      const std::uint32_t c = choice[u];
+      const std::uint32_t din = g.InDegree(u);
+      if (c < din) {
+        const EdgeIndex pos = g.InEdgeBegin(u) + c;
+        const EdgeIndex out_edge = g.InPosToOutEdge(pos);
+        live[out_edge] = true;
+        prob *= w[out_edge];
+      } else {
+        prob *= 1.0 - IncomingWeightSum(g, w, u);
+      }
+    }
+    if (prob > 0.0) {
+      expected += prob * CountReachable(g, seeds, &live);
+    }
+    // Odometer increment over the mixed-radix choice vector.
+    NodeId pos = 0;
+    while (pos < n) {
+      if (++choice[pos] <= g.InDegree(pos)) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return expected;
+}
+
+}  // namespace influmax

@@ -1,0 +1,34 @@
+#ifndef INFLUMAX_PROPAGATION_EXACT_H_
+#define INFLUMAX_PROPAGATION_EXACT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "propagation/edge_probabilities.h"
+
+namespace influmax {
+
+/// Exact expected-spread computation by exhaustive possible-world
+/// enumeration (Eq. 1 of the paper). Exponential — intended for testing
+/// the Monte Carlo engines and the greedy algorithms on tiny graphs.
+
+/// sigma_IC(S) by enumerating all 2^m live-edge worlds. Returns
+/// InvalidArgument when m > max_edges (default 20) to protect callers.
+Result<double> ExactIcSpread(const Graph& g, const EdgeProbabilities& p,
+                             const std::vector<NodeId>& seeds,
+                             int max_edges = 20);
+
+/// sigma_LT(S) by enumerating the live-edge representation of the LT
+/// model (Kempe et al. 2003): each node independently selects at most one
+/// incoming edge, edge (v, u) with probability w(v, u) and none with
+/// 1 - sum. The expected spread is the weighted reachability over all
+/// such selections. Cost prod_u (d_in(u) + 1); guarded by max_worlds.
+Result<double> ExactLtSpread(const Graph& g, const EdgeProbabilities& w,
+                             const std::vector<NodeId>& seeds,
+                             std::uint64_t max_worlds = 1u << 20);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_PROPAGATION_EXACT_H_

@@ -1,0 +1,167 @@
+#include "propagation/monte_carlo.h"
+
+#include <cmath>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace influmax {
+
+std::uint64_t SimulationSeed(std::uint64_t base_seed,
+                             std::uint64_t sim_index) {
+  // SplitMix64 finalizer over (base, index): decorrelates adjacent
+  // simulation streams.
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL * (sim_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+NodeId IcSimulator::RunOnce(const std::vector<NodeId>& seeds,
+                            std::uint64_t sim_seed) {
+  const NodeId n = graph_.num_nodes();
+  if (visited_stamp_.size() != n) visited_stamp_.assign(n, 0);
+  ++epoch_;
+  Rng rng(sim_seed);
+
+  frontier_.clear();
+  NodeId active = 0;
+  for (NodeId s : seeds) {
+    if (visited_stamp_[s] != epoch_) {
+      visited_stamp_[s] = epoch_;
+      frontier_.push_back(s);
+      ++active;
+    }
+  }
+  // BFS order is irrelevant to the final active set in IC (each edge gets
+  // exactly one coin flip), so a stack suffices.
+  while (!frontier_.empty()) {
+    const NodeId v = frontier_.back();
+    frontier_.pop_back();
+    const EdgeIndex base = graph_.OutEdgeBegin(v);
+    const auto neighbors = graph_.OutNeighbors(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const NodeId u = neighbors[i];
+      if (visited_stamp_[u] == epoch_) continue;
+      const double p = probs_[base + i];
+      if (p > 0.0 && rng.NextDouble() < p) {
+        visited_stamp_[u] = epoch_;
+        frontier_.push_back(u);
+        ++active;
+      }
+    }
+  }
+  return active;
+}
+
+NodeId LtSimulator::RunOnce(const std::vector<NodeId>& seeds,
+                            std::uint64_t sim_seed) {
+  const NodeId n = graph_.num_nodes();
+  if (stamp_.size() != n) {
+    stamp_.assign(n, 0);
+    threshold_.assign(n, 0.0);
+    pressure_.assign(n, 0.0);
+  }
+  ++epoch_;
+  Rng rng(sim_seed);
+
+  // stamp == epoch     : node touched this run (threshold drawn)
+  // threshold == -1.0  : node already active
+  auto touch = [&](NodeId u) {
+    if (stamp_[u] != epoch_) {
+      stamp_[u] = epoch_;
+      // Threshold in (0, 1] so zero accumulated weight never activates.
+      threshold_[u] = 1.0 - rng.NextDouble();
+      pressure_[u] = 0.0;
+    }
+  };
+
+  frontier_.clear();
+  NodeId active = 0;
+  for (NodeId s : seeds) {
+    touch(s);
+    if (threshold_[s] != -1.0) {
+      threshold_[s] = -1.0;
+      frontier_.push_back(s);
+      ++active;
+    }
+  }
+  while (!frontier_.empty()) {
+    const NodeId v = frontier_.back();
+    frontier_.pop_back();
+    const EdgeIndex base = graph_.OutEdgeBegin(v);
+    const auto neighbors = graph_.OutNeighbors(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const NodeId u = neighbors[i];
+      touch(u);
+      if (threshold_[u] == -1.0) continue;  // already active
+      pressure_[u] += weights_[base + i];
+      if (pressure_[u] >= threshold_[u]) {
+        threshold_[u] = -1.0;
+        frontier_.push_back(u);
+        ++active;
+      }
+    }
+  }
+  return active;
+}
+
+namespace {
+
+template <typename Simulator>
+SpreadEstimate RunMonteCarlo(const Graph& g, const EdgeProbabilities& values,
+                             const std::vector<NodeId>& seeds,
+                             const MonteCarloConfig& config) {
+  SpreadEstimate estimate;
+  estimate.simulations = config.num_simulations;
+  if (config.num_simulations <= 0) return estimate;
+
+  const std::size_t sims = static_cast<std::size_t>(config.num_simulations);
+  const std::size_t workers =
+      std::min(EffectiveThreadCount(config.num_threads), sims);
+  std::vector<double> sum(workers, 0.0);
+  std::vector<double> sum_sq(workers, 0.0);
+
+  ParallelForChunked(
+      sims, workers,
+      [&](std::size_t thread, std::size_t begin, std::size_t end) {
+        Simulator sim(g, values);
+        for (std::size_t i = begin; i < end; ++i) {
+          const double spread = static_cast<double>(
+              sim.RunOnce(seeds, SimulationSeed(config.seed, i)));
+          sum[thread] += spread;
+          sum_sq[thread] += spread * spread;
+        }
+      });
+
+  double total = 0.0;
+  double total_sq = 0.0;
+  for (std::size_t t = 0; t < workers; ++t) {
+    total += sum[t];
+    total_sq += sum_sq[t];
+  }
+  const double n = static_cast<double>(sims);
+  estimate.mean = total / n;
+  if (sims > 1) {
+    const double var =
+        std::max(0.0, (total_sq - total * total / n) / (n - 1));
+    estimate.stddev = std::sqrt(var);
+  }
+  return estimate;
+}
+
+}  // namespace
+
+SpreadEstimate EstimateIcSpread(const Graph& g, const EdgeProbabilities& p,
+                                const std::vector<NodeId>& seeds,
+                                const MonteCarloConfig& config) {
+  return RunMonteCarlo<IcSimulator>(g, p, seeds, config);
+}
+
+SpreadEstimate EstimateLtSpread(const Graph& g, const EdgeProbabilities& w,
+                                const std::vector<NodeId>& seeds,
+                                const MonteCarloConfig& config) {
+  return RunMonteCarlo<LtSimulator>(g, w, seeds, config);
+}
+
+}  // namespace influmax

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "actionlog/action_log.h"
+#include "actionlog/log_io.h"
+#include "common/text_io.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+ActionLog BuildSampleLog() {
+  ActionLogBuilder builder(4);
+  // Action 10: users 0, 1, 2 in time order with a tie.
+  builder.Add(0, 10, 1.0);
+  builder.Add(1, 10, 2.0);
+  builder.Add(2, 10, 2.0);
+  // Action 5: users 3, 0.
+  builder.Add(3, 5, 4.0);
+  builder.Add(0, 5, 9.0);
+  auto log = builder.Build();
+  EXPECT_TRUE(log.ok());
+  return std::move(log).value();
+}
+
+TEST(ActionLogBuilderTest, DensifiesActionIdsInNumericOrder) {
+  const ActionLog log = BuildSampleLog();
+  EXPECT_EQ(log.num_actions(), 2u);
+  EXPECT_EQ(log.OriginalActionId(0), 5u);
+  EXPECT_EQ(log.OriginalActionId(1), 10u);
+}
+
+TEST(ActionLogBuilderTest, SortsTracesChronologically) {
+  const ActionLog log = BuildSampleLog();
+  const auto trace = log.ActionTrace(1);  // original action 10
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].user, 0u);
+  EXPECT_EQ(trace[1].user, 1u);  // tie with 2, user id breaks it
+  EXPECT_EQ(trace[2].user, 2u);
+  EXPECT_LE(trace[0].time, trace[1].time);
+}
+
+TEST(ActionLogBuilderTest, KeepsEarliestDuplicatePerformance) {
+  ActionLogBuilder builder(2);
+  builder.Add(0, 1, 5.0);
+  builder.Add(0, 1, 2.0);  // earlier performance wins
+  builder.Add(0, 1, 9.0);
+  auto log = builder.Build();
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_tuples(), 1u);
+  EXPECT_DOUBLE_EQ(log->TimeOf(0, 0), 2.0);
+}
+
+TEST(ActionLogBuilderTest, RejectsOutOfRangeUser) {
+  ActionLogBuilder builder(2);
+  builder.Add(7, 1, 1.0);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(ActionLogBuilderTest, RejectsNonFiniteTime) {
+  ActionLogBuilder builder(2);
+  builder.Add(0, 1, kNeverPerformed);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(ActionLogTest, PerUserIndexAndTimeLookup) {
+  const ActionLog log = BuildSampleLog();
+  EXPECT_EQ(log.ActionsPerformedBy(0), 2u);
+  EXPECT_EQ(log.ActionsPerformedBy(3), 1u);
+  EXPECT_DOUBLE_EQ(log.TimeOf(0, 1), 1.0);   // action 10 (dense 1)
+  EXPECT_DOUBLE_EQ(log.TimeOf(0, 0), 9.0);   // action 5 (dense 0)
+  EXPECT_EQ(log.TimeOf(3, 1), kNeverPerformed);
+  EXPECT_TRUE(log.Performed(2, 1));
+  EXPECT_FALSE(log.Performed(2, 0));
+}
+
+TEST(ActionLogTest, UserActionsSortedByActionId) {
+  const ActionLog log = BuildSampleLog();
+  const auto actions = log.UserActions(0);
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_LT(actions[0].action, actions[1].action);
+}
+
+TEST(ActionLogTest, RestrictToActionsRenumbersDensely) {
+  const ActionLog log = BuildSampleLog();
+  const ActionLog sub = log.RestrictToActions({1});
+  EXPECT_EQ(sub.num_actions(), 1u);
+  EXPECT_EQ(sub.num_tuples(), 3u);
+  EXPECT_EQ(sub.OriginalActionId(0), 10u);
+  EXPECT_EQ(sub.ActionsPerformedBy(0), 1u);
+  EXPECT_EQ(sub.ActionsPerformedBy(3), 0u);
+}
+
+TEST(ActionLogTest, RestrictToUsersDropsOthersAndEmptyActions) {
+  const ActionLog log = BuildSampleLog();
+  // Keep users 0 and 3 (renumbered 0 and 1).
+  std::vector<NodeId> new_id = {0, kInvalidNode, kInvalidNode, 1};
+  const ActionLog sub = log.RestrictToUsers(new_id, 2);
+  EXPECT_EQ(sub.num_users(), 2u);
+  EXPECT_EQ(sub.num_tuples(), 3u);  // action 5 keeps both, action 10 keeps 0
+  EXPECT_EQ(sub.num_actions(), 2u);
+  EXPECT_EQ(sub.ActionsPerformedBy(0), 2u);
+  EXPECT_EQ(sub.ActionsPerformedBy(1), 1u);
+}
+
+TEST(ActionLogTest, StatsMatchHandCount) {
+  const ActionLog log = BuildSampleLog();
+  const ActionLogStats stats = ComputeActionLogStats(log);
+  EXPECT_EQ(stats.num_users, 4u);
+  EXPECT_EQ(stats.num_propagations, 2u);
+  EXPECT_EQ(stats.num_tuples, 5u);
+  EXPECT_EQ(stats.max_propagation_size, 3u);
+  EXPECT_DOUBLE_EQ(stats.avg_propagation_size, 2.5);
+  EXPECT_EQ(stats.active_users, 4u);
+  EXPECT_DOUBLE_EQ(stats.avg_actions_per_user, 1.25);
+}
+
+TEST(ActionLogTest, MemoryBytesPositive) {
+  const ActionLog log = BuildSampleLog();
+  EXPECT_GT(log.MemoryBytes(), 0u);
+}
+
+TEST(ActionLogIoTest, RoundTripsThroughFile) {
+  const ActionLog log = BuildSampleLog();
+  const std::string path = ::testing::TempDir() + "/log.tsv";
+  ASSERT_TRUE(WriteActionLogFile(log, path).ok());
+  auto loaded = ReadActionLogFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_users(), log.num_users());
+  EXPECT_EQ(loaded->num_actions(), log.num_actions());
+  EXPECT_EQ(loaded->num_tuples(), log.num_tuples());
+  for (ActionId a = 0; a < log.num_actions(); ++a) {
+    const auto original = log.ActionTrace(a);
+    const auto reloaded = loaded->ActionTrace(a);
+    ASSERT_EQ(original.size(), reloaded.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(original[i].user, reloaded[i].user);
+      EXPECT_DOUBLE_EQ(original[i].time, reloaded[i].time);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ActionLogIoTest, ReadRejectsCorruptLines) {
+  const std::string path = ::testing::TempDir() + "/bad_log.tsv";
+  ASSERT_TRUE(WriteTextFile(path, "0\t1\n").ok());
+  EXPECT_FALSE(ReadActionLogFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ActionLogIoTest, MissingFileIsIoError) {
+  auto r = ReadActionLogFile("/no/such/file.tsv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "probability/assigners.h"
+#include "probability/lt_weights.h"
+#include "propagation/edge_probabilities.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+
+TEST(AssignersTest, UniformSetsEveryEdge) {
+  auto ex = MakePaperExample();
+  const EdgeProbabilities p = AssignUniform(ex.graph, 0.01);
+  ASSERT_EQ(p.size(), ex.graph.num_edges());
+  for (EdgeIndex e = 0; e < p.size(); ++e) EXPECT_DOUBLE_EQ(p[e], 0.01);
+}
+
+TEST(AssignersTest, TrivalencyUsesOnlyThreeLevels) {
+  auto ex = MakePaperExample();
+  const EdgeProbabilities p = AssignTrivalency(ex.graph, 3);
+  for (EdgeIndex e = 0; e < p.size(); ++e) {
+    EXPECT_TRUE(p[e] == 0.1 || p[e] == 0.01 || p[e] == 0.001) << p[e];
+  }
+  // Deterministic per seed, varies across seeds (with enough edges).
+  const EdgeProbabilities q = AssignTrivalency(ex.graph, 3);
+  EXPECT_EQ(p.values(), q.values());
+}
+
+TEST(AssignersTest, TrivalencyLevelsRoughlyBalanced) {
+  GraphBuilder builder(200);
+  for (NodeId i = 0; i < 199; ++i) {
+    builder.AddEdge(i, i + 1);
+    builder.AddEdge(i + 1, i);
+  }
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const EdgeProbabilities p = AssignTrivalency(*g, 7);
+  int high = 0;
+  for (EdgeIndex e = 0; e < p.size(); ++e) high += p[e] == 0.1 ? 1 : 0;
+  const double frac = static_cast<double>(high) / p.size();
+  EXPECT_NEAR(frac, 1.0 / 3.0, 0.08);
+}
+
+TEST(AssignersTest, WeightedCascadeIsReciprocalInDegree) {
+  auto ex = MakePaperExample();
+  const EdgeProbabilities p = AssignWeightedCascade(ex.graph);
+  // u has in-degree 4: every edge into u carries 0.25.
+  const NodeId u = testing_fixtures::PaperExample::kU;
+  EXPECT_DOUBLE_EQ(p.OnEdge(ex.graph, testing_fixtures::PaperExample::kV, u),
+                   0.25);
+  EXPECT_DOUBLE_EQ(p.OnEdge(ex.graph, testing_fixtures::PaperExample::kZ, u),
+                   0.25);
+  // w has in-degree 1.
+  EXPECT_DOUBLE_EQ(p.OnEdge(ex.graph, testing_fixtures::PaperExample::kV,
+                            testing_fixtures::PaperExample::kW),
+                   1.0);
+  // WC incoming probabilities always sum to exactly 1 for nodes with
+  // in-edges, so they are also valid LT weights.
+  EXPECT_TRUE(ValidateLtWeights(ex.graph, p).ok());
+}
+
+TEST(AssignersTest, PerturbationStaysWithinBand) {
+  auto ex = MakePaperExample();
+  EdgeProbabilities p(ex.graph.num_edges(), 0.5);
+  const EdgeProbabilities q = PerturbProbabilities(p, 0.2, 11);
+  for (EdgeIndex e = 0; e < q.size(); ++e) {
+    EXPECT_GE(q[e], 0.4 - 1e-12);
+    EXPECT_LE(q[e], 0.6 + 1e-12);
+  }
+}
+
+TEST(AssignersTest, PerturbationClampsToUnitInterval) {
+  auto ex = MakePaperExample();
+  EdgeProbabilities p(ex.graph.num_edges(), 0.95);
+  const EdgeProbabilities q = PerturbProbabilities(p, 0.2, 13);
+  for (EdgeIndex e = 0; e < q.size(); ++e) {
+    EXPECT_LE(q[e], 1.0);
+    EXPECT_GE(q[e], 0.0);
+  }
+}
+
+TEST(AssignersTest, ZeroNoiseIsIdentity) {
+  auto ex = MakePaperExample();
+  EdgeProbabilities p(ex.graph.num_edges(), 0.3);
+  const EdgeProbabilities q = PerturbProbabilities(p, 0.0, 17);
+  EXPECT_EQ(p.values(), q.values());
+}
+
+TEST(LtWeightsTest, NormalizesIncomingCountsOnPaperExample) {
+  auto ex = MakePaperExample();
+  auto weights = LearnLtWeights(ex.graph, ex.log);
+  ASSERT_TRUE(weights.ok());
+  // u's parents in the single trace: v, t, w, z each propagated once, so
+  // each incoming edge gets 1/4.
+  const NodeId u = testing_fixtures::PaperExample::kU;
+  EXPECT_DOUBLE_EQ(weights->OnEdge(ex.graph,
+                                   testing_fixtures::PaperExample::kV, u),
+                   0.25);
+  EXPECT_TRUE(ValidateLtWeights(ex.graph, *weights).ok());
+}
+
+TEST(LtWeightsTest, NodesWithoutPropagationsGetZeroWeights) {
+  auto ex = MakePaperExample();
+  auto weights = LearnLtWeights(ex.graph, ex.log);
+  ASSERT_TRUE(weights.ok());
+  // y never received influence (it is an initiator with no parents):
+  // incoming weight sum must be 0.
+  EXPECT_DOUBLE_EQ(
+      IncomingWeightSum(ex.graph, *weights, testing_fixtures::PaperExample::kY),
+      0.0);
+}
+
+TEST(LtWeightsTest, WeightsProportionalToPropagationCounts) {
+  // Two actions propagate 0->2; one action propagates 1->2.
+  GraphBuilder gb(3);
+  gb.AddEdge(0, 2);
+  gb.AddEdge(1, 2);
+  auto graph = gb.Build();
+  ASSERT_TRUE(graph.ok());
+  ActionLogBuilder lb(3);
+  lb.Add(0, 0, 1.0);
+  lb.Add(2, 0, 2.0);
+  lb.Add(0, 1, 1.0);
+  lb.Add(2, 1, 2.0);
+  lb.Add(1, 2, 1.0);
+  lb.Add(2, 2, 2.0);
+  auto log = lb.Build();
+  ASSERT_TRUE(log.ok());
+  auto weights = LearnLtWeights(*graph, *log);
+  ASSERT_TRUE(weights.ok());
+  EXPECT_DOUBLE_EQ(weights->OnEdge(*graph, 0, 2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(weights->OnEdge(*graph, 1, 2), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace influmax

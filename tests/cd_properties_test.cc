@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cd_evaluator.h"
+#include "core/cd_model.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "graph/generators.h"
+#include "probability/time_params.h"
+
+namespace influmax {
+namespace {
+
+// Property tests for Theorems 1-2 of the paper: sigma_cd is monotone and
+// submodular (Theorem 2), and the vertex-cover reduction construction of
+// Theorem 1 behaves exactly as the proof computes.
+
+struct PropertyCase {
+  std::uint64_t seed;
+  bool time_decay;  // EqualDirectCredit vs Eq. 9 credit
+};
+
+class CdPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {
+ protected:
+  void SetUp() override {
+    const auto [seed, time_decay] = GetParam();
+    auto graph = GeneratePreferentialAttachment({120, 3, 0.5}, seed);
+    ASSERT_TRUE(graph.ok());
+    CascadeConfig config;
+    config.num_actions = 60;
+    config.seed = seed + 1000;
+    auto data = GenerateCascadeDataset(std::move(graph).value(), config);
+    ASSERT_TRUE(data.ok());
+    data_ = std::move(data).value();
+
+    if (time_decay) {
+      auto params = LearnTimeParams(data_.graph, data_.log);
+      ASSERT_TRUE(params.ok());
+      params_ = std::move(params).value();
+      credit_ = std::make_unique<TimeDecayDirectCredit>(params_);
+    } else {
+      credit_ = std::make_unique<EqualDirectCredit>();
+    }
+    auto evaluator =
+        CdSpreadEvaluator::Build(data_.graph, data_.log, *credit_);
+    ASSERT_TRUE(evaluator.ok());
+    evaluator_ = std::make_unique<CdSpreadEvaluator>(
+        std::move(evaluator).value());
+    rng_ = std::make_unique<Rng>(std::get<0>(GetParam()) * 7 + 1);
+  }
+
+  std::vector<NodeId> RandomSet(NodeId max_size) {
+    std::vector<NodeId> set;
+    const NodeId size = 1 + static_cast<NodeId>(rng_->NextBounded(max_size));
+    for (NodeId i = 0; i < size; ++i) {
+      set.push_back(
+          static_cast<NodeId>(rng_->NextBounded(data_.graph.num_nodes())));
+    }
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    return set;
+  }
+
+  SyntheticDataset data_;
+  InfluenceTimeParams params_;
+  std::unique_ptr<DirectCreditModel> credit_;
+  std::unique_ptr<CdSpreadEvaluator> evaluator_;
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(CdPropertyTest, SpreadIsNonNegativeAndBounded) {
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto set = RandomSet(10);
+    const double spread = evaluator_->Spread(set);
+    EXPECT_GE(spread, 0.0);
+    // kappa_{S,u} <= 1 for every u, so sigma <= n.
+    EXPECT_LE(spread, data_.graph.num_nodes() + 1e-9);
+  }
+}
+
+TEST_P(CdPropertyTest, MonotoneInSeedSet) {
+  for (int trial = 0; trial < 20; ++trial) {
+    auto small = RandomSet(8);
+    auto large = small;
+    // Superset: add a few more nodes.
+    for (int extra = 0; extra < 3; ++extra) {
+      large.push_back(
+          static_cast<NodeId>(rng_->NextBounded(data_.graph.num_nodes())));
+    }
+    EXPECT_GE(evaluator_->Spread(large) + 1e-9, evaluator_->Spread(small));
+  }
+}
+
+TEST_P(CdPropertyTest, SubmodularMarginalGains) {
+  // f(S + x) - f(S) >= f(T + x) - f(T) for S subset of T.
+  for (int trial = 0; trial < 20; ++trial) {
+    auto s = RandomSet(5);
+    auto t = s;
+    for (int extra = 0; extra < 4; ++extra) {
+      t.push_back(
+          static_cast<NodeId>(rng_->NextBounded(data_.graph.num_nodes())));
+    }
+    const NodeId x =
+        static_cast<NodeId>(rng_->NextBounded(data_.graph.num_nodes()));
+    auto s_x = s;
+    s_x.push_back(x);
+    auto t_x = t;
+    t_x.push_back(x);
+    const double gain_s = evaluator_->Spread(s_x) - evaluator_->Spread(s);
+    const double gain_t = evaluator_->Spread(t_x) - evaluator_->Spread(t);
+    EXPECT_GE(gain_s + 1e-9, gain_t)
+        << "submodularity violated at trial " << trial;
+  }
+}
+
+TEST_P(CdPropertyTest, PerUserCreditIsCappedAtOne) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto set = RandomSet(10);
+    const auto kappa = evaluator_->PerUserCredit(set);
+    for (NodeId u = 0; u < data_.graph.num_nodes(); ++u) {
+      EXPECT_GE(kappa[u], -1e-12);
+      EXPECT_LE(kappa[u], 1.0 + 1e-9) << "node " << u;
+    }
+  }
+}
+
+TEST_P(CdPropertyTest, GreedyGainsAreNonIncreasing) {
+  // Submodularity implies the greedy marginal gains form a non-increasing
+  // sequence.
+  CdConfig config;
+  config.truncation_threshold = 0.0;
+  auto model = CreditDistributionModel::Build(data_.graph, data_.log,
+                                              *credit_, config);
+  ASSERT_TRUE(model.ok());
+  auto selection = model->SelectSeeds(10);
+  ASSERT_TRUE(selection.ok());
+  for (std::size_t i = 1; i < selection->marginal_gains.size(); ++i) {
+    EXPECT_LE(selection->marginal_gains[i],
+              selection->marginal_gains[i - 1] + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CdPropertyTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 7, 42),
+                       ::testing::Bool()));
+
+// ------------------------------------------ Theorem 1 reduction fixture
+
+// Builds the instance J of the NP-hardness proof for a given undirected
+// graph: bidirected social edges; per undirected edge {v, u} two
+// single-propagation actions v->u and u->v with direct credit
+// gamma = 1/d_in = 1 (alpha = 1 in the proof).
+struct VertexCoverInstance {
+  Graph graph;
+  ActionLog log;
+};
+
+VertexCoverInstance MakeReduction(
+    NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  VertexCoverInstance instance;
+  GraphBuilder gb(n);
+  for (const auto& [v, u] : edges) gb.AddReciprocalEdge(v, u);
+  auto graph = gb.Build();
+  EXPECT_TRUE(graph.ok());
+  instance.graph = std::move(graph).value();
+  ActionLogBuilder lb(n);
+  std::uint32_t action = 0;
+  for (const auto& [v, u] : edges) {
+    lb.Add(v, action, 1.0);
+    lb.Add(u, action, 2.0);
+    ++action;
+    lb.Add(u, action, 1.0);
+    lb.Add(v, action, 2.0);
+    ++action;
+  }
+  auto log = lb.Build();
+  EXPECT_TRUE(log.ok());
+  instance.log = std::move(log).value();
+  return instance;
+}
+
+TEST(VertexCoverReductionTest, CoverSpreadMatchesProofFormula) {
+  // Path graph 0-1-2-3: {1, 2} is a vertex cover of size k = 2.
+  // With alpha = 1, the proof says sigma_cd(cover) = k + (|V| - k)/2 = 3.
+  const auto instance =
+      MakeReduction(4, {{0, 1}, {1, 2}, {2, 3}});
+  EqualDirectCredit credit;
+  auto evaluator =
+      CdSpreadEvaluator::Build(instance.graph, instance.log, credit);
+  ASSERT_TRUE(evaluator.ok());
+  EXPECT_NEAR(evaluator->Spread({1, 2}), 2.0 + (4.0 - 2.0) / 2.0, 1e-12);
+}
+
+TEST(VertexCoverReductionTest, NonCoverFallsBelowThreshold) {
+  // {0, 3} is NOT a vertex cover of the path (edge 1-2 uncovered): the
+  // spread must be strictly below k + (|V| - k)/2.
+  const auto instance = MakeReduction(4, {{0, 1}, {1, 2}, {2, 3}});
+  EqualDirectCredit credit;
+  auto evaluator =
+      CdSpreadEvaluator::Build(instance.graph, instance.log, credit);
+  ASSERT_TRUE(evaluator.ok());
+  EXPECT_LT(evaluator->Spread({0, 3}), 2.0 + (4.0 - 2.0) / 2.0 - 1e-9);
+}
+
+TEST(VertexCoverReductionTest, TriangleCoverThreshold) {
+  // Triangle: cover {0, 1} (k = 2): sigma = 2 + 1/2.
+  const auto instance = MakeReduction(3, {{0, 1}, {1, 2}, {0, 2}});
+  EqualDirectCredit credit;
+  auto evaluator =
+      CdSpreadEvaluator::Build(instance.graph, instance.log, credit);
+  ASSERT_TRUE(evaluator.ok());
+  EXPECT_NEAR(evaluator->Spread({0, 1}), 2.5, 1e-12);
+  // A single node is not a cover: below 1 + 2/2 = 2.
+  EXPECT_LT(evaluator->Spread({0}), 2.0 - 1e-9);
+}
+
+TEST(VertexCoverReductionTest, GreedyFindsACoverOnStar) {
+  // Star: center 0 with leaves 1..4. The unique minimum cover is {0};
+  // greedy's first pick must be the center.
+  const auto instance =
+      MakeReduction(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EqualDirectCredit credit;
+  CdConfig config;
+  config.truncation_threshold = 0.0;
+  auto model = CreditDistributionModel::Build(instance.graph, instance.log,
+                                              credit, config);
+  ASSERT_TRUE(model.ok());
+  auto selection = model->SelectSeeds(1);
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection->seeds.size(), 1u);
+  EXPECT_EQ(selection->seeds[0], 0u);
+}
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/memory.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/text_io.h"
+#include "common/timer.h"
+
+namespace influmax {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveExtractsValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+namespace {
+Status FailsThrough(bool fail) {
+  INFLUMAX_RETURN_IF_ERROR(fail ? Status::IoError("inner")
+                                : Status::OK());
+  return Status::NotFound("reached end");
+}
+}  // namespace
+
+TEST(StatusTest, ReturnIfErrorPropagatesOnlyFailures) {
+  EXPECT_EQ(FailsThrough(true).code(), StatusCode::kIoError);
+  EXPECT_EQ(FailsThrough(false).code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(10)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextExponential(3.0);
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, ZipfIsBoundedAndSkewed) {
+  Rng rng(19);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.NextZipf(2.5, 8);
+    EXPECT_GE(x, 1u);
+    EXPECT_LE(x, 8u);
+    if (x == 1) ++ones;
+  }
+  EXPECT_GT(ones, 5000);  // alpha=2.5 puts most mass on 1
+}
+
+// ----------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesAllKinds) {
+  FlagParser flags;
+  int k = 50;
+  std::int64_t tuples = 0;
+  double lambda = 0.001;
+  std::string name = "flixster";
+  bool verbose = false;
+  flags.AddInt("k", &k, "seeds");
+  flags.AddInt("tuples", &tuples, "budget");
+  flags.AddDouble("lambda", &lambda, "threshold");
+  flags.AddString("dataset", &name, "dataset");
+  flags.AddBool("verbose", &verbose, "verbosity");
+
+  const char* argv[] = {"prog",           "--k=10",        "--tuples",
+                        "5000000",        "--lambda=0.01", "--dataset=flickr",
+                        "--verbose"};
+  ASSERT_TRUE(flags.Parse(7, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(k, 10);
+  EXPECT_EQ(tuples, 5000000);
+  EXPECT_DOUBLE_EQ(lambda, 0.01);
+  EXPECT_EQ(name, "flickr");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagParser flags;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, RejectsMalformedValue) {
+  FlagParser flags;
+  int k = 0;
+  flags.AddInt("k", &k, "seeds");
+  const char* argv[] = {"prog", "--k=abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, HelpRequested) {
+  FlagParser flags;
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.Usage("prog").find("Usage"), std::string::npos);
+}
+
+// --------------------------------------------------------------- Text IO
+
+TEST(TextIoTest, SplitFieldsKeepsEmpties) {
+  const auto fields = SplitFields("a\t\tb\t", '\t');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(TextIoTest, ParseU32Valid) {
+  auto r = ParseU32("4294967295");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 4294967295u);
+}
+
+TEST(TextIoTest, ParseU32RejectsGarbageAndOverflow) {
+  EXPECT_FALSE(ParseU32("").ok());
+  EXPECT_FALSE(ParseU32("12x").ok());
+  EXPECT_FALSE(ParseU32("-1").ok());
+  EXPECT_FALSE(ParseU32("4294967296").ok());
+}
+
+TEST(TextIoTest, ParseDoubleValid) {
+  auto r = ParseDouble("2.5e-3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.0025);
+}
+
+TEST(TextIoTest, LineReaderSkipsCommentsAndBlankLines) {
+  const std::string path = ::testing::TempDir() + "/lines.txt";
+  ASSERT_TRUE(WriteTextFile(path, "# comment\n\nfirst\r\nsecond\n").ok());
+  LineReader reader(path);
+  ASSERT_TRUE(reader.status().ok());
+  std::string line;
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(line, "first");
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(line, "second");
+  EXPECT_FALSE(reader.Next(&line));
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, LineReaderReportsMissingFile) {
+  LineReader reader("/nonexistent/definitely/missing.txt");
+  EXPECT_FALSE(reader.status().ok());
+}
+
+// -------------------------------------------------------------- Parallel
+
+TEST(ParallelTest, ChunkedCoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelForChunked(1000, 4, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, DynamicCoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(777);
+  ParallelForDynamic(777, 8, [&](std::size_t, std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, SingleThreadRunsInline) {
+  std::vector<int> order;
+  ParallelForDynamic(5, 1, [&](std::size_t t, std::size_t i) {
+    EXPECT_EQ(t, 0u);
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelTest, ZeroTotalIsNoop) {
+  bool called = false;
+  ParallelForChunked(0, 4, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+// ---------------------------------------------------------------- Memory
+
+TEST(MemoryTest, RssIsPositiveOnLinux) {
+  EXPECT_GT(CurrentRssBytes(), 0u);
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes() / 2);
+}
+
+TEST(MemoryTest, FormatBytesUnits) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1500), "1.50 KB");
+  EXPECT_EQ(FormatBytes(2500000), "2.50 MB");
+  EXPECT_EQ(FormatBytes(3200000000ULL), "3.20 GB");
+}
+
+// ----------------------------------------------------------------- Timer
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/credit_store.h"
+
+namespace influmax {
+namespace {
+
+TEST(ActionCreditTableTest, AddAndLookup) {
+  ActionCreditTable table;
+  EXPECT_DOUBLE_EQ(table.Credit(1, 2), 0.0);
+  table.AddCredit(1, 2, 0.25);
+  table.AddCredit(1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(table.Credit(1, 2), 0.75);
+  EXPECT_DOUBLE_EQ(table.Credit(2, 1), 0.0);  // directed
+  EXPECT_EQ(table.num_entries(), 1u);
+}
+
+TEST(ActionCreditTableTest, AdjacencyTracksFirstInsertOnly) {
+  ActionCreditTable table;
+  table.AddCredit(1, 2, 0.1);
+  table.AddCredit(1, 2, 0.1);
+  table.AddCredit(1, 3, 0.2);
+  const auto credited = table.CreditedUsers(1);
+  EXPECT_EQ(credited.size(), 2u);
+  const auto creditors = table.Creditors(2);
+  ASSERT_EQ(creditors.size(), 1u);
+  EXPECT_EQ(creditors[0], 1u);
+  EXPECT_TRUE(table.CreditedUsers(7).empty());
+}
+
+TEST(ActionCreditTableTest, SubtractErasesAtZero) {
+  ActionCreditTable table;
+  table.AddCredit(1, 2, 0.3);
+  table.SubtractCredit(1, 2, 0.1);
+  EXPECT_NEAR(table.Credit(1, 2), 0.2, 1e-15);
+  table.SubtractCredit(1, 2, 0.2);
+  EXPECT_DOUBLE_EQ(table.Credit(1, 2), 0.0);
+  EXPECT_EQ(table.num_entries(), 0u);
+  // Adjacency may be stale, but credit reads as zero.
+  for (NodeId u : table.CreditedUsers(1)) {
+    EXPECT_DOUBLE_EQ(table.Credit(1, u), 0.0);
+  }
+}
+
+TEST(ActionCreditTableTest, SubtractOnMissingEntryIsNoop) {
+  ActionCreditTable table;
+  table.SubtractCredit(5, 6, 0.5);
+  EXPECT_EQ(table.num_entries(), 0u);
+}
+
+TEST(ActionCreditTableTest, EraseRemovesEntry) {
+  ActionCreditTable table;
+  table.AddCredit(3, 4, 1.0);
+  table.Erase(3, 4);
+  EXPECT_DOUBLE_EQ(table.Credit(3, 4), 0.0);
+  EXPECT_EQ(table.num_entries(), 0u);
+}
+
+TEST(ActionCreditTableTest, MemoryGrowsWithEntries) {
+  ActionCreditTable small;
+  small.AddCredit(0, 1, 0.5);
+  ActionCreditTable large;
+  for (NodeId u = 0; u < 100; ++u) large.AddCredit(u, u + 1, 0.5);
+  EXPECT_GT(large.ApproxMemoryBytes(), small.ApproxMemoryBytes());
+}
+
+TEST(UserCreditStoreTest, SetCreditAccumulates) {
+  UserCreditStore store(2);
+  EXPECT_DOUBLE_EQ(store.SetCredit(7, 1), 0.0);
+  store.AddSetCredit(7, 1, 0.25);
+  store.AddSetCredit(7, 1, 0.25);
+  EXPECT_DOUBLE_EQ(store.SetCredit(7, 1), 0.5);
+  EXPECT_DOUBLE_EQ(store.SetCredit(7, 0), 0.0);
+}
+
+TEST(UserCreditStoreTest, TotalEntriesAcrossActions) {
+  UserCreditStore store(3);
+  store.table(0).AddCredit(1, 2, 0.5);
+  store.table(0).AddCredit(2, 3, 0.5);
+  store.table(2).AddCredit(1, 3, 0.5);
+  EXPECT_EQ(store.total_entries(), 3u);
+  EXPECT_GT(store.ApproxMemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "actionlog/propagation_dag.h"
+#include "datagen/cascade_generator.h"
+#include "graph/generators.h"
+
+namespace influmax {
+namespace {
+
+SyntheticDataset MakeSmallDataset(std::uint64_t seed = 5) {
+  auto graph = GeneratePreferentialAttachment({500, 4, 0.6}, seed);
+  EXPECT_TRUE(graph.ok());
+  CascadeConfig config;
+  config.num_actions = 150;
+  config.seed = seed + 1;
+  auto data = GenerateCascadeDataset(std::move(graph).value(), config);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(CascadeGeneratorTest, RejectsBadConfigs) {
+  auto graph = GeneratePreferentialAttachment({50, 2, 0.0}, 1);
+  ASSERT_TRUE(graph.ok());
+  {
+    CascadeConfig c;
+    c.num_actions = 0;
+    EXPECT_FALSE(GenerateCascadeDataset(*graph, c).ok());
+  }
+  {
+    CascadeConfig c;
+    c.edge_prob_min = 0.5;
+    c.edge_prob_max = 0.2;
+    EXPECT_FALSE(GenerateCascadeDataset(*graph, c).ok());
+  }
+  {
+    CascadeConfig c;
+    c.delay_min = 0.0;
+    EXPECT_FALSE(GenerateCascadeDataset(*graph, c).ok());
+  }
+  {
+    CascadeConfig c;
+    c.initiator_zipf_alpha = 0.9;
+    EXPECT_FALSE(GenerateCascadeDataset(*graph, c).ok());
+  }
+}
+
+TEST(CascadeGeneratorTest, HiddenTruthIsWellFormed) {
+  const SyntheticDataset data = MakeSmallDataset();
+  ASSERT_EQ(data.true_probabilities.size(), data.graph.num_edges());
+  ASSERT_EQ(data.true_mean_delay.size(), data.graph.num_edges());
+  for (EdgeIndex e = 0; e < data.graph.num_edges(); ++e) {
+    EXPECT_GE(data.true_probabilities[e], 0.0);
+    EXPECT_LE(data.true_probabilities[e], 1.0);
+    EXPECT_GT(data.true_mean_delay[e], 0.0);
+  }
+  for (NodeId u = 0; u < data.graph.num_nodes(); ++u) {
+    EXPECT_GE(data.susceptibility[u], 0.5);
+    EXPECT_LE(data.susceptibility[u], 1.5);
+  }
+}
+
+TEST(CascadeGeneratorTest, LogRespectsDataModelInvariants) {
+  const SyntheticDataset data = MakeSmallDataset();
+  EXPECT_EQ(data.log.num_users(), data.graph.num_nodes());
+  EXPECT_GT(data.log.num_actions(), 0u);
+  EXPECT_GT(data.log.num_tuples(), data.log.num_actions());
+  // A user performs each action at most once; traces are time-sorted.
+  for (ActionId a = 0; a < data.log.num_actions(); ++a) {
+    const auto trace = data.log.ActionTrace(a);
+    std::vector<NodeId> users;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      users.push_back(trace[i].user);
+      if (i > 0) {
+        EXPECT_LE(trace[i - 1].time, trace[i].time);
+      }
+    }
+    std::sort(users.begin(), users.end());
+    EXPECT_EQ(std::unique(users.begin(), users.end()), users.end());
+  }
+}
+
+TEST(CascadeGeneratorTest, CascadesActuallyPropagate) {
+  // Most non-trivial cascades must contain at least one social
+  // propagation edge — otherwise the dataset exercises nothing.
+  const SyntheticDataset data = MakeSmallDataset();
+  std::size_t with_edges = 0;
+  std::size_t multi_user = 0;
+  for (ActionId a = 0; a < data.log.num_actions(); ++a) {
+    const PropagationDag dag =
+        BuildPropagationDag(data.graph, data.log.ActionTrace(a));
+    if (dag.size() >= 2) {
+      ++multi_user;
+      if (dag.num_edges() > 0) ++with_edges;
+    }
+  }
+  ASSERT_GT(multi_user, 10u);
+  EXPECT_GT(static_cast<double>(with_edges) / multi_user, 0.5);
+}
+
+TEST(CascadeGeneratorTest, DeterministicForSeed) {
+  const SyntheticDataset a = MakeSmallDataset(11);
+  const SyntheticDataset b = MakeSmallDataset(11);
+  EXPECT_EQ(a.log.num_tuples(), b.log.num_tuples());
+  EXPECT_EQ(a.log.tuples(), b.log.tuples());
+}
+
+TEST(CascadeGeneratorTest, MaxCascadeSizeCapsTraces) {
+  auto graph = GeneratePreferentialAttachment({500, 6, 0.8}, 3);
+  ASSERT_TRUE(graph.ok());
+  CascadeConfig config;
+  config.num_actions = 100;
+  config.edge_prob_max = 0.9;  // supercritical on purpose
+  config.edge_prob_shape = 1.0;
+  config.max_cascade_size = 20;
+  auto data = GenerateCascadeDataset(std::move(graph).value(), config);
+  ASSERT_TRUE(data.ok());
+  for (ActionId a = 0; a < data->log.num_actions(); ++a) {
+    EXPECT_LE(data->log.ActionSize(a), 20u);
+  }
+}
+
+TEST(CascadeGeneratorTest, BackgroundNoiseCreatesExtraInitiators) {
+  auto graph = GeneratePreferentialAttachment({400, 3, 0.5}, 7);
+  ASSERT_TRUE(graph.ok());
+  CascadeConfig noisy;
+  noisy.num_actions = 200;
+  noisy.background_adopters_per_action = 4.0;
+  noisy.max_initiators = 1;
+  noisy.seed = 9;
+  auto data = GenerateCascadeDataset(std::move(graph).value(), noisy);
+  ASSERT_TRUE(data.ok());
+  std::size_t total_initiators = 0;
+  for (ActionId a = 0; a < data->log.num_actions(); ++a) {
+    const PropagationDag dag =
+        BuildPropagationDag(data->graph, data->log.ActionTrace(a));
+    total_initiators += dag.InitiatorUsers().size();
+  }
+  // 1 seeded initiator + ~4 background adopters, many of which are
+  // initiators (uniform draws rarely border the cascade).
+  EXPECT_GT(static_cast<double>(total_initiators) / data->log.num_actions(),
+            2.0);
+}
+
+TEST(DatasetPresetTest, PresetsBuildAndRoughlyMatchShape) {
+  for (const DatasetPreset& preset :
+       {FlixsterSmallPreset(0.25), FlickrSmallPreset(0.25)}) {
+    auto data = BuildPresetDataset(preset);
+    ASSERT_TRUE(data.ok()) << preset.name;
+    EXPECT_EQ(data->log.num_users(), data->graph.num_nodes());
+    EXPECT_GT(data->log.num_tuples(), 100u) << preset.name;
+    // Flickr-like preset is denser than Flixster-like (paper Table 1).
+  }
+  auto flixster = BuildPresetDataset(FlixsterSmallPreset(0.25));
+  auto flickr = BuildPresetDataset(FlickrSmallPreset(0.25));
+  ASSERT_TRUE(flixster.ok());
+  ASSERT_TRUE(flickr.ok());
+  EXPECT_GT(flickr->graph.average_degree(),
+            flixster->graph.average_degree());
+}
+
+TEST(DatasetPresetTest, ScaleShrinksNodeAndActionCounts) {
+  const DatasetPreset full = FlixsterSmallPreset(1.0);
+  const DatasetPreset half = FlixsterSmallPreset(0.5);
+  EXPECT_LT(half.num_nodes, full.num_nodes);
+  EXPECT_LT(half.cascades.num_actions, full.cascades.num_actions);
+}
+
+}  // namespace
+}  // namespace influmax

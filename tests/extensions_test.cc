@@ -1,0 +1,163 @@
+// Tests for the extension features beyond the paper's core pipeline:
+// the parallel Algorithm 2 scan, the ablation credit models, and the
+// flattened-tail preferential-attachment knob.
+#include <gtest/gtest.h>
+
+#include "core/cd_model.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "graph/generators.h"
+#include "probability/time_params.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+using testing_fixtures::PaperExample;
+
+TEST(ParallelScanTest, ThreadCountDoesNotChangeCredits) {
+  auto data = BuildPresetDataset(FlixsterSmallPreset(0.2));
+  ASSERT_TRUE(data.ok());
+  auto params = LearnTimeParams(data->graph, data->log);
+  ASSERT_TRUE(params.ok());
+  TimeDecayDirectCredit credit(*params);
+
+  CdConfig serial;
+  serial.scan_threads = 1;
+  CdConfig parallel;
+  parallel.scan_threads = 4;
+  auto a =
+      CreditDistributionModel::Build(data->graph, data->log, credit, serial);
+  auto b = CreditDistributionModel::Build(data->graph, data->log, credit,
+                                          parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->credit_entries(), b->credit_entries());
+  // Seed selection must agree exactly.
+  auto sa = a->SelectSeeds(10);
+  auto sb = b->SelectSeeds(10);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ(sa->seeds, sb->seeds);
+  for (std::size_t i = 0; i < sa->seeds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa->cumulative_spread[i], sb->cumulative_spread[i]);
+  }
+}
+
+TEST(AblationCreditTest, TimeDecayOnlyDropsInfluenceability) {
+  auto ex = MakePaperExample();
+  auto params = LearnTimeParams(ex.graph, ex.log);
+  ASSERT_TRUE(params.ok());
+  TimeDecayOnlyCredit decay_only(*params);
+  TimeDecayDirectCredit full(*params);
+  const EdgeIndex vu =
+      ex.graph.FindOutEdge(PaperExample::kV, PaperExample::kU);
+  const double infl_u = params->influenceability[PaperExample::kU];
+  ASSERT_GT(infl_u, 0.0);
+  EXPECT_DOUBLE_EQ(full.Gamma(PaperExample::kU, 4, 3.0, vu),
+                   infl_u * decay_only.Gamma(PaperExample::kU, 4, 3.0, vu));
+}
+
+TEST(AblationCreditTest, CountCreditSaturatesWithHistory) {
+  InfluenceTimeParams params;
+  params.edge_mean_delay = {1.0, 1.0, 1.0};
+  params.edge_propagation_count = {0, 1, 9};
+  params.influenceability = {1.0};
+  params.global_mean_delay = 1.0;
+  PropagationCountCredit credit(params);
+  EXPECT_DOUBLE_EQ(credit.Gamma(0, 2, 1.0, 0), 0.0);          // no history
+  EXPECT_DOUBLE_EQ(credit.Gamma(0, 2, 1.0, 1), 0.5 / 2.0);    // one event
+  EXPECT_DOUBLE_EQ(credit.Gamma(0, 2, 1.0, 2), 0.9 / 2.0);    // frequent
+  // The credits a user hands out sum to at most 1.
+  double sum = 0.0;
+  for (EdgeIndex e = 0; e < 3; ++e) sum += credit.Gamma(0, 3, 1.0, e);
+  EXPECT_LE(sum, 1.0 + 1e-12);
+}
+
+TEST(AblationCreditTest, AllCreditModelsRunTheFullPipeline) {
+  auto data = BuildPresetDataset(FlixsterSmallPreset(0.15));
+  ASSERT_TRUE(data.ok());
+  auto params = LearnTimeParams(data->graph, data->log);
+  ASSERT_TRUE(params.ok());
+  EqualDirectCredit equal;
+  TimeDecayOnlyCredit decay(*params);
+  PropagationCountCredit counts(*params);
+  TimeDecayDirectCredit full(*params);
+  for (const DirectCreditModel* model :
+       {static_cast<const DirectCreditModel*>(&equal),
+        static_cast<const DirectCreditModel*>(&decay),
+        static_cast<const DirectCreditModel*>(&counts),
+        static_cast<const DirectCreditModel*>(&full)}) {
+    CdConfig config;
+    auto cd = CreditDistributionModel::Build(data->graph, data->log, *model,
+                                             config);
+    ASSERT_TRUE(cd.ok());
+    auto seeds = cd->SelectSeeds(5);
+    ASSERT_TRUE(seeds.ok());
+    EXPECT_EQ(seeds->seeds.size(), 5u);
+    // Greedy gains non-increasing under every credit model
+    // (submodularity does not depend on the gamma choice).
+    for (std::size_t i = 1; i < seeds->marginal_gains.size(); ++i) {
+      EXPECT_LE(seeds->marginal_gains[i],
+                seeds->marginal_gains[i - 1] + 1e-9);
+    }
+  }
+}
+
+TEST(FlattenedAttachmentTest, UniformFractionFlattensDegreeTail) {
+  PreferentialAttachmentConfig pure;
+  pure.num_nodes = 2000;
+  pure.edges_per_node = 4;
+  PreferentialAttachmentConfig mixed = pure;
+  mixed.uniform_attachment_fraction = 0.8;
+  auto g_pure = GeneratePreferentialAttachment(pure, 5);
+  auto g_mixed = GeneratePreferentialAttachment(mixed, 5);
+  ASSERT_TRUE(g_pure.ok());
+  ASSERT_TRUE(g_mixed.ok());
+  std::uint32_t max_pure = 0;
+  std::uint32_t max_mixed = 0;
+  for (NodeId u = 0; u < 2000; ++u) {
+    max_pure = std::max(max_pure, g_pure->OutDegree(u));
+    max_mixed = std::max(max_mixed, g_mixed->OutDegree(u));
+  }
+  EXPECT_LT(max_mixed, max_pure);
+}
+
+TEST(FlattenedAttachmentTest, RejectsBadFraction) {
+  PreferentialAttachmentConfig config;
+  config.num_nodes = 100;
+  config.edges_per_node = 2;
+  config.uniform_attachment_fraction = 1.5;
+  EXPECT_FALSE(GeneratePreferentialAttachment(config, 1).ok());
+}
+
+TEST(PronenessTest, GeneratorRejectsBadRange) {
+  auto graph = GeneratePreferentialAttachment({100, 2, 0.0}, 1);
+  ASSERT_TRUE(graph.ok());
+  CascadeConfig config;
+  config.influence_proneness_min = 1.5;
+  config.influence_proneness_max = 0.5;
+  EXPECT_FALSE(GenerateCascadeDataset(*graph, config).ok());
+}
+
+TEST(PronenessTest, HighPronenessGrowsCascades) {
+  auto graph = GeneratePreferentialAttachment({800, 4, 0.5}, 9);
+  ASSERT_TRUE(graph.ok());
+  CascadeConfig low;
+  low.num_actions = 150;
+  low.influence_proneness_min = 0.1;
+  low.influence_proneness_max = 0.1;
+  low.seed = 10;
+  CascadeConfig high = low;
+  high.influence_proneness_min = 2.0;
+  high.influence_proneness_max = 2.0;
+  auto small = GenerateCascadeDataset(*graph, low);
+  auto large = GenerateCascadeDataset(*graph, high);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->log.num_tuples(), small->log.num_tuples());
+}
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace influmax {
+namespace {
+
+TEST(ErdosRenyiTest, RejectsBadConfig) {
+  EXPECT_FALSE(GenerateErdosRenyi({0, 0.1}, 1).ok());
+  EXPECT_FALSE(GenerateErdosRenyi({10, 1.5}, 1).ok());
+  EXPECT_FALSE(GenerateErdosRenyi({10, -0.1}, 1).ok());
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityYieldsNoEdges) {
+  auto g = GenerateErdosRenyi({50, 0.0}, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, FullProbabilityYieldsCompleteDigraph) {
+  auto g = GenerateErdosRenyi({20, 1.0}, 1);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 20u * 19u);
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  const NodeId n = 500;
+  const double p = 0.02;
+  auto g = GenerateErdosRenyi({n, p}, 7);
+  ASSERT_TRUE(g.ok());
+  const double expected = static_cast<double>(n) * (n - 1) * p;
+  EXPECT_NEAR(static_cast<double>(g->num_edges()), expected,
+              4 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  auto a = GenerateErdosRenyi({100, 0.05}, 42);
+  auto b = GenerateErdosRenyi({100, 0.05}, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+  for (NodeId u = 0; u < 100; ++u) {
+    const auto na = a->OutNeighbors(u);
+    const auto nb = b->OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    EXPECT_TRUE(std::equal(na.begin(), na.end(), nb.begin()));
+  }
+}
+
+TEST(PreferentialAttachmentTest, RejectsBadConfig) {
+  EXPECT_FALSE(GeneratePreferentialAttachment({0, 2, 0.5}, 1).ok());
+  EXPECT_FALSE(GeneratePreferentialAttachment({10, 0, 0.5}, 1).ok());
+  EXPECT_FALSE(GeneratePreferentialAttachment({10, 2, 2.0}, 1).ok());
+}
+
+TEST(PreferentialAttachmentTest, EveryLateNodeHasInfluencers) {
+  auto g = GeneratePreferentialAttachment({500, 3, 0.0}, 5);
+  ASSERT_TRUE(g.ok());
+  // Every node beyond the seed clique follows exactly 3 accounts, i.e.
+  // has in-degree 3 (no reciprocation).
+  for (NodeId u = 4; u < 500; ++u) {
+    EXPECT_EQ(g->InDegree(u), 3u) << "node " << u;
+  }
+}
+
+TEST(PreferentialAttachmentTest, ProducesHeavyTailedOutDegrees) {
+  auto g = GeneratePreferentialAttachment({3000, 4, 0.0}, 9);
+  ASSERT_TRUE(g.ok());
+  std::vector<std::uint32_t> degrees(g->num_nodes());
+  for (NodeId u = 0; u < g->num_nodes(); ++u) degrees[u] = g->OutDegree(u);
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  // Hub check: the top node should have far more followers than the
+  // median node (preferential attachment's rich-get-richer signature).
+  EXPECT_GT(degrees[0], 20 * std::max<std::uint32_t>(1, degrees[1500]));
+}
+
+TEST(PreferentialAttachmentTest, FullReciprocationMakesSymmetricGraph) {
+  auto g = GeneratePreferentialAttachment({300, 3, 1.0}, 11);
+  ASSERT_TRUE(g.ok());
+  for (NodeId u = 0; u < g->num_nodes(); ++u) {
+    for (NodeId v : g->OutNeighbors(u)) {
+      EXPECT_TRUE(g->HasEdge(v, u)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(StochasticBlockTest, RejectsBadConfig) {
+  EXPECT_FALSE(GenerateStochasticBlock({0, 2, 0.5, 0.1}, 1).ok());
+  EXPECT_FALSE(GenerateStochasticBlock({10, 0, 0.5, 0.1}, 1).ok());
+  EXPECT_FALSE(GenerateStochasticBlock({10, 2, 1.5, 0.1}, 1).ok());
+}
+
+TEST(StochasticBlockTest, IntraBlockDenserThanInterBlock) {
+  auto g = GenerateStochasticBlock({400, 4, 0.2, 0.005}, 3);
+  ASSERT_TRUE(g.ok());
+  std::uint64_t intra = 0, inter = 0;
+  for (NodeId u = 0; u < g->num_nodes(); ++u) {
+    for (NodeId v : g->OutNeighbors(u)) {
+      if (StochasticBlockOf(u, 400, 4) == StochasticBlockOf(v, 400, 4)) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  // 0.2 * 100 * 99 * 4 = 7920 expected intra; 0.005 * 400 * 300 = 600 inter.
+  EXPECT_GT(intra, 6000u);
+  EXPECT_LT(inter, 1200u);
+}
+
+TEST(StochasticBlockTest, BlockAssignmentIsContiguous) {
+  EXPECT_EQ(StochasticBlockOf(0, 100, 4), 0u);
+  EXPECT_EQ(StochasticBlockOf(24, 100, 4), 0u);
+  EXPECT_EQ(StochasticBlockOf(25, 100, 4), 1u);
+  EXPECT_EQ(StochasticBlockOf(99, 100, 4), 3u);
+}
+
+TEST(WattsStrogatzTest, RejectsBadConfig) {
+  EXPECT_FALSE(GenerateWattsStrogatz({0, 2, 0.1}, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz({10, 5, 0.1}, 1).ok());
+  EXPECT_FALSE(GenerateWattsStrogatz({10, 2, -0.5}, 1).ok());
+}
+
+TEST(WattsStrogatzTest, NoRewiringGivesRingLattice) {
+  auto g = GenerateWattsStrogatz({20, 2, 0.0}, 1);
+  ASSERT_TRUE(g.ok());
+  for (NodeId u = 0; u < 20; ++u) {
+    EXPECT_EQ(g->OutDegree(u), 4u);
+    EXPECT_TRUE(g->HasEdge(u, (u + 1) % 20));
+    EXPECT_TRUE(g->HasEdge(u, (u + 2) % 20));
+    EXPECT_TRUE(g->HasEdge(u, (u + 18) % 20));
+    EXPECT_TRUE(g->HasEdge(u, (u + 19) % 20));
+  }
+}
+
+TEST(WattsStrogatzTest, RewiringChangesEdgesButKeepsOutDegreeBound) {
+  auto lattice = GenerateWattsStrogatz({200, 3, 0.0}, 2);
+  auto rewired = GenerateWattsStrogatz({200, 3, 0.5}, 2);
+  ASSERT_TRUE(lattice.ok());
+  ASSERT_TRUE(rewired.ok());
+  // Rewiring can only merge duplicates, never add.
+  EXPECT_LE(rewired->num_edges(), lattice->num_edges());
+  std::uint64_t moved = 0;
+  for (NodeId u = 0; u < 200; ++u) {
+    for (NodeId v : rewired->OutNeighbors(u)) {
+      if (!lattice->HasEdge(u, v)) ++moved;
+    }
+  }
+  EXPECT_GT(moved, 100u);  // ~half of 1200 edges rewired
+}
+
+// Parameterized determinism sweep: every generator must reproduce its
+// graph exactly for a fixed seed across (n, seed) combinations.
+class GeneratorDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<NodeId, std::uint64_t>> {};
+
+TEST_P(GeneratorDeterminismTest, PreferentialAttachmentReproduces) {
+  const auto [n, seed] = GetParam();
+  PreferentialAttachmentConfig config{n, 3, 0.4};
+  auto a = GeneratePreferentialAttachment(config, seed);
+  auto b = GeneratePreferentialAttachment(config, seed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_edges(), b->num_edges());
+  EXPECT_EQ(a->out_targets(), b->out_targets());
+}
+
+TEST_P(GeneratorDeterminismTest, StochasticBlockReproduces) {
+  const auto [n, seed] = GetParam();
+  StochasticBlockConfig config{n, 3, 0.1, 0.01};
+  auto a = GenerateStochasticBlock(config, seed);
+  auto b = GenerateStochasticBlock(config, seed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->out_targets(), b->out_targets());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorDeterminismTest,
+    ::testing::Combine(::testing::Values<NodeId>(50, 200, 600),
+                       ::testing::Values<std::uint64_t>(1, 99, 12345)));
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/clustering.h"
+#include "graph/generators.h"
+#include "graph/pagerank.h"
+#include "graph/traversal.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+using testing_fixtures::MakePathGraph;
+
+// -------------------------------------------------------------- PageRank
+
+TEST(PageRankTest, UniformOnSymmetricCycle) {
+  GraphBuilder builder(4);
+  for (NodeId i = 0; i < 4; ++i) builder.AddEdge(i, (i + 1) % 4);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  PageRankConfig config;
+  config.reverse_edges = false;
+  const auto result = ComputePageRank(*g, config);
+  EXPECT_TRUE(result.converged);
+  for (double score : result.scores) EXPECT_NEAR(score, 0.25, 1e-9);
+}
+
+TEST(PageRankTest, ScoresSumToOneWithDanglingNodes) {
+  auto g = MakePathGraph(5);  // node 4 dangles
+  PageRankConfig config;
+  config.reverse_edges = false;
+  const auto result = ComputePageRank(g, config);
+  const double sum =
+      std::accumulate(result.scores.begin(), result.scores.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, ForwardRanksSinkHighest) {
+  // Star into node 0: with forward edges node 0 collects all mass.
+  GraphBuilder builder(5);
+  for (NodeId i = 1; i < 5; ++i) builder.AddEdge(i, 0);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  PageRankConfig config;
+  config.reverse_edges = false;
+  const auto result = ComputePageRank(*g, config);
+  for (NodeId i = 1; i < 5; ++i) {
+    EXPECT_GT(result.scores[0], result.scores[i]);
+  }
+}
+
+TEST(PageRankTest, ReverseRanksInfluencerHighest) {
+  // Influence star out of node 0 (0 influences everyone): with the
+  // default reversed walk, node 0 is the top influencer.
+  GraphBuilder builder(5);
+  for (NodeId i = 1; i < 5; ++i) builder.AddEdge(0, i);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const auto top = TopPageRankNodes(*g, PageRankConfig{}, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 0u);
+}
+
+TEST(PageRankTest, TopKRespectsKAndOrdering) {
+  auto g = GeneratePreferentialAttachment({200, 3, 0.2}, 3);
+  ASSERT_TRUE(g.ok());
+  const auto top = TopPageRankNodes(*g, PageRankConfig{}, 10);
+  ASSERT_EQ(top.size(), 10u);
+  const auto pr = ComputePageRank(*g, PageRankConfig{});
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(pr.scores[top[i - 1]], pr.scores[top[i]]);
+  }
+}
+
+// ------------------------------------------------------------- Traversal
+
+TEST(TraversalTest, CountReachableAllEdgesLive) {
+  auto g = MakePathGraph(6);
+  EXPECT_EQ(CountReachable(g, {0}, nullptr), 6u);
+  EXPECT_EQ(CountReachable(g, {3}, nullptr), 3u);
+  EXPECT_EQ(CountReachable(g, {0, 3}, nullptr), 6u);
+}
+
+TEST(TraversalTest, CountReachableRespectsLiveEdgeMask) {
+  auto g = MakePathGraph(6);
+  std::vector<bool> live(g.num_edges(), true);
+  live[2] = false;  // cut the path after node 2
+  EXPECT_EQ(CountReachable(g, {0}, &live), 3u);
+}
+
+TEST(TraversalTest, CountReachableEmptySeedSet) {
+  auto g = MakePathGraph(4);
+  EXPECT_EQ(CountReachable(g, {}, nullptr), 0u);
+}
+
+TEST(TraversalTest, WeakComponentsIgnoreDirection) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 1);  // 0,1,2 weakly connected
+  builder.AddEdge(3, 4);  // 3,4 connected; 5 isolated
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const auto wc = ComputeWeakComponents(*g);
+  EXPECT_EQ(wc.num_components, 3u);
+  EXPECT_EQ(wc.component_of[0], wc.component_of[1]);
+  EXPECT_EQ(wc.component_of[1], wc.component_of[2]);
+  EXPECT_EQ(wc.component_of[3], wc.component_of[4]);
+  EXPECT_NE(wc.component_of[0], wc.component_of[3]);
+  EXPECT_NE(wc.component_of[0], wc.component_of[5]);
+}
+
+TEST(TraversalTest, TopOutDegreeOrdersByDegreeThenId) {
+  GraphBuilder builder(5);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 0);
+  builder.AddEdge(3, 2);
+  builder.AddEdge(4, 0);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const auto top = TopOutDegreeNodes(*g, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // degree 2, id tie-break
+  EXPECT_EQ(top[1], 3u);  // degree 2
+  EXPECT_EQ(top[2], 4u);  // degree 1
+}
+
+// ------------------------------------------------------------ Clustering
+
+TEST(ClusteringTest, SeparatesDisconnectedCliques) {
+  GraphBuilder builder(8);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      if (i != j) {
+        builder.AddEdge(i, j);
+        builder.AddEdge(i + 4, j + 4);
+      }
+    }
+  }
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const auto clusters = LabelPropagationCommunities(*g, {});
+  EXPECT_EQ(clusters.num_communities, 2u);
+  for (NodeId i = 1; i < 4; ++i) {
+    EXPECT_EQ(clusters.community_of[i], clusters.community_of[0]);
+    EXPECT_EQ(clusters.community_of[i + 4], clusters.community_of[4]);
+  }
+  EXPECT_NE(clusters.community_of[0], clusters.community_of[4]);
+}
+
+TEST(ClusteringTest, RecoversPlantedBlocks) {
+  // Strong SBM: label propagation should align with the planted blocks.
+  auto g = GenerateStochasticBlock({300, 3, 0.25, 0.002}, 17);
+  ASSERT_TRUE(g.ok());
+  LabelPropagationConfig config;
+  config.min_community_size = 10;
+  const auto clusters = LabelPropagationCommunities(*g, config);
+  // Count the dominant planted block inside each found community; purity
+  // should be high.
+  std::uint32_t agree = 0;
+  for (NodeId u = 0; u < 300; ++u) {
+    for (NodeId v = u + 1; v < 300; ++v) {
+      const bool same_found =
+          clusters.community_of[u] == clusters.community_of[v];
+      const bool same_planted =
+          StochasticBlockOf(u, 300, 3) == StochasticBlockOf(v, 300, 3);
+      if (same_found == same_planted) ++agree;
+    }
+  }
+  const double total = 300.0 * 299.0 / 2.0;
+  EXPECT_GT(agree / total, 0.9);
+}
+
+TEST(SubgraphTest, ExtractsInducedEdgesAndMapsIds) {
+  auto ex = MakePaperExample();
+  auto sub = ExtractInducedSubgraph(
+      ex.graph, {testing_fixtures::PaperExample::kV,
+                 testing_fixtures::PaperExample::kW,
+                 testing_fixtures::PaperExample::kU});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->graph.num_nodes(), 3u);
+  // Induced edges: v->w, v->u, w->u.
+  EXPECT_EQ(sub->graph.num_edges(), 3u);
+  const NodeId nv = sub->new_id[testing_fixtures::PaperExample::kV];
+  const NodeId nu = sub->new_id[testing_fixtures::PaperExample::kU];
+  EXPECT_TRUE(sub->graph.HasEdge(nv, nu));
+  EXPECT_EQ(sub->original_id[nv], testing_fixtures::PaperExample::kV);
+  EXPECT_EQ(sub->new_id[testing_fixtures::PaperExample::kT], kInvalidNode);
+}
+
+TEST(SubgraphTest, RejectsDuplicatesAndOutOfRange) {
+  auto ex = MakePaperExample();
+  EXPECT_FALSE(ExtractInducedSubgraph(ex.graph, {0, 0}).ok());
+  EXPECT_FALSE(ExtractInducedSubgraph(ex.graph, {99}).ok());
+}
+
+TEST(SubgraphTest, LargestCommunityIsExtracted) {
+  // Two cliques, sizes 6 and 3.
+  GraphBuilder builder(9);
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = 0; j < 6; ++j) {
+      if (i != j) builder.AddEdge(i, j);
+    }
+  }
+  for (NodeId i = 6; i < 9; ++i) {
+    for (NodeId j = 6; j < 9; ++j) {
+      if (i != j) builder.AddEdge(i, j);
+    }
+  }
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  auto community = ExtractLargestCommunity(*g, {});
+  ASSERT_TRUE(community.ok());
+  EXPECT_EQ(community->graph.num_nodes(), 6u);
+  EXPECT_EQ(community->graph.num_edges(), 30u);
+}
+
+}  // namespace
+}  // namespace influmax

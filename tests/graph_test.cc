@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/text_io.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder builder(0);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, BuildsSortedCsr) {
+  GraphBuilder builder(4);
+  builder.AddEdge(2, 1);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 4u);
+  const auto out0 = g->OutNeighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], 1u);
+  EXPECT_EQ(out0[1], 3u);
+  const auto in3 = g->InNeighbors(3);
+  ASSERT_EQ(in3.size(), 2u);
+  EXPECT_EQ(in3[0], 0u);
+  EXPECT_EQ(in3[1], 2u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);  // duplicate
+  builder.AddEdge(1, 1);  // self loop
+  builder.AddEdge(1, 2);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoints) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 5);
+  auto g = builder.Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, ReciprocalEdgeAddsBothDirections) {
+  GraphBuilder builder(2);
+  builder.AddReciprocalEdge(0, 1);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 0));
+}
+
+TEST(GraphTest, DegreesAndAverageDegree) {
+  auto ex = MakePaperExample();
+  const Graph& g = ex.graph;
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.OutDegree(testing_fixtures::PaperExample::kV), 3u);
+  EXPECT_EQ(g.InDegree(testing_fixtures::PaperExample::kU), 4u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 8.0 / 6.0);
+}
+
+TEST(GraphTest, FindOutEdgeReturnsSentinelWhenAbsent) {
+  auto ex = MakePaperExample();
+  const Graph& g = ex.graph;
+  EXPECT_LT(g.FindOutEdge(0, 2), g.num_edges());
+  EXPECT_EQ(g.FindOutEdge(2, 0), g.num_edges());
+  EXPECT_FALSE(g.HasEdge(5, 0));
+}
+
+TEST(GraphTest, InPosToOutEdgeRoundTrips) {
+  auto ex = MakePaperExample();
+  const Graph& g = ex.graph;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const EdgeIndex base = g.InEdgeBegin(u);
+    const auto in = g.InNeighbors(u);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const EdgeIndex e = g.InPosToOutEdge(base + i);
+      // Edge e must be (in[i] -> u).
+      EXPECT_EQ(g.FindOutEdge(in[i], u), e);
+    }
+  }
+}
+
+TEST(GraphTest, TransposeSwapsDirections) {
+  auto ex = MakePaperExample();
+  const Graph t = ex.graph.Transposed();
+  EXPECT_EQ(t.num_edges(), ex.graph.num_edges());
+  for (NodeId u = 0; u < ex.graph.num_nodes(); ++u) {
+    for (NodeId v : ex.graph.OutNeighbors(u)) {
+      EXPECT_TRUE(t.HasEdge(v, u));
+    }
+  }
+}
+
+TEST(GraphTest, MemoryBytesGrowsWithEdges) {
+  GraphBuilder small(10);
+  small.AddEdge(0, 1);
+  auto gs = small.Build();
+  ASSERT_TRUE(gs.ok());
+  GraphBuilder large(10);
+  for (NodeId i = 0; i < 9; ++i) large.AddEdge(i, i + 1);
+  auto gl = large.Build();
+  ASSERT_TRUE(gl.ok());
+  EXPECT_GT(gl->MemoryBytes(), gs->MemoryBytes());
+}
+
+TEST(GraphStatsTest, ComputesExtremesAndIsolated) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(3, 0);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.max_in_degree, 1u);
+  EXPECT_EQ(stats.isolated_nodes, 1u);  // node 4
+}
+
+TEST(GraphIoTest, RoundTripsThroughEdgeListFile) {
+  auto ex = MakePaperExample();
+  const std::string path = ::testing::TempDir() + "/graph.tsv";
+  ASSERT_TRUE(WriteEdgeListFile(ex.graph, path).ok());
+  auto loaded = ReadEdgeListFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), ex.graph.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), ex.graph.num_edges());
+  for (NodeId u = 0; u < ex.graph.num_nodes(); ++u) {
+    for (NodeId v : ex.graph.OutNeighbors(u)) {
+      EXPECT_TRUE(loaded->HasEdge(u, v));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, ReadRejectsCorruptLines) {
+  const std::string path = ::testing::TempDir() + "/bad_graph.tsv";
+  ASSERT_TRUE(WriteTextFile(path, "0\t1\t2\n").ok());
+  EXPECT_FALSE(ReadEdgeListFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, HeaderPreservesIsolatedTrailingNodes) {
+  GraphBuilder builder(10);  // nodes 5..9 isolated
+  builder.AddEdge(0, 1);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const std::string path = ::testing::TempDir() + "/iso_graph.tsv";
+  ASSERT_TRUE(WriteEdgeListFile(*g, path).ok());
+  auto loaded = ReadEdgeListFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 10u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "im/baselines.h"
+#include "im/greedy.h"
+#include "im/spread_oracle.h"
+#include "propagation/exact.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakeDiamondGraph;
+using testing_fixtures::MakePathGraph;
+
+// A deterministic submodular oracle for exact CELF-vs-plain comparisons:
+// weighted coverage over fixed node->elements sets.
+class CoverageOracle final : public SpreadOracle {
+ public:
+  explicit CoverageOracle(std::vector<std::vector<int>> sets)
+      : sets_(std::move(sets)) {}
+
+  double EstimateSpread(const std::vector<NodeId>& seeds) override {
+    std::vector<bool> covered(64, false);
+    double total = 0.0;
+    for (NodeId s : seeds) {
+      for (int element : sets_[s]) {
+        if (!covered[element]) {
+          covered[element] = true;
+          total += 1.0;
+        }
+      }
+    }
+    return total;
+  }
+
+  NodeId num_nodes() const override {
+    return static_cast<NodeId>(sets_.size());
+  }
+
+ private:
+  std::vector<std::vector<int>> sets_;
+};
+
+TEST(GreedyTest, PicksOptimalCoverageGreedily) {
+  CoverageOracle oracle({{0, 1, 2}, {2, 3}, {4}, {0, 1, 2, 3}});
+  const GreedyResult result = SelectSeedsGreedy(oracle, 2);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0], 3u);  // covers 4 elements
+  EXPECT_EQ(result.seeds[1], 2u);  // only remaining new element
+  EXPECT_DOUBLE_EQ(result.cumulative_spread[1], 5.0);
+}
+
+TEST(GreedyTest, AllVariantsAgreeOnDeterministicOracle) {
+  CoverageOracle oracle(
+      {{0, 1}, {1, 2, 3}, {3, 4, 5, 6}, {0, 6}, {2, 5}, {7}, {0, 1, 7}});
+  GreedyConfig plain;
+  plain.variant = GreedyVariant::kPlain;
+  GreedyConfig celf;
+  celf.variant = GreedyVariant::kCelf;
+  GreedyConfig celfpp;
+  celfpp.variant = GreedyVariant::kCelfPlusPlus;
+  const GreedyResult a = SelectSeedsGreedy(oracle, 4, plain);
+  const GreedyResult b = SelectSeedsGreedy(oracle, 4, celf);
+  const GreedyResult c = SelectSeedsGreedy(oracle, 4, celfpp);
+  ASSERT_EQ(a.seeds.size(), b.seeds.size());
+  ASSERT_EQ(a.seeds.size(), c.seeds.size());
+  for (std::size_t i = 0; i < a.seeds.size(); ++i) {
+    EXPECT_EQ(a.seeds[i], b.seeds[i]);
+    EXPECT_EQ(a.seeds[i], c.seeds[i]);
+    EXPECT_DOUBLE_EQ(a.cumulative_spread[i], b.cumulative_spread[i]);
+    EXPECT_DOUBLE_EQ(a.cumulative_spread[i], c.cumulative_spread[i]);
+  }
+  // CELF must not evaluate more often than plain greedy.
+  EXPECT_LE(b.oracle_calls, a.oracle_calls);
+}
+
+TEST(GreedyTest, CelfPlusPlusSavesCallsWhenPredictionsHit) {
+  // A chain of disjoint sets: every round the queue's order is stable,
+  // so CELF++'s mg2 predictions are frequently reusable.
+  std::vector<std::vector<int>> sets;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<int> s;
+    for (int e = 0; e < 12 - i; ++e) s.push_back(i * 5 + e % 5);
+    sets.push_back(s);
+  }
+  CoverageOracle oracle(std::move(sets));
+  GreedyConfig celfpp;
+  celfpp.variant = GreedyVariant::kCelfPlusPlus;
+  GreedyConfig plain;
+  plain.variant = GreedyVariant::kPlain;
+  const GreedyResult pp = SelectSeedsGreedy(oracle, 6, celfpp);
+  const GreedyResult pl = SelectSeedsGreedy(oracle, 6, plain);
+  ASSERT_EQ(pp.seeds, pl.seeds);
+  EXPECT_LT(pp.oracle_calls, pl.oracle_calls);
+}
+
+TEST(GreedyTest, StopsWhenNoGainRemains) {
+  CoverageOracle oracle({{0}, {0}, {0}});
+  const GreedyResult result = SelectSeedsGreedy(oracle, 3);
+  ASSERT_EQ(result.seeds.size(), 1u);  // everything else has zero gain
+}
+
+TEST(GreedyTest, CandidateRestrictionIsHonored) {
+  CoverageOracle oracle({{0, 1, 2, 3}, {0}, {1}, {2}});
+  GreedyConfig config;
+  config.candidates = {1, 2};
+  const GreedyResult result = SelectSeedsGreedy(oracle, 2, config);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  for (NodeId s : result.seeds) {
+    EXPECT_TRUE(s == 1 || s == 2);
+  }
+}
+
+TEST(GreedyTest, KLargerThanCandidatesIsSafe) {
+  CoverageOracle oracle({{0}, {1}});
+  const GreedyResult result = SelectSeedsGreedy(oracle, 10);
+  EXPECT_EQ(result.seeds.size(), 2u);
+}
+
+TEST(GreedyTest, IcOracleGreedyMatchesExactOptimumOnDiamond) {
+  // On the diamond with equal probabilities, node 0 is the unique best
+  // first seed under sigma_IC; verify with the exact enumerator.
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities p(g.num_edges(), 0.5);
+  MonteCarloConfig mc;
+  mc.num_simulations = 20000;
+  mc.seed = 5;
+  IcMonteCarloOracle oracle(g, p, mc);
+  const GreedyResult result = SelectSeedsGreedy(oracle, 1);
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], 0u);
+  auto exact = ExactIcSpread(g, p, {0});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(result.cumulative_spread[0], *exact, 0.05);
+}
+
+TEST(GreedyTest, LtOracleSelectsSourceOnPath) {
+  auto g = MakePathGraph(5);
+  EdgeProbabilities w(g.num_edges(), 0.8);
+  MonteCarloConfig mc;
+  mc.num_simulations = 5000;
+  LtMonteCarloOracle oracle(g, w, mc);
+  const GreedyResult result = SelectSeedsGreedy(oracle, 1);
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], 0u);  // the source dominates on a path
+}
+
+// ----------------------------------------------------------- Baselines
+
+TEST(BaselinesTest, HighDegreePicksHubs) {
+  GraphBuilder builder(6);
+  for (NodeId i = 1; i < 6; ++i) builder.AddEdge(0, i);  // hub 0
+  builder.AddEdge(1, 2);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  const auto seeds = HighDegreeSeeds(*g, 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], 0u);
+  EXPECT_EQ(seeds[1], 1u);
+}
+
+TEST(BaselinesTest, PageRankSeedsComeFromInfluenceStructure) {
+  // Chain of influence 0 -> 1 -> 2 -> 3: the most influential node is 0.
+  auto g = MakePathGraph(4);
+  const auto seeds = PageRankSeeds(g, 1);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,243 @@
+// End-to-end integration: generate a synthetic dataset, split it, learn
+// every model of the paper (EM/IC, LT weights, tau/infl, CD), select
+// seeds with every method, and check the cross-model consistency claims
+// the paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "actionlog/split.h"
+#include "core/cd_evaluator.h"
+#include "core/cd_model.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "eval/metrics.h"
+#include "eval/spread_prediction.h"
+#include "graph/generators.h"
+#include "im/baselines.h"
+#include "im/greedy.h"
+#include "im/ldag.h"
+#include "im/pmia.h"
+#include "im/spread_oracle.h"
+#include "probability/em_learner.h"
+#include "probability/lt_weights.h"
+#include "probability/time_params.h"
+
+namespace influmax {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto graph = GeneratePreferentialAttachment({600, 4, 0.7}, 51);
+    ASSERT_TRUE(graph.ok());
+    CascadeConfig config;
+    config.num_actions = 400;
+    config.seed = 52;
+    auto data = GenerateCascadeDataset(std::move(graph).value(), config);
+    ASSERT_TRUE(data.ok());
+    data_ = new SyntheticDataset(std::move(data).value());
+    auto split = SplitByPropagationSize(data_->log, {});
+    ASSERT_TRUE(split.ok());
+    split_ = new TrainTestSplit(std::move(split).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete data_;
+    delete split_;
+    data_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static SyntheticDataset* data_;
+  static TrainTestSplit* split_;
+};
+
+SyntheticDataset* PipelineTest::data_ = nullptr;
+TrainTestSplit* PipelineTest::split_ = nullptr;
+
+TEST_F(PipelineTest, SplitPreservesUserSpace) {
+  EXPECT_EQ(split_->train.num_users(), data_->graph.num_nodes());
+  EXPECT_EQ(split_->test.num_users(), data_->graph.num_nodes());
+  EXPECT_EQ(split_->train.num_actions() + split_->test.num_actions(),
+            data_->log.num_actions());
+}
+
+TEST_F(PipelineTest, AllLearnersRunOnTrainingData) {
+  auto em = LearnIcProbabilitiesEm(data_->graph, split_->train, EmConfig{});
+  ASSERT_TRUE(em.ok());
+  EXPECT_GT(em->edges_with_evidence, 0u);
+  EXPECT_TRUE(ValidateIcProbabilities(data_->graph, em->probabilities).ok());
+
+  auto lt = LearnLtWeights(data_->graph, split_->train);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_TRUE(ValidateLtWeights(data_->graph, *lt).ok());
+
+  auto params = LearnTimeParams(data_->graph, split_->train);
+  ASSERT_TRUE(params.ok());
+  EXPECT_GT(params->total_propagation_events, 0u);
+  for (NodeId u = 0; u < data_->graph.num_nodes(); ++u) {
+    EXPECT_GE(params->influenceability[u], 0.0);
+    EXPECT_LE(params->influenceability[u], 1.0);
+  }
+}
+
+TEST_F(PipelineTest, CdSeedsBeatBaselinesUnderCdSpread) {
+  // Figure 6's logic: with sigma_cd as the ground-truth proxy, the CD
+  // greedy seeds must achieve at least the spread of High Degree and
+  // PageRank seed sets (greedy approximates the optimum of exactly this
+  // objective).
+  auto params = LearnTimeParams(data_->graph, split_->train);
+  ASSERT_TRUE(params.ok());
+  TimeDecayDirectCredit credit(*params);
+  CdConfig config;
+  config.truncation_threshold = 0.0001;
+  auto model = CreditDistributionModel::Build(data_->graph, split_->train,
+                                              credit, config);
+  ASSERT_TRUE(model.ok());
+  auto selection = model->SelectSeeds(10);
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection->seeds.size(), 10u);
+
+  auto evaluator =
+      CdSpreadEvaluator::Build(data_->graph, split_->train, credit);
+  ASSERT_TRUE(evaluator.ok());
+  const double cd_spread = evaluator->Spread(selection->seeds);
+  const double degree_spread =
+      evaluator->Spread(HighDegreeSeeds(data_->graph, 10));
+  const double pagerank_spread =
+      evaluator->Spread(PageRankSeeds(data_->graph, 10));
+  EXPECT_GE(cd_spread + 1e-6, degree_spread);
+  EXPECT_GE(cd_spread + 1e-6, pagerank_spread);
+}
+
+TEST_F(PipelineTest, CdPredictionBeatsAdHocAssignersOnTestSet) {
+  // Section 3 + Figure 3 shape: CD (learned from training data) should
+  // have lower overall RMSE on held-out propagations than the uniform
+  // ad-hoc assignment.
+  auto params = LearnTimeParams(data_->graph, split_->train);
+  ASSERT_TRUE(params.ok());
+  TimeDecayDirectCredit credit(*params);
+  auto evaluator =
+      CdSpreadEvaluator::Build(data_->graph, split_->train, credit);
+  ASSERT_TRUE(evaluator.ok());
+
+  EdgeProbabilities uniform(data_->graph.num_edges(), 0.01);
+  MonteCarloConfig mc;
+  mc.num_simulations = 120;
+  mc.seed = 53;
+
+  std::vector<SpreadPredictor> predictors;
+  predictors.push_back({"CD", [&](const std::vector<NodeId>& seeds) {
+                          return evaluator->Spread(seeds);
+                        }});
+  predictors.push_back({"UN", [&](const std::vector<NodeId>& seeds) {
+                          return EstimateIcSpread(data_->graph, uniform,
+                                                  seeds, mc)
+                              .mean;
+                        }});
+  auto result = RunSpreadPrediction(data_->graph, split_->test, predictors,
+                                    /*max_traces=*/40);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->samples.size(), 10u);
+  const double cd_rmse =
+      ComputeRmse(result->Actuals(), result->PredictionsOf(0));
+  const double un_rmse =
+      ComputeRmse(result->Actuals(), result->PredictionsOf(1));
+  EXPECT_LT(cd_rmse, un_rmse * 1.5)
+      << "CD prediction should be competitive with UN";
+}
+
+TEST_F(PipelineTest, PmiaAndLdagRunOnLearnedParameters) {
+  auto em = LearnIcProbabilitiesEm(data_->graph, split_->train, EmConfig{});
+  ASSERT_TRUE(em.ok());
+  PmiaConfig pmia_config;
+  pmia_config.theta = 1.0 / 160.0;
+  auto pmia = PmiaModel::Build(data_->graph, em->probabilities, pmia_config);
+  ASSERT_TRUE(pmia.ok());
+  auto pmia_seeds = pmia->SelectSeeds(10);
+  ASSERT_TRUE(pmia_seeds.ok());
+  EXPECT_EQ(pmia_seeds->seeds.size(), 10u);
+
+  auto lt = LearnLtWeights(data_->graph, split_->train);
+  ASSERT_TRUE(lt.ok());
+  LdagConfig ldag_config;
+  ldag_config.theta = 1.0 / 160.0;
+  auto ldag = LdagModel::Build(data_->graph, *lt, ldag_config);
+  ASSERT_TRUE(ldag.ok());
+  auto ldag_seeds = ldag->SelectSeeds(10);
+  ASSERT_TRUE(ldag_seeds.ok());
+  EXPECT_EQ(ldag_seeds->seeds.size(), 10u);
+
+  // The two heuristics optimize different models; their seed sets are
+  // expected to differ (Figure 5's observation), though we only require
+  // both to be valid distinct-node sets here.
+  for (const auto& seeds : {pmia_seeds->seeds, ldag_seeds->seeds}) {
+    std::vector<NodeId> sorted = seeds;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST_F(PipelineTest, TruncationTradeOffMatchesTableFour) {
+  // Larger lambda -> fewer UC entries and (weakly) lower achieved spread;
+  // spread saturates as lambda shrinks (Table 4's shape).
+  auto params = LearnTimeParams(data_->graph, split_->train);
+  ASSERT_TRUE(params.ok());
+  TimeDecayDirectCredit credit(*params);
+
+  std::vector<double> lambdas = {0.1, 0.001, 0.00001};
+  std::vector<std::uint64_t> entries;
+  std::vector<double> spreads;
+  auto evaluator =
+      CdSpreadEvaluator::Build(data_->graph, split_->train, credit);
+  ASSERT_TRUE(evaluator.ok());
+  for (double lambda : lambdas) {
+    CdConfig config;
+    config.truncation_threshold = lambda;
+    auto model = CreditDistributionModel::Build(data_->graph, split_->train,
+                                                credit, config);
+    ASSERT_TRUE(model.ok());
+    entries.push_back(model->credit_entries());
+    auto selection = model->SelectSeeds(10);
+    ASSERT_TRUE(selection.ok());
+    spreads.push_back(evaluator->Spread(selection->seeds));
+  }
+  EXPECT_LE(entries[0], entries[1]);
+  EXPECT_LE(entries[1], entries[2]);
+  EXPECT_LE(spreads[0], spreads[2] + 1e-6);
+}
+
+TEST_F(PipelineTest, TrainingSizeConvergence) {
+  // Figure 9's shape: seeds from a large-enough sample overlap heavily
+  // with seeds from the full training log.
+  auto params = LearnTimeParams(data_->graph, split_->train);
+  ASSERT_TRUE(params.ok());
+  TimeDecayDirectCredit credit(*params);
+  CdConfig config;
+  config.truncation_threshold = 0.0001;
+
+  auto full_model = CreditDistributionModel::Build(
+      data_->graph, split_->train, credit, config);
+  ASSERT_TRUE(full_model.ok());
+  auto full_seeds = full_model->SelectSeeds(10);
+  ASSERT_TRUE(full_seeds.ok());
+
+  const ActionLog sample = SampleByTupleBudget(
+      split_->train, split_->train.num_tuples() * 3 / 4, 99);
+  auto sample_params = LearnTimeParams(data_->graph, sample);
+  ASSERT_TRUE(sample_params.ok());
+  TimeDecayDirectCredit sample_credit(*sample_params);
+  auto sample_model = CreditDistributionModel::Build(data_->graph, sample,
+                                                     sample_credit, config);
+  ASSERT_TRUE(sample_model.ok());
+  auto sample_seeds = sample_model->SelectSeeds(10);
+  ASSERT_TRUE(sample_seeds.ok());
+
+  const int overlap =
+      SeedIntersectionSize(full_seeds->seeds, sample_seeds->seeds);
+  EXPECT_GE(overlap, 5) << "75% of tuples should recover most true seeds";
+}
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "im/ldag.h"
+#include "propagation/exact.h"
+#include "propagation/monte_carlo.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakeDiamondGraph;
+using testing_fixtures::MakePathGraph;
+
+LdagConfig LooseConfig() {
+  LdagConfig config;
+  config.theta = 1e-5;
+  return config;
+}
+
+TEST(LdagTest, RejectsBadConfig) {
+  auto g = MakePathGraph(3);
+  EdgeProbabilities w(g.num_edges(), 0.5);
+  LdagConfig config;
+  config.theta = 0.0;
+  EXPECT_FALSE(LdagModel::Build(g, w, config).ok());
+}
+
+TEST(LdagTest, RejectsInvalidLtWeights) {
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities w(g.num_edges(), 0.8);  // node 3 sums to 1.6
+  EXPECT_FALSE(LdagModel::Build(g, w, LooseConfig()).ok());
+}
+
+TEST(LdagTest, ExactOnGraphsThatAreAlreadyDags) {
+  // The diamond is a DAG, so LDAG(v) with a tiny theta captures the whole
+  // relevant structure and LT-on-DAG activation probabilities are exact.
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities w(g.num_edges(), 0.45);
+  auto model = LdagModel::Build(g, w, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  for (const std::vector<NodeId>& seeds :
+       {std::vector<NodeId>{0}, {1}, {0, 2}, {1, 2}}) {
+    auto exact = ExactLtSpread(g, w, seeds);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR(model->EstimateSpread(seeds), *exact, 1e-9)
+        << "seeds size " << seeds.size();
+  }
+}
+
+TEST(LdagTest, ExactOnPaths) {
+  auto g = MakePathGraph(6);
+  EdgeProbabilities w(g.num_edges(), 0.7);
+  auto model = LdagModel::Build(g, w, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  auto exact = ExactLtSpread(g, w, {0, 3});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(model->EstimateSpread({0, 3}), *exact, 1e-9);
+}
+
+TEST(LdagTest, FullSeedSetGivesN) {
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities w(g.num_edges(), 0.3);
+  auto model = LdagModel::Build(g, w, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->EstimateSpread({0, 1, 2, 3}), 4.0, 1e-12);
+}
+
+TEST(LdagTest, ThetaPrunesLocalDags) {
+  auto g = MakePathGraph(12);
+  EdgeProbabilities w(g.num_edges(), 0.2);
+  LdagConfig tight;
+  tight.theta = 0.1;
+  auto pruned = LdagModel::Build(g, w, tight);
+  ASSERT_TRUE(pruned.ok());
+  auto loose = LdagModel::Build(g, w, LooseConfig());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LT(pruned->total_dag_nodes(), loose->total_dag_nodes());
+}
+
+TEST(LdagTest, SelectSeedsIsOneShot) {
+  auto g = MakePathGraph(4);
+  EdgeProbabilities w(g.num_edges(), 0.5);
+  auto model = LdagModel::Build(g, w, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SelectSeeds(2).ok());
+  EXPECT_FALSE(model->SelectSeeds(2).ok());
+}
+
+TEST(LdagTest, GreedyPicksSourceOnPath) {
+  auto g = MakePathGraph(6);
+  EdgeProbabilities w(g.num_edges(), 0.9);
+  auto model = LdagModel::Build(g, w, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  auto selection = model->SelectSeeds(1);
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection->seeds.size(), 1u);
+  EXPECT_EQ(selection->seeds[0], 0u);
+}
+
+TEST(LdagTest, IncrementalSelectionConsistentWithFreshEstimates) {
+  // After greedy selection, the recorded cumulative spread must match a
+  // fresh EstimateSpread of the same prefix (the incremental updates must
+  // not drift).
+  auto g = GeneratePreferentialAttachment({120, 3, 0.5}, 4);
+  ASSERT_TRUE(g.ok());
+  // in-degree-normalized weights are valid LT weights.
+  EdgeProbabilities w(g->num_edges());
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    const EdgeIndex base = g->OutEdgeBegin(v);
+    const auto out = g->OutNeighbors(v);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      w[base + i] = 1.0 / g->InDegree(out[i]);
+    }
+  }
+  auto model = LdagModel::Build(*g, w, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  auto fresh = LdagModel::Build(*g, w, LooseConfig());
+  ASSERT_TRUE(fresh.ok());
+  auto selection = model->SelectSeeds(5);
+  ASSERT_TRUE(selection.ok());
+  std::vector<NodeId> prefix;
+  for (std::size_t i = 0; i < selection->seeds.size(); ++i) {
+    prefix.push_back(selection->seeds[i]);
+    EXPECT_NEAR(selection->cumulative_spread[i],
+                fresh->EstimateSpread(prefix), 1e-8)
+        << "prefix " << i + 1;
+  }
+}
+
+TEST(LdagTest, SpreadTracksMonteCarloOnRandomGraphs) {
+  auto g = GeneratePreferentialAttachment({150, 3, 0.4}, 6);
+  ASSERT_TRUE(g.ok());
+  EdgeProbabilities w(g->num_edges());
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    const EdgeIndex base = g->OutEdgeBegin(v);
+    const auto out = g->OutNeighbors(v);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      w[base + i] = 1.0 / g->InDegree(out[i]);
+    }
+  }
+  auto model = LdagModel::Build(*g, w, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  auto selection = model->SelectSeeds(5);
+  ASSERT_TRUE(selection.ok());
+  MonteCarloConfig mc;
+  mc.num_simulations = 3000;
+  const double true_spread =
+      EstimateLtSpread(*g, w, selection->seeds, mc).mean;
+  const double ldag_estimate = model->EstimateSpread(selection->seeds);
+  EXPECT_GT(true_spread, 0.7 * ldag_estimate);
+  EXPECT_LT(true_spread, 1.5 * ldag_estimate + 5.0);
+}
+
+}  // namespace
+}  // namespace influmax

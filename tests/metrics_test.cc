@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cd_evaluator.h"
+#include "core/direct_credit.h"
+#include "eval/metrics.h"
+#include "eval/spread_prediction.h"
+#include "eval/table_printer.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+TEST(RmseTest, OverallRmseMatchesHandComputation) {
+  EXPECT_DOUBLE_EQ(ComputeRmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  // Errors 3, 0, -3 -> sqrt(18/3) = sqrt(6).
+  EXPECT_NEAR(ComputeRmse({0, 5, 10}, {3, 5, 7}), std::sqrt(6.0), 1e-12);
+  EXPECT_DOUBLE_EQ(ComputeRmse({}, {}), 0.0);
+}
+
+TEST(RmseTest, MaeMatchesHandComputation) {
+  EXPECT_DOUBLE_EQ(ComputeMae({0, 5, 10}, {3, 5, 7}), 2.0);
+}
+
+TEST(RmseTest, BinnedRmseGroupsByActualSpread) {
+  // Actuals 10, 20 (bin 0), 150 (bin 1) with width 100.
+  const auto bins =
+      ComputeBinnedRmse({10, 20, 150}, {15, 25, 100}, 100.0);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0].lower, 0.0);
+  EXPECT_EQ(bins[0].count, 2);
+  EXPECT_NEAR(bins[0].rmse, std::sqrt((25.0 + 25.0) / 2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(bins[1].lower, 100.0);
+  EXPECT_EQ(bins[1].count, 1);
+  EXPECT_NEAR(bins[1].rmse, 50.0, 1e-12);
+}
+
+TEST(CaptureCurveTest, MonotoneAndEndsAtFullCapture) {
+  const std::vector<double> actual = {10, 10, 10, 10};
+  const std::vector<double> predicted = {10, 12, 15, 40};
+  const auto curve = ComputeCaptureCurve(actual, predicted, 30.0, 30);
+  ASSERT_EQ(curve.size(), 30u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].ratio, curve[i - 1].ratio);
+  }
+  // At tolerance 5: errors {0, 2, 5} captured -> 3/4.
+  EXPECT_NEAR(curve[4].ratio, 0.75, 1e-12);  // abs_error = 5
+  // Error 30 is not captured (it is exactly 30, which IS <= 30).
+  EXPECT_NEAR(curve.back().ratio, 1.0, 1e-12);
+}
+
+TEST(IntersectionTest, CountsDistinctCommonSeeds) {
+  EXPECT_EQ(SeedIntersectionSize({1, 2, 3}, {3, 4, 5}), 1);
+  EXPECT_EQ(SeedIntersectionSize({1, 2}, {3, 4}), 0);
+  EXPECT_EQ(SeedIntersectionSize({1, 2, 3}, {1, 2, 3}), 3);
+  // Duplicates never double-count.
+  EXPECT_EQ(SeedIntersectionSize({1, 1, 2}, {1, 1}), 1);
+}
+
+TEST(IntersectionTest, MatrixIsSymmetricWithFullDiagonal) {
+  const std::vector<std::vector<NodeId>> sets = {
+      {1, 2, 3}, {2, 3, 4}, {7, 8, 9}};
+  const auto m = SeedIntersectionMatrix(sets);
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0][0], 3);
+  EXPECT_EQ(m[0][1], 2);
+  EXPECT_EQ(m[1][0], 2);
+  EXPECT_EQ(m[0][2], 0);
+  EXPECT_EQ(m[2][2], 3);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndUnderlinesHeader) {
+  TablePrinter table({"model", "rmse"});
+  table.AddRow({"CD", "12.5"});
+  table.AddRow({"IC-long-name", "3"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_NE(out.find("IC-long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatInterval(0.0, 45.0), "[0,45)");
+  EXPECT_EQ(FormatInterval(1.25, 2.5, 2), "[1.25,2.50)");
+  const std::string series = FormatSeries("fig", {1.0, 2.0}, {3.0, 4.0});
+  EXPECT_NE(series.find("# fig"), std::string::npos);
+  EXPECT_NE(series.find("1.0000\t3.0000"), std::string::npos);
+}
+
+TEST(CaptureCurveTest, EmptyInputGivesZeroRatios) {
+  const auto curve = ComputeCaptureCurve({}, {}, 10.0, 5);
+  ASSERT_EQ(curve.size(), 5u);
+  for (const CapturePoint& p : curve) EXPECT_DOUBLE_EQ(p.ratio, 0.0);
+}
+
+TEST(RmseTest, BinnedRmseSkipsEmptyBins) {
+  // Actuals 5 and 205 with width 100: bins 0 and 2 present, bin 1 absent.
+  const auto bins = ComputeBinnedRmse({5, 205}, {6, 200}, 100.0);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0].lower, 0.0);
+  EXPECT_DOUBLE_EQ(bins[1].lower, 200.0);
+}
+
+// ------------------------------------------------- Spread prediction run
+
+TEST(SpreadPredictionTest, UsesInitiatorsAndActualSizes) {
+  auto ex = testing_fixtures::MakePaperExample();
+  std::vector<SpreadPredictor> predictors;
+  predictors.push_back(
+      {"const7", [](const std::vector<NodeId>&) { return 7.0; }});
+  predictors.push_back({"seed_count", [](const std::vector<NodeId>& seeds) {
+                          return static_cast<double>(seeds.size());
+                        }});
+  auto result = RunSpreadPrediction(ex.graph, ex.log, predictors);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->samples.size(), 1u);
+  const PredictionSample& sample = result->samples[0];
+  EXPECT_EQ(sample.actual_spread, 6.0);
+  // Initiators of the paper trace: v and y.
+  ASSERT_EQ(sample.initiators.size(), 2u);
+  EXPECT_DOUBLE_EQ(sample.predicted[0], 7.0);
+  EXPECT_DOUBLE_EQ(sample.predicted[1], 2.0);
+  EXPECT_EQ(result->Actuals(), std::vector<double>{6.0});
+  EXPECT_EQ(result->PredictionsOf(1), std::vector<double>{2.0});
+}
+
+TEST(SpreadPredictionTest, RejectsEmptyPredictorList) {
+  auto ex = testing_fixtures::MakePaperExample();
+  EXPECT_FALSE(RunSpreadPrediction(ex.graph, ex.log, {}).ok());
+}
+
+TEST(SpreadPredictionTest, CdPredictorPluggedIn) {
+  // End-to-end plumbing: the CD evaluator as a predictor on the paper
+  // example predicts sigma_cd({v, y}) for the single trace.
+  auto ex = testing_fixtures::MakePaperExample();
+  EqualDirectCredit credit;
+  auto evaluator = CdSpreadEvaluator::Build(ex.graph, ex.log, credit);
+  ASSERT_TRUE(evaluator.ok());
+  std::vector<SpreadPredictor> predictors;
+  predictors.push_back({"CD", [&](const std::vector<NodeId>& seeds) {
+                          return evaluator->Spread(seeds);
+                        }});
+  auto result = RunSpreadPrediction(ex.graph, ex.log, predictors);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->samples.size(), 1u);
+  // sigma_cd({v, y}): every user's credit flows back to initiators v, y;
+  // all six participants get kappa = ... at minimum the two seeds = 2.
+  EXPECT_GE(result->samples[0].predicted[0], 2.0);
+  EXPECT_LE(result->samples[0].predicted[0], 6.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "propagation/exact.h"
+#include "propagation/monte_carlo.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakeDiamondGraph;
+using testing_fixtures::MakePathGraph;
+
+// ----------------------------------------------------- EdgeProbabilities
+
+TEST(EdgeProbabilitiesTest, ValidationCatchesBadValues) {
+  auto g = MakePathGraph(3);
+  EdgeProbabilities p(g.num_edges(), 0.5);
+  EXPECT_TRUE(ValidateIcProbabilities(g, p).ok());
+  p[0] = 1.5;
+  EXPECT_FALSE(ValidateIcProbabilities(g, p).ok());
+  p[0] = -0.1;
+  EXPECT_FALSE(ValidateIcProbabilities(g, p).ok());
+  EXPECT_FALSE(
+      ValidateIcProbabilities(g, EdgeProbabilities(g.num_edges() + 1)).ok());
+}
+
+TEST(EdgeProbabilitiesTest, LtValidationChecksIncomingSums) {
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities w(g.num_edges(), 0.5);
+  EXPECT_TRUE(ValidateLtWeights(g, w).ok());  // node 3 sums to exactly 1
+  w[g.FindOutEdge(1, 3)] = 0.6;
+  EXPECT_FALSE(ValidateLtWeights(g, w).ok());  // 1.1 > 1
+}
+
+TEST(EdgeProbabilitiesTest, OnEdgeLooksUpByEndpoints) {
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities p(g.num_edges(), 0.0);
+  p[g.FindOutEdge(0, 2)] = 0.7;
+  EXPECT_DOUBLE_EQ(p.OnEdge(g, 0, 2), 0.7);
+}
+
+// -------------------------------------------------------- Exact baselines
+
+TEST(ExactTest, IcPathGraphClosedForm) {
+  // Path 0->1->2 with p: sigma({0}) = 1 + p + p^2.
+  auto g = MakePathGraph(3);
+  EdgeProbabilities p(g.num_edges(), 0.3);
+  auto spread = ExactIcSpread(g, p, {0});
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 1.0 + 0.3 + 0.09, 1e-12);
+}
+
+TEST(ExactTest, IcDiamondClosedForm) {
+  // Diamond 0->{1,2}->3, all p: sigma({0}) = 1 + 2p + (1-(1-p^2)^2).
+  const double p_val = 0.4;
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities p(g.num_edges(), p_val);
+  auto spread = ExactIcSpread(g, p, {0});
+  ASSERT_TRUE(spread.ok());
+  const double reach3 = 1.0 - std::pow(1.0 - p_val * p_val, 2.0);
+  EXPECT_NEAR(*spread, 1.0 + 2 * p_val + reach3, 1e-12);
+}
+
+TEST(ExactTest, IcRefusesLargeGraphs) {
+  auto g = MakePathGraph(40);  // 39 edges > default 20-edge guard
+  EdgeProbabilities p(g.num_edges(), 0.5);
+  auto spread = ExactIcSpread(g, p, {0});
+  ASSERT_FALSE(spread.ok());
+  EXPECT_EQ(spread.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExactTest, LtRefusesTooManyWorlds) {
+  // World count is prod_u (d_in(u) + 1): ten nodes with in-degree 3 give
+  // 4^10, far over the 1024 guard.
+  GraphBuilder builder(13);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId s = 10; s < 13; ++s) builder.AddEdge(s, u);
+  }
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EdgeProbabilities w(g->num_edges(), 1.0 / 3.0);
+  auto spread = ExactLtSpread(*g, w, {10}, /*max_worlds=*/1024);
+  ASSERT_FALSE(spread.ok());
+  EXPECT_EQ(spread.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExactTest, LtPathGraphClosedForm) {
+  // On a path, LT with weight w behaves like IC with p = w.
+  auto g = MakePathGraph(3);
+  EdgeProbabilities w(g.num_edges(), 0.25);
+  auto spread = ExactLtSpread(g, w, {0});
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 1.0 + 0.25 + 0.0625, 1e-12);
+}
+
+TEST(ExactTest, SeedsAlwaysCounted) {
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities p(g.num_edges(), 0.0);
+  auto ic = ExactIcSpread(g, p, {0, 3});
+  ASSERT_TRUE(ic.ok());
+  EXPECT_DOUBLE_EQ(*ic, 2.0);
+  auto lt = ExactLtSpread(g, p, {0, 3});
+  ASSERT_TRUE(lt.ok());
+  EXPECT_DOUBLE_EQ(*lt, 2.0);
+}
+
+// ------------------------------------------------------------ Monte Carlo
+
+class McVsExactTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(McVsExactTest, IcMatchesExactOnDiamond) {
+  const double p_val = GetParam();
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities p(g.num_edges(), p_val);
+  auto exact = ExactIcSpread(g, p, {0});
+  ASSERT_TRUE(exact.ok());
+  MonteCarloConfig config;
+  config.num_simulations = 60000;
+  config.num_threads = 2;
+  const SpreadEstimate estimate = EstimateIcSpread(g, p, {0}, config);
+  // 4-sigma Monte Carlo band.
+  const double tolerance =
+      4.0 * estimate.stddev / std::sqrt(config.num_simulations) + 1e-9;
+  EXPECT_NEAR(estimate.mean, *exact, tolerance) << "p=" << p_val;
+}
+
+TEST_P(McVsExactTest, LtMatchesExactOnDiamond) {
+  const double w_val = GetParam() / 2;  // keep incoming sums <= 1
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities w(g.num_edges(), w_val);
+  auto exact = ExactLtSpread(g, w, {0});
+  ASSERT_TRUE(exact.ok());
+  MonteCarloConfig config;
+  config.num_simulations = 60000;
+  config.num_threads = 2;
+  const SpreadEstimate estimate = EstimateLtSpread(g, w, {0}, config);
+  const double tolerance =
+      4.0 * estimate.stddev / std::sqrt(config.num_simulations) + 1e-9;
+  EXPECT_NEAR(estimate.mean, *exact, tolerance) << "w=" << w_val;
+}
+
+INSTANTIATE_TEST_SUITE_P(ProbabilitySweep, McVsExactTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.8, 1.0));
+
+TEST(MonteCarloTest, DeterministicAcrossThreadCounts) {
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities p(g.num_edges(), 0.5);
+  MonteCarloConfig one;
+  one.num_simulations = 2000;
+  one.num_threads = 1;
+  one.seed = 99;
+  MonteCarloConfig four = one;
+  four.num_threads = 4;
+  // Per-simulation seeding makes the estimate independent of threading.
+  EXPECT_DOUBLE_EQ(EstimateIcSpread(g, p, {0}, one).mean,
+                   EstimateIcSpread(g, p, {0}, four).mean);
+  EXPECT_DOUBLE_EQ(EstimateLtSpread(g, p, {0}, one).mean,
+                   EstimateLtSpread(g, p, {0}, four).mean);
+}
+
+TEST(MonteCarloTest, ZeroProbabilitySpreadIsSeedCount) {
+  auto g = MakePathGraph(5);
+  EdgeProbabilities p(g.num_edges(), 0.0);
+  MonteCarloConfig config;
+  config.num_simulations = 100;
+  EXPECT_DOUBLE_EQ(EstimateIcSpread(g, p, {0, 2}, config).mean, 2.0);
+  EXPECT_DOUBLE_EQ(EstimateIcSpread(g, p, {0, 2}, config).stddev, 0.0);
+}
+
+TEST(MonteCarloTest, CertainEdgesReachEverything) {
+  auto g = MakePathGraph(7);
+  EdgeProbabilities p(g.num_edges(), 1.0);
+  MonteCarloConfig config;
+  config.num_simulations = 50;
+  EXPECT_DOUBLE_EQ(EstimateIcSpread(g, p, {0}, config).mean, 7.0);
+  EXPECT_DOUBLE_EQ(EstimateLtSpread(g, p, {0}, config).mean, 7.0);
+}
+
+TEST(MonteCarloTest, DuplicateSeedsCountedOnce) {
+  auto g = MakePathGraph(3);
+  EdgeProbabilities p(g.num_edges(), 0.0);
+  MonteCarloConfig config;
+  config.num_simulations = 10;
+  EXPECT_DOUBLE_EQ(EstimateIcSpread(g, p, {0, 0, 0}, config).mean, 1.0);
+}
+
+TEST(MonteCarloTest, MonotoneInSeedSet) {
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities p(g.num_edges(), 0.3);
+  MonteCarloConfig config;
+  config.num_simulations = 20000;
+  const double s1 = EstimateIcSpread(g, p, {0}, config).mean;
+  const double s2 = EstimateIcSpread(g, p, {0, 1}, config).mean;
+  // Adding node 1 must add at least its own guaranteed activation minus
+  // what it already received from 0 (p = 0.3), modulo MC noise.
+  EXPECT_GT(s2, s1 + (1.0 - 0.3) - 0.05);
+}
+
+TEST(MonteCarloTest, SimulationSeedStreamIsStable) {
+  // Regression guard: the (base, index) -> seed map must stay fixed or
+  // every recorded experiment changes.
+  EXPECT_EQ(SimulationSeed(1, 0), SimulationSeed(1, 0));
+  EXPECT_NE(SimulationSeed(1, 0), SimulationSeed(1, 1));
+  EXPECT_NE(SimulationSeed(1, 0), SimulationSeed(2, 0));
+}
+
+}  // namespace
+}  // namespace influmax

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "actionlog/propagation_dag.h"
+#include "actionlog/split.h"
+#include "core/naive_estimator.h"
+#include "datagen/cascade_generator.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+using testing_fixtures::PaperExample;
+
+TEST(NaiveEstimatorTest, AnswersForSeenInitiatorSets) {
+  auto ex = MakePaperExample();
+  auto estimator = NaiveFrequencyEstimator::Build(ex.graph, ex.log);
+  ASSERT_TRUE(estimator.ok());
+  // The one trace is initiated by {v, y} and reaches all 6 users.
+  const auto estimate =
+      estimator->Spread({PaperExample::kV, PaperExample::kY});
+  EXPECT_EQ(estimate.supporting_actions, 1u);
+  EXPECT_DOUBLE_EQ(estimate.spread, 6.0);
+  // Order and duplicates must not matter.
+  const auto same = estimator->Spread(
+      {PaperExample::kY, PaperExample::kV, PaperExample::kY});
+  EXPECT_EQ(same.supporting_actions, 1u);
+}
+
+TEST(NaiveEstimatorTest, CannotAnswerUnseenSets) {
+  auto ex = MakePaperExample();
+  auto estimator = NaiveFrequencyEstimator::Build(ex.graph, ex.log);
+  ASSERT_TRUE(estimator.ok());
+  // {v} alone never initiated an action — the sparsity issue.
+  const auto estimate = estimator->Spread({PaperExample::kV});
+  EXPECT_EQ(estimate.supporting_actions, 0u);
+  EXPECT_DOUBLE_EQ(estimate.spread, 0.0);
+}
+
+TEST(NaiveEstimatorTest, AveragesOverRepeatedInitiatorSets) {
+  GraphBuilder gb(3);
+  gb.AddEdge(0, 1);
+  gb.AddEdge(0, 2);
+  auto graph = gb.Build();
+  ASSERT_TRUE(graph.ok());
+  ActionLogBuilder lb(3);
+  // Two actions initiated by exactly {0}: sizes 2 and 3.
+  lb.Add(0, 0, 1.0);
+  lb.Add(1, 0, 2.0);
+  lb.Add(0, 1, 1.0);
+  lb.Add(1, 1, 2.0);
+  lb.Add(2, 1, 3.0);
+  auto log = lb.Build();
+  ASSERT_TRUE(log.ok());
+  auto estimator = NaiveFrequencyEstimator::Build(*graph, *log);
+  ASSERT_TRUE(estimator.ok());
+  const auto estimate = estimator->Spread({0});
+  EXPECT_EQ(estimate.supporting_actions, 2u);
+  EXPECT_DOUBLE_EQ(estimate.spread, 2.5);
+  EXPECT_EQ(estimator->distinct_initiator_sets(), 1u);
+  EXPECT_DOUBLE_EQ(estimator->singleton_fraction(), 0.0);
+}
+
+TEST(NaiveEstimatorTest, RejectsMismatchedUserSpace) {
+  auto ex = MakePaperExample();
+  ActionLogBuilder lb(2);
+  lb.Add(0, 0, 1.0);
+  auto log = lb.Build();
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE(NaiveFrequencyEstimator::Build(ex.graph, *log).ok());
+}
+
+TEST(NaiveEstimatorTest, SparsityDominatesOnRealisticData) {
+  // The paper's argument, as a test: on held-out propagations the naive
+  // estimator can almost never answer.
+  auto data = BuildPresetDataset(FlixsterSmallPreset(0.3));
+  ASSERT_TRUE(data.ok());
+  auto split = SplitByPropagationSize(data->log, {});
+  ASSERT_TRUE(split.ok());
+  auto estimator =
+      NaiveFrequencyEstimator::Build(data->graph, split->train);
+  ASSERT_TRUE(estimator.ok());
+  // Virtually every training initiator set is unique...
+  EXPECT_GT(estimator->singleton_fraction(), 0.8);
+  // ...so held-out initiator sets are almost never answerable.
+  std::size_t answerable = 0;
+  std::size_t total = 0;
+  for (ActionId a = 0; a < split->test.num_actions(); ++a) {
+    const PropagationDag dag =
+        BuildPropagationDag(data->graph, split->test.ActionTrace(a));
+    if (dag.size() == 0) continue;
+    ++total;
+    if (estimator->Spread(dag.InitiatorUsers()).supporting_actions > 0) {
+      ++answerable;
+    }
+  }
+  ASSERT_GT(total, 20u);
+  EXPECT_LT(static_cast<double>(answerable) / total, 0.2);
+}
+
+}  // namespace
+}  // namespace influmax

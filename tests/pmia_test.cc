@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "im/pmia.h"
+#include "propagation/exact.h"
+#include "propagation/monte_carlo.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakeDiamondGraph;
+using testing_fixtures::MakePathGraph;
+
+PmiaConfig LooseConfig() {
+  PmiaConfig config;
+  config.theta = 1e-4;
+  return config;
+}
+
+TEST(PmiaTest, RejectsBadConfig) {
+  auto g = MakePathGraph(3);
+  EdgeProbabilities p(g.num_edges(), 0.5);
+  PmiaConfig config;
+  config.theta = 0.0;
+  EXPECT_FALSE(PmiaModel::Build(g, p, config).ok());
+  config.theta = 2.0;
+  EXPECT_FALSE(PmiaModel::Build(g, p, config).ok());
+}
+
+TEST(PmiaTest, RejectsInvalidProbabilities) {
+  auto g = MakePathGraph(3);
+  EdgeProbabilities p(g.num_edges(), 1.5);
+  EXPECT_FALSE(PmiaModel::Build(g, p, LooseConfig()).ok());
+}
+
+TEST(PmiaTest, ExactOnTreesWhereMiaIsExact) {
+  // On an out-tree the unique path IS the maximum influence path, so the
+  // MIA spread equals the exact IC spread.
+  GraphBuilder builder(7);  // binary tree rooted at 0
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(1, 4);
+  builder.AddEdge(2, 5);
+  builder.AddEdge(2, 6);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EdgeProbabilities p(g->num_edges(), 0.4);
+  auto model = PmiaModel::Build(*g, p, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  auto exact = ExactIcSpread(*g, p, {0});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(model->EstimateSpread({0}), *exact, 1e-9);
+}
+
+TEST(PmiaTest, ExactOnPathForAnySeedSet) {
+  auto g = MakePathGraph(5);
+  EdgeProbabilities p(g.num_edges(), 0.6);
+  auto model = PmiaModel::Build(g, p, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  for (const std::vector<NodeId>& seeds :
+       {std::vector<NodeId>{0}, {2}, {0, 3}, {1, 4}}) {
+    auto exact = ExactIcSpread(g, p, seeds);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR(model->EstimateSpread(seeds), *exact, 1e-9);
+  }
+}
+
+TEST(PmiaTest, SeedsHaveActivationProbabilityOne) {
+  auto g = MakeDiamondGraph();
+  EdgeProbabilities p(g.num_edges(), 0.2);
+  auto model = PmiaModel::Build(g, p, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  // Spread of the full node set is n.
+  EXPECT_NEAR(model->EstimateSpread({0, 1, 2, 3}), 4.0, 1e-12);
+}
+
+TEST(PmiaTest, ThetaPrunesArborescences) {
+  auto g = MakePathGraph(10);
+  EdgeProbabilities p(g.num_edges(), 0.1);
+  PmiaConfig tight;
+  tight.theta = 0.05;  // only 1-hop paths survive (0.1 >= theta > 0.01)
+  auto pruned = PmiaModel::Build(g, p, tight);
+  ASSERT_TRUE(pruned.ok());
+  auto loose = PmiaModel::Build(g, p, LooseConfig());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LT(pruned->total_arborescence_nodes(),
+            loose->total_arborescence_nodes());
+}
+
+TEST(PmiaTest, SelectSeedsIsOneShot) {
+  auto g = MakePathGraph(4);
+  EdgeProbabilities p(g.num_edges(), 0.5);
+  auto model = PmiaModel::Build(g, p, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SelectSeeds(2).ok());
+  EXPECT_FALSE(model->SelectSeeds(2).ok());
+}
+
+TEST(PmiaTest, GreedySelectionOnPathStartsAtSource) {
+  auto g = MakePathGraph(6);
+  EdgeProbabilities p(g.num_edges(), 0.9);
+  auto model = PmiaModel::Build(g, p, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  auto selection = model->SelectSeeds(2);
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection->seeds.size(), 2u);
+  EXPECT_EQ(selection->seeds[0], 0u);
+  // Marginal gains non-increasing; cumulative spread consistent.
+  EXPECT_GE(selection->marginal_gains[0], selection->marginal_gains[1]);
+  EXPECT_NEAR(selection->cumulative_spread[1],
+              selection->marginal_gains[0] + selection->marginal_gains[1],
+              1e-9);
+}
+
+TEST(PmiaTest, TracksMonteCarloGreedyOnRandomGraphs) {
+  // MIA is a heuristic: its seed set's true IC spread should be close to
+  // what MC-greedy achieves (Chen et al. report near-parity).
+  auto g = GeneratePreferentialAttachment({150, 3, 0.4}, 8);
+  ASSERT_TRUE(g.ok());
+  // Weighted-cascade style probabilities keep spreads moderate.
+  EdgeProbabilities p(g->num_edges());
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    const EdgeIndex base = g->OutEdgeBegin(v);
+    const auto out = g->OutNeighbors(v);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      p[base + i] = 1.0 / g->InDegree(out[i]);
+    }
+  }
+  auto model = PmiaModel::Build(*g, p, LooseConfig());
+  ASSERT_TRUE(model.ok());
+  auto selection = model->SelectSeeds(5);
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection->seeds.size(), 5u);
+
+  MonteCarloConfig mc;
+  mc.num_simulations = 3000;
+  const double pmia_spread =
+      EstimateIcSpread(*g, p, selection->seeds, mc).mean;
+  // The MIA estimate of the chosen seeds should be a decent predictor of
+  // their true (MC) IC spread.
+  const double mia_estimate = model->EstimateSpread(selection->seeds);
+  EXPECT_GT(pmia_spread, 0.8 * mia_estimate);
+  EXPECT_LT(pmia_spread, 1.5 * mia_estimate + 5.0);
+}
+
+}  // namespace
+}  // namespace influmax

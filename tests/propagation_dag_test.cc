@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "actionlog/propagation_dag.h"
+#include "datagen/cascade_generator.h"
+#include "graph/generators.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+using testing_fixtures::PaperExample;
+
+TEST(PropagationDagTest, PaperExampleStructure) {
+  auto ex = MakePaperExample();
+  const PropagationDag dag =
+      BuildPropagationDag(ex.graph, ex.log.ActionTrace(0));
+  ASSERT_EQ(dag.size(), 6u);
+  // Chronological positions: v, y, w, t, z, u.
+  EXPECT_EQ(dag.UserAt(0), PaperExample::kV);
+  EXPECT_EQ(dag.UserAt(5), PaperExample::kU);
+  EXPECT_TRUE(dag.IsInitiator(0));
+  EXPECT_TRUE(dag.IsInitiator(1));  // y
+  EXPECT_FALSE(dag.IsInitiator(2));
+  EXPECT_EQ(dag.InDegree(2), 1u);  // w <- v
+  EXPECT_EQ(dag.InDegree(3), 2u);  // t <- v, y
+  EXPECT_EQ(dag.InDegree(4), 1u);  // z <- t
+  EXPECT_EQ(dag.InDegree(5), 4u);  // u <- v, t, w, z
+  const auto initiators = dag.InitiatorUsers();
+  ASSERT_EQ(initiators.size(), 2u);
+  EXPECT_EQ(initiators[0], PaperExample::kV);
+  EXPECT_EQ(initiators[1], PaperExample::kY);
+}
+
+TEST(PropagationDagTest, ParentEdgesMatchGraphEdges) {
+  auto ex = MakePaperExample();
+  const PropagationDag dag =
+      BuildPropagationDag(ex.graph, ex.log.ActionTrace(0));
+  for (NodeId pos = 0; pos < dag.size(); ++pos) {
+    const auto parents = dag.Parents(pos);
+    const auto edges = dag.ParentEdges(pos);
+    ASSERT_EQ(parents.size(), edges.size());
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      EXPECT_EQ(
+          ex.graph.FindOutEdge(dag.UserAt(parents[i]), dag.UserAt(pos)),
+          edges[i]);
+    }
+  }
+}
+
+TEST(PropagationDagTest, ParentsAreStrictlyEarlier) {
+  auto ex = MakePaperExample();
+  const PropagationDag dag =
+      BuildPropagationDag(ex.graph, ex.log.ActionTrace(0));
+  for (NodeId pos = 0; pos < dag.size(); ++pos) {
+    for (NodeId parent : dag.Parents(pos)) {
+      EXPECT_LT(parent, pos);
+      EXPECT_LT(dag.TimeAt(parent), dag.TimeAt(pos));
+    }
+  }
+}
+
+TEST(PropagationDagTest, SimultaneousActivationsDoNotParentEachOther) {
+  GraphBuilder gb(3);
+  gb.AddReciprocalEdge(0, 1);
+  gb.AddEdge(0, 2);
+  gb.AddEdge(1, 2);
+  auto graph = gb.Build();
+  ASSERT_TRUE(graph.ok());
+  ActionLogBuilder lb(3);
+  lb.Add(0, 0, 1.0);
+  lb.Add(1, 0, 1.0);  // tie with user 0
+  lb.Add(2, 0, 2.0);
+  auto log = lb.Build();
+  ASSERT_TRUE(log.ok());
+  const PropagationDag dag = BuildPropagationDag(*graph, log->ActionTrace(0));
+  EXPECT_TRUE(dag.IsInitiator(0));
+  EXPECT_TRUE(dag.IsInitiator(1));  // tie: 0 is NOT a parent of 1
+  EXPECT_EQ(dag.InDegree(2), 2u);
+}
+
+TEST(PropagationDagTest, NonAdjacentUsersAreNotParents) {
+  GraphBuilder gb(3);
+  gb.AddEdge(0, 1);
+  auto graph = gb.Build();
+  ASSERT_TRUE(graph.ok());
+  ActionLogBuilder lb(3);
+  lb.Add(2, 0, 0.5);  // earlier but not socially linked to 1
+  lb.Add(0, 0, 1.0);
+  lb.Add(1, 0, 2.0);
+  auto log = lb.Build();
+  ASSERT_TRUE(log.ok());
+  const PropagationDag dag = BuildPropagationDag(*graph, log->ActionTrace(0));
+  const NodeId pos1 = dag.PositionOf(1);
+  ASSERT_NE(pos1, kInvalidNode);
+  ASSERT_EQ(dag.InDegree(pos1), 1u);
+  EXPECT_EQ(dag.UserAt(dag.Parents(pos1)[0]), 0u);
+}
+
+TEST(PropagationDagTest, PositionOfAbsentUser) {
+  auto ex = MakePaperExample();
+  const PropagationDag dag =
+      BuildPropagationDag(ex.graph, ex.log.ActionTrace(0));
+  EXPECT_EQ(dag.PositionOf(999), kInvalidNode);
+}
+
+TEST(PropagationDagTest, EmptyTraceGivesEmptyDag) {
+  auto ex = MakePaperExample();
+  const PropagationDag dag = BuildPropagationDag(ex.graph, {});
+  EXPECT_EQ(dag.size(), 0u);
+  EXPECT_EQ(dag.num_edges(), 0u);
+  EXPECT_TRUE(dag.InitiatorUsers().empty());
+}
+
+// Property sweep on generated datasets: every propagation graph must be a
+// DAG with the time constraint (Section 4's Data Model guarantees this).
+class DagPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DagPropertyTest, GeneratedTracesFormValidDags) {
+  auto graph = GeneratePreferentialAttachment({400, 4, 0.5}, GetParam());
+  ASSERT_TRUE(graph.ok());
+  CascadeConfig config;
+  config.num_actions = 60;
+  config.seed = GetParam() * 31 + 7;
+  auto data = GenerateCascadeDataset(std::move(graph).value(), config);
+  ASSERT_TRUE(data.ok());
+  for (ActionId a = 0; a < data->log.num_actions(); ++a) {
+    const PropagationDag dag =
+        BuildPropagationDag(data->graph, data->log.ActionTrace(a));
+    NodeId initiators = 0;
+    for (NodeId pos = 0; pos < dag.size(); ++pos) {
+      if (dag.IsInitiator(pos)) ++initiators;
+      for (NodeId parent : dag.Parents(pos)) {
+        ASSERT_LT(parent, pos);  // topological order == acyclic
+        ASSERT_LT(dag.TimeAt(parent), dag.TimeAt(pos));
+        ASSERT_TRUE(data->graph.HasEdge(dag.UserAt(parent), dag.UserAt(pos)));
+      }
+    }
+    if (dag.size() > 0) {
+      ASSERT_GE(initiators, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace influmax

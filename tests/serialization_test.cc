@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "actionlog/log_io.h"
+#include "common/binary_io.h"
+#include "datagen/cascade_generator.h"
+#include "graph/graph_io.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+using testing_fixtures::MakePaperExample;
+
+// ------------------------------------------------------------ BinaryIo
+
+TEST(BinaryIoTest, PrimitivesRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/prim.bin";
+  {
+    BinaryWriter writer(path, /*magic=*/0xABCD, /*version=*/3);
+    ASSERT_TRUE(writer.status().ok());
+    writer.WriteU32(42);
+    writer.WriteU64(1ULL << 40);
+    writer.WriteDouble(3.25);
+    writer.WriteVector(std::vector<std::uint32_t>{1, 2, 3});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path, 0xABCD, 3);
+  ASSERT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.ReadU32(), 42u);
+  EXPECT_EQ(reader.ReadU64(), 1ULL << 40);
+  EXPECT_DOUBLE_EQ(reader.ReadDouble(), 3.25);
+  const auto vec = reader.ReadVector<std::uint32_t>(100);
+  EXPECT_EQ(vec, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(reader.Finish().ok());
+}
+
+TEST(BinaryIoTest, RejectsWrongMagicAndVersion) {
+  const std::string path = ::testing::TempDir() + "/magic.bin";
+  {
+    BinaryWriter writer(path, 0x1111, 1);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  EXPECT_FALSE(BinaryReader(path, 0x2222, 1).status().ok());
+  EXPECT_FALSE(BinaryReader(path, 0x1111, 2).status().ok());
+  EXPECT_TRUE(BinaryReader(path, 0x1111, 1).status().ok());
+}
+
+TEST(BinaryIoTest, DetectsTruncation) {
+  const std::string path = ::testing::TempDir() + "/trunc.bin";
+  {
+    BinaryWriter writer(path, 0x7777, 1);
+    writer.WriteVector(std::vector<double>(100, 1.5));
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  // Chop the file.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+  }
+  BinaryReader reader(path, 0x7777, 1);
+  ASSERT_TRUE(reader.status().ok());
+  reader.ReadVector<double>(1000);
+  EXPECT_FALSE(reader.Finish().ok());
+}
+
+TEST(BinaryIoTest, VectorLengthGuardStopsHugeAllocations) {
+  const std::string path = ::testing::TempDir() + "/guard.bin";
+  {
+    BinaryWriter writer(path, 0x8888, 1);
+    writer.WriteVector(std::vector<std::uint32_t>(64, 7));
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path, 0x8888, 1);
+  ASSERT_TRUE(reader.status().ok());
+  reader.ReadVector<std::uint32_t>(/*max_elements=*/8);
+  EXPECT_FALSE(reader.Finish().ok());
+}
+
+// --------------------------------------------------- Graph binary format
+
+TEST(GraphBinaryTest, RoundTripsPaperExample) {
+  auto ex = MakePaperExample();
+  const std::string path = ::testing::TempDir() + "/graph.bin";
+  ASSERT_TRUE(WriteGraphBinary(ex.graph, path).ok());
+  auto loaded = ReadGraphBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), ex.graph.num_nodes());
+  EXPECT_EQ(loaded->out_targets(), ex.graph.out_targets());
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryTest, RoundTripsGeneratedDataset) {
+  auto data = BuildPresetDataset(FlixsterSmallPreset(0.1));
+  ASSERT_TRUE(data.ok());
+  const std::string path = ::testing::TempDir() + "/gen_graph.bin";
+  ASSERT_TRUE(WriteGraphBinary(data->graph, path).ok());
+  auto loaded = ReadGraphBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), data->graph.num_edges());
+  EXPECT_EQ(loaded->out_targets(), data->graph.out_targets());
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryTest, RejectsTextFile) {
+  const std::string path = ::testing::TempDir() + "/not_binary.bin";
+  {
+    std::ofstream out(path);
+    out << "this is not a binary graph\n";
+  }
+  EXPECT_FALSE(ReadGraphBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------- ActionLog binary format
+
+TEST(LogBinaryTest, RoundTripsWithOriginalActionIds) {
+  ActionLogBuilder builder(4);
+  builder.Add(0, 17, 1.5);
+  builder.Add(1, 17, 2.5);
+  builder.Add(2, 99, 0.25);
+  auto log = builder.Build();
+  ASSERT_TRUE(log.ok());
+  const std::string path = ::testing::TempDir() + "/log.bin";
+  ASSERT_TRUE(WriteActionLogBinary(*log, path).ok());
+  auto loaded = ReadActionLogBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_users(), 4u);
+  EXPECT_EQ(loaded->num_tuples(), 3u);
+  EXPECT_EQ(loaded->OriginalActionId(0), 17u);
+  EXPECT_EQ(loaded->OriginalActionId(1), 99u);
+  EXPECT_DOUBLE_EQ(loaded->TimeOf(2, 1), 0.25);
+  std::remove(path.c_str());
+}
+
+TEST(LogBinaryTest, RoundTripsGeneratedDatasetExactly) {
+  auto data = BuildPresetDataset(FlickrSmallPreset(0.1));
+  ASSERT_TRUE(data.ok());
+  const std::string path = ::testing::TempDir() + "/gen_log.bin";
+  ASSERT_TRUE(WriteActionLogBinary(data->log, path).ok());
+  auto loaded = ReadActionLogBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->tuples(), data->log.tuples());
+  std::remove(path.c_str());
+}
+
+TEST(LogBinaryTest, MissingFileIsError) {
+  EXPECT_FALSE(ReadActionLogBinary("/no/such/file.bin").ok());
+}
+
+}  // namespace
+}  // namespace influmax

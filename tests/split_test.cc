@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "actionlog/split.h"
+#include "datagen/cascade_generator.h"
+#include "graph/generators.h"
+
+namespace influmax {
+namespace {
+
+ActionLog MakeLogWithSizes(const std::vector<NodeId>& sizes) {
+  NodeId max_users = *std::max_element(sizes.begin(), sizes.end());
+  ActionLogBuilder builder(max_users);
+  for (std::uint32_t a = 0; a < sizes.size(); ++a) {
+    for (NodeId u = 0; u < sizes[a]; ++u) {
+      builder.Add(u, a, static_cast<double>(u));
+    }
+  }
+  auto log = builder.Build();
+  EXPECT_TRUE(log.ok());
+  return std::move(log).value();
+}
+
+TEST(SplitTest, RejectsBadConfig) {
+  const ActionLog log = MakeLogWithSizes({3, 2, 1});
+  EXPECT_FALSE(SplitByPropagationSize(log, {1, 0}).ok());
+  EXPECT_FALSE(SplitByPropagationSize(log, {5, 5}).ok());
+}
+
+TEST(SplitTest, EveryFifthBySizeGoesToTest) {
+  // Sizes 10..1: ranking is actions 0(10), 1(9), ..., 9(1). With stride 5
+  // and phase 2, ranks 2 and 7 (sizes 8 and 3) go to test.
+  const ActionLog log = MakeLogWithSizes({10, 9, 8, 7, 6, 5, 4, 3, 2, 1});
+  auto split = SplitByPropagationSize(log, {5, 2});
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test.num_actions(), 2u);
+  EXPECT_EQ(split->train.num_actions(), 8u);
+  ASSERT_EQ(split->test_actions.size(), 2u);
+  EXPECT_EQ(split->test_actions[0], 2u);  // size 8
+  EXPECT_EQ(split->test_actions[1], 7u);  // size 3
+}
+
+TEST(SplitTest, PartitionIsExactAndDisjoint) {
+  const ActionLog log = MakeLogWithSizes({5, 8, 2, 9, 4, 7, 3, 6, 1, 10, 11});
+  auto split = SplitByPropagationSize(log, {5, 2});
+  ASSERT_TRUE(split.ok());
+  std::vector<ActionId> all = split->train_actions;
+  all.insert(all.end(), split->test_actions.begin(),
+             split->test_actions.end());
+  std::sort(all.begin(), all.end());
+  std::vector<ActionId> expected(log.num_actions());
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(all, expected);
+  EXPECT_EQ(split->train.num_tuples() + split->test.num_tuples(),
+            log.num_tuples());
+}
+
+TEST(SplitTest, SizeDistributionsAreSimilar) {
+  // The point of splitting along the size ranking (Section 3): the mean
+  // propagation size of train and test should be close.
+  auto graph = GeneratePreferentialAttachment({600, 4, 0.5}, 3);
+  ASSERT_TRUE(graph.ok());
+  CascadeConfig config;
+  config.num_actions = 400;
+  auto data = GenerateCascadeDataset(std::move(graph).value(), config);
+  ASSERT_TRUE(data.ok());
+  auto split = SplitByPropagationSize(data->log, {});
+  ASSERT_TRUE(split.ok());
+  const double train_mean =
+      static_cast<double>(split->train.num_tuples()) /
+      split->train.num_actions();
+  const double test_mean = static_cast<double>(split->test.num_tuples()) /
+                           split->test.num_actions();
+  EXPECT_NEAR(train_mean, test_mean, 0.25 * train_mean);
+  // Roughly 20% of propagations in test.
+  EXPECT_NEAR(static_cast<double>(split->test.num_actions()),
+              0.2 * data->log.num_actions(),
+              0.02 * data->log.num_actions() + 1);
+}
+
+TEST(SplitTest, WholeTracesNeverStraddleTheSplit) {
+  const ActionLog log = MakeLogWithSizes({4, 4, 4, 4, 4, 4, 4, 4, 4, 4});
+  auto split = SplitByPropagationSize(log, {5, 0});
+  ASSERT_TRUE(split.ok());
+  for (ActionId a = 0; a < split->train.num_actions(); ++a) {
+    EXPECT_EQ(split->train.ActionSize(a), 4u);
+  }
+  for (ActionId a = 0; a < split->test.num_actions(); ++a) {
+    EXPECT_EQ(split->test.ActionSize(a), 4u);
+  }
+}
+
+TEST(SampleByTupleBudgetTest, StopsOnceBudgetCovered) {
+  const ActionLog log = MakeLogWithSizes({10, 10, 10, 10, 10});
+  const ActionLog sample = SampleByTupleBudget(log, 25, 1);
+  // Whole traces are taken until >= 25 tuples: exactly 3 traces.
+  EXPECT_EQ(sample.num_actions(), 3u);
+  EXPECT_EQ(sample.num_tuples(), 30u);
+}
+
+TEST(SampleByTupleBudgetTest, LargeBudgetTakesEverything) {
+  const ActionLog log = MakeLogWithSizes({3, 4, 5});
+  const ActionLog sample = SampleByTupleBudget(log, 1000, 1);
+  EXPECT_EQ(sample.num_actions(), 3u);
+  EXPECT_EQ(sample.num_tuples(), 12u);
+}
+
+TEST(SampleByTupleBudgetTest, DeterministicPerSeedAndVariesAcrossSeeds) {
+  const ActionLog log =
+      MakeLogWithSizes({5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  const ActionLog a = SampleByTupleBudget(log, 30, 7);
+  const ActionLog b = SampleByTupleBudget(log, 30, 7);
+  EXPECT_EQ(a.num_tuples(), b.num_tuples());
+  EXPECT_EQ(a.num_actions(), b.num_actions());
+  // Different seeds usually pick different traces; compare original ids.
+  const ActionLog c = SampleByTupleBudget(log, 30, 8);
+  bool any_difference = a.num_actions() != c.num_actions();
+  for (ActionId i = 0; !any_difference && i < a.num_actions(); ++i) {
+    any_difference = a.OriginalActionId(i) != c.OriginalActionId(i);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace influmax

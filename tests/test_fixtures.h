@@ -1,0 +1,94 @@
+#ifndef INFLUMAX_TESTS_TEST_FIXTURES_H_
+#define INFLUMAX_TESTS_TEST_FIXTURES_H_
+
+#include <vector>
+
+#include "actionlog/action_log.h"
+#include "common/logging.h"
+#include "graph/graph.h"
+
+namespace influmax {
+namespace testing_fixtures {
+
+/// The running example of the paper (Figure 1 and the worked examples in
+/// Sections 4-5), reconstructed from the credit values the text derives:
+///
+///   nodes:  v, y, w, t, z, u   (y is a second initiator, not shown by
+///                               name in the text; it is the reason
+///                               Gamma_{v,t} = 0.5)
+///   social edges (influencer -> influenced):
+///     v->w, v->t, y->t, t->z, v->u, t->u, w->u, z->u
+///   one action performed in the order v, y, w, t, z, u.
+///
+/// With equal direct credit gamma = 1/d_in the paper derives:
+///   Gamma_{v,u}          = 0.75
+///   Gamma_{{v,z},u}      = 0.875
+///   Gamma^{V-z}_{v,u}    = 0.625   (Lemma 1 example)
+///   Gamma^{V-v}_{z,u}    = 0.25    (Lemma 1 example)
+///   Gamma^{V-{t,z}}_{v,u}   = 0.5  (Lemma 2 example)
+///   Gamma^{V-{t,z,w}}_{v,u} = 0.25 (Lemma 2 example)
+struct PaperExample {
+  static constexpr NodeId kV = 0;
+  static constexpr NodeId kY = 1;
+  static constexpr NodeId kW = 2;
+  static constexpr NodeId kT = 3;
+  static constexpr NodeId kZ = 4;
+  static constexpr NodeId kU = 5;
+
+  Graph graph;
+  ActionLog log;
+};
+
+inline PaperExample MakePaperExample() {
+  PaperExample ex;
+  GraphBuilder gb(6);
+  gb.AddEdge(PaperExample::kV, PaperExample::kW);
+  gb.AddEdge(PaperExample::kV, PaperExample::kT);
+  gb.AddEdge(PaperExample::kY, PaperExample::kT);
+  gb.AddEdge(PaperExample::kT, PaperExample::kZ);
+  gb.AddEdge(PaperExample::kV, PaperExample::kU);
+  gb.AddEdge(PaperExample::kT, PaperExample::kU);
+  gb.AddEdge(PaperExample::kW, PaperExample::kU);
+  gb.AddEdge(PaperExample::kZ, PaperExample::kU);
+  auto graph = gb.Build();
+  INFLUMAX_CHECK(graph.ok());
+  ex.graph = std::move(graph).value();
+
+  ActionLogBuilder lb(6);
+  lb.Add(PaperExample::kV, /*action=*/0, /*time=*/1.0);
+  lb.Add(PaperExample::kY, 0, 1.5);
+  lb.Add(PaperExample::kW, 0, 2.0);
+  lb.Add(PaperExample::kT, 0, 2.5);
+  lb.Add(PaperExample::kZ, 0, 3.0);
+  lb.Add(PaperExample::kU, 0, 4.0);
+  auto log = lb.Build();
+  INFLUMAX_CHECK(log.ok());
+  ex.log = std::move(log).value();
+  return ex;
+}
+
+/// A 4-node diamond v -> {a, b} -> u used by the exact-vs-MC tests.
+inline Graph MakeDiamondGraph() {
+  GraphBuilder gb(4);
+  gb.AddEdge(0, 1);
+  gb.AddEdge(0, 2);
+  gb.AddEdge(1, 3);
+  gb.AddEdge(2, 3);
+  auto graph = gb.Build();
+  INFLUMAX_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+/// A directed path 0 -> 1 -> ... -> n-1.
+inline Graph MakePathGraph(NodeId n) {
+  GraphBuilder gb(n);
+  for (NodeId i = 0; i + 1 < n; ++i) gb.AddEdge(i, i + 1);
+  auto graph = gb.Build();
+  INFLUMAX_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+}  // namespace testing_fixtures
+}  // namespace influmax
+
+#endif  // INFLUMAX_TESTS_TEST_FIXTURES_H_
