@@ -5,11 +5,16 @@
 // PageRank iteration.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "actionlog/propagation_dag.h"
 #include "common/logging.h"
+#include "common/rng.h"
 #include "core/cd_evaluator.h"
 #include "core/cd_model.h"
 #include "core/direct_credit.h"
@@ -163,6 +168,186 @@ void BM_PageRank(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PageRank)->Arg(500)->Arg(2000);
+
+// ---------------------------------------------------------------------------
+// Credit-store microbenchmarks: the flat-hash ActionCreditTable against a
+// replica of the seed implementation (one std::unordered_map node per
+// credit entry, map-of-vectors adjacency). Same (v, u) workload, same
+// operation mix, so the ratio is the container speedup and the approx_mb
+// counters compare the memory accounting on identical content.
+
+/// The seed-era credit table, kept verbatim as the baseline under test.
+class StdActionCreditTable {
+ public:
+  double Credit(NodeId v, NodeId u) const {
+    const auto it = credit_.find(Key(v, u));
+    return it == credit_.end() ? 0.0 : it->second;
+  }
+
+  void AddCredit(NodeId v, NodeId u, double delta) {
+    auto [it, inserted] = credit_.emplace(Key(v, u), delta);
+    if (inserted) {
+      forward_[v].push_back(u);
+      backward_[u].push_back(v);
+    } else {
+      it->second += delta;
+    }
+  }
+
+  void SubtractCredit(NodeId v, NodeId u, double delta) {
+    const auto it = credit_.find(Key(v, u));
+    if (it == credit_.end()) return;
+    it->second -= delta;
+    if (it->second <= 1e-12) credit_.erase(it);
+  }
+
+  // Honest heap accounting (the seed version undercounted): every
+  // unordered_map entry is a separately malloc'd node — payload plus the
+  // chain pointer, rounded up to a glibc chunk — and every map also owns
+  // a bucket-pointer array. Adjacency vectors are one heap allocation
+  // each. This is what the process actually pays per entry; the flat
+  // store's ApproxMemoryBytes is exact by construction, so the two
+  // counters are comparable.
+  static std::uint64_t MallocChunk(std::uint64_t payload) {
+    // glibc: 8-byte chunk header, 16-byte granularity, 32-byte minimum.
+    const std::uint64_t chunk = (payload + 8 + 15) / 16 * 16;
+    return chunk < 32 ? 32 : chunk;
+  }
+
+  std::uint64_t ApproxMemoryBytes() const {
+    const std::uint64_t kCreditNode =
+        MallocChunk(sizeof(void*) + sizeof(std::uint64_t) + sizeof(double));
+    std::uint64_t bytes = credit_.size() * kCreditNode +
+                          credit_.bucket_count() * sizeof(void*);
+    const std::uint64_t kAdjNode = MallocChunk(
+        sizeof(void*) + sizeof(NodeId) + sizeof(std::vector<NodeId>) + 4);
+    for (const auto* adj : {&forward_, &backward_}) {
+      bytes += adj->size() * kAdjNode + adj->bucket_count() * sizeof(void*);
+      for (const auto& [node, list] : *adj) {
+        if (list.capacity() > 0) {
+          bytes += MallocChunk(list.capacity() * sizeof(NodeId));
+        }
+      }
+    }
+    return bytes;
+  }
+
+ private:
+  static std::uint64_t Key(NodeId v, NodeId u) {
+    return (static_cast<std::uint64_t>(v) << 32) | u;
+  }
+
+  std::unordered_map<std::uint64_t, double> credit_;
+  std::unordered_map<NodeId, std::vector<NodeId>> forward_;
+  std::unordered_map<NodeId, std::vector<NodeId>> backward_;
+};
+
+/// (v, u) pairs mimicking the scan: power-law-ish fan-out over 32k users,
+/// with repeats so AddCredit exercises both insert and accumulate.
+std::vector<std::pair<NodeId, NodeId>> CreditWorkload(std::size_t entries) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(entries);
+  Rng rng(1234);
+  constexpr NodeId kUsers = 32768;
+  for (std::size_t i = 0; i < entries; ++i) {
+    // Square the unit draw to skew v toward low ids (hub users).
+    const double skew = rng.NextDouble();
+    const NodeId v = static_cast<NodeId>(skew * skew * (kUsers - 1));
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(kUsers));
+    pairs.emplace_back(v, u);
+  }
+  return pairs;
+}
+
+template <typename Table>
+void RunCreditInsert(benchmark::State& state) {
+  const auto pairs = CreditWorkload(static_cast<std::size_t>(state.range(0)));
+  double approx_mb = 0.0;
+  for (auto _ : state) {
+    std::optional<Table> table(std::in_place);
+    for (const auto& [v, u] : pairs) table->AddCredit(v, u, 0.25);
+    benchmark::DoNotOptimize(table->Credit(pairs[0].first, pairs[0].second));
+    // Accounting and teardown are not the measured operation; the
+    // node-based baseline frees one chunk per entry on destruction.
+    state.PauseTiming();
+    approx_mb =
+        static_cast<double>(table->ApproxMemoryBytes()) / (1024.0 * 1024.0);
+    table.reset();
+    state.ResumeTiming();
+  }
+  state.counters["approx_mb"] = benchmark::Counter(approx_mb);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pairs.size()));
+}
+
+template <typename Table>
+void RunCreditLookup(benchmark::State& state) {
+  const auto pairs = CreditWorkload(static_cast<std::size_t>(state.range(0)));
+  Table table;
+  for (const auto& [v, u] : pairs) table.AddCredit(v, u, 0.25);
+  // Half the probes hit (workload pairs), half miss (shifted user id).
+  double sum = 0.0;
+  for (auto _ : state) {
+    for (const auto& [v, u] : pairs) {
+      sum += table.Credit(v, u);
+      sum += table.Credit(v, u + 1);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * pairs.size()));
+}
+
+template <typename Table>
+void RunCreditSubtract(benchmark::State& state) {
+  const auto pairs = CreditWorkload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();  // rebuild/teardown is not the measured op
+    std::optional<Table> table(std::in_place);
+    for (const auto& [v, u] : pairs) table->AddCredit(v, u, 0.25);
+    state.ResumeTiming();
+    // Greedy-style decay: first pass shrinks, second pass erases most
+    // entries (0.5 - 0.25 - 0.25 <= epsilon).
+    for (const auto& [v, u] : pairs) table->SubtractCredit(v, u, 0.25);
+    for (const auto& [v, u] : pairs) table->SubtractCredit(v, u, 0.25);
+    benchmark::DoNotOptimize(table->Credit(pairs[0].first, pairs[0].second));
+    state.PauseTiming();
+    table.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * pairs.size()));
+}
+
+void BM_CreditStoreInsert_Flat(benchmark::State& state) {
+  RunCreditInsert<ActionCreditTable>(state);
+}
+BENCHMARK(BM_CreditStoreInsert_Flat)->Arg(100000);
+
+void BM_CreditStoreInsert_StdUnorderedMap(benchmark::State& state) {
+  RunCreditInsert<StdActionCreditTable>(state);
+}
+BENCHMARK(BM_CreditStoreInsert_StdUnorderedMap)->Arg(100000);
+
+void BM_CreditStoreLookup_Flat(benchmark::State& state) {
+  RunCreditLookup<ActionCreditTable>(state);
+}
+BENCHMARK(BM_CreditStoreLookup_Flat)->Arg(100000);
+
+void BM_CreditStoreLookup_StdUnorderedMap(benchmark::State& state) {
+  RunCreditLookup<StdActionCreditTable>(state);
+}
+BENCHMARK(BM_CreditStoreLookup_StdUnorderedMap)->Arg(100000);
+
+void BM_CreditStoreSubtract_Flat(benchmark::State& state) {
+  RunCreditSubtract<ActionCreditTable>(state);
+}
+BENCHMARK(BM_CreditStoreSubtract_Flat)->Arg(100000);
+
+void BM_CreditStoreSubtract_StdUnorderedMap(benchmark::State& state) {
+  RunCreditSubtract<StdActionCreditTable>(state);
+}
+BENCHMARK(BM_CreditStoreSubtract_StdUnorderedMap)->Arg(100000);
 
 void BM_EmIteration(benchmark::State& state) {
   const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace influmax {
 
@@ -92,8 +93,8 @@ Result<ActionLog> ActionLogBuilder::Build() {
   std::sort(distinct.begin(), distinct.end());
   distinct.erase(std::unique(distinct.begin(), distinct.end()),
                  distinct.end());
-  std::unordered_map<std::uint32_t, ActionId> dense;
-  dense.reserve(distinct.size());
+  FlatHashMap<std::uint32_t, ActionId> dense;
+  dense.Reserve(distinct.size());
   for (ActionId i = 0; i < distinct.size(); ++i) dense[distinct[i]] = i;
 
   ActionLog log;
@@ -115,14 +116,13 @@ Result<ActionLog> ActionLogBuilder::Build() {
               return a.user < b.user;
             });
   {
-    std::unordered_map<std::uint64_t, bool> performed;
-    performed.reserve(log.tuples_.size());
+    FlatHashSet<std::uint64_t> performed;
+    performed.Reserve(log.tuples_.size());
     auto key = [](ActionId a, NodeId u) {
       return (static_cast<std::uint64_t>(a) << 32) | u;
     };
     std::erase_if(log.tuples_, [&](const ActionTuple& t) {
-      const bool inserted =
-          performed.emplace(key(t.action, t.user), true).second;
+      const bool inserted = performed.Insert(key(t.action, t.user));
       return !inserted;  // later (>= time) duplicate: drop
     });
   }

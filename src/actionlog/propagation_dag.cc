@@ -1,7 +1,8 @@
 #include "actionlog/propagation_dag.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace influmax {
 
@@ -33,14 +34,15 @@ PropagationDag BuildPropagationDag(const Graph& g,
   // group. Users in the current group are staged and committed when the
   // timestamp advances, so simultaneous activations never parent each
   // other.
-  std::unordered_map<NodeId, NodeId> activated;
-  activated.reserve(n);
+  FlatHashMap<NodeId, NodeId> activated;
+  activated.Reserve(n);
   std::size_t group_begin = 0;
 
   for (std::size_t i = 0; i < trace.size(); ++i) {
     if (i > 0 && trace[i].time != trace[i - 1].time) {
       for (std::size_t j = group_begin; j < i; ++j) {
-        activated.emplace(trace[j].user, static_cast<NodeId>(j));
+        auto [pos, inserted] = activated.TryEmplace(trace[j].user);
+        if (inserted) *pos = static_cast<NodeId>(j);
       }
       group_begin = i;
     }
@@ -55,9 +57,9 @@ PropagationDag BuildPropagationDag(const Graph& g,
     const EdgeIndex in_base = g.InEdgeBegin(u);
     const auto in_neighbors = g.InNeighbors(u);
     for (std::size_t j = 0; j < in_neighbors.size(); ++j) {
-      const auto it = activated.find(in_neighbors[j]);
-      if (it != activated.end()) {
-        dag.parents_.push_back(it->second);
+      const NodeId* pos = activated.Find(in_neighbors[j]);
+      if (pos != nullptr) {
+        dag.parents_.push_back(*pos);
         dag.parent_edges_.push_back(g.InPosToOutEdge(in_base + j));
       }
     }

@@ -1,0 +1,382 @@
+#ifndef INFLUMAX_COMMON_FLAT_HASH_H_
+#define INFLUMAX_COMMON_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace influmax {
+
+/// 64-bit finalizer (MurmurHash3 fmix64): full avalanche, so the
+/// power-of-two masking below is safe even for structured keys like
+/// (v << 32 | u) pair packs or sequential ids.
+inline std::uint64_t HashMix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Default hasher for integral keys.
+template <typename K>
+struct FlatHash {
+  static_assert(std::is_integral_v<K> || std::is_enum_v<K>,
+                "FlatHash needs an integral key; supply a custom hasher");
+  std::uint64_t operator()(K key) const {
+    return HashMix64(static_cast<std::uint64_t>(key));
+  }
+};
+
+/// Open-addressing robin-hood hash map with flat storage.
+///
+/// Design (see docs/containers.md for the full contract):
+///  - keys are trivially copyable (checked at compile time); values need
+///    default-construction + move-assignment only,
+///  - power-of-two capacity, max load factor 0.5 (measured on the credit
+///    workloads: at 0.8 the mean probe length is ~2.6 and the dependent
+///    probe loads erase the flat-layout win; at <= 0.5 it is ~1.3),
+///  - probe metadata lives in its own byte array (64 distances per cache
+///    line), so most probes touch the packed {value, key} slot array
+///    exactly once and misses often touch it not at all,
+///  - robin-hood insertion (displace richer occupants) keeps probe
+///    sequences short and variance low,
+///  - backward-shift deletion: no tombstones, so lookup cost never decays
+///    with churn,
+///  - per-slot metadata is one byte: 0 = empty, else probe distance + 1.
+///
+/// Pointers returned by Find()/TryEmplace()/operator[] are invalidated by
+/// any subsequent insert or erase (rehash or backward shift may move
+/// slots), like iterators of std::vector. A TryEmplace/operator[] that
+/// finds its key already present does not count as an insert.
+template <typename K, typename V, typename Hash = FlatHash<K>>
+class FlatHashMap {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "FlatHashMap keys must be trivially copyable (POD-like)");
+
+ public:
+  FlatHashMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  const V* Find(K key) const {
+    if (size_ == 0) return nullptr;
+    std::size_t idx = hash_(key) & mask_;
+    std::uint8_t d = 1;
+    while (true) {
+      const std::uint8_t dist = dist_[idx];
+      if (dist < d) return nullptr;  // empty or richer: key absent
+      if (dist == d && slots_[idx].key == key) return &slots_[idx].value;
+      idx = (idx + 1) & mask_;
+      ++d;
+    }
+  }
+
+  V* Find(K key) {
+    return const_cast<V*>(std::as_const(*this).Find(key));
+  }
+
+  bool Contains(K key) const { return Find(key) != nullptr; }
+
+  /// Inserts a default-constructed value for `key` if absent. Returns the
+  /// value slot and whether an insert happened. Growth only ever follows
+  /// an actual insert, so a call that finds an existing key never moves
+  /// slots (the pointer-validity contract above depends on this).
+  std::pair<V*, bool> TryEmplace(K key) {
+    if (slots_.empty()) Grow();
+    while (true) {
+      const InsertOutcome outcome = InsertProbe(key);
+      if (outcome.index == kOverflow) {
+        Grow();  // probe chain exceeded the metadata range: re-spread
+        continue;
+      }
+      if (!outcome.inserted) {
+        return {&slots_[outcome.index].value, false};
+      }
+      ++size_;
+      if (size_ * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
+        Grow();  // over the load limit: re-spread, then re-locate key
+        return {&slots_[IndexOf(key)].value, true};
+      }
+      return {&slots_[outcome.index].value, true};
+    }
+  }
+
+  /// Inserts or overwrites. Returns the value slot.
+  V* InsertOrAssign(K key, V value) {
+    auto [slot, inserted] = TryEmplace(key);
+    *slot = std::move(value);
+    return slot;
+  }
+
+  V& operator[](K key) { return *TryEmplace(key).first; }
+
+  /// Removes `key`; returns whether it was present. Backward-shift: the
+  /// following displaced run moves one slot back, so no tombstones exist.
+  bool Erase(K key) {
+    if (size_ == 0) return false;
+    std::size_t idx = hash_(key) & mask_;
+    std::uint8_t d = 1;
+    while (true) {
+      const std::uint8_t dist = dist_[idx];
+      if (dist < d) return false;
+      if (dist == d && slots_[idx].key == key) break;
+      idx = (idx + 1) & mask_;
+      ++d;
+    }
+    EraseAtIndex(idx);
+    return true;
+  }
+
+  /// Erases the entry whose value pointer was just obtained from Find()
+  /// on this map, skipping the second probe walk. Precondition: no
+  /// mutation happened between the Find() and this call.
+  void EraseSlot(V* value_slot) {
+    const Slot* slot = reinterpret_cast<const Slot*>(
+        reinterpret_cast<const char*>(value_slot) - offsetof(Slot, value));
+    EraseAtIndex(static_cast<std::size_t>(slot - slots_.data()));
+  }
+
+  /// Drops all entries but keeps the allocated capacity (cheap reuse in
+  /// per-iteration scratch maps).
+  void Clear() {
+    for (std::size_t i = 0; i < dist_.size(); ++i) {
+      if (dist_[i] != 0) {
+        dist_[i] = 0;
+        slots_[i].value = V();
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Ensures capacity for `n` entries without intermediate rehashes.
+  void Reserve(std::size_t n) {
+    std::size_t needed = 16;
+    while (needed * kMaxLoadNum / kMaxLoadDen < n) needed *= 2;
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  /// Flat-array footprint: capacity * (sizeof(slot) + 1 metadata byte),
+  /// padding included. Values that own heap memory (e.g. spilled
+  /// SmallVectors) account for it separately — see
+  /// ActionCreditTable::ApproxMemoryBytes.
+  std::uint64_t ApproxMemoryBytes() const {
+    return static_cast<std::uint64_t>(slots_.size()) *
+           (sizeof(Slot) + sizeof(std::uint8_t));
+  }
+
+  /// Iteration over occupied slots, in table order. The dereferenced
+  /// entry exposes `key` and `value` members; order is deterministic for
+  /// a fixed operation history but otherwise unspecified.
+  template <bool Const>
+  class Iterator {
+   public:
+    using MapPtr = std::conditional_t<Const, const FlatHashMap*, FlatHashMap*>;
+    struct Entry {
+      const K& key;
+      std::conditional_t<Const, const V&, V&> value;
+    };
+
+    Iterator(MapPtr map, std::size_t idx) : map_(map), idx_(idx) { Skip(); }
+
+    Entry operator*() const {
+      return Entry{map_->slots_[idx_].key, map_->slots_[idx_].value};
+    }
+
+    Iterator& operator++() {
+      ++idx_;
+      Skip();
+      return *this;
+    }
+
+    bool operator==(const Iterator& other) const {
+      return idx_ == other.idx_;
+    }
+    bool operator!=(const Iterator& other) const {
+      return idx_ != other.idx_;
+    }
+
+   private:
+    void Skip() {
+      while (idx_ < map_->dist_.size() && map_->dist_[idx_] == 0) ++idx_;
+    }
+    MapPtr map_;
+    std::size_t idx_;
+  };
+
+  Iterator<false> begin() { return Iterator<false>(this, 0); }
+  Iterator<false> end() { return Iterator<false>(this, dist_.size()); }
+  Iterator<true> begin() const { return Iterator<true>(this, 0); }
+  Iterator<true> end() const { return Iterator<true>(this, dist_.size()); }
+
+ private:
+  // Value first: a small key pads after the value instead of key and
+  // value each padding to V's alignment, and an empty value type (the
+  // FlatHashSet payload) occupies no bytes at all. Probe distances live
+  // in dist_ (parallel byte array), not here: probing scans densely
+  // packed metadata and only touches a slot to compare a key.
+  struct Slot {
+    [[no_unique_address]] V value{};
+    K key{};
+  };
+
+  // Max load factor 1/2: the flat layout only beats node-based maps when
+  // probe chains stay near 1 (see the class comment).
+  static constexpr std::size_t kMaxLoadNum = 1;
+  static constexpr std::size_t kMaxLoadDen = 2;
+  // dist is uint8_t with +1 bias; leave headroom before saturation.
+  static constexpr std::uint8_t kMaxProbe = 128;
+  static constexpr std::size_t kOverflow = static_cast<std::size_t>(-1);
+
+  struct InsertOutcome {
+    std::size_t index;  // final slot of `key`, or kOverflow
+    bool inserted;
+  };
+
+  void EraseAtIndex(std::size_t idx) {
+    std::size_t hole = idx;
+    std::size_t next = (hole + 1) & mask_;
+    while (dist_[next] > 1) {
+      slots_[hole].key = slots_[next].key;
+      slots_[hole].value = std::move(slots_[next].value);
+      dist_[hole] = dist_[next] - 1;
+      hole = next;
+      next = (next + 1) & mask_;
+    }
+    dist_[hole] = 0;
+    slots_[hole].value = V();  // release any resources held by the value
+    --size_;
+  }
+
+  void Grow() { Rehash(slots_.empty() ? 16 : slots_.size() * 2); }
+
+  void Rehash(std::size_t new_capacity) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_dist = std::move(dist_);
+    slots_ = std::vector<Slot>(new_capacity);
+    dist_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    for (std::size_t i = 0; i < old_dist.size(); ++i) {
+      if (old_dist[i] == 0) continue;
+      while (true) {
+        const InsertOutcome outcome = InsertProbe(old_slots[i].key);
+        if (outcome.index != kOverflow) {
+          slots_[outcome.index].value = std::move(old_slots[i].value);
+          break;
+        }
+        // Pathological clustering even after the spread: double again.
+        // Entries already moved are re-spread by the recursive Rehash.
+        Rehash(slots_.size() * 2);
+      }
+    }
+  }
+
+  // Robin-hood probe for `key`: finds the existing slot, or claims one
+  // (displacing richer occupants). Returns kOverflow when the probe chain
+  // would exceed kMaxProbe before any slot was claimed; overflow while
+  // carrying a displaced entry instead grows inline (the new key is
+  // already placed and gets re-located after the rehash).
+  InsertOutcome InsertProbe(K key) {
+    std::size_t idx = hash_(key) & mask_;
+    std::uint8_t d = 1;
+    while (true) {
+      if (dist_[idx] == 0) {
+        slots_[idx].key = key;
+        dist_[idx] = d;
+        return {idx, true};
+      }
+      if (dist_[idx] == d && slots_[idx].key == key) {
+        return {idx, false};
+      }
+      if (dist_[idx] < d) {
+        // Rich occupant: `key` settles here, the occupant carries on.
+        const std::size_t result = idx;
+        K carry_key = slots_[idx].key;
+        V carry_value = std::move(slots_[idx].value);
+        std::uint8_t carry_d = dist_[idx];
+        slots_[idx].key = key;
+        dist_[idx] = d;
+        slots_[idx].value = V();
+        while (true) {
+          idx = (idx + 1) & mask_;
+          ++carry_d;
+          if (carry_d >= kMaxProbe) {
+            ReinsertAfterGrow(carry_key, std::move(carry_value));
+            return {IndexOf(key), true};
+          }
+          if (dist_[idx] == 0) {
+            slots_[idx].key = carry_key;
+            slots_[idx].value = std::move(carry_value);
+            dist_[idx] = carry_d;
+            return {result, true};
+          }
+          if (dist_[idx] < carry_d) {
+            std::swap(carry_key, slots_[idx].key);
+            std::swap(carry_value, slots_[idx].value);
+            std::swap(carry_d, dist_[idx]);
+          }
+        }
+      }
+      idx = (idx + 1) & mask_;
+      ++d;
+      if (d >= kMaxProbe) return {kOverflow, false};
+    }
+  }
+
+  void ReinsertAfterGrow(K key, V value) {
+    Grow();
+    while (true) {
+      const InsertOutcome outcome = InsertProbe(key);
+      if (outcome.index != kOverflow) {
+        slots_[outcome.index].value = std::move(value);
+        return;
+      }
+      Grow();
+    }
+  }
+
+  std::size_t IndexOf(K key) const {
+    std::size_t idx = hash_(key) & mask_;
+    std::uint8_t d = 1;
+    while (!(dist_[idx] == d && slots_[idx].key == key)) {
+      idx = (idx + 1) & mask_;
+      ++d;
+    }
+    return idx;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> dist_;  // 0 = empty, else probe distance + 1
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  [[no_unique_address]] Hash hash_;
+};
+
+/// Set facade over FlatHashMap (empty value payload).
+template <typename K, typename Hash = FlatHash<K>>
+class FlatHashSet {
+ public:
+  /// Returns true when `key` was newly inserted.
+  bool Insert(K key) { return map_.TryEmplace(key).second; }
+  bool Contains(K key) const { return map_.Contains(key); }
+  bool Erase(K key) { return map_.Erase(key); }
+  void Clear() { map_.Clear(); }
+  void Reserve(std::size_t n) { map_.Reserve(n); }
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  std::uint64_t ApproxMemoryBytes() const { return map_.ApproxMemoryBytes(); }
+
+ private:
+  struct Empty {};
+  FlatHashMap<K, Empty, Hash> map_;
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_FLAT_HASH_H_

@@ -30,14 +30,19 @@ Result<CreditDistributionModel> CreditDistributionModel::Build(
   // potential-influencer set N_in(u, a); total credits accumulate by the
   // recursive definition (Eq. 5) in topological order. Actions touch only
   // their own credit table, so the pass is parallel across actions with
-  // results independent of the thread count.
+  // results independent of the thread count. Each worker snapshots
+  // creditor lists into its own arena: AddCredit may rehash the flat
+  // adjacency tables, so no span into the table may outlive a mutation.
+  model.store_.PrepareScanArenas(
+      EffectiveThreadCount(config.scan_threads));
   ParallelForDynamic(
       log.num_actions(), config.scan_threads,
-      [&](std::size_t /*thread*/, std::size_t action) {
+      [&](std::size_t thread, std::size_t action) {
         const ActionId a = static_cast<ActionId>(action);
         const PropagationDag dag =
             BuildPropagationDag(graph, log.ActionTrace(a));
         ActionCreditTable& table = model.store_.table(a);
+        ScanArena& arena = model.store_.scan_arena(thread);
         for (NodeId pos = 0; pos < dag.size(); ++pos) {
           const auto parents = dag.Parents(pos);
           if (parents.empty()) continue;
@@ -53,16 +58,19 @@ Result<CreditDistributionModel> CreditDistributionModel::Build(
             // Transitive credit: everyone already crediting v passes
             // credit through to u, scaled by gamma (Eq. 5), subject to
             // truncation.
-            for (NodeId w : table.Creditors(v)) {
-              const double transitive = table.Credit(w, v) * gamma;
+            arena.creditors.clear();
+            table.SnapshotCreditors(v, &arena.creditors);
+            for (const CreditEntry& creditor : arena.creditors) {
+              const double transitive = creditor.credit * gamma;
               if (transitive >= lambda && transitive > 0.0) {
-                table.AddCredit(w, u, transitive);
+                table.AddCredit(creditor.node, u, transitive);
               }
             }
             table.AddCredit(v, u, gamma);
           }
         }
       });
+  model.store_.ReleaseScanArenas();
   return model;
 }
 
@@ -95,24 +103,27 @@ void CreditDistributionModel::CommitSeed(NodeId x) {
   // Algorithm 5. For every action x performed: fold x's credit into SC
   // (Lemma 3), subtract the through-x paths from every (v, u) pair
   // (Lemma 2), then drop x's row and column — x has left the induced
-  // subgraph V - S.
+  // subgraph V - S. The live rows are snapshotted up front: the updates
+  // only touch (v, u) pairs with v != x and u != x, so the snapshots stay
+  // exact, and SubtractCredit/Erase are then free to compact
+  // majority-stale adjacency lists mid-loop.
+  std::vector<CreditEntry> credited;
+  std::vector<CreditEntry> creditors;
   for (const UserAction& ua : log_->UserActions(x)) {
     ActionCreditTable& table = store_.table(ua.action);
     const double sc_x = store_.SetCredit(x, ua.action);
-    const auto credited = table.CreditedUsers(x);
-    const auto creditors = table.Creditors(x);
-    for (NodeId u : credited) {
-      const double cxu = table.Credit(x, u);
-      if (cxu <= 0.0) continue;  // stale adjacency entry
-      for (NodeId v : creditors) {
-        const double cvx = table.Credit(v, x);
-        if (cvx <= 0.0) continue;
-        table.SubtractCredit(v, u, cvx * cxu);
+    credited.clear();
+    creditors.clear();
+    table.SnapshotCredited(x, &credited);
+    table.SnapshotCreditors(x, &creditors);
+    for (const CreditEntry& cu : credited) {
+      for (const CreditEntry& cv : creditors) {
+        table.SubtractCredit(cv.node, cu.node, cv.credit * cu.credit);
       }
-      store_.AddSetCredit(u, ua.action, cxu * (1.0 - sc_x));
+      store_.AddSetCredit(cu.node, ua.action, cu.credit * (1.0 - sc_x));
     }
-    for (NodeId u : credited) table.Erase(x, u);
-    for (NodeId v : creditors) table.Erase(v, x);
+    for (const CreditEntry& cu : credited) table.Erase(x, cu.node);
+    for (const CreditEntry& cv : creditors) table.Erase(cv.node, x);
   }
   current_seeds_.push_back(x);
   is_seed_[x] = true;

@@ -3,40 +3,71 @@
 namespace influmax {
 
 void ActionCreditTable::AddCredit(NodeId v, NodeId u, double delta) {
-  auto [it, inserted] = credit_.emplace(Key(v, u), delta);
+  auto [credit, inserted] = credit_.TryEmplace(Key(v, u));
   if (inserted) {
-    forward_[v].push_back(u);
-    backward_[u].push_back(v);
+    *credit = delta;
+    forward_.Append(v, u);
+    backward_.Append(u, v);
   } else {
-    it->second += delta;
+    *credit += delta;
   }
 }
 
 void ActionCreditTable::SubtractCredit(NodeId v, NodeId u, double delta) {
-  const auto it = credit_.find(Key(v, u));
-  if (it == credit_.end()) return;  // truncated away earlier; stays 0
-  it->second -= delta;
-  if (it->second <= kZeroEpsilon) {
-    credit_.erase(it);  // adjacency entries go stale; readers re-check
+  double* credit = credit_.Find(Key(v, u));
+  if (credit == nullptr) return;  // truncated away earlier; stays 0
+  *credit -= delta;
+  if (*credit <= kZeroEpsilon) {
+    credit_.EraseSlot(credit);  // reuses the Find above: one probe walk
+    NoteErased();
   }
 }
 
 void ActionCreditTable::Erase(NodeId v, NodeId u) {
-  credit_.erase(Key(v, u));
+  if (credit_.Erase(Key(v, u))) NoteErased();
+}
+
+void ActionCreditTable::SweepStaleAdjacency() {
+  for (AdjIndex* adj : {&forward_, &backward_}) {
+    const bool forward = adj == &forward_;
+    std::size_t kept = 0;
+    for (const auto& [owner, slot] : adj->big) {
+      AdjList& list = adj->pool[slot];
+      list.RemoveIf([&](NodeId other) {
+        const std::uint64_t key =
+            forward ? Key(owner, other) : Key(other, owner);
+        return !credit_.Contains(key);
+      });
+      if (list.size() >= kCompactMinListSize) {
+        adj->big[kept++] = {owner, slot};
+      }
+    }
+    adj->big.resize(kept);
+  }
+  erased_since_sweep_ = 0;
+}
+
+void ActionCreditTable::SnapshotCredited(NodeId v,
+                                         std::vector<CreditEntry>* out) const {
+  for (NodeId u : CreditedUsers(v)) {
+    if (const double* credit = credit_.Find(Key(v, u))) {
+      out->push_back({u, *credit});
+    }
+  }
+}
+
+void ActionCreditTable::SnapshotCreditors(
+    NodeId u, std::vector<CreditEntry>* out) const {
+  for (NodeId w : Creditors(u)) {
+    if (const double* credit = credit_.Find(Key(w, u))) {
+      out->push_back({w, *credit});
+    }
+  }
 }
 
 std::uint64_t ActionCreditTable::ApproxMemoryBytes() const {
-  // unordered_map node: key + value + bucket/next pointers (~2 words).
-  constexpr std::uint64_t kHashNode = sizeof(std::uint64_t) +
-                                      sizeof(double) + 2 * sizeof(void*);
-  std::uint64_t bytes = credit_.size() * kHashNode;
-  for (const auto& [v, list] : forward_) {
-    bytes += sizeof(v) + 2 * sizeof(void*) + list.capacity() * sizeof(NodeId);
-  }
-  for (const auto& [u, list] : backward_) {
-    bytes += sizeof(u) + 2 * sizeof(void*) + list.capacity() * sizeof(NodeId);
-  }
-  return bytes;
+  return credit_.ApproxMemoryBytes() + forward_.ApproxMemoryBytes() +
+         backward_.ApproxMemoryBytes();
 }
 
 std::uint64_t UserCreditStore::total_entries() const {
@@ -46,9 +77,8 @@ std::uint64_t UserCreditStore::total_entries() const {
 }
 
 std::uint64_t UserCreditStore::ApproxMemoryBytes() const {
-  constexpr std::uint64_t kHashNode = sizeof(std::uint64_t) +
-                                      sizeof(double) + 2 * sizeof(void*);
-  std::uint64_t bytes = sc_.size() * kHashNode;
+  std::uint64_t bytes = 0;
+  for (const auto& shard : sc_) bytes += shard.ApproxMemoryBytes();
   for (const auto& t : tables_) bytes += t.ApproxMemoryBytes();
   return bytes;
 }

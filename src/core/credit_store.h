@@ -1,29 +1,56 @@
 #ifndef INFLUMAX_CORE_CREDIT_STORE_H_
 #define INFLUMAX_CORE_CREDIT_STORE_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
+#include "common/small_vector.h"
 #include "common/types.h"
 
 namespace influmax {
+
+/// A (node, credit) pair produced by snapshotting an adjacency list; the
+/// scan and the greedy updates iterate these instead of holding spans into
+/// the store while mutating it.
+struct CreditEntry {
+  NodeId node;
+  double credit;
+};
 
 /// Sparse per-action credit matrix: UC[v][u][a] of Algorithms 2-5, for one
 /// action a. Keys are user ids. Besides the (v, u) -> credit map, forward
 /// (v -> credited users) and backward (u -> creditors) adjacency lists are
 /// kept so that Algorithm 5's update touches only affected pairs.
 ///
+/// Storage is flat: credits live in an open-addressing robin-hood map
+/// (FlatHashMap) and adjacency lists are inline-storage vectors, so the
+/// hot scan / greedy loops stream contiguous memory instead of chasing
+/// unordered_map nodes.
+///
 /// Adjacency lists may contain *stale* entries after erasures; readers
-/// must treat Credit() == 0 as "no entry". This avoids O(list) deletion
-/// during the greedy loop, where credits only ever shrink.
+/// must treat Credit() == 0 as "no entry". Lists that ever reach
+/// kCompactMinListSize ids are registered as "big"; once erasures since
+/// the last sweep outnumber the live entries (majority-stale in
+/// aggregate), all big lists are compacted in one pass. The erase hot
+/// path pays one counter bump, short lists are never scanned (iterating
+/// a handful of stale ids is cheaper than compacting them), and long
+/// greedy runs never degrade into iterating mostly-dead hub lists.
+///
+/// Span / pointer validity: spans returned by CreditedUsers()/Creditors()
+/// are invalidated by any non-const method (inserts rehash, erasures may
+/// compact). Use SnapshotCredited()/SnapshotCreditors() when mutating
+/// while iterating. AddCredit must not re-create a previously erased
+/// (v, u) pair — the scan only ever adds, and re-adding after an erasure
+/// would duplicate the id in the adjacency lists.
 class ActionCreditTable {
  public:
   /// Gamma credit from v to u, or 0 when absent.
   double Credit(NodeId v, NodeId u) const {
-    const auto it = credit_.find(Key(v, u));
-    return it == credit_.end() ? 0.0 : it->second;
+    const double* credit = credit_.Find(Key(v, u));
+    return credit == nullptr ? 0.0 : *credit;
   }
 
   /// Adds `delta` (> 0) to the (v, u) credit, creating the entry and
@@ -40,44 +67,128 @@ class ActionCreditTable {
 
   /// Users that v currently credits (may contain stale ids).
   std::span<const NodeId> CreditedUsers(NodeId v) const {
-    const auto it = forward_.find(v);
-    return it == forward_.end() ? std::span<const NodeId>()
-                                : std::span<const NodeId>(it->second);
+    return AdjacencySpan(forward_, v);
   }
 
   /// Users crediting u (may contain stale ids).
   std::span<const NodeId> Creditors(NodeId u) const {
-    const auto it = backward_.find(u);
-    return it == backward_.end() ? std::span<const NodeId>()
-                                 : std::span<const NodeId>(it->second);
+    return AdjacencySpan(backward_, u);
   }
+
+  /// Appends the *live* (u, Credit(v, u)) entries of v's forward list to
+  /// `*out` (not cleared first). Safe to mutate the table afterwards.
+  void SnapshotCredited(NodeId v, std::vector<CreditEntry>* out) const;
+
+  /// Appends the live (w, Credit(w, u)) entries of u's backward list.
+  void SnapshotCreditors(NodeId u, std::vector<CreditEntry>* out) const;
 
   /// Live (non-erased) credit entries.
   std::size_t num_entries() const { return credit_.size(); }
 
-  /// Approximate heap bytes (hash nodes + adjacency payloads).
+  /// Approximate heap bytes (flat tables + spilled adjacency payloads).
   std::uint64_t ApproxMemoryBytes() const;
 
   static constexpr double kZeroEpsilon = 1e-12;
 
+  /// Lists shorter than this are never compacted (the scan would cost
+  /// more than iterating the few stale ids ever will).
+  static constexpr std::uint32_t kCompactMinListSize = 16;
+
+  /// No compaction sweep below this many erasures since the last one.
+  static constexpr std::uint64_t kCompactMinErasures = 16;
+
  private:
+  using AdjList = SmallVector<NodeId, 4>;
+
+  // node id -> adjacency list, as a flat index over a dense pool: the
+  // hash slots stay tiny (8 bytes + 1 metadata byte) while the lists
+  // themselves pack contiguously, one pool entry per *present* node
+  // instead of one padded hash slot per table slot.
+  struct AdjIndex {
+    FlatHashMap<NodeId, std::uint32_t> index;
+    std::vector<AdjList> pool;
+    // (owner, pool slot) of lists that reached kCompactMinListSize —
+    // the only ones a sweep visits. Registration happens in Append,
+    // which touches the list anyway; a sweep drops entries that
+    // compacted below the floor (they can only shrink after the scan).
+    std::vector<std::pair<NodeId, std::uint32_t>> big;
+
+    const AdjList* Find(NodeId id) const {
+      const std::uint32_t* slot = index.Find(id);
+      return slot == nullptr ? nullptr : &pool[*slot];
+    }
+    void Append(NodeId owner, NodeId other) {
+      auto [slot, inserted] = index.TryEmplace(owner);
+      if (inserted) {
+        *slot = static_cast<std::uint32_t>(pool.size());
+        pool.emplace_back();
+      }
+      AdjList& list = pool[*slot];
+      list.push_back(other);
+      if (list.size() == kCompactMinListSize) big.emplace_back(owner, *slot);
+    }
+    std::uint64_t ApproxMemoryBytes() const {
+      std::uint64_t bytes =
+          index.ApproxMemoryBytes() + pool.capacity() * sizeof(AdjList) +
+          big.capacity() * sizeof(big[0]);
+      for (const AdjList& list : pool) bytes += list.HeapBytes();
+      return bytes;
+    }
+  };
+
   static std::uint64_t Key(NodeId v, NodeId u) {
     return (static_cast<std::uint64_t>(v) << 32) | u;
   }
 
-  std::unordered_map<std::uint64_t, double> credit_;
-  std::unordered_map<NodeId, std::vector<NodeId>> forward_;
-  std::unordered_map<NodeId, std::vector<NodeId>> backward_;
+  static std::span<const NodeId> AdjacencySpan(const AdjIndex& adj,
+                                               NodeId id) {
+    const AdjList* list = adj.Find(id);
+    return list == nullptr
+               ? std::span<const NodeId>()
+               : std::span<const NodeId>(list->data(), list->size());
+  }
+
+  // Erasure bookkeeping: one counter bump per erased entry; once the
+  // erased outnumber the live entries (majority-stale in aggregate) the
+  // registered big lists are swept in one pass.
+  void NoteErased() {
+    ++erased_since_sweep_;
+    if (erased_since_sweep_ >= kCompactMinErasures &&
+        erased_since_sweep_ > credit_.size()) {
+      SweepStaleAdjacency();
+    }
+  }
+
+  // Compacts every registered big list (drops ids whose credit entry is
+  // gone); deterministic, cost proportional to the big lists only.
+  void SweepStaleAdjacency();
+
+  FlatHashMap<std::uint64_t, double> credit_;
+  AdjIndex forward_;
+  AdjIndex backward_;
+  std::uint64_t erased_since_sweep_ = 0;
+};
+
+/// Reusable per-thread scratch for the Algorithm 2 scan: each worker
+/// snapshots creditor lists into its own arena, so the scan never holds a
+/// span into a table it is mutating and never allocates in steady state.
+struct ScanArena {
+  std::vector<CreditEntry> creditors;
 };
 
 /// The full UC structure: one ActionCreditTable per action, plus the SC
 /// table (Gamma_{S,x}(a), the credit a candidate x gives to the current
 /// seed set S for action a).
+///
+/// SC is sharded by key hash across kScShards independent flat maps:
+/// rehash cost is bounded per shard, and the sharding is the seam for a
+/// future concurrent greedy (each shard can take its own lock) without
+/// any post-merge step — shard choice depends only on the key, never on
+/// the thread, so results are identical for any thread count.
 class UserCreditStore {
  public:
   UserCreditStore() = default;
-  explicit UserCreditStore(ActionId num_actions)
-      : tables_(num_actions) {}
+  explicit UserCreditStore(ActionId num_actions) : tables_(num_actions) {}
 
   ActionId num_actions() const {
     return static_cast<ActionId>(tables_.size());
@@ -88,13 +199,15 @@ class UserCreditStore {
 
   /// SC[x][a] = Gamma_{S,x}(a); 0 when never set.
   double SetCredit(NodeId x, ActionId a) const {
-    const auto it = sc_.find(Key(x, a));
-    return it == sc_.end() ? 0.0 : it->second;
+    const std::uint64_t key = Key(x, a);
+    const double* credit = sc_[ShardOf(key)].Find(key);
+    return credit == nullptr ? 0.0 : *credit;
   }
 
   /// SC[x][a] += delta.
   void AddSetCredit(NodeId x, ActionId a, double delta) {
-    sc_[Key(x, a)] += delta;
+    const std::uint64_t key = Key(x, a);
+    *sc_[ShardOf(key)].TryEmplace(key).first += delta;
   }
 
   /// Total live UC entries across all actions (the paper's memory knob —
@@ -104,13 +217,41 @@ class UserCreditStore {
   /// Approximate heap bytes of UC + SC.
   std::uint64_t ApproxMemoryBytes() const;
 
+  /// Allocates one ScanArena per scan worker. Called by
+  /// CreditDistributionModel::Build before the parallel pass.
+  void PrepareScanArenas(std::size_t num_threads) {
+    arenas_.assign(num_threads, ScanArena());
+  }
+
+  /// The calling worker's arena (thread_index from ParallelForDynamic).
+  ScanArena& scan_arena(std::size_t thread_index) {
+    return arenas_[thread_index];
+  }
+
+  /// Frees the arenas once the scan is done.
+  void ReleaseScanArenas() {
+    arenas_.clear();
+    arenas_.shrink_to_fit();
+  }
+
+  static constexpr std::size_t kScShards = 16;
+
  private:
   static std::uint64_t Key(NodeId x, ActionId a) {
     return (static_cast<std::uint64_t>(x) << 32) | a;
   }
 
+  static std::size_t ShardOf(std::uint64_t key) {
+    // Top bits, NOT the low bits: the shard's FlatHashMap masks the low
+    // bits of the same hash for the home slot, so sharding by them would
+    // leave only every 16th slot reachable inside a shard.
+    static_assert(kScShards == 16, "ShardOf takes the top 4 hash bits");
+    return HashMix64(key) >> 60;
+  }
+
   std::vector<ActionCreditTable> tables_;
-  std::unordered_map<std::uint64_t, double> sc_;
+  std::array<FlatHashMap<std::uint64_t, double>, kScShards> sc_;
+  std::vector<ScanArena> arenas_;
 };
 
 }  // namespace influmax

@@ -41,19 +41,19 @@ Result<NaiveFrequencyEstimator> NaiveFrequencyEstimator::Build(
 NaiveFrequencyEstimator::Estimate NaiveFrequencyEstimator::Spread(
     const std::vector<NodeId>& seeds) const {
   Estimate estimate;
-  const auto it = index_.find(HashSeedSet(seeds));
-  if (it == index_.end()) return estimate;
-  estimate.supporting_actions = it->second.count;
-  estimate.spread = static_cast<double>(it->second.total_size) /
-                    it->second.count;
+  const SetStats* stats = index_.Find(HashSeedSet(seeds));
+  if (stats == nullptr) return estimate;
+  estimate.supporting_actions = stats->count;
+  estimate.spread =
+      static_cast<double>(stats->total_size) / stats->count;
   return estimate;
 }
 
 double NaiveFrequencyEstimator::singleton_fraction() const {
   if (index_.empty()) return 0.0;
   std::size_t singletons = 0;
-  for (const auto& [hash, stats] : index_) {
-    if (stats.count == 1) ++singletons;
+  for (const auto entry : index_) {
+    if (entry.value.count == 1) ++singletons;
   }
   return static_cast<double>(singletons) / index_.size();
 }

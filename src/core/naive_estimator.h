@@ -2,10 +2,10 @@
 #define INFLUMAX_CORE_NAIVE_ESTIMATOR_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "actionlog/action_log.h"
+#include "common/flat_hash.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -61,7 +61,7 @@ class NaiveFrequencyEstimator {
   // Hash of the sorted initiator set -> stats. Collisions are
   // theoretically possible but irrelevant at experiment scale; the
   // estimator is itself an intentionally rough baseline.
-  std::unordered_map<std::uint64_t, SetStats> index_;
+  FlatHashMap<std::uint64_t, SetStats> index_;
 };
 
 }  // namespace influmax

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
-#include <unordered_map>
 
 #include "common/rng.h"
 #include "graph/generators.h"

@@ -4,7 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <map>
-#include <unordered_set>
+
+#include "common/flat_hash.h"
 
 namespace influmax {
 
@@ -84,11 +85,12 @@ std::vector<CapturePoint> ComputeCaptureCurve(
 
 int SeedIntersectionSize(const std::vector<NodeId>& a,
                          const std::vector<NodeId>& b) {
-  std::unordered_set<NodeId> set(a.begin(), a.end());
+  FlatHashSet<NodeId> set;
+  set.Reserve(a.size());
+  for (NodeId x : a) set.Insert(x);
   int count = 0;
-  std::unordered_set<NodeId> counted;
   for (NodeId x : b) {
-    if (set.count(x) != 0 && counted.insert(x).second) ++count;
+    if (set.Erase(x)) ++count;  // erase-on-hit also dedupes b
   }
   return count;
 }

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 
+#include "common/flat_hash.h"
 #include "common/rng.h"
 
 namespace influmax {
@@ -18,7 +18,7 @@ Clustering LabelPropagationCommunities(const Graph& g,
   std::iota(order.begin(), order.end(), 0u);
   Rng rng(config.seed);
 
-  std::unordered_map<std::uint32_t, std::uint32_t> counts;
+  FlatHashMap<std::uint32_t, std::uint32_t> counts;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     // Shuffle the visit order each round (asynchronous LPA).
     for (NodeId i = n; i > 1; --i) {
@@ -26,13 +26,13 @@ Clustering LabelPropagationCommunities(const Graph& g,
     }
     bool changed = false;
     for (NodeId u : order) {
-      counts.clear();
+      counts.Clear();
       for (NodeId v : g.OutNeighbors(u)) counts[label[v]]++;
       for (NodeId v : g.InNeighbors(u)) counts[label[v]]++;
       if (counts.empty()) continue;
       std::uint32_t best = label[u];
       std::uint32_t best_count = 0;
-      for (const auto& [lab, cnt] : counts) {
+      for (const auto [lab, cnt] : counts) {
         if (cnt > best_count || (cnt == best_count && lab < best)) {
           best = lab;
           best_count = cnt;
@@ -48,16 +48,16 @@ Clustering LabelPropagationCommunities(const Graph& g,
 
   // Optionally absorb tiny communities into their most-connected neighbor.
   if (config.min_community_size > 1) {
-    std::unordered_map<std::uint32_t, NodeId> size_of;
+    FlatHashMap<std::uint32_t, NodeId> size_of;
     for (NodeId u = 0; u < n; ++u) size_of[label[u]]++;
     for (NodeId u = 0; u < n; ++u) {
       if (size_of[label[u]] >= config.min_community_size) continue;
-      counts.clear();
+      counts.Clear();
       for (NodeId v : g.OutNeighbors(u)) counts[label[v]]++;
       for (NodeId v : g.InNeighbors(u)) counts[label[v]]++;
       std::uint32_t best = label[u];
       std::uint32_t best_count = 0;
-      for (const auto& [lab, cnt] : counts) {
+      for (const auto [lab, cnt] : counts) {
         if (size_of[lab] >= config.min_community_size &&
             (cnt > best_count || (cnt == best_count && lab < best))) {
           best = lab;
@@ -75,13 +75,15 @@ Clustering LabelPropagationCommunities(const Graph& g,
   // Renumber labels densely.
   Clustering result;
   result.community_of.resize(n);
-  std::unordered_map<std::uint32_t, std::uint32_t> dense;
+  FlatHashMap<std::uint32_t, std::uint32_t> dense;
   for (NodeId u = 0; u < n; ++u) {
-    auto [it, inserted] =
-        dense.emplace(label[u], static_cast<std::uint32_t>(dense.size()));
-    result.community_of[u] = it->second;
-    if (inserted) result.community_size.push_back(0);
-    result.community_size[it->second]++;
+    auto [community, inserted] = dense.TryEmplace(label[u]);
+    if (inserted) {
+      *community = static_cast<std::uint32_t>(dense.size() - 1);
+      result.community_size.push_back(0);
+    }
+    result.community_of[u] = *community;
+    result.community_size[*community]++;
   }
   result.num_communities = static_cast<std::uint32_t>(dense.size());
   return result;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_map>
+
+#include "common/flat_hash.h"
 
 namespace influmax {
 namespace {
@@ -92,7 +93,7 @@ Result<LdagModel> LdagModel::Build(const Graph& g, const EdgeProbabilities& w,
   std::vector<double> influence(n, 0.0);
   std::vector<std::uint32_t> stamp(n, 0);
   std::vector<bool> admitted(n, false);
-  std::unordered_map<NodeId, std::uint32_t> index_of;
+  FlatHashMap<NodeId, std::uint32_t> index_of;
 
   for (NodeId v = 0; v < n; ++v) {
     const auto order =
@@ -101,10 +102,10 @@ Result<LdagModel> LdagModel::Build(const Graph& g, const EdgeProbabilities& w,
     LocalDag& dag = model.dags_[v];
     const std::size_t size = order.size();
     dag.nodes.resize(size);
-    index_of.clear();
+    index_of.Clear();
     for (std::size_t i = 0; i < size; ++i) {
       dag.nodes[i] = order[i].node;
-      index_of.emplace(order[i].node, static_cast<std::uint32_t>(i));
+      index_of.InsertOrAssign(order[i].node, static_cast<std::uint32_t>(i));
       model.dags_containing_[order[i].node].push_back(v);
     }
     // Edges from each node to *earlier-admitted* nodes only: guarantees
@@ -115,9 +116,9 @@ Result<LdagModel> LdagModel::Build(const Graph& g, const EdgeProbabilities& w,
       const EdgeIndex base = g.OutEdgeBegin(u);
       const auto out = g.OutNeighbors(u);
       for (std::size_t e = 0; e < out.size(); ++e) {
-        const auto it = index_of.find(out[e]);
-        if (it != index_of.end() && it->second < i && w[base + e] > 0.0) {
-          dag.out_to.push_back(it->second);
+        const std::uint32_t* pos = index_of.Find(out[e]);
+        if (pos != nullptr && *pos < i && w[base + e] > 0.0) {
+          dag.out_to.push_back(*pos);
           dag.out_weight.push_back(w[base + e]);
           dag.out_offsets[i + 1]++;
         }

@@ -2,7 +2,6 @@
 #define INFLUMAX_IM_PMIA_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"

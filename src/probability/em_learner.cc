@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <vector>
 
 #include "actionlog/propagation_dag.h"
+#include "common/flat_hash.h"
 
 namespace influmax {
 namespace {
@@ -30,7 +30,7 @@ Evidence CollectEvidence(const Graph& g, const ActionLog& log,
   // both[e]: number of actions in which both endpoints of e participated
   // (any order, including ties). negatives = A_v - both.
   std::vector<std::uint32_t> both(m, 0);
-  std::unordered_map<NodeId, Timestamp> participants;
+  FlatHashSet<NodeId> participants;
 
   for (ActionId a = 0; a < log.num_actions(); ++a) {
     const auto trace = log.ActionTrace(a);
@@ -56,13 +56,13 @@ Evidence CollectEvidence(const Graph& g, const ActionLog& log,
     }
 
     // Joint-participation counts for the negative side.
-    participants.clear();
-    for (const ActionTuple& t : trace) participants.emplace(t.user, t.time);
+    participants.Clear();
+    for (const ActionTuple& t : trace) participants.Insert(t.user);
     for (const ActionTuple& t : trace) {
       const EdgeIndex base = g.OutEdgeBegin(t.user);
       const auto neighbors = g.OutNeighbors(t.user);
       for (std::size_t i = 0; i < neighbors.size(); ++i) {
-        if (participants.count(neighbors[i]) != 0) both[base + i]++;
+        if (participants.Contains(neighbors[i])) both[base + i]++;
       }
     }
   }

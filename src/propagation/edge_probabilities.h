@@ -1,6 +1,7 @@
 #ifndef INFLUMAX_PROPAGATION_EDGE_PROBABILITIES_H_
 #define INFLUMAX_PROPAGATION_EDGE_PROBABILITIES_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -36,6 +37,12 @@ class EdgeProbabilities {
 
   const std::vector<double>& values() const { return values_; }
   std::vector<double>& values() { return values_; }
+
+  /// Approximate heap bytes — same accounting contract as the credit
+  /// store, so memory reports can sum model components uniformly.
+  std::uint64_t ApproxMemoryBytes() const {
+    return static_cast<std::uint64_t>(values_.capacity()) * sizeof(double);
+  }
 
  private:
   std::vector<double> values_;

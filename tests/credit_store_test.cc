@@ -1,8 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <unordered_map>
+#include <vector>
 
+#include "actionlog/propagation_dag.h"
+#include "core/cd_model.h"
 #include "core/credit_store.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "graph/generators.h"
 
 namespace influmax {
 namespace {
@@ -82,6 +89,178 @@ TEST(UserCreditStoreTest, TotalEntriesAcrossActions) {
   store.table(2).AddCredit(1, 3, 0.5);
   EXPECT_EQ(store.total_entries(), 3u);
   EXPECT_GT(store.ApproxMemoryBytes(), 0u);
+}
+
+TEST(ActionCreditTableTest, SnapshotSkipsStaleEntries) {
+  ActionCreditTable table;
+  table.AddCredit(1, 2, 0.5);
+  table.AddCredit(1, 3, 0.5);
+  table.AddCredit(4, 3, 0.5);
+  table.SubtractCredit(1, 2, 0.5);  // erased: stale in both lists
+  std::vector<CreditEntry> credited;
+  table.SnapshotCredited(1, &credited);
+  ASSERT_EQ(credited.size(), 1u);
+  EXPECT_EQ(credited[0].node, 3u);
+  EXPECT_DOUBLE_EQ(credited[0].credit, 0.5);
+  std::vector<CreditEntry> creditors;
+  table.SnapshotCreditors(3, &creditors);
+  ASSERT_EQ(creditors.size(), 2u);
+}
+
+TEST(ActionCreditTableTest, MajorityStaleListsAreCompacted) {
+  ActionCreditTable table;
+  constexpr NodeId kFanOut = 40;
+  for (NodeId u = 1; u <= kFanOut; ++u) table.AddCredit(0, u, 1.0);
+  ASSERT_EQ(table.CreditedUsers(0).size(), kFanOut);
+  // Kill 30 of the 40 entries; once the erased outnumber the live
+  // entries the table sweeps every list, so the span must shrink well
+  // below 40.
+  for (NodeId u = 1; u <= 30; ++u) table.SubtractCredit(0, u, 1.0);
+  const auto credited = table.CreditedUsers(0);
+  EXPECT_LT(credited.size(), kFanOut);
+  std::size_t live = 0;
+  for (NodeId u : credited) {
+    if (table.Credit(0, u) > 0.0) ++live;
+  }
+  EXPECT_EQ(live, 10u);
+  // Stale fraction stays a minority after compaction.
+  EXPECT_LE(2 * (credited.size() - live), credited.size());
+  EXPECT_EQ(table.num_entries(), 10u);
+}
+
+TEST(ActionCreditTableTest, ShortListsAreNotCompacted) {
+  ActionCreditTable table;
+  table.AddCredit(0, 1, 1.0);
+  table.AddCredit(0, 2, 1.0);
+  table.SubtractCredit(0, 1, 1.0);
+  // Below kCompactMinErasures no sweep runs; the stale id stays and
+  // readers see Credit() == 0.
+  EXPECT_EQ(table.CreditedUsers(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(table.Credit(0, 1), 0.0);
+}
+
+// Seed-era reference implementation of the Algorithm 2 scan: one
+// std::unordered_map of credits per action, map-of-vectors adjacency.
+// The flat-hash scan must reproduce it bit for bit.
+struct ReferenceScan {
+  static std::uint64_t Key(NodeId v, NodeId u) {
+    return (static_cast<std::uint64_t>(v) << 32) | u;
+  }
+
+  std::vector<std::unordered_map<std::uint64_t, double>> credit;
+  std::vector<std::unordered_map<NodeId, std::vector<NodeId>>> backward;
+
+  ReferenceScan(const Graph& graph, const ActionLog& log,
+                const DirectCreditModel& model) {
+    credit.resize(log.num_actions());
+    backward.resize(log.num_actions());
+    for (ActionId a = 0; a < log.num_actions(); ++a) {
+      const PropagationDag dag =
+          BuildPropagationDag(graph, log.ActionTrace(a));
+      for (NodeId pos = 0; pos < dag.size(); ++pos) {
+        const auto parents = dag.Parents(pos);
+        if (parents.empty()) continue;
+        const auto edges = dag.ParentEdges(pos);
+        const NodeId u = dag.UserAt(pos);
+        const auto din = static_cast<std::uint32_t>(parents.size());
+        for (std::size_t i = 0; i < parents.size(); ++i) {
+          const NodeId v = dag.UserAt(parents[i]);
+          const double gamma = model.Gamma(
+              u, din, dag.TimeAt(pos) - dag.TimeAt(parents[i]), edges[i]);
+          if (gamma <= 0.0) continue;
+          for (NodeId w : backward[a][v]) {
+            const double transitive = credit[a][Key(w, v)] * gamma;
+            if (transitive > 0.0) {
+              auto [it, inserted] =
+                  credit[a].emplace(Key(w, u), transitive);
+              if (inserted) {
+                backward[a][u].push_back(w);
+              } else {
+                it->second += transitive;
+              }
+            }
+          }
+          auto [it, inserted] = credit[a].emplace(Key(v, u), gamma);
+          if (inserted) {
+            backward[a][u].push_back(v);
+          } else {
+            it->second += gamma;
+          }
+        }
+      }
+    }
+  }
+};
+
+SyntheticDataset MakeScanDataset() {
+  auto graph = GeneratePreferentialAttachment({300, 4, 0.6}, 21);
+  EXPECT_TRUE(graph.ok());
+  CascadeConfig config;
+  config.num_actions = 150;
+  config.seed = 22;
+  auto data = GenerateCascadeDataset(std::move(graph).value(), config);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+TEST(CreditStoreScanTest, FlatScanMatchesMapOfMapsReference) {
+  const SyntheticDataset data = MakeScanDataset();
+  EqualDirectCredit credit_model;
+  CdConfig config;
+  config.truncation_threshold = 0.0;  // exact: reference has no truncation
+  config.scan_threads = 1;
+  auto model = CreditDistributionModel::Build(data.graph, data.log,
+                                              credit_model, config);
+  ASSERT_TRUE(model.ok());
+
+  const ReferenceScan reference(data.graph, data.log, credit_model);
+  std::uint64_t reference_entries = 0;
+  for (ActionId a = 0; a < data.log.num_actions(); ++a) {
+    reference_entries += reference.credit[a].size();
+    const ActionCreditTable& table = model->store().table(a);
+    for (const auto& [key, value] : reference.credit[a]) {
+      const NodeId v = static_cast<NodeId>(key >> 32);
+      const NodeId u = static_cast<NodeId>(key & 0xFFFFFFFFu);
+      EXPECT_DOUBLE_EQ(table.Credit(v, u), value)
+          << "action " << a << " pair (" << v << ", " << u << ")";
+    }
+  }
+  EXPECT_EQ(model->credit_entries(), reference_entries);
+}
+
+TEST(CreditStoreScanTest, SeedSelectionIdenticalForAnyThreadCount) {
+  const SyntheticDataset data = MakeScanDataset();
+  EqualDirectCredit credit_model;
+
+  CreditDistributionModel::SeedSelection baseline;
+  std::uint64_t baseline_entries = 0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{0}}) {
+    CdConfig config;
+    config.truncation_threshold = 0.001;
+    config.scan_threads = threads;
+    auto model = CreditDistributionModel::Build(data.graph, data.log,
+                                                credit_model, config);
+    ASSERT_TRUE(model.ok());
+    const std::uint64_t entries = model->credit_entries();
+    auto selection = model->SelectSeeds(10);
+    ASSERT_TRUE(selection.ok());
+    if (threads == 1) {
+      baseline = std::move(selection).value();
+      baseline_entries = entries;
+      EXPECT_FALSE(baseline.seeds.empty());
+      continue;
+    }
+    EXPECT_EQ(entries, baseline_entries) << threads << " threads";
+    ASSERT_EQ(selection->seeds.size(), baseline.seeds.size());
+    for (std::size_t i = 0; i < baseline.seeds.size(); ++i) {
+      EXPECT_EQ(selection->seeds[i], baseline.seeds[i]) << "pick " << i;
+      EXPECT_DOUBLE_EQ(selection->marginal_gains[i],
+                       baseline.marginal_gains[i]);
+      EXPECT_DOUBLE_EQ(selection->cumulative_spread[i],
+                       baseline.cumulative_spread[i]);
+    }
+  }
 }
 
 }  // namespace

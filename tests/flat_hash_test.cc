@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/small_vector.h"
+#include "common/types.h"
+
+namespace influmax {
+namespace {
+
+TEST(FlatHashMapTest, EmptyMapLookups) {
+  FlatHashMap<std::uint64_t, double> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+  EXPECT_FALSE(map.Contains(42));
+  EXPECT_FALSE(map.Erase(42));
+}
+
+TEST(FlatHashMapTest, InsertAndFind) {
+  FlatHashMap<std::uint64_t, double> map;
+  auto [first, inserted] = map.TryEmplace(7);
+  EXPECT_TRUE(inserted);
+  *first = 1.5;
+  auto [again, inserted_again] = map.TryEmplace(7);
+  EXPECT_FALSE(inserted_again);
+  EXPECT_DOUBLE_EQ(*again, 1.5);
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_DOUBLE_EQ(*map.Find(7), 1.5);
+  EXPECT_EQ(map.Find(8), nullptr);
+}
+
+TEST(FlatHashMapTest, OperatorBracketDefaultsAndAccumulates) {
+  FlatHashMap<std::uint32_t, std::uint32_t> map;
+  map[3]++;
+  map[3]++;
+  map[9]++;
+  EXPECT_EQ(map[3], 2u);
+  EXPECT_EQ(map[9], 1u);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatHashMapTest, InsertOrAssignOverwrites) {
+  FlatHashMap<std::uint32_t, std::uint32_t> map;
+  map.InsertOrAssign(1, 10);
+  map.InsertOrAssign(1, 20);
+  EXPECT_EQ(map[1], 20u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, RehashPreservesAllEntries) {
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  constexpr std::uint64_t kCount = 20000;
+  for (std::uint64_t k = 0; k < kCount; ++k) map.InsertOrAssign(k, k * 3);
+  EXPECT_EQ(map.size(), kCount);
+  // Power-of-two capacity, load factor bounded by 0.5.
+  EXPECT_EQ(map.capacity() & (map.capacity() - 1), 0u);
+  EXPECT_LE(2 * map.size(), map.capacity());
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    ASSERT_NE(map.Find(k), nullptr) << k;
+    EXPECT_EQ(*map.Find(k), k * 3);
+  }
+  EXPECT_EQ(map.Find(kCount), nullptr);
+}
+
+TEST(FlatHashMapTest, EraseShiftsBackward) {
+  FlatHashMap<std::uint64_t, int> map;
+  for (std::uint64_t k = 0; k < 1000; ++k) map.InsertOrAssign(k, 1);
+  // Erase every third key; the rest must stay reachable (backward-shift
+  // deletion leaves no tombstones to corrupt probe chains).
+  for (std::uint64_t k = 0; k < 1000; k += 3) EXPECT_TRUE(map.Erase(k));
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(map.Contains(k), k % 3 != 0) << k;
+  }
+  EXPECT_FALSE(map.Erase(0));  // already gone
+}
+
+TEST(FlatHashMapTest, EraseSlotMatchesEraseByKey) {
+  FlatHashMap<std::uint64_t, int> map;
+  for (std::uint64_t k = 0; k < 1000; ++k) map.InsertOrAssign(k, int(k));
+  for (std::uint64_t k = 0; k < 1000; k += 2) {
+    int* slot = map.Find(k);
+    ASSERT_NE(slot, nullptr);
+    map.EraseSlot(slot);
+  }
+  EXPECT_EQ(map.size(), 500u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(map.Find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(map.Find(k), nullptr) << k;
+      EXPECT_EQ(*map.Find(k), int(k));
+    }
+  }
+}
+
+TEST(FlatHashMapTest, IterationVisitsExactlyTheLiveEntries) {
+  FlatHashMap<std::uint32_t, std::uint32_t> map;
+  std::unordered_map<std::uint32_t, std::uint32_t> reference;
+  for (std::uint32_t k = 0; k < 500; ++k) {
+    map.InsertOrAssign(k, k + 1);
+    reference[k] = k + 1;
+  }
+  for (std::uint32_t k = 0; k < 500; k += 2) {
+    map.Erase(k);
+    reference.erase(k);
+  }
+  std::size_t visited = 0;
+  for (const auto entry : map) {
+    ++visited;
+    auto it = reference.find(entry.key);
+    ASSERT_NE(it, reference.end()) << entry.key;
+    EXPECT_EQ(entry.value, it->second);
+  }
+  EXPECT_EQ(visited, reference.size());
+  EXPECT_EQ(map.size(), reference.size());
+}
+
+TEST(FlatHashMapTest, ClearKeepsCapacity) {
+  FlatHashMap<std::uint64_t, double> map;
+  for (std::uint64_t k = 0; k < 100; ++k) map.InsertOrAssign(k, 1.0);
+  const std::size_t capacity = map.capacity();
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), capacity);
+  EXPECT_EQ(map.Find(5), nullptr);
+  map.InsertOrAssign(5, 2.0);
+  EXPECT_DOUBLE_EQ(*map.Find(5), 2.0);
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsIntermediateGrowth) {
+  FlatHashMap<std::uint64_t, int> map;
+  map.Reserve(10000);
+  const std::size_t capacity = map.capacity();
+  EXPECT_GE(capacity / 2, 10000u);
+  for (std::uint64_t k = 0; k < 10000; ++k) map.InsertOrAssign(k, 0);
+  EXPECT_EQ(map.capacity(), capacity);
+}
+
+TEST(FlatHashMapTest, ApproxMemoryBytesTracksCapacity) {
+  FlatHashMap<std::uint64_t, double> map;
+  EXPECT_EQ(map.ApproxMemoryBytes(), 0u);
+  map.InsertOrAssign(1, 1.0);
+  const std::uint64_t small = map.ApproxMemoryBytes();
+  EXPECT_GT(small, 0u);
+  for (std::uint64_t k = 0; k < 1000; ++k) map.InsertOrAssign(k, 1.0);
+  EXPECT_GT(map.ApproxMemoryBytes(), small);
+}
+
+TEST(FlatHashMapTest, SupportsValuesOwningHeapMemory) {
+  // Values only need default-construction + move-assignment; the robin
+  // hood displacement and backward shift must not leak or double-free.
+  FlatHashMap<std::uint32_t, SmallVector<std::uint32_t, 2>> map;
+  for (std::uint32_t k = 0; k < 300; ++k) {
+    auto [list, inserted] = map.TryEmplace(k);
+    ASSERT_TRUE(inserted);
+    for (std::uint32_t i = 0; i <= k % 8; ++i) list->push_back(k + i);
+  }
+  for (std::uint32_t k = 0; k < 300; k += 5) map.Erase(k);
+  for (std::uint32_t k = 0; k < 300; ++k) {
+    const auto* list = map.Find(k);
+    if (k % 5 == 0) {
+      EXPECT_EQ(list, nullptr);
+    } else {
+      ASSERT_NE(list, nullptr);
+      ASSERT_EQ(list->size(), k % 8 + 1);
+      EXPECT_EQ((*list)[0], k);
+    }
+  }
+}
+
+TEST(FlatHashMapTest, RandomizedDifferentialAgainstStdUnorderedMap) {
+  FlatHashMap<std::uint64_t, std::uint64_t> map;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  std::mt19937_64 rng(12345);
+  // Small key space forces heavy collision / erase / reinsert churn.
+  std::uniform_int_distribution<std::uint64_t> key_dist(0, 2047);
+  for (int op = 0; op < 200000; ++op) {
+    const std::uint64_t key = key_dist(rng);
+    switch (rng() % 3) {
+      case 0: {  // insert-or-add
+        map[key] += key + 1;
+        reference[key] += key + 1;
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(map.Erase(key), reference.erase(key) == 1) << key;
+        break;
+      }
+      default: {  // lookup
+        const std::uint64_t* value = map.Find(key);
+        const auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_EQ(value, nullptr) << key;
+        } else {
+          ASSERT_NE(value, nullptr) << key;
+          EXPECT_EQ(*value, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), reference.size());
+  }
+  // Final full-content equality in both directions.
+  for (const auto entry : map) {
+    const auto it = reference.find(entry.key);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(entry.value, it->second);
+  }
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(map.Find(key), nullptr) << key;
+    EXPECT_EQ(*map.Find(key), value);
+  }
+}
+
+TEST(FlatHashSetTest, InsertContainsErase) {
+  FlatHashSet<NodeId> set;
+  EXPECT_TRUE(set.Insert(4));
+  EXPECT_FALSE(set.Insert(4));
+  EXPECT_TRUE(set.Insert(9));
+  EXPECT_TRUE(set.Contains(4));
+  EXPECT_FALSE(set.Contains(5));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Erase(4));
+  EXPECT_FALSE(set.Contains(4));
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(SmallVectorTest, InlineThenSpillsToHeap) {
+  SmallVector<std::uint32_t, 4> vec;
+  EXPECT_TRUE(vec.empty());
+  EXPECT_EQ(vec.HeapBytes(), 0u);
+  for (std::uint32_t i = 0; i < 4; ++i) vec.push_back(i);
+  EXPECT_EQ(vec.HeapBytes(), 0u);  // still inline
+  for (std::uint32_t i = 4; i < 40; ++i) vec.push_back(i);
+  EXPECT_GT(vec.HeapBytes(), 0u);
+  ASSERT_EQ(vec.size(), 40u);
+  for (std::uint32_t i = 0; i < 40; ++i) EXPECT_EQ(vec[i], i);
+}
+
+TEST(SmallVectorTest, RemoveIfKeepsOrder) {
+  SmallVector<std::uint32_t, 4> vec;
+  for (std::uint32_t i = 0; i < 20; ++i) vec.push_back(i);
+  vec.RemoveIf([](std::uint32_t x) { return x % 2 == 0; });
+  ASSERT_EQ(vec.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(vec[i], 2 * i + 1);
+}
+
+TEST(SmallVectorTest, CopyAndMoveSemantics) {
+  SmallVector<std::uint32_t, 2> vec;
+  for (std::uint32_t i = 0; i < 10; ++i) vec.push_back(i);
+
+  SmallVector<std::uint32_t, 2> copy(vec);
+  ASSERT_EQ(copy.size(), 10u);
+  EXPECT_EQ(copy[9], 9u);
+  copy.push_back(99);
+  EXPECT_EQ(vec.size(), 10u);  // deep copy: original untouched
+
+  SmallVector<std::uint32_t, 2> moved(std::move(vec));
+  ASSERT_EQ(moved.size(), 10u);
+  EXPECT_EQ(moved[3], 3u);
+  EXPECT_TRUE(vec.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+
+  SmallVector<std::uint32_t, 2> assigned;
+  assigned.push_back(7);
+  assigned = moved;
+  ASSERT_EQ(assigned.size(), 10u);
+  assigned = std::move(copy);
+  ASSERT_EQ(assigned.size(), 11u);
+  EXPECT_EQ(assigned[10], 99u);
+}
+
+}  // namespace
+}  // namespace influmax
