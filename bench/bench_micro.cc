@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "probability/em_learner.h"
 #include "probability/time_params.h"
 #include "propagation/monte_carlo.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot_view.h"
 
 namespace influmax {
 namespace {
@@ -100,6 +103,84 @@ void BM_CommitSeed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CommitSeed)->Arg(500);
+
+// ------------------------------------------------- serving-layer benches
+// The serving claim: a mmap'd snapshot answers top-k / marginal-gain
+// queries without rebuilding the model from the log. BM_SnapshotLoad /
+// BM_SnapshotTopKSeeds measure the served path; BM_RebuildTopKSeeds is
+// the per-query cost it replaces.
+
+// One snapshot file per fixture size, written once.
+const std::string& SnapshotPath(NodeId nodes) {
+  static auto* paths = new std::map<NodeId, std::string>();
+  std::string& path = (*paths)[nodes];
+  if (path.empty()) {
+    const MicroFixture& fx = Fixture(nodes);
+    TimeDecayDirectCredit credit(fx.params);
+    CdConfig config;
+    auto model = CreditDistributionModel::Build(fx.data.graph, fx.data.log,
+                                                credit, config);
+    INFLUMAX_CHECK(model.ok());
+    path = "/tmp/influmax_bench_" + std::to_string(nodes) + ".snap";
+    INFLUMAX_CHECK(model->WriteSnapshot(path).ok());
+  }
+  return path;
+}
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const std::string& path = SnapshotPath(static_cast<NodeId>(state.range(0)));
+  std::uint64_t mapped = 0;
+  for (auto _ : state) {
+    auto view = CreditSnapshotView::Open(path);
+    INFLUMAX_CHECK(view.ok());
+    mapped = view->ApproxMemoryBytes();
+    benchmark::DoNotOptimize(view->num_entries());
+  }
+  state.counters["mapped_bytes"] = static_cast<double>(mapped);
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(500)->Arg(2000);
+
+void BM_SnapshotMarginalGain(benchmark::State& state) {
+  const std::string& path = SnapshotPath(static_cast<NodeId>(state.range(0)));
+  auto view = CreditSnapshotView::Open(path);
+  INFLUMAX_CHECK(view.ok());
+  SnapshotQueryEngine engine(*view);
+  NodeId node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.MarginalGain(node));
+    node = (node + 1) % view->num_users();
+  }
+}
+BENCHMARK(BM_SnapshotMarginalGain)->Arg(500)->Arg(2000);
+
+void BM_SnapshotTopKSeeds(benchmark::State& state) {
+  const std::string& path = SnapshotPath(static_cast<NodeId>(state.range(0)));
+  auto view = CreditSnapshotView::Open(path);
+  INFLUMAX_CHECK(view.ok());
+  SnapshotQueryEngine engine(*view);
+  for (auto _ : state) {
+    auto selection = engine.TopKSeeds(10);
+    benchmark::DoNotOptimize(selection.seeds.data());
+  }
+}
+BENCHMARK(BM_SnapshotTopKSeeds)->Arg(500)->Arg(2000);
+
+void BM_RebuildTopKSeeds(benchmark::State& state) {
+  // What every query cost before the serving layer: Build() + the
+  // destructive SelectSeeds(), per request.
+  const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
+  TimeDecayDirectCredit credit(fx.params);
+  CdConfig config;
+  for (auto _ : state) {
+    auto model = CreditDistributionModel::Build(fx.data.graph, fx.data.log,
+                                                credit, config);
+    INFLUMAX_CHECK(model.ok());
+    auto selection = model->SelectSeeds(10);
+    INFLUMAX_CHECK(selection.ok());
+    benchmark::DoNotOptimize(selection->seeds.data());
+  }
+}
+BENCHMARK(BM_RebuildTopKSeeds)->Arg(500)->Arg(2000);
 
 void BM_CdEvaluatorSpread(benchmark::State& state) {
   const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));

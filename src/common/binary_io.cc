@@ -15,9 +15,39 @@ BinaryWriter::BinaryWriter(const std::string& path, std::uint64_t magic,
 
 void BinaryWriter::WriteRaw(const void* data, std::size_t bytes) {
   if (!status_.ok()) return;
+  if (bytes == 0) return;
+  if (data == nullptr) {
+    // A null source with a nonzero length is a caller bug (e.g. a section
+    // span pointing into a moved-from buffer); fail the stream instead of
+    // invoking UB in ostream::write.
+    status_ = Status::Internal("BinaryWriter::WriteRaw: null data with " +
+                               std::to_string(bytes) +
+                               " bytes at byte offset " +
+                               std::to_string(bytes_written_));
+    return;
+  }
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(bytes));
-  if (!out_.good()) status_ = Status::IoError("short binary write");
+  if (!out_.good()) {
+    status_ = Status::IoError("short write of " + std::to_string(bytes) +
+                              " bytes at byte offset " +
+                              std::to_string(bytes_written_));
+    return;
+  }
+  bytes_written_ += bytes;
+}
+
+void BinaryWriter::PadToAlignment(std::uint32_t alignment) {
+  static constexpr char kZeros[8] = {0};
+  if (alignment == 0 || alignment > sizeof(kZeros)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("PadToAlignment: unsupported alignment " +
+                                 std::to_string(alignment));
+    }
+    return;
+  }
+  const std::uint64_t rem = bytes_written_ % alignment;
+  if (rem != 0) WriteRaw(kZeros, alignment - rem);
 }
 
 Status BinaryWriter::Finish() {
@@ -30,7 +60,8 @@ Status BinaryWriter::Finish() {
 
 BinaryReader::BinaryReader(const std::string& path,
                            std::uint64_t expected_magic,
-                           std::uint32_t expected_version) {
+                           std::uint32_t expected_version)
+    : path_(path) {
   in_.open(path, std::ios::binary);
   if (!in_.is_open()) {
     status_ = Status::IoError("cannot open '" + path + "'");
@@ -52,9 +83,15 @@ BinaryReader::BinaryReader(const std::string& path,
 void BinaryReader::ReadRaw(void* data, std::size_t bytes) {
   if (!status_.ok()) return;
   in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-  if (in_.gcount() != static_cast<std::streamsize>(bytes)) {
-    status_ = Status::Corruption("truncated binary file");
+  const std::streamsize got = in_.gcount();
+  if (got != static_cast<std::streamsize>(bytes)) {
+    status_ = Status::Corruption(
+        "truncated binary file '" + path_ + "': short read at byte offset " +
+        std::to_string(bytes_read_) + " (wanted " + std::to_string(bytes) +
+        " bytes, got " + std::to_string(got) + ")");
+    return;
   }
+  bytes_read_ += bytes;
 }
 
 void BinaryReader::Fail(const std::string& message) {

@@ -38,6 +38,15 @@ class BinaryWriter {
     }
   }
 
+  /// Bytes successfully queued so far (including magic + version). Format
+  /// writers with fixed-layout headers (the credit snapshot) use this to
+  /// verify section offsets and alignment as they write.
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Writes zero bytes until bytes_written() is a multiple of `alignment`
+  /// (power of two, <= 8). Keeps 8-byte payloads mmap-aligned.
+  void PadToAlignment(std::uint32_t alignment);
+
   /// Flushes and reports any accumulated I/O error.
   Status Finish();
 
@@ -46,6 +55,7 @@ class BinaryWriter {
 
   std::ofstream out_;
   Status status_;
+  std::uint64_t bytes_written_ = 0;
 };
 
 /// Reader counterpart; validates magic and version on open.
@@ -79,13 +89,18 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::uint64_t count = ReadU64();
     if (count > max_elements) {
-      Fail("vector length " + std::to_string(count) + " exceeds limit");
+      Fail("vector length " + std::to_string(count) + " at byte offset " +
+           std::to_string(bytes_read_ - sizeof(std::uint64_t)) +
+           " exceeds limit " + std::to_string(max_elements));
       return {};
     }
     std::vector<T> values(count);
     if (count > 0) ReadRaw(values.data(), count * sizeof(T));
     return values;
   }
+
+  /// Bytes successfully consumed so far (including magic + version).
+  std::uint64_t bytes_read() const { return bytes_read_; }
 
   /// OK iff everything read so far was present and well-formed.
   Status Finish() const { return status_; }
@@ -95,7 +110,9 @@ class BinaryReader {
   void Fail(const std::string& message);
 
   std::ifstream in_;
+  std::string path_;
   Status status_;
+  std::uint64_t bytes_read_ = 0;
 };
 
 }  // namespace influmax

@@ -1,5 +1,11 @@
 #include "common/memory.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -53,6 +59,42 @@ std::string FormatBytes(std::uint64_t bytes) {
     std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
   }
   return buf;
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("mmap open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("mmap fstat '" + path +
+                           "': " + std::strerror(err));
+  }
+  MmapFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("mmap '" + path + "': " + std::strerror(err));
+    }
+    file.data_ = static_cast<const std::byte*>(addr);
+  }
+  ::close(fd);  // the mapping keeps its own reference to the file
+  return file;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
 }
 
 }  // namespace influmax

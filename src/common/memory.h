@@ -1,8 +1,12 @@
 #ifndef INFLUMAX_COMMON_MEMORY_H_
 #define INFLUMAX_COMMON_MEMORY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
+
+#include "common/status.h"
 
 namespace influmax {
 
@@ -19,6 +23,49 @@ std::uint64_t PeakRssBytes();
 /// Renders `bytes` as e.g. "512 B", "14.2 MB", "1.53 GB" (base-10 units,
 /// matching the paper's GB figures).
 std::string FormatBytes(std::uint64_t bytes);
+
+/// Read-only memory-mapped file (RAII). The serving layer maps credit
+/// snapshots with it so flat arrays can be read zero-copy straight from
+/// the page cache; no read() buffering, no per-load allocation.
+///
+/// Move-only: the mapping is unmapped exactly once, by the last owner.
+/// An empty file maps to {data() == nullptr, size() == 0} and is valid.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only in full. IoError when the file cannot be
+  /// opened, stat'ed, or mapped.
+  static Result<MmapFile> Open(const std::string& path);
+
+  /// First mapped byte (page-aligned, so any 8-byte-aligned file offset
+  /// is safely readable as a u64/double), or nullptr for an empty file.
+  const std::byte* data() const { return data_; }
+
+  /// Mapped length in bytes (== file size at Open time).
+  std::size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 }  // namespace influmax
 

@@ -21,18 +21,17 @@ Result<CreditDistributionModel> CreditDistributionModel::Build(
   }
 
   CreditDistributionModel model(graph, log);
+  model.config_ = config;
   model.store_ = UserCreditStore(log.num_actions());
   model.is_seed_.assign(graph.num_nodes(), false);
   const double lambda = config.truncation_threshold;
 
   // Algorithm 2: one pass over the log, processing each action's tuples
-  // chronologically. The propagation DAG gives each activation its
-  // potential-influencer set N_in(u, a); total credits accumulate by the
-  // recursive definition (Eq. 5) in topological order. Actions touch only
-  // their own credit table, so the pass is parallel across actions with
-  // results independent of the thread count. Each worker snapshots
-  // creditor lists into its own arena: AddCredit may rehash the flat
-  // adjacency tables, so no span into the table may outlive a mutation.
+  // chronologically. Actions touch only their own credit table, so the
+  // pass is parallel across actions with results independent of the
+  // thread count. Each worker snapshots creditor lists into its own
+  // arena: AddCredit may rehash the flat adjacency tables, so no span
+  // into the table may outlive a mutation.
   model.store_.PrepareScanArenas(
       EffectiveThreadCount(config.scan_threads));
   ParallelForDynamic(
@@ -41,37 +40,48 @@ Result<CreditDistributionModel> CreditDistributionModel::Build(
         const ActionId a = static_cast<ActionId>(action);
         const PropagationDag dag =
             BuildPropagationDag(graph, log.ActionTrace(a));
-        ActionCreditTable& table = model.store_.table(a);
         ScanArena& arena = model.store_.scan_arena(thread);
-        for (NodeId pos = 0; pos < dag.size(); ++pos) {
-          const auto parents = dag.Parents(pos);
-          if (parents.empty()) continue;
-          const auto edges = dag.ParentEdges(pos);
-          const NodeId u = dag.UserAt(pos);
-          const std::uint32_t din =
-              static_cast<std::uint32_t>(parents.size());
-          for (std::size_t i = 0; i < parents.size(); ++i) {
-            const NodeId v = dag.UserAt(parents[i]);
-            const double gamma = credit_model.Gamma(
-                u, din, dag.TimeAt(pos) - dag.TimeAt(parents[i]), edges[i]);
-            if (gamma < lambda || gamma <= 0.0) continue;
-            // Transitive credit: everyone already crediting v passes
-            // credit through to u, scaled by gamma (Eq. 5), subject to
-            // truncation.
-            arena.creditors.clear();
-            table.SnapshotCreditors(v, &arena.creditors);
-            for (const CreditEntry& creditor : arena.creditors) {
-              const double transitive = creditor.credit * gamma;
-              if (transitive >= lambda && transitive > 0.0) {
-                table.AddCredit(creditor.node, u, transitive);
-              }
-            }
-            table.AddCredit(v, u, gamma);
-          }
-        }
+        ScanDagRange(dag, credit_model, lambda, /*begin_pos=*/0,
+                     &model.store_.table(a), &arena.creditors);
       });
   model.store_.ReleaseScanArenas();
   return model;
+}
+
+void ScanDagRange(const PropagationDag& dag,
+                  const DirectCreditModel& credit_model, double lambda,
+                  NodeId begin_pos, ActionCreditTable* table,
+                  std::vector<CreditEntry>* creditor_scratch) {
+  // The propagation DAG gives each activation its potential-influencer
+  // set N_in(u, a); total credits accumulate by the recursive definition
+  // (Eq. 5) in topological (chronological) order. Because credit only
+  // flows forward in time, resuming at begin_pos over a table already
+  // holding the credits of positions [0, begin_pos) is bit-identical to
+  // a full scan — the seam the incremental rescan exploits.
+  for (NodeId pos = begin_pos; pos < dag.size(); ++pos) {
+    const auto parents = dag.Parents(pos);
+    if (parents.empty()) continue;
+    const auto edges = dag.ParentEdges(pos);
+    const NodeId u = dag.UserAt(pos);
+    const std::uint32_t din = static_cast<std::uint32_t>(parents.size());
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      const NodeId v = dag.UserAt(parents[i]);
+      const double gamma = credit_model.Gamma(
+          u, din, dag.TimeAt(pos) - dag.TimeAt(parents[i]), edges[i]);
+      if (gamma < lambda || gamma <= 0.0) continue;
+      // Transitive credit: everyone already crediting v passes credit
+      // through to u, scaled by gamma (Eq. 5), subject to truncation.
+      creditor_scratch->clear();
+      table->SnapshotCreditors(v, creditor_scratch);
+      for (const CreditEntry& creditor : *creditor_scratch) {
+        const double transitive = creditor.credit * gamma;
+        if (transitive >= lambda && transitive > 0.0) {
+          table->AddCredit(creditor.node, u, transitive);
+        }
+      }
+      table->AddCredit(v, u, gamma);
+    }
+  }
 }
 
 double CreditDistributionModel::MarginalGain(NodeId x) const {

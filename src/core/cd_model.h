@@ -2,6 +2,7 @@
 #define INFLUMAX_CORE_CD_MODEL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "actionlog/action_log.h"
@@ -11,6 +12,8 @@
 #include "graph/graph.h"
 
 namespace influmax {
+
+class PropagationDag;
 
 /// Scan / greedy configuration for the credit-distribution model.
 struct CdConfig {
@@ -75,8 +78,24 @@ class CreditDistributionModel {
     return store_.ApproxMemoryBytes();
   }
 
-  /// Read access to the scanned store (tests).
+  /// Read access to the scanned store (tests, snapshot writer).
   const UserCreditStore& store() const { return store_; }
+
+  /// The inputs this model was built over (serving layer provenance).
+  const Graph& graph() const { return *graph_; }
+  const ActionLog& log() const { return *log_; }
+  const CdConfig& config() const { return config_; }
+
+  /// Seeds committed so far (by SelectSeeds or manual CommitSeed calls),
+  /// in commit order.
+  const std::vector<NodeId>& committed_seeds() const {
+    return current_seeds_;
+  }
+
+  /// Serializes the scanned UC/SC store into a mmap-able snapshot file
+  /// (src/serve/snapshot_format.h; narrative spec in docs/serving.md).
+  /// Defined in the serve library — link `influmax_serve` to use it.
+  Status WriteSnapshot(const std::string& path) const;
 
  private:
   CreditDistributionModel(const Graph& graph, const ActionLog& log)
@@ -84,11 +103,23 @@ class CreditDistributionModel {
 
   const Graph* graph_;
   const ActionLog* log_;
+  CdConfig config_;
   UserCreditStore store_;
   bool selection_done_ = false;
   std::vector<NodeId> current_seeds_;
   std::vector<bool> is_seed_;
 };
+
+/// Algorithm 2's inner loop over one action DAG: accumulates credits for
+/// activations at positions [begin_pos, dag.size()) into `table` under
+/// truncation threshold `lambda`. `creditor_scratch` is caller-owned
+/// scratch (creditor lists are snapshotted into it so no span into the
+/// table outlives a mutation). Build() runs it from position 0; the
+/// serving layer's IncrementalRescan replays only appended positions.
+void ScanDagRange(const PropagationDag& dag,
+                  const DirectCreditModel& credit_model, double lambda,
+                  NodeId begin_pos, ActionCreditTable* table,
+                  std::vector<CreditEntry>* creditor_scratch);
 
 }  // namespace influmax
 

@@ -1,0 +1,388 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+
+#include "actionlog/propagation_dag.h"
+#include "common/parallel.h"
+#include "core/credit_store.h"
+#include "serve/snapshot_writer.h"
+
+namespace influmax {
+
+SnapshotQueryEngine::SnapshotQueryEngine(const CreditSnapshotView& view)
+    : view_(&view) {
+  ovl_offset_.assign(view.num_actions(), kNotOverlaid);
+  sc_cur_.assign(view.slot_sc().begin(), view.slot_sc().end());
+  sc_dirty_.assign(view.num_slots(), 0);
+  is_seed_.assign(view.num_users(), 0);
+  for (NodeId s : view.seeds()) is_seed_[s] = 1;
+  stamp_epoch_.assign(view.num_users(), 0);
+  stamp_credit_.assign(view.num_users(), 0.0);
+}
+
+const double* SnapshotQueryEngine::CreditsOf(ActionId a) const {
+  const std::uint64_t off = ovl_offset_[a];
+  if (off != kNotOverlaid) return ovl_buf_.data() + off;
+  return view_->fwd_credit().data() + view_->action_entry_begin()[a];
+}
+
+double* SnapshotQueryEngine::EnsureOverlay(ActionId a) {
+  std::uint64_t off = ovl_offset_[a];
+  if (off == kNotOverlaid) {
+    const auto aeb = view_->action_entry_begin();
+    const double* base = view_->fwd_credit().data() + aeb[a];
+    off = ovl_buf_.size();
+    ovl_buf_.insert(ovl_buf_.end(), base, base + (aeb[a + 1] - aeb[a]));
+    ovl_offset_[a] = off;
+    ovl_actions_.push_back(a);
+  }
+  return ovl_buf_.data() + off;
+}
+
+double SnapshotQueryEngine::MarginalGain(NodeId x) {
+  // Algorithm 4 / Theorem 3, replayed over the flat arrays. The entry
+  // iteration order equals the live adjacency order (the snapshot
+  // preserves it), so the floating-point sums — and thus every returned
+  // gain — are bit-identical to CreditDistributionModel::MarginalGain.
+  if (x >= view_->num_users() || is_seed_[x]) return 0.0;
+  const auto au = view_->au();
+  const std::uint32_t ax = au[x];
+  if (ax == 0) return 0.0;
+  const double inv_ax = 1.0 / ax;
+
+  const auto uo = view_->user_offsets();
+  const auto slot_action = view_->slot_action();
+  const auto fwd_begin = view_->fwd_begin();
+  const auto fwd_count = view_->fwd_count();
+  const auto fwd_node = view_->fwd_node();
+  const auto aeb = view_->action_entry_begin();
+
+  double mg = 0.0;
+  for (std::uint64_t s = uo[x]; s < uo[x + 1]; ++s) {
+    const ActionId a = slot_action[s];
+    const double* credits = CreditsOf(a);
+    const std::uint64_t base = aeb[a];
+    const std::uint64_t fb = fwd_begin[s];
+    double mga = inv_ax;
+    for (std::uint64_t e = fb; e < fb + fwd_count[s]; ++e) {
+      const double credit = credits[e - base];
+      if (credit > 0.0) {
+        mga += credit / au[fwd_node[e]];
+      }
+    }
+    mg += mga * (1.0 - sc_cur_[s]);
+  }
+  return mg;
+}
+
+void SnapshotQueryEngine::CommitSeed(NodeId x) {
+  // Algorithm 5 against the copy-on-write overlay. A credit of exactly
+  // 0.0 encodes "erased": live entries are always > kZeroEpsilon, and
+  // SubtractCredit's epsilon-erase is replayed below, so 0.0 is
+  // unambiguous.
+  if (x >= view_->num_users() || is_seed_[x]) return;
+  const auto uo = view_->user_offsets();
+  const auto slot_action = view_->slot_action();
+  const auto fwd_begin = view_->fwd_begin();
+  const auto fwd_count = view_->fwd_count();
+  const auto fwd_node = view_->fwd_node();
+  const auto bwd_begin = view_->bwd_begin();
+  const auto bwd_count = view_->bwd_count();
+  const auto bwd_node = view_->bwd_node();
+  const auto bwd_entry = view_->bwd_entry();
+  const auto aeb = view_->action_entry_begin();
+
+  for (std::uint64_t s = uo[x]; s < uo[x + 1]; ++s) {
+    const ActionId a = slot_action[s];
+    double* ovl = EnsureOverlay(a);
+    const std::uint64_t base = aeb[a];
+    const double sc_x = sc_cur_[s];
+
+    // Snapshot the live rows up front, as the live CommitSeed does.
+    credited_.clear();
+    creditors_.clear();
+    const std::uint64_t fb = fwd_begin[s];
+    for (std::uint64_t e = fb; e < fb + fwd_count[s]; ++e) {
+      const double credit = ovl[e - base];
+      if (credit > 0.0) credited_.push_back({fwd_node[e], credit});
+    }
+    const std::uint64_t bb = bwd_begin[s];
+    for (std::uint64_t j = bb; j < bb + bwd_count[s]; ++j) {
+      const double credit = ovl[bwd_entry[j] - base];
+      if (credit > 0.0) creditors_.push_back({bwd_node[j], credit});
+    }
+
+    // Lemma 2: subtract the through-x path product from every
+    // (creditor, credited) pair. The live code addresses each pair by
+    // hash lookup; here each creditor's forward list is walked once
+    // against an epoch-stamped credited set — the same pairs, each
+    // subtracted exactly once with the identical delta, no hashing.
+    ++epoch_;
+    for (const LiveEntry& cu : credited_) {
+      stamp_epoch_[cu.node] = epoch_;
+      stamp_credit_[cu.node] = cu.credit;
+    }
+    for (const LiveEntry& cv : creditors_) {
+      // Every creditor of an action participates in it, so its slot must
+      // exist; tolerate a crafted file rather than index out of bounds.
+      const std::uint64_t sv = view_->SlotOf(cv.node, a);
+      if (sv == CreditSnapshotView::kNoSlot) continue;
+      const std::uint64_t vb = fwd_begin[sv];
+      for (std::uint64_t e = vb; e < vb + fwd_count[sv]; ++e) {
+        const NodeId u = fwd_node[e];
+        if (u == x) {
+          ovl[e - base] = 0.0;  // column erase: drop (creditor -> x)
+          continue;
+        }
+        if (stamp_epoch_[u] != epoch_) continue;
+        const double credit = ovl[e - base];
+        if (credit == 0.0) continue;  // truncated away or already erased
+        const double next = credit - cv.credit * stamp_credit_[u];
+        ovl[e - base] =
+            next <= ActionCreditTable::kZeroEpsilon ? 0.0 : next;
+      }
+    }
+    // Lemma 3: fold x's credit into SC for every user x credits.
+    for (const LiveEntry& cu : credited_) {
+      const std::uint64_t su = view_->SlotOf(cu.node, a);
+      if (su == CreditSnapshotView::kNoSlot) continue;
+      if (!sc_dirty_[su]) {
+        sc_dirty_[su] = 1;
+        sc_touched_.push_back(su);
+      }
+      sc_cur_[su] += cu.credit * (1.0 - sc_x);
+    }
+    // Row erase: x has left the induced subgraph V - S.
+    for (std::uint64_t e = fb; e < fb + fwd_count[s]; ++e) {
+      ovl[e - base] = 0.0;
+    }
+  }
+  is_seed_[x] = 1;
+  committed_.push_back(x);
+}
+
+double SnapshotQueryEngine::SpreadOf(std::span<const NodeId> seeds) {
+  // Theorem 3 telescopes: sigma_cd(S) is the sum of the marginal gains
+  // of committing S one seed at a time (in the given order).
+  ResetSession();
+  double total = 0.0;
+  for (NodeId seed : seeds) {
+    total += MarginalGain(seed);
+    CommitSeed(seed);
+  }
+  return total;
+}
+
+SnapshotSeedSelection SnapshotQueryEngine::TopKSeeds(NodeId k,
+                                                     double spread_budget) {
+  // Algorithm 3 (greedy + CELF lazy-forward), the exact queue discipline
+  // of CreditDistributionModel::SelectSeeds: stale gains are upper
+  // bounds by submodularity, the (gain, smaller-id) order is total, so
+  // the pop sequence — and the selection — matches the live model
+  // bit-for-bit.
+  ResetSession();
+  SnapshotSeedSelection selection;
+  heap_.clear();
+  const NodeId num_users = view_->num_users();
+  const auto au = view_->au();
+  for (NodeId x = 0; x < num_users; ++x) {
+    if (au[x] == 0) continue;  // gain is always 0
+    heap_.push_back({MarginalGain(x), x, 0});
+    ++selection.gain_evaluations;
+  }
+  std::make_heap(heap_.begin(), heap_.end());
+
+  double spread = 0.0;
+  while (selection.seeds.size() < k && !heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    QueueEntry top = heap_.back();
+    heap_.pop_back();
+    const NodeId current_size = static_cast<NodeId>(selection.seeds.size());
+    if (top.iteration == current_size) {
+      if (top.gain <= 0.0) break;  // nothing left to gain
+      if (spread + top.gain > spread_budget) break;  // budget exhausted
+      CommitSeed(top.node);
+      spread += top.gain;
+      selection.seeds.push_back(top.node);
+      selection.marginal_gains.push_back(top.gain);
+      selection.cumulative_spread.push_back(spread);
+    } else {
+      top.gain = MarginalGain(top.node);
+      top.iteration = current_size;
+      heap_.push_back(top);
+      std::push_heap(heap_.begin(), heap_.end());
+      ++selection.gain_evaluations;
+    }
+  }
+  return selection;
+}
+
+void SnapshotQueryEngine::ResetSession() {
+  for (ActionId a : ovl_actions_) ovl_offset_[a] = kNotOverlaid;
+  ovl_actions_.clear();
+  ovl_buf_.clear();  // keeps capacity: steady-state queries do not allocate
+  const auto base_sc = view_->slot_sc();
+  for (std::uint64_t s : sc_touched_) {
+    sc_cur_[s] = base_sc[s];
+    sc_dirty_[s] = 0;
+  }
+  sc_touched_.clear();
+  for (NodeId x : committed_) is_seed_[x] = 0;
+  committed_.clear();
+}
+
+std::uint64_t SnapshotQueryEngine::ApproxMemoryBytes() const {
+  auto bytes_of = [](const auto& v) {
+    return static_cast<std::uint64_t>(v.capacity()) * sizeof(v[0]);
+  };
+  return bytes_of(ovl_offset_) + bytes_of(ovl_buf_) +
+         bytes_of(ovl_actions_) + bytes_of(sc_cur_) + bytes_of(sc_touched_) +
+         bytes_of(sc_dirty_) + bytes_of(is_seed_) + bytes_of(committed_) +
+         bytes_of(stamp_epoch_) + bytes_of(stamp_credit_) +
+         bytes_of(credited_) + bytes_of(creditors_) + bytes_of(heap_);
+}
+
+Status IncrementalRescan(const CreditSnapshotView& view, const Graph& graph,
+                         const ActionLog& log,
+                         const DirectCreditModel& credit_model,
+                         const CdConfig& config, const std::string& out_path,
+                         RescanStats* stats) {
+  if (FingerprintGraph(graph) != view.graph_fingerprint()) {
+    return Status::InvalidArgument(
+        "rescan: graph does not fingerprint-match the snapshot");
+  }
+  if (log.num_users() != view.num_users()) {
+    return Status::InvalidArgument(
+        "rescan: log user space does not match the snapshot (" +
+        std::to_string(log.num_users()) + " vs " +
+        std::to_string(view.num_users()) + ")");
+  }
+  if (log.num_actions() < view.num_actions()) {
+    return Status::Corruption(
+        "rescan: log has fewer actions than the snapshot");
+  }
+  if (!view.seeds().empty()) {
+    return Status::FailedPrecondition(
+        "rescan: snapshot has committed seeds; Algorithm 5's removals "
+        "cannot be replayed forward — rebuild from a post-Build store");
+  }
+  if (config.truncation_threshold != view.truncation_threshold()) {
+    return Status::InvalidArgument(
+        "rescan: truncation threshold " +
+        std::to_string(config.truncation_threshold) +
+        " differs from the snapshot's " +
+        std::to_string(view.truncation_threshold()));
+  }
+
+  // Classify every action: unchanged (copy verbatim), extended (replay
+  // the appended suffix), or new (scan from scratch). Any rewritten
+  // history fails the per-action prefix hash and is rejected.
+  const ActionId old_actions = view.num_actions();
+  const ActionId new_actions = log.num_actions();
+  std::vector<ActionId> changed;
+  std::vector<std::uint64_t> changed_index(new_actions, ~0ULL);
+  RescanStats local_stats;
+  for (ActionId a = 0; a < old_actions; ++a) {
+    const auto trace = log.ActionTrace(a);
+    const std::uint32_t old_size = view.action_size()[a];
+    if (trace.size() < old_size) {
+      return Status::Corruption("rescan: action " + std::to_string(a) +
+                                " shrank from " + std::to_string(old_size) +
+                                " to " + std::to_string(trace.size()) +
+                                " tuples");
+    }
+    if (HashActionTrace(trace.first(old_size)) !=
+        view.action_trace_hash()[a]) {
+      return Status::Corruption(
+          "rescan: action " + std::to_string(a) +
+          " is not an append-only extension of the snapshotted trace");
+    }
+    if (trace.size() > old_size) {
+      changed_index[a] = changed.size();
+      changed.push_back(a);
+      ++local_stats.rescanned_actions;
+      local_stats.replayed_tuples += trace.size() - old_size;
+    } else {
+      ++local_stats.unchanged_actions;
+    }
+  }
+  for (ActionId a = old_actions; a < new_actions; ++a) {
+    changed_index[a] = changed.size();
+    changed.push_back(a);
+    ++local_stats.new_actions;
+    local_stats.replayed_tuples += log.ActionTrace(a).size();
+  }
+
+  // Rebuild only the changed tables: reconstruct the frozen credits in
+  // their original first-touch order, then resume Algorithm 2 at the
+  // first appended position. Actions are independent, so this
+  // parallelizes like Build().
+  std::vector<ActionCreditTable> tables(changed.size());
+  ParallelForDynamic(
+      changed.size(), config.scan_threads,
+      [&](std::size_t /*thread*/, std::size_t i) {
+        const ActionId a = changed[i];
+        const auto trace = log.ActionTrace(a);
+        const std::uint32_t old_size =
+            a < old_actions ? view.action_size()[a] : 0;
+        ActionCreditTable& table = tables[i];
+        for (std::uint32_t t = 0; t < old_size; ++t) {
+          const NodeId v = trace[t].user;
+          const std::uint64_t s = view.SlotOf(v, a);
+          const std::uint64_t fb = view.fwd_begin()[s];
+          for (std::uint64_t e = fb; e < fb + view.fwd_count()[s]; ++e) {
+            table.AddCredit(v, view.fwd_node()[e], view.fwd_credit()[e]);
+          }
+        }
+        const PropagationDag dag = BuildPropagationDag(graph, trace);
+        std::vector<CreditEntry> scratch;
+        ScanDagRange(dag, credit_model, config.truncation_threshold,
+                     /*begin_pos=*/old_size, &table, &scratch);
+      });
+
+  // Assemble the new snapshot: fresh slot universe from the new log,
+  // rebuilt tables where something changed, verbatim (entry-rebased)
+  // copies of the mmap'd arrays everywhere else.
+  SnapshotData data;
+  InitSnapshotSlots(log, &data);
+  data.truncation_threshold = config.truncation_threshold;
+  data.graph_fingerprint = view.graph_fingerprint();
+  data.log_fingerprint = FingerprintActionLog(log);
+  for (ActionId a = 0; a < new_actions; ++a) {
+    const auto trace = log.ActionTrace(a);
+    data.action_entry_begin[a] = data.fwd_node.size();
+    data.action_size[a] = static_cast<std::uint32_t>(trace.size());
+    data.action_trace_hash[a] = HashActionTrace(trace);
+    if (changed_index[a] != ~0ULL) {
+      AppendActionFromTable(tables[changed_index[a]], a, trace, &data);
+      continue;
+    }
+    const std::uint64_t old_base = view.action_entry_begin()[a];
+    const std::uint64_t new_base = data.action_entry_begin[a];
+    for (const ActionTuple& t : trace) {
+      const std::uint64_t old_s = view.SlotOf(t.user, a);
+      const std::uint64_t new_s = data.SlotOf(t.user, a);
+      data.fwd_begin[new_s] = data.fwd_node.size();
+      data.fwd_count[new_s] = view.fwd_count()[old_s];
+      const std::uint64_t fb = view.fwd_begin()[old_s];
+      for (std::uint64_t e = fb; e < fb + view.fwd_count()[old_s]; ++e) {
+        data.fwd_node.push_back(view.fwd_node()[e]);
+        data.fwd_credit.push_back(view.fwd_credit()[e]);
+      }
+      data.bwd_begin[new_s] = data.bwd_node.size();
+      data.bwd_count[new_s] = view.bwd_count()[old_s];
+      const std::uint64_t bb = view.bwd_begin()[old_s];
+      for (std::uint64_t j = bb; j < bb + view.bwd_count()[old_s]; ++j) {
+        data.bwd_node.push_back(view.bwd_node()[j]);
+        data.bwd_entry.push_back(view.bwd_entry()[j] - old_base + new_base);
+      }
+    }
+  }
+  data.action_entry_begin[new_actions] = data.fwd_node.size();
+
+  INFLUMAX_RETURN_IF_ERROR(WriteSnapshotFile(data, out_path));
+  if (stats != nullptr) *stats = local_stats;
+  return Status::OK();
+}
+
+}  // namespace influmax

@@ -1,0 +1,173 @@
+#ifndef INFLUMAX_SERVE_QUERY_ENGINE_H_
+#define INFLUMAX_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/cd_model.h"
+#include "serve/snapshot_view.h"
+
+namespace influmax {
+
+/// Seed-selection result of the snapshot query engine; field-for-field
+/// the shape of CreditDistributionModel::SeedSelection, and — on the same
+/// log, graph, and lambda — bit-for-bit the same values.
+struct SnapshotSeedSelection {
+  std::vector<NodeId> seeds;              // in pick order
+  std::vector<double> marginal_gains;     // gain of each pick
+  std::vector<double> cumulative_spread;  // sigma_cd of each prefix
+  std::uint64_t gain_evaluations = 0;     // CELF computeMG calls
+};
+
+/// Non-destructive CELF greedy over a CreditSnapshotView.
+///
+/// Where the live model's SelectSeeds() consumes its credit store (one
+/// shot per Build), the engine answers any number of queries against one
+/// immutable snapshot: committed seeds live in a per-engine
+/// copy-on-write overlay (one contiguous credit slice per touched
+/// action) plus an SC shadow array, both rewound in O(touched) by
+/// ResetSession(). The query path is allocation-free in steady state and
+/// performs no hash-table lookups: node -> slot is an O(log A_u) binary
+/// search over the mmap'd CSR, everything else is direct indexing.
+///
+/// Results are bit-identical to the live model because the snapshot
+/// preserves forward-adjacency order (floating-point summation order),
+/// the overlay replicates SubtractCredit's epsilon-erase (entries at 0.0
+/// are "erased"), and the greedy replays Algorithm 3's exact queue
+/// discipline including tie-breaks.
+///
+/// Concurrency contract: one engine per thread. The underlying view is
+/// shared freely; an engine's session state is neither locked nor
+/// thread-safe (see docs/serving.md).
+class SnapshotQueryEngine {
+ public:
+  /// Workspaces are sized to the view once, here. `view` must outlive
+  /// the engine. Seeds frozen into the snapshot are permanent: they
+  /// survive ResetSession() (their credit updates are already baked into
+  /// the snapshot's UC/SC arrays).
+  explicit SnapshotQueryEngine(const CreditSnapshotView& view);
+
+  /// Marginal gain sigma_cd(S + x) - sigma_cd(S) of x against the
+  /// current session seed set S (Algorithm 4 / Theorem 3); 0 when x is
+  /// a seed or never acted. Non-destructive.
+  double MarginalGain(NodeId x);
+
+  /// Commits x into the session seed set (Algorithm 5 against the
+  /// overlay). No-op when x is already a seed.
+  void CommitSeed(NodeId x);
+
+  /// sigma_cd of `seeds` (committed in order over a fresh session; the
+  /// session is left holding them, so follow-up MarginalGain calls
+  /// answer "gain given this set").
+  double SpreadOf(std::span<const NodeId> seeds);
+
+  /// CELF greedy top-k from a fresh session: replays Algorithm 3 and
+  /// matches CreditDistributionModel::SelectSeeds(k) exactly. A finite
+  /// `spread_budget` additionally stops before any pick that would push
+  /// cumulative spread beyond the budget ("best seeds under budget").
+  /// The session is left holding the selection.
+  SnapshotSeedSelection TopKSeeds(
+      NodeId k,
+      double spread_budget = std::numeric_limits<double>::infinity());
+
+  /// Rewinds the session to the snapshot's base state in O(touched).
+  void ResetSession();
+
+  /// Seeds committed in this session (excluding snapshot-frozen ones).
+  std::span<const NodeId> session_seeds() const { return committed_; }
+
+  /// Heap bytes of the engine's workspaces (overlay high-water included);
+  /// the per-thread cost to add on top of the shared view mapping.
+  std::uint64_t ApproxMemoryBytes() const;
+
+ private:
+  /// Credits of action a, through the overlay when present, indexed by
+  /// (entry - action_entry_begin[a]).
+  const double* CreditsOf(ActionId a) const;
+
+  /// Mutable overlay slice for action a, copied from the base on first
+  /// touch (the "copy" in copy-on-write).
+  double* EnsureOverlay(ActionId a);
+
+  const CreditSnapshotView* view_;
+
+  // Copy-on-write credit overlay: per-action offset into ovl_buf_
+  // (kNotOverlaid when the action is untouched this session).
+  static constexpr std::uint64_t kNotOverlaid = ~0ULL;
+  std::vector<std::uint64_t> ovl_offset_;  // [A]
+  std::vector<double> ovl_buf_;            // bump-allocated slices
+  std::vector<ActionId> ovl_actions_;      // touched, for O(touched) reset
+
+  // SC shadow: base values copied at construction, per-slot undo log.
+  std::vector<double> sc_cur_;             // [S]
+  std::vector<std::uint64_t> sc_touched_;  // slots to rewind
+  std::vector<std::uint8_t> sc_dirty_;     // [S] dedup flag for the log
+
+  // Session seed set. Snapshot-frozen seeds are marked here once at
+  // construction and never appear in seed_touched_.
+  std::vector<std::uint8_t> is_seed_;      // [U]
+  std::vector<NodeId> committed_;          // session commits, in order
+
+  // Credited-user stamps for the commit update (epoch-tagged so clearing
+  // is free).
+  std::vector<std::uint64_t> stamp_epoch_;  // [U]
+  std::vector<double> stamp_credit_;        // [U]
+  std::uint64_t epoch_ = 0;
+
+  // Reused scratch (never shrunk, so steady-state queries do not
+  // allocate).
+  struct LiveEntry {
+    NodeId node;
+    double credit;
+  };
+  std::vector<LiveEntry> credited_;
+  std::vector<LiveEntry> creditors_;
+
+  struct QueueEntry {
+    double gain;
+    NodeId node;
+    NodeId iteration;
+    bool operator<(const QueueEntry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return node > other.node;  // deterministic tie-break: smaller id wins
+    }
+  };
+  std::vector<QueueEntry> heap_;
+};
+
+/// Statistics of one IncrementalRescan run.
+struct RescanStats {
+  ActionId unchanged_actions = 0;  // copied verbatim from the snapshot
+  ActionId rescanned_actions = 0;  // old actions with appended tuples
+  ActionId new_actions = 0;        // actions absent from the snapshot
+  std::uint64_t replayed_tuples = 0;  // activations actually re-scanned
+};
+
+/// Replays only the log records appended since `view` was frozen and
+/// writes the resulting (full, self-contained) snapshot to `out_path`.
+///
+/// `log` must be an append-only extension of the snapshotted log: same
+/// users, same dense ids for old actions, and each old action's scanned
+/// trace must be a prefix of its new trace (verified per action against
+/// the snapshot's trace hashes — any rewrite of history is rejected as
+/// Corruption). `graph` must fingerprint-match the snapshot, `config`'s
+/// truncation threshold must equal the snapshot's lambda, and the
+/// snapshot must not contain committed seeds (their Algorithm 5 updates
+/// cannot be replayed forward). Unchanged actions are copied from the
+/// mmap'd arrays without rebuilding anything; extended actions rebuild
+/// their table from the snapshot and resume Algorithm 2 at the first
+/// appended position — bit-identical to a full rescan of the new log.
+Status IncrementalRescan(const CreditSnapshotView& view, const Graph& graph,
+                         const ActionLog& log,
+                         const DirectCreditModel& credit_model,
+                         const CdConfig& config, const std::string& out_path,
+                         RescanStats* stats = nullptr);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_SERVE_QUERY_ENGINE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -280,6 +281,51 @@ TEST(MemoryTest, FormatBytesUnits) {
   EXPECT_EQ(FormatBytes(1500), "1.50 KB");
   EXPECT_EQ(FormatBytes(2500000), "2.50 MB");
   EXPECT_EQ(FormatBytes(3200000000ULL), "3.20 GB");
+}
+
+TEST(MmapFileTest, MapsFileContentsReadOnly) {
+  const std::string path = ::testing::TempDir() + "/mmap_roundtrip.bin";
+  const std::string payload = "influmax mmap payload";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << payload;
+  }
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->size(), payload.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(file->data()),
+                        file->size()),
+            payload);
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, EmptyFileIsValidAndMissingFileFails) {
+  const std::string path = ::testing::TempDir() + "/mmap_empty.bin";
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  auto empty = MmapFile::Open(path);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_EQ(empty->data(), nullptr);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(MmapFile::Open("/no/such/mmap/file").ok());
+}
+
+TEST(MmapFileTest, MoveTransfersOwnership) {
+  const std::string path = ::testing::TempDir() + "/mmap_move.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "xyz";
+  }
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  MmapFile moved = std::move(file).value();
+  EXPECT_EQ(moved.size(), 3u);
+  MmapFile assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.size(), 3u);
+  EXPECT_EQ(moved.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  std::remove(path.c_str());
 }
 
 // ----------------------------------------------------------------- Timer

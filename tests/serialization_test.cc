@@ -67,7 +67,11 @@ TEST(BinaryIoTest, DetectsTruncation) {
   BinaryReader reader(path, 0x7777, 1);
   ASSERT_TRUE(reader.status().ok());
   reader.ReadVector<double>(1000);
-  EXPECT_FALSE(reader.Finish().ok());
+  const Status status = reader.Finish();
+  EXPECT_FALSE(status.ok());
+  // Short reads name the byte offset so corrupt files are diagnosable.
+  EXPECT_NE(status.message().find("byte offset"), std::string::npos)
+      << status.message();
 }
 
 TEST(BinaryIoTest, VectorLengthGuardStopsHugeAllocations) {
