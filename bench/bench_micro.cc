@@ -6,14 +6,17 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "actionlog/propagation_dag.h"
+#include "common/bench_json.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/cd_evaluator.h"
@@ -181,6 +184,69 @@ void BM_RebuildTopKSeeds(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RebuildTopKSeeds)->Arg(500)->Arg(2000);
+
+// ------------------------------------------------ parallel CELF benches
+// The parallel-greedy claim (docs/parallelism.md): the CELF initial
+// marginal-gain pass — the dominant cost of a top-k query — scales with
+// gain threads while staying bit-identical. TopKSeeds(1) is the pass
+// plus one commit; the thread count is the range argument, so the JSON
+// trajectory (--json) records ns_per_op per thread count side by side.
+
+// Fixture size chosen so the scanned store holds a >= 100k-entry credit
+// workload (the acceptance workload for the parallel pass).
+constexpr NodeId kGainBenchNodes = 2000;
+
+void BM_InitialGainPass(benchmark::State& state) {
+  const std::string& path = SnapshotPath(kGainBenchNodes);
+  auto view = CreditSnapshotView::Open(path);
+  INFLUMAX_CHECK(view.ok());
+  SnapshotQueryEngine engine(*view);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  engine.set_gain_threads(threads);
+  std::uint64_t evals = 0;
+  for (auto _ : state) {
+    auto selection = engine.TopKSeeds(1);
+    evals = selection.gain_evaluations;
+    benchmark::DoNotOptimize(selection.seeds.data());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["entries"] = static_cast<double>(view->num_entries());
+  state.counters["gain_evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_InitialGainPass)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Intra-action scan sharding (ScanDagRangeSharded): one huge action —
+// every node of the fixture graph activating in id order — scanned with
+// the range argument's worker count. Thread count 1 falls through to
+// the serial ScanDagRange, so the /1 row is the baseline the sharded
+// rows are compared against; all rows produce bit-identical tables.
+void BM_HugeActionScan(benchmark::State& state) {
+  const MicroFixture& fx = Fixture(kGainBenchNodes);
+  TimeDecayDirectCredit credit(fx.params);
+  static auto* traces = new std::map<NodeId, std::vector<ActionTuple>>();
+  std::vector<ActionTuple>& trace = (*traces)[kGainBenchNodes];
+  if (trace.empty()) {
+    for (NodeId u = 0; u < fx.data.graph.num_nodes(); ++u) {
+      trace.push_back({u, 0, static_cast<Timestamp>(u)});
+    }
+  }
+  const PropagationDag dag = BuildPropagationDag(fx.data.graph, trace);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::vector<CreditEntry> scratch;
+  std::uint64_t entries = 0;
+  for (auto _ : state) {
+    ActionCreditTable table;
+    ScanDagRangeSharded(dag, credit, /*lambda=*/0.001, /*begin_pos=*/0,
+                        threads, &table, &scratch);
+    entries = table.num_entries();
+    benchmark::DoNotOptimize(entries);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["entries"] = static_cast<double>(entries);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dag.size()));
+}
+BENCHMARK(BM_HugeActionScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_CdEvaluatorSpread(benchmark::State& state) {
   const MicroFixture& fx = Fixture(static_cast<NodeId>(state.range(0)));
@@ -441,7 +507,85 @@ void BM_EmIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_EmIteration)->Arg(500);
 
+// --------------------------------------------------------- JSON output
+// `--json=out.json` (or `--json out.json`) writes the run as
+// {bench_name: {ns_per_op, bytes, threads}} — the compact contract CI
+// archives as BENCH_micro.json so the perf trajectory is diffable across
+// PRs (serve_credit --bench --json emits the same shape, via the shared
+// common/bench_json.h writer).
+
+// google-benchmark <= 1.7 flags failed runs with `error_occurred`; 1.8+
+// replaced it with the `skipped` enum. Detect whichever member exists so
+// the binary builds against both (CI runners carry 1.8, this tree 1.7).
+template <typename R>
+auto RunFailed(const R& run, int) -> decltype(bool(run.error_occurred)) {
+  return run.error_occurred;
+}
+template <typename R>
+auto RunFailed(const R& run, long) -> decltype(bool(run.skipped)) {
+  return bool(run.skipped);
+}
+
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (RunFailed(run, 0) || run.iterations == 0) continue;
+      BenchJsonRecord result;
+      result.name = run.benchmark_name();
+      result.ns_per_op =
+          run.real_accumulated_time / static_cast<double>(run.iterations) *
+          1e9;
+      if (const auto it = run.counters.find("threads");
+          it != run.counters.end()) {
+        result.threads = static_cast<std::size_t>(it->second.value);
+      }
+      // Memory counters, best first: exact bytes, then the MB estimate.
+      if (const auto it = run.counters.find("mapped_bytes");
+          it != run.counters.end()) {
+        result.bytes = static_cast<std::uint64_t>(it->second.value);
+      } else if (const auto it2 = run.counters.find("approx_mb");
+                 it2 != run.counters.end()) {
+        result.bytes =
+            static_cast<std::uint64_t>(it2->second.value * 1024.0 * 1024.0);
+      }
+      results.push_back(std::move(result));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<BenchJsonRecord> results;
+};
+
 }  // namespace
 }  // namespace influmax
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);
+  int bench_argc = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  influmax::JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    return influmax::WriteBenchJson(json_path, reporter.results);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef INFLUMAX_COMMON_BENCH_JSON_H_
+#define INFLUMAX_COMMON_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace influmax {
+
+/// One machine-readable benchmark result. `bench_micro --json` and
+/// `serve_credit --bench --json` both emit this exact shape —
+/// {name: {ns_per_op, bytes, threads}} — and CI archives it
+/// (BENCH_micro.json) so the perf trajectory is diffable across PRs;
+/// keep the two binaries on this one writer.
+struct BenchJsonRecord {
+  std::string name;
+  double ns_per_op = 0.0;
+  std::uint64_t bytes = 0;
+  std::size_t threads = 1;
+};
+
+/// Writes `records` as the JSON object above. Returns 0, or 1 (with a
+/// stderr message) when the file cannot be opened.
+inline int WriteBenchJson(const std::string& path,
+                          const std::vector<BenchJsonRecord>& records) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::fprintf(out, "  \"%s\": {\"ns_per_op\": %.3f, \"bytes\": %llu, "
+                      "\"threads\": %zu}%s\n",
+                 records[i].name.c_str(), records[i].ns_per_op,
+                 static_cast<unsigned long long>(records[i].bytes),
+                 records[i].threads, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  return 0;
+}
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_BENCH_JSON_H_

@@ -1,0 +1,269 @@
+#ifndef INFLUMAX_COMMON_CONCURRENT_FLAT_HASH_H_
+#define INFLUMAX_COMMON_CONCURRENT_FLAT_HASH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/logging.h"
+
+namespace influmax {
+
+/// Read-mostly concurrent hash map: one writer, many lock-free readers.
+///
+/// The design is epoch publication (modeled on the epoch reclaimer of
+/// concurrent-robin-hood-hashing) rather than fine-grained locking: the
+/// serving workloads this exists for — many SnapshotQueryEngine sessions
+/// consulting one shared table of precomputed gains — read millions of
+/// times between rare batched updates, so readers must pay no lock, no
+/// CAS, and no shared-cacheline write on the probe itself.
+///
+///  * The writer stages mutations into a private FlatHashMap
+///    (InsertOrAssign / Erase / Clear) that readers never see.
+///  * Publish() freezes the staged state into an immutable linear-probe
+///    table (power-of-two capacity, load factor <= 0.5, same fmix64
+///    hash as FlatHashMap) and swaps it in with one atomic store.
+///  * Readers probe the published table through a ReadSession — a
+///    registered per-thread handle. Each read (or Guard scope) pins the
+///    current epoch in the session's own cache line, probes, and unpins;
+///    the probe itself touches only immutable memory.
+///  * A superseded table is retired, not freed: Publish() reclaims a
+///    retired table only once every registered session has either
+///    quiesced or pinned a later epoch, so a reader can never touch
+///    freed memory. A stalled pinned reader delays reclamation but never
+///    blocks the writer or other readers.
+///
+/// Safety argument (all epoch/pointer accesses are seq_cst): a reader
+/// pins epoch e (read from the global counter) *before* loading the
+/// table pointer. If it loaded table T, then T's retirement — the
+/// publish that replaced it — comes after that load in the seq_cst
+/// total order, so T's retire epoch is >= e and the reclamation
+/// condition `retire_epoch < min(pinned epochs) <= e` fails until the
+/// reader unpins. Conversely, if the writer's reclamation scan misses a
+/// concurrent pin, the pin's later published-pointer load is ordered
+/// after the writer's swap and observes the *new* table.
+///
+/// Concurrency contract: any number of ReadSessions (each used by one
+/// thread at a time); all writer-side calls (staging, Publish,
+/// retired_tables) from one thread at a time. Values are copied out
+/// under the pin, so V must be trivially copyable. The map must outlive
+/// its sessions.
+template <typename K, typename V, typename Hash = FlatHash<K>>
+class ConcurrentFlatHashMap {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "ConcurrentFlatHashMap keys must be trivially copyable");
+  static_assert(std::is_trivially_copyable_v<V>,
+                "ConcurrentFlatHashMap values are copied out under the "
+                "epoch pin and must be trivially copyable");
+
+  // Published tables are plain linear probes, not robin hood: they are
+  // immutable (no deletes, so no tombstones and no backward shifts) and
+  // at load <= 0.5 the probe chains stay short without displacement.
+  struct Entry {
+    K key;
+    V value;
+  };
+
+  struct Table {
+    std::vector<std::uint8_t> used;
+    std::vector<Entry> entries;
+    std::size_t mask = 0;
+    std::size_t size = 0;
+    std::uint64_t version = 0;
+    std::uint64_t retire_epoch = 0;  // writer-only, set at retirement
+
+    Table(const FlatHashMap<K, V, Hash>& staged, std::uint64_t v)
+        : version(v) {
+      std::size_t capacity = 16;
+      while (capacity < 2 * staged.size()) capacity *= 2;
+      used.assign(capacity, 0);
+      entries.resize(capacity);
+      mask = capacity - 1;
+      size = staged.size();
+      const Hash hash;
+      for (const auto entry : staged) {
+        std::size_t idx = hash(entry.key) & mask;
+        while (used[idx]) idx = (idx + 1) & mask;
+        used[idx] = 1;
+        entries[idx] = {entry.key, entry.value};
+      }
+    }
+  };
+
+  struct alignas(64) SessionSlot {
+    std::atomic<std::uint64_t> epoch;
+  };
+
+  static constexpr std::uint64_t kFreeSlot = ~0ULL;
+  static constexpr std::uint64_t kQuiescent = ~0ULL - 1;
+
+ public:
+  /// `max_sessions` bounds concurrently registered ReadSessions (each
+  /// occupies one cache-line slot scanned by Publish()).
+  explicit ConcurrentFlatHashMap(std::size_t max_sessions = 64)
+      : slots_(max_sessions) {
+    for (auto& slot : slots_) {
+      slot.epoch.store(kFreeSlot, std::memory_order_relaxed);
+    }
+  }
+
+  ~ConcurrentFlatHashMap() {
+    delete published_.load(std::memory_order_relaxed);
+    for (const Table* table : retired_) delete table;
+  }
+
+  ConcurrentFlatHashMap(const ConcurrentFlatHashMap&) = delete;
+  ConcurrentFlatHashMap& operator=(const ConcurrentFlatHashMap&) = delete;
+
+  // ------------------------------------------------------- writer side
+
+  /// Stages an insert/overwrite; invisible to readers until Publish().
+  void InsertOrAssign(K key, V value) { staged_.InsertOrAssign(key, value); }
+
+  /// Stages a removal; returns whether the key was staged.
+  bool Erase(K key) { return staged_.Erase(key); }
+
+  /// Stages removal of everything.
+  void Clear() { staged_.Clear(); }
+
+  /// Entries in the staged (writer-private) state.
+  std::size_t staged_size() const { return staged_.size(); }
+
+  /// Atomically replaces the readers' table with the staged state and
+  /// reclaims superseded tables no session can still be reading.
+  /// Returns the new table's version (1 for the first publish).
+  std::uint64_t Publish() {
+    Table* next = new Table(staged_, ++version_);
+    Table* old = published_.exchange(next);
+    if (old != nullptr) {
+      old->retire_epoch = global_epoch_.load();
+      retired_.push_back(old);
+    }
+    global_epoch_.fetch_add(1);
+    ReclaimRetired();
+    return version_;
+  }
+
+  /// Version of the latest published table (0 = nothing published).
+  std::uint64_t published_version() const { return version_; }
+
+  /// Superseded tables still waiting on a pinned reader (diagnostics;
+  /// writer-side like Publish).
+  std::size_t retired_tables() const { return retired_.size(); }
+
+  // ------------------------------------------------------- reader side
+
+  class ReadSession;
+
+  /// Pins the epoch for a batch of reads; probes are lock-free against
+  /// one consistent table version for the Guard's whole lifetime.
+  class Guard {
+   public:
+    explicit Guard(ReadSession& session) : session_(&session) {
+      ConcurrentFlatHashMap& map = *session_->map_;
+      session_->slot_->epoch.store(map.global_epoch_.load());
+      table_ = map.published_.load();
+    }
+
+    ~Guard() { session_->slot_->epoch.store(kQuiescent); }
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    /// Copies the value for `key` into `*out`; false when absent (or
+    /// nothing was published yet).
+    bool Find(K key, V* out) const {
+      if (table_ == nullptr || table_->size == 0) return false;
+      const Hash hash;
+      std::size_t idx = hash(key) & table_->mask;
+      while (table_->used[idx]) {
+        if (table_->entries[idx].key == key) {
+          *out = table_->entries[idx].value;
+          return true;
+        }
+        idx = (idx + 1) & table_->mask;
+      }
+      return false;
+    }
+
+    /// Version of the pinned table (0 = nothing published yet).
+    std::uint64_t version() const {
+      return table_ == nullptr ? 0 : table_->version;
+    }
+
+    /// Entries in the pinned table.
+    std::size_t size() const { return table_ == nullptr ? 0 : table_->size; }
+
+   private:
+    ReadSession* session_;
+    const Table* table_;
+  };
+
+  /// Per-thread reader handle. Registration claims one epoch slot;
+  /// destruction releases it. One thread at a time per session.
+  class ReadSession {
+   public:
+    explicit ReadSession(ConcurrentFlatHashMap& map) : map_(&map) {
+      for (auto& slot : map.slots_) {
+        std::uint64_t expected = kFreeSlot;
+        if (slot.epoch.compare_exchange_strong(expected, kQuiescent)) {
+          slot_ = &slot;
+          return;
+        }
+      }
+      INFLUMAX_LOG_FATAL << "ConcurrentFlatHashMap: all "
+                         << map.slots_.size()
+                         << " reader sessions are in use";
+    }
+
+    ~ReadSession() {
+      if (slot_ != nullptr) slot_->epoch.store(kFreeSlot);
+    }
+
+    ReadSession(const ReadSession&) = delete;
+    ReadSession& operator=(const ReadSession&) = delete;
+
+    /// One pinned read: copies the value for `key` into `*out`.
+    bool Find(K key, V* out) {
+      Guard guard(*this);
+      return guard.Find(key, out);
+    }
+
+   private:
+    friend class Guard;
+    ConcurrentFlatHashMap* map_;
+    SessionSlot* slot_ = nullptr;
+  };
+
+ private:
+  void ReclaimRetired() {
+    std::uint64_t min_pinned = kQuiescent;
+    for (const auto& slot : slots_) {
+      const std::uint64_t epoch = slot.epoch.load();
+      if (epoch < min_pinned) min_pinned = epoch;
+    }
+    std::size_t kept = 0;
+    for (Table* table : retired_) {
+      if (table->retire_epoch < min_pinned) {
+        delete table;
+      } else {
+        retired_[kept++] = table;
+      }
+    }
+    retired_.resize(kept);
+  }
+
+  FlatHashMap<K, V, Hash> staged_;           // writer-private
+  std::atomic<Table*> published_{nullptr};
+  std::atomic<std::uint64_t> global_epoch_{1};
+  std::vector<Table*> retired_;              // writer-private
+  std::vector<SessionSlot> slots_;
+  std::uint64_t version_ = 0;                // writer-private
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_CONCURRENT_FLAT_HASH_H_

@@ -22,13 +22,15 @@ void ParallelForChunked(
   }
   const std::size_t chunk = (total + workers - 1) / workers;
   std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) {
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) {
     const std::size_t begin = t * chunk;
     const std::size_t end = std::min(begin + chunk, total);
     if (begin >= end) break;
     threads.emplace_back([&body, t, begin, end] { body(t, begin, end); });
   }
+  // The calling thread is worker 0: N workers cost N - 1 spawns.
+  body(0, 0, std::min(chunk, total));
   for (auto& th : threads) th.join();
 }
 
@@ -43,17 +45,20 @@ void ParallelForDynamic(
     return;
   }
   std::atomic<std::size_t> next{0};
+  const auto drain = [&body, &next, total](std::size_t t) {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      body(t, i);
+    }
+  };
   std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) {
-    threads.emplace_back([&body, &next, total, t] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= total) return;
-        body(t, i);
-      }
-    });
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) {
+    threads.emplace_back([&drain, t] { drain(t); });
   }
+  // The calling thread is worker 0: N workers cost N - 1 spawns.
+  drain(0);
   for (auto& th : threads) th.join();
 }
 

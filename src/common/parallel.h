@@ -15,8 +15,13 @@ std::size_t EffectiveThreadCount(std::size_t requested);
 
 /// Runs `body(thread_index, begin, end)` over a static partition of
 /// [0, total) across `num_threads` workers (0 = auto). Blocks until all
-/// workers finish. With num_threads == 1 the body runs inline, which the
-/// tests use for determinism.
+/// workers finish.
+///
+/// Inline guarantee: when the resolved worker count is 1 — because
+/// num_threads == 1, total <= 1, or EffectiveThreadCount(0) resolves to 1
+/// — no thread is spawned and the body runs on the calling thread, which
+/// the tests use for determinism. With more workers the calling thread
+/// participates as worker 0, so N workers spawn only N - 1 threads.
 ///
 /// The Monte Carlo engines use the thread_index to pick an independent
 /// RNG stream, so results are reproducible for a fixed thread count.
@@ -27,7 +32,9 @@ void ParallelForChunked(
 
 /// Dynamic work-stealing variant: workers repeatedly grab the next index
 /// from a shared counter and run `body(thread_index, index)`. Better for
-/// heavily skewed per-item costs (e.g. per-action scans).
+/// heavily skewed per-item costs (e.g. per-action scans). Same inline
+/// guarantee and caller participation as ParallelForChunked; with one
+/// resolved worker the indices run inline in ascending order.
 void ParallelForDynamic(
     std::size_t total, std::size_t num_threads,
     const std::function<void(std::size_t thread_index, std::size_t index)>&

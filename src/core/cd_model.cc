@@ -1,10 +1,13 @@
 #include "core/cd_model.h"
 
 #include <algorithm>
-#include <queue>
+#include <limits>
+#include <utility>
+#include <vector>
 
 #include "actionlog/propagation_dag.h"
 #include "common/parallel.h"
+#include "core/celf.h"
 
 namespace influmax {
 
@@ -32,18 +35,48 @@ Result<CreditDistributionModel> CreditDistributionModel::Build(
   // thread count. Each worker snapshots creditor lists into its own
   // arena: AddCredit may rehash the flat adjacency tables, so no span
   // into the table may outlive a mutation.
-  model.store_.PrepareScanArenas(
-      EffectiveThreadCount(config.scan_threads));
-  ParallelForDynamic(
-      log.num_actions(), config.scan_threads,
-      [&](std::size_t thread, std::size_t action) {
-        const ActionId a = static_cast<ActionId>(action);
-        const PropagationDag dag =
-            BuildPropagationDag(graph, log.ActionTrace(a));
-        ScanArena& arena = model.store_.scan_arena(thread);
-        ScanDagRange(dag, credit_model, lambda, /*begin_pos=*/0,
-                     &model.store_.table(a), &arena.creditors);
-      });
+  const std::size_t scan_workers = EffectiveThreadCount(config.scan_threads);
+  model.store_.PrepareScanArenas(scan_workers);
+  const auto scan_one = [&](std::size_t thread, ActionId a) {
+    const PropagationDag dag = BuildPropagationDag(graph, log.ActionTrace(a));
+    ScanArena& arena = model.store_.scan_arena(thread);
+    ScanDagRange(dag, credit_model, lambda, /*begin_pos=*/0,
+                 &model.store_.table(a), &arena.creditors);
+  };
+  const NodeId shard_floor = config.scan_shard_min_positions;
+  if (scan_workers > 1 && shard_floor > 0) {
+    // Straggler actions go first, each sharded internally across all
+    // workers, so one giant trace no longer pins a single worker while
+    // the rest of the pool idles. A straggler is an action that clears
+    // the floor AND exceeds a fair per-worker share of the whole log —
+    // a log of several uniformly large actions parallelizes better
+    // action-per-worker than through the sharded path's serial merge.
+    // Per-action tables stay independent, so the routing cannot change
+    // any result.
+    const std::uint64_t fair_share = log.num_tuples() / scan_workers;
+    std::vector<ActionId> small_actions;
+    small_actions.reserve(log.num_actions());
+    for (ActionId a = 0; a < log.num_actions(); ++a) {
+      if (log.ActionSize(a) < shard_floor || log.ActionSize(a) <= fair_share) {
+        small_actions.push_back(a);
+        continue;
+      }
+      const PropagationDag dag =
+          BuildPropagationDag(graph, log.ActionTrace(a));
+      ScanDagRangeSharded(dag, credit_model, lambda, /*begin_pos=*/0,
+                          config.scan_threads, &model.store_.table(a),
+                          &model.store_.scan_arena(0).creditors);
+    }
+    ParallelForDynamic(small_actions.size(), config.scan_threads,
+                       [&](std::size_t thread, std::size_t i) {
+                         scan_one(thread, small_actions[i]);
+                       });
+  } else {
+    ParallelForDynamic(log.num_actions(), config.scan_threads,
+                       [&](std::size_t thread, std::size_t action) {
+                         scan_one(thread, static_cast<ActionId>(action));
+                       });
+  }
   model.store_.ReleaseScanArenas();
   return model;
 }
@@ -80,6 +113,93 @@ void ScanDagRange(const PropagationDag& dag,
         }
       }
       table->AddCredit(v, u, gamma);
+    }
+  }
+}
+
+void ScanDagRangeSharded(const PropagationDag& dag,
+                         const DirectCreditModel& credit_model, double lambda,
+                         NodeId begin_pos, std::size_t num_threads,
+                         ActionCreditTable* table,
+                         std::vector<CreditEntry>* creditor_scratch) {
+  const NodeId end_pos = dag.size();
+  if (begin_pos >= end_pos) return;
+  const std::size_t total = end_pos - begin_pos;
+  const std::size_t workers =
+      std::min(EffectiveThreadCount(num_threads), total);
+  if (workers == 1) {
+    ScanDagRange(dag, credit_model, lambda, begin_pos, table,
+                 creditor_scratch);
+    return;
+  }
+
+  // Phase A: shard the position range; each shard computes its direct
+  // credits (v, gamma) — parents, time deltas, and the Gamma evaluation,
+  // filtered by the truncation threshold exactly as the serial loop —
+  // into its own arena. Gamma is a pure function of the tuple, so every
+  // value is the bit the serial scan would compute.
+  struct Shard {
+    NodeId begin = 0;
+    NodeId end = 0;
+    std::vector<std::pair<NodeId, double>> gammas;  // (v, gamma), surviving
+    std::vector<std::uint32_t> counts;              // per position
+  };
+  // More shards than workers so a dense stretch of the DAG cannot strand
+  // the pool; shard geometry never affects the result.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, (total + 4 * workers - 1) / (4 * workers));
+  std::vector<Shard> shards((total + chunk - 1) / chunk);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards[s].begin = begin_pos + static_cast<NodeId>(s * chunk);
+    shards[s].end = static_cast<NodeId>(
+        std::min<std::size_t>(shards[s].begin + chunk, end_pos));
+  }
+  ParallelForDynamic(shards.size(), num_threads, [&](std::size_t,
+                                                     std::size_t s) {
+    Shard& shard = shards[s];
+    shard.counts.reserve(shard.end - shard.begin);
+    for (NodeId pos = shard.begin; pos < shard.end; ++pos) {
+      std::uint32_t kept = 0;
+      const auto parents = dag.Parents(pos);
+      if (!parents.empty()) {
+        const auto edges = dag.ParentEdges(pos);
+        const NodeId u = dag.UserAt(pos);
+        const std::uint32_t din = static_cast<std::uint32_t>(parents.size());
+        for (std::size_t i = 0; i < parents.size(); ++i) {
+          const NodeId v = dag.UserAt(parents[i]);
+          const double gamma = credit_model.Gamma(
+              u, din, dag.TimeAt(pos) - dag.TimeAt(parents[i]), edges[i]);
+          if (gamma < lambda || gamma <= 0.0) continue;
+          shard.gammas.emplace_back(v, gamma);
+          ++kept;
+        }
+      }
+      shard.counts.push_back(kept);
+    }
+  });
+
+  // Phase B: deterministic merge — replay the positions in order with
+  // the precomputed gammas, issuing the identical SnapshotCreditors /
+  // AddCredit sequence as the serial scan (see ScanDagRange for why the
+  // recursion is position-ordered), so entry values and adjacency order
+  // match bit for bit.
+  for (const Shard& shard : shards) {
+    std::size_t cursor = 0;
+    for (NodeId pos = shard.begin; pos < shard.end; ++pos) {
+      const NodeId u = dag.UserAt(pos);
+      const std::uint32_t kept = shard.counts[pos - shard.begin];
+      for (std::uint32_t j = 0; j < kept; ++j, ++cursor) {
+        const auto [v, gamma] = shard.gammas[cursor];
+        creditor_scratch->clear();
+        table->SnapshotCreditors(v, creditor_scratch);
+        for (const CreditEntry& creditor : *creditor_scratch) {
+          const double transitive = creditor.credit * gamma;
+          if (transitive >= lambda && transitive > 0.0) {
+            table->AddCredit(creditor.node, u, transitive);
+          }
+        }
+        table->AddCredit(v, u, gamma);
+      }
     }
   }
 }
@@ -148,47 +268,43 @@ CreditDistributionModel::SelectSeeds(NodeId k) {
   }
   selection_done_ = true;
 
-  // Algorithm 3: greedy with CELF lazy-forward evaluation. Queue entries
-  // carry the iteration (|S| value) their gain was computed at; thanks to
-  // submodularity (Theorem 2) a stale gain is an upper bound, so an entry
-  // that stays on top after recomputation is the true argmax.
-  struct QueueEntry {
-    double gain;
-    NodeId node;
-    NodeId iteration;
-    bool operator<(const QueueEntry& other) const {
-      if (gain != other.gain) return gain < other.gain;
-      return node > other.node;  // deterministic tie-break: smaller id wins
-    }
-  };
-
+  // Algorithm 3: greedy with CELF lazy-forward evaluation, both hot
+  // paths parallel on select_threads workers with results bit-identical
+  // to the serial greedy (docs/parallelism.md). The initial pass —
+  // every active user's gain against S = {} — is embarrassingly
+  // parallel because MarginalGain only reads the store: gains land in a
+  // dense per-user array and the heap is built from it in user order,
+  // the serial push sequence. The consumption loop (including batched
+  // speculative stale re-evaluations) is the shared RunCelfGreedy —
+  // exactly the code the snapshot engine replays, so the two can never
+  // drift.
   SeedSelection selection;
-  std::priority_queue<QueueEntry> queue;
-  for (NodeId x = 0; x < log_->num_users(); ++x) {
+  const NodeId num_users = log_->num_users();
+
+  std::vector<double> gains(num_users, 0.0);
+  ParallelForDynamic(num_users, config_.select_threads,
+                     [&](std::size_t, std::size_t x) {
+                       const NodeId node = static_cast<NodeId>(x);
+                       if (log_->ActionsPerformedBy(node) == 0) return;
+                       gains[x] = MarginalGain(node);
+                     });
+  std::vector<CelfQueueEntry> heap;
+  heap.reserve(num_users);
+  for (NodeId x = 0; x < num_users; ++x) {
     if (log_->ActionsPerformedBy(x) == 0) continue;  // gain is always 0
-    queue.push({MarginalGain(x), x, 0});
+    heap.push_back({gains[x], x, 0});
     ++selection.gain_evaluations;
   }
+  std::make_heap(heap.begin(), heap.end());
 
-  double spread = 0.0;
-  while (selection.seeds.size() < k && !queue.empty()) {
-    QueueEntry top = queue.top();
-    queue.pop();
-    const NodeId current_size = static_cast<NodeId>(selection.seeds.size());
-    if (top.iteration == current_size) {
-      if (top.gain <= 0.0) break;  // nothing left to gain
-      CommitSeed(top.node);
-      spread += top.gain;
-      selection.seeds.push_back(top.node);
-      selection.marginal_gains.push_back(top.gain);
-      selection.cumulative_spread.push_back(spread);
-    } else {
-      top.gain = MarginalGain(top.node);
-      top.iteration = current_size;
-      queue.push(top);
-      ++selection.gain_evaluations;
-    }
-  }
+  std::vector<double> memo_gain(num_users, 0.0);
+  std::vector<std::uint64_t> memo_stamp(num_users, 0);
+  std::vector<CelfQueueEntry> batch;
+  RunCelfGreedy(
+      k, std::numeric_limits<double>::infinity(), config_.select_threads,
+      [this](NodeId x) { return MarginalGain(x); },
+      [this](NodeId x) { CommitSeed(x); }, &heap, &memo_gain, &memo_stamp,
+      &batch, &selection);
   return selection;
 }
 

@@ -27,6 +27,17 @@ struct CdConfig {
   /// credit tables are mutually independent, so the scan parallelizes
   /// across actions with bit-identical results for any thread count.
   std::size_t scan_threads = 0;
+
+  /// Worker threads for the CELF greedy (0 = all hardware threads): the
+  /// initial marginal-gain pass and batched stale re-evaluations run in
+  /// parallel (docs/parallelism.md). Seeds, gains, and evaluation counts
+  /// are bit-identical for any value.
+  std::size_t select_threads = 0;
+
+  /// Actions whose trace reaches this many tuples are scanned with the
+  /// intra-action sharded path (ScanDagRangeSharded) instead of pinning
+  /// one scan worker. 0 disables intra-action sharding.
+  NodeId scan_shard_min_positions = 4096;
 };
 
 /// Influence maximization under the Credit Distribution model
@@ -120,6 +131,21 @@ void ScanDagRange(const PropagationDag& dag,
                   const DirectCreditModel& credit_model, double lambda,
                   NodeId begin_pos, ActionCreditTable* table,
                   std::vector<CreditEntry>* creditor_scratch);
+
+/// Intra-action sharded variant of ScanDagRange for one huge action:
+/// phase A splits [begin_pos, dag.size()) into DAG-node ranges and
+/// precomputes every surviving direct credit (v, gamma) into per-shard
+/// arenas in parallel (Gamma is a pure function of the tuple, the hot
+/// cost under Eq. 9's exponentials); phase B replays the positions in
+/// order against the table — the identical AddCredit sequence as the
+/// serial scan, so entry values *and* adjacency order are bit-identical
+/// for any thread count. The hash merge stays serial; see
+/// docs/parallelism.md for the shape of the bound.
+void ScanDagRangeSharded(const PropagationDag& dag,
+                         const DirectCreditModel& credit_model, double lambda,
+                         NodeId begin_pos, std::size_t num_threads,
+                         ActionCreditTable* table,
+                         std::vector<CreditEntry>* creditor_scratch);
 
 }  // namespace influmax
 

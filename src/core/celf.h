@@ -1,0 +1,124 @@
+#ifndef INFLUMAX_CORE_CELF_H_
+#define INFLUMAX_CORE_CELF_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/types.h"
+
+namespace influmax {
+
+/// Max-heap entry of Algorithm 3's lazy-forward queue. The order is
+/// total — gain first, then smaller node id — so the pop sequence (and
+/// therefore every selection built on it) is deterministic regardless
+/// of heap internals.
+struct CelfQueueEntry {
+  double gain;
+  NodeId node;
+  NodeId iteration;
+  bool operator<(const CelfQueueEntry& other) const {
+    if (gain != other.gain) return gain < other.gain;
+    return node > other.node;  // deterministic tie-break: smaller id wins
+  }
+};
+
+/// Stale heap tops speculatively re-evaluated per worker in one CELF
+/// batch. Larger batches expose more parallelism but waste more work
+/// when a commit lands before the memoized gains are consumed.
+inline constexpr std::size_t kCelfBatchPerWorker = 4;
+
+/// Algorithm 3's greedy + CELF consumption loop, shared verbatim by the
+/// live model and the snapshot engine so their queue disciplines can
+/// never drift (the serving layer's bit-identical contract depends on
+/// both replaying exactly this code).
+///
+/// Queue entries carry the iteration (|S| value) their gain was
+/// computed at; by submodularity a stale gain is an upper bound, so an
+/// entry that stays on top after recomputation is the true argmax.
+/// Stale re-evaluations are batched: with more than one worker, the run
+/// of consecutive stale tops is re-evaluated in one parallel pass
+/// against the current S and parked in a memo stamped |S| + 1; the
+/// greedy then consumes memoized gains one pop at a time, each counted
+/// as one evaluation exactly when the serial loop would have computed
+/// it. A commit bumps |S| and thereby invalidates the memo, so
+/// speculative values are only ever consumed against the seed set they
+/// were computed for, and unconsumed ones are never counted — seeds,
+/// gains, and evaluation counts are bit-identical to the serial greedy
+/// for any thread count (docs/parallelism.md).
+///
+/// `heap` holds fresh (iteration 0) entries, already make_heap'd.
+/// `memo_gain`/`memo_stamp` are caller-owned, node-indexed, with every
+/// stamp != any |S| + 1 reachable in this run (callers zero-fill; the
+/// memo is only touched when more than one worker resolves). `gain_of`
+/// must be safe to call from `num_threads` workers concurrently — both
+/// callers' MarginalGain are pure reads. `Selection` is the caller's
+/// {seeds, marginal_gains, cumulative_spread, gain_evaluations} struct.
+template <typename Selection, typename GainFn, typename CommitFn>
+void RunCelfGreedy(NodeId k, double spread_budget, std::size_t num_threads,
+                   const GainFn& gain_of, const CommitFn& commit,
+                   std::vector<CelfQueueEntry>* heap,
+                   std::vector<double>* memo_gain,
+                   std::vector<std::uint64_t>* memo_stamp,
+                   std::vector<CelfQueueEntry>* batch,
+                   Selection* selection) {
+  const std::size_t workers = std::min<std::size_t>(
+      EffectiveThreadCount(num_threads), heap->empty() ? 1 : heap->size());
+  double spread = 0.0;
+  while (selection->seeds.size() < k && !heap->empty()) {
+    std::pop_heap(heap->begin(), heap->end());
+    CelfQueueEntry top = heap->back();
+    heap->pop_back();
+    const NodeId current_size = static_cast<NodeId>(selection->seeds.size());
+    const std::uint64_t stamp = static_cast<std::uint64_t>(current_size) + 1;
+    if (top.iteration == current_size) {
+      if (top.gain <= 0.0) break;  // nothing left to gain
+      if (spread + top.gain > spread_budget) break;  // budget exhausted
+      commit(top.node);
+      spread += top.gain;
+      selection->seeds.push_back(top.node);
+      selection->marginal_gains.push_back(top.gain);
+      selection->cumulative_spread.push_back(spread);
+      continue;
+    }
+    if (workers > 1 && (*memo_stamp)[top.node] != stamp) {
+      // Drain the run of stale tops and re-evaluate the batch in
+      // parallel; everything below the top goes back unchanged, leaving
+      // the heap exactly as the serial path would, with the speculative
+      // gains parked in the memo.
+      batch->clear();
+      batch->push_back(top);
+      const std::size_t budget = kCelfBatchPerWorker * workers;
+      while (batch->size() < budget && !heap->empty() &&
+             heap->front().iteration != current_size &&
+             (*memo_stamp)[heap->front().node] != stamp) {
+        std::pop_heap(heap->begin(), heap->end());
+        batch->push_back(heap->back());
+        heap->pop_back();
+      }
+      ParallelForDynamic(batch->size(), num_threads,
+                         [&](std::size_t, std::size_t i) {
+                           // Distinct nodes: each slot written once.
+                           const NodeId node = (*batch)[i].node;
+                           (*memo_gain)[node] = gain_of(node);
+                           (*memo_stamp)[node] = stamp;
+                         });
+      for (std::size_t i = 1; i < batch->size(); ++i) {
+        heap->push_back((*batch)[i]);
+        std::push_heap(heap->begin(), heap->end());
+      }
+    }
+    top.gain = workers > 1 && (*memo_stamp)[top.node] == stamp
+                   ? (*memo_gain)[top.node]
+                   : gain_of(top.node);
+    top.iteration = current_size;
+    heap->push_back(top);
+    std::push_heap(heap->begin(), heap->end());
+    ++selection->gain_evaluations;
+  }
+}
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_CORE_CELF_H_

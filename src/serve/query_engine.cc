@@ -18,6 +18,8 @@ SnapshotQueryEngine::SnapshotQueryEngine(const CreditSnapshotView& view)
   for (NodeId s : view.seeds()) is_seed_[s] = 1;
   stamp_epoch_.assign(view.num_users(), 0);
   stamp_credit_.assign(view.num_users(), 0.0);
+  memo_gain_.assign(view.num_users(), 0.0);
+  memo_stamp_.assign(view.num_users(), 0);
 }
 
 const double* SnapshotQueryEngine::CreditsOf(ActionId a) const {
@@ -39,7 +41,7 @@ double* SnapshotQueryEngine::EnsureOverlay(ActionId a) {
   return ovl_buf_.data() + off;
 }
 
-double SnapshotQueryEngine::MarginalGain(NodeId x) {
+double SnapshotQueryEngine::MarginalGain(NodeId x) const {
   // Algorithm 4 / Theorem 3, replayed over the flat arrays. The entry
   // iteration order equals the live adjacency order (the snapshot
   // preserves it), so the floating-point sums — and thus every returned
@@ -176,44 +178,49 @@ double SnapshotQueryEngine::SpreadOf(std::span<const NodeId> seeds) {
 SnapshotSeedSelection SnapshotQueryEngine::TopKSeeds(NodeId k,
                                                      double spread_budget) {
   // Algorithm 3 (greedy + CELF lazy-forward), the exact queue discipline
-  // of CreditDistributionModel::SelectSeeds: stale gains are upper
-  // bounds by submodularity, the (gain, smaller-id) order is total, so
-  // the pop sequence — and the selection — matches the live model
-  // bit-for-bit.
+  // of CreditDistributionModel::SelectSeeds — literally: the consumption
+  // loop is the shared RunCelfGreedy, so the two cannot drift. Both
+  // evaluation passes run on gain_threads_ workers: MarginalGain is
+  // const (pure reads of view + overlay + SC shadow) and no mutating
+  // method runs while a pass is in flight, so the passes are race-free
+  // and the results — seeds, gains, evaluation counts — are identical
+  // for any thread count (docs/parallelism.md). All scratch is
+  // engine-owned and only ever grows, preserving the allocation-free
+  // steady state.
   ResetSession();
   SnapshotSeedSelection selection;
   heap_.clear();
   const NodeId num_users = view_->num_users();
   const auto au = view_->au();
+  const std::size_t workers = std::min<std::size_t>(
+      EffectiveThreadCount(gain_threads_), num_users == 0 ? 1 : num_users);
+
+  // Only the slots of active users are written *and* read, so the
+  // gather array needs sizing, not clearing.
+  gains_.resize(num_users);
+  ParallelForDynamic(num_users, gain_threads_,
+                     [&](std::size_t, std::size_t x) {
+                       if (au[x] == 0) return;
+                       gains_[x] = MarginalGain(static_cast<NodeId>(x));
+                     });
   for (NodeId x = 0; x < num_users; ++x) {
     if (au[x] == 0) continue;  // gain is always 0
-    heap_.push_back({MarginalGain(x), x, 0});
+    heap_.push_back({gains_[x], x, 0});
     ++selection.gain_evaluations;
   }
   std::make_heap(heap_.begin(), heap_.end());
 
-  double spread = 0.0;
-  while (selection.seeds.size() < k && !heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end());
-    QueueEntry top = heap_.back();
-    heap_.pop_back();
-    const NodeId current_size = static_cast<NodeId>(selection.seeds.size());
-    if (top.iteration == current_size) {
-      if (top.gain <= 0.0) break;  // nothing left to gain
-      if (spread + top.gain > spread_budget) break;  // budget exhausted
-      CommitSeed(top.node);
-      spread += top.gain;
-      selection.seeds.push_back(top.node);
-      selection.marginal_gains.push_back(top.gain);
-      selection.cumulative_spread.push_back(spread);
-    } else {
-      top.gain = MarginalGain(top.node);
-      top.iteration = current_size;
-      heap_.push_back(top);
-      std::push_heap(heap_.begin(), heap_.end());
-      ++selection.gain_evaluations;
-    }
+  if (workers > 1) {
+    // Invalidate any speculation memo left by a previous TopKSeeds call:
+    // stamps encode |S| + 1, which restarts at 1 every call. (Serial
+    // runs never touch the memo, so they skip the fill too.)
+    std::fill(memo_stamp_.begin(), memo_stamp_.end(), 0);
   }
+  RunCelfGreedy(
+      k, spread_budget, gain_threads_,
+      [this](NodeId x) { return MarginalGain(x); },
+      [this](NodeId x) { CommitSeed(x); }, &heap_, &memo_gain_,
+      &memo_stamp_, &batch_, &selection);
   return selection;
 }
 
@@ -239,7 +246,9 @@ std::uint64_t SnapshotQueryEngine::ApproxMemoryBytes() const {
          bytes_of(ovl_actions_) + bytes_of(sc_cur_) + bytes_of(sc_touched_) +
          bytes_of(sc_dirty_) + bytes_of(is_seed_) + bytes_of(committed_) +
          bytes_of(stamp_epoch_) + bytes_of(stamp_credit_) +
-         bytes_of(credited_) + bytes_of(creditors_) + bytes_of(heap_);
+         bytes_of(memo_gain_) + bytes_of(memo_stamp_) +
+         bytes_of(credited_) + bytes_of(creditors_) + bytes_of(heap_) +
+         bytes_of(batch_) + bytes_of(gains_);
 }
 
 Status IncrementalRescan(const CreditSnapshotView& view, const Graph& graph,

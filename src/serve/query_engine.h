@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cd_model.h"
+#include "core/celf.h"
 #include "serve/snapshot_view.h"
 
 namespace influmax {
@@ -43,7 +44,10 @@ struct SnapshotSeedSelection {
 ///
 /// Concurrency contract: one engine per thread. The underlying view is
 /// shared freely; an engine's session state is neither locked nor
-/// thread-safe (see docs/serving.md).
+/// thread-safe (see docs/serving.md). TopKSeeds can additionally fan its
+/// internal marginal-gain passes out over set_gain_threads() workers —
+/// safe because MarginalGain is read-only — without changing any result
+/// bit (docs/parallelism.md).
 class SnapshotQueryEngine {
  public:
   /// Workspaces are sized to the view once, here. `view` must outlive
@@ -54,8 +58,12 @@ class SnapshotQueryEngine {
 
   /// Marginal gain sigma_cd(S + x) - sigma_cd(S) of x against the
   /// current session seed set S (Algorithm 4 / Theorem 3); 0 when x is
-  /// a seed or never acted. Non-destructive.
-  double MarginalGain(NodeId x);
+  /// a seed or never acted. Non-destructive, and const: it only reads
+  /// the view, the overlay, and the SC shadow, so concurrent calls are
+  /// safe whenever no mutating method (CommitSeed / SpreadOf /
+  /// TopKSeeds / ResetSession) runs — the property the parallel gain
+  /// passes below rely on.
+  double MarginalGain(NodeId x) const;
 
   /// Commits x into the session seed set (Algorithm 5 against the
   /// overlay). No-op when x is already a seed.
@@ -77,6 +85,15 @@ class SnapshotQueryEngine {
 
   /// Rewinds the session to the snapshot's base state in O(touched).
   void ResetSession();
+
+  /// Worker threads for TopKSeeds' marginal-gain passes (the initial
+  /// CELF pass and batched stale re-evaluations), 0 = all hardware
+  /// threads. Defaults to 1 — serving deployments run one engine per
+  /// thread, and an engine that spawns by default would oversubscribe
+  /// them. Results are bit-identical for any value; see
+  /// docs/parallelism.md.
+  void set_gain_threads(std::size_t threads) { gain_threads_ = threads; }
+  std::size_t gain_threads() const { return gain_threads_; }
 
   /// Seeds committed in this session (excluding snapshot-frozen ones).
   std::span<const NodeId> session_seeds() const { return committed_; }
@@ -119,6 +136,12 @@ class SnapshotQueryEngine {
   std::vector<double> stamp_credit_;        // [U]
   std::uint64_t epoch_ = 0;
 
+  // CELF speculation memo (TopKSeeds): gain of a node re-evaluated in a
+  // parallel batch, valid only while |S| + 1 == the stamp.
+  std::size_t gain_threads_ = 1;
+  std::vector<double> memo_gain_;           // [U]
+  std::vector<std::uint64_t> memo_stamp_;   // [U]
+
   // Reused scratch (never shrunk, so steady-state queries do not
   // allocate).
   struct LiveEntry {
@@ -128,16 +151,9 @@ class SnapshotQueryEngine {
   std::vector<LiveEntry> credited_;
   std::vector<LiveEntry> creditors_;
 
-  struct QueueEntry {
-    double gain;
-    NodeId node;
-    NodeId iteration;
-    bool operator<(const QueueEntry& other) const {
-      if (gain != other.gain) return gain < other.gain;
-      return node > other.node;  // deterministic tie-break: smaller id wins
-    }
-  };
-  std::vector<QueueEntry> heap_;
+  std::vector<CelfQueueEntry> heap_;
+  std::vector<CelfQueueEntry> batch_;
+  std::vector<double> gains_;  // initial-pass gather array
 };
 
 /// Statistics of one IncrementalRescan run.

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -267,6 +268,46 @@ TEST(ParallelTest, ZeroTotalIsNoop) {
     called = true;
   });
   EXPECT_FALSE(called);
+}
+
+TEST(ParallelTest, SingleItemRunsInlineEvenWithManyThreads) {
+  // total <= 1 resolves to one worker: no spawn, body on the caller.
+  const auto caller = std::this_thread::get_id();
+  ParallelForDynamic(1, 8, [&](std::size_t t, std::size_t i) {
+    EXPECT_EQ(t, 0u);
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  ParallelForChunked(1, 8, [&](std::size_t t, std::size_t b, std::size_t e) {
+    EXPECT_EQ(t, 0u);
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelTest, CallerParticipatesAsWorkerZero) {
+  // With N workers only N - 1 threads spawn; worker 0 is the caller.
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> caller_was_worker_zero{0};
+  ParallelForChunked(100, 4, [&](std::size_t t, std::size_t, std::size_t) {
+    if (t == 0 && std::this_thread::get_id() == caller) {
+      caller_was_worker_zero.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(caller_was_worker_zero.load(), 1);
+
+  caller_was_worker_zero = 0;
+  std::atomic<int> zero_indices{0};
+  ParallelForDynamic(100, 4, [&](std::size_t t, std::size_t) {
+    if (t == 0) {
+      zero_indices.fetch_add(1);
+      if (std::this_thread::get_id() == caller) {
+        caller_was_worker_zero.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(caller_was_worker_zero.load(), zero_indices.load());
 }
 
 // ---------------------------------------------------------------- Memory

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "actionlog/propagation_dag.h"
+#include "common/logging.h"
+#include "core/cd_model.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "graph/generators.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot_view.h"
+
+namespace influmax {
+namespace {
+
+// The thread counts the determinism contract is asserted over: serial,
+// even, odd/prime, and whatever the hardware resolves 0 ("auto") to.
+const std::size_t kThreadCounts[] = {1, 2, 7, 0};
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+SyntheticDataset MakeDataset(NodeId nodes, ActionId actions,
+                             std::uint64_t seed) {
+  auto graph = GeneratePreferentialAttachment({nodes, 4, 0.6}, seed);
+  EXPECT_TRUE(graph.ok());
+  CascadeConfig config;
+  config.num_actions = actions;
+  config.seed = seed + 1;
+  auto data = GenerateCascadeDataset(std::move(graph).value(), config);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void ExpectSelectionsIdentical(
+    const CreditDistributionModel::SeedSelection& baseline,
+    const CreditDistributionModel::SeedSelection& other,
+    const std::string& label) {
+  EXPECT_EQ(other.gain_evaluations, baseline.gain_evaluations) << label;
+  ASSERT_EQ(other.seeds.size(), baseline.seeds.size()) << label;
+  for (std::size_t i = 0; i < baseline.seeds.size(); ++i) {
+    EXPECT_EQ(other.seeds[i], baseline.seeds[i]) << label << " pick " << i;
+    EXPECT_EQ(other.marginal_gains[i], baseline.marginal_gains[i])
+        << label << " pick " << i;
+    EXPECT_EQ(other.cumulative_spread[i],
+                     baseline.cumulative_spread[i])
+        << label << " pick " << i;
+  }
+}
+
+// SelectSeeds with the parallel initial pass and batched stale
+// re-evaluations must reproduce the serial greedy bit for bit — seed
+// order, every gain, and the CELF evaluation count — for any thread
+// count (the count is the lazy-forward efficiency metric; speculative
+// evaluations must never leak into it).
+TEST(ParallelCelfTest, SelectSeedsIdenticalForAnyThreadCount) {
+  const SyntheticDataset data = MakeDataset(300, 150, 91);
+  EqualDirectCredit credit;
+  CreditDistributionModel::SeedSelection baseline;
+  for (const std::size_t threads : kThreadCounts) {
+    CdConfig config;
+    config.truncation_threshold = 0.001;
+    config.select_threads = threads;
+    auto model =
+        CreditDistributionModel::Build(data.graph, data.log, credit, config);
+    ASSERT_TRUE(model.ok());
+    auto selection = model->SelectSeeds(15);
+    ASSERT_TRUE(selection.ok());
+    if (threads == 1) {
+      baseline = std::move(selection).value();
+      EXPECT_FALSE(baseline.seeds.empty());
+      EXPECT_GT(baseline.gain_evaluations, baseline.seeds.size());
+      continue;
+    }
+    ExpectSelectionsIdentical(baseline, *selection,
+                              std::to_string(threads) + " select threads");
+  }
+}
+
+// Same contract for the snapshot engine's TopKSeeds, plus equality with
+// the live model (the serving layer's bit-identical guarantee must
+// survive the parallel passes).
+TEST(ParallelCelfTest, TopKSeedsIdenticalForAnyGainThreadCount) {
+  const SyntheticDataset data = MakeDataset(300, 150, 92);
+  EqualDirectCredit credit;
+  CdConfig config;
+  config.truncation_threshold = 0.001;
+  auto model =
+      CreditDistributionModel::Build(data.graph, data.log, credit, config);
+  ASSERT_TRUE(model.ok());
+  const std::string path = TempPath("parallel_celf.snap");
+  ASSERT_TRUE(model->WriteSnapshot(path).ok());
+  auto view = CreditSnapshotView::Open(path);
+  ASSERT_TRUE(view.ok());
+
+  auto live = model->SelectSeeds(12);
+  ASSERT_TRUE(live.ok());
+
+  SnapshotSeedSelection baseline;
+  for (const std::size_t threads : kThreadCounts) {
+    SnapshotQueryEngine engine(*view);
+    engine.set_gain_threads(threads);
+    const SnapshotSeedSelection selection = engine.TopKSeeds(12);
+    if (threads == 1) {
+      baseline = selection;
+      // The engine replays the live greedy exactly, evaluations included.
+      EXPECT_EQ(baseline.seeds, live->seeds);
+      EXPECT_EQ(baseline.gain_evaluations, live->gain_evaluations);
+      for (std::size_t i = 0; i < baseline.seeds.size(); ++i) {
+        EXPECT_EQ(baseline.marginal_gains[i],
+                         live->marginal_gains[i]);
+      }
+      continue;
+    }
+    const std::string label = std::to_string(threads) + " gain threads";
+    EXPECT_EQ(selection.gain_evaluations, baseline.gain_evaluations)
+        << label;
+    ASSERT_EQ(selection.seeds.size(), baseline.seeds.size()) << label;
+    for (std::size_t i = 0; i < baseline.seeds.size(); ++i) {
+      EXPECT_EQ(selection.seeds[i], baseline.seeds[i]) << label;
+      EXPECT_EQ(selection.marginal_gains[i],
+                       baseline.marginal_gains[i])
+          << label;
+      EXPECT_EQ(selection.cumulative_spread[i],
+                       baseline.cumulative_spread[i])
+          << label;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// A TopKSeeds interleaved with other session traffic must behave like a
+// fresh query regardless of gain threads (the speculation memo must not
+// leak across calls or commits).
+TEST(ParallelCelfTest, TopKSeedsAfterSessionChurnStillIdentical) {
+  const SyntheticDataset data = MakeDataset(200, 100, 93);
+  EqualDirectCredit credit;
+  CdConfig config;
+  config.truncation_threshold = 0.001;
+  auto model =
+      CreditDistributionModel::Build(data.graph, data.log, credit, config);
+  ASSERT_TRUE(model.ok());
+  const std::string path = TempPath("parallel_celf_churn.snap");
+  ASSERT_TRUE(model->WriteSnapshot(path).ok());
+  auto view = CreditSnapshotView::Open(path);
+  ASSERT_TRUE(view.ok());
+
+  SnapshotQueryEngine serial(*view);
+  const SnapshotSeedSelection expected = serial.TopKSeeds(8);
+
+  SnapshotQueryEngine engine(*view);
+  engine.set_gain_threads(7);
+  (void)engine.TopKSeeds(3);  // leaves memo + session state behind
+  engine.CommitSeed(expected.seeds.empty() ? 0 : expected.seeds[0]);
+  const SnapshotSeedSelection repeat = engine.TopKSeeds(8);
+  EXPECT_EQ(repeat.seeds, expected.seeds);
+  EXPECT_EQ(repeat.gain_evaluations, expected.gain_evaluations);
+  std::remove(path.c_str());
+}
+
+// The intra-action sharded scan must leave the store bit-identical to
+// the serial scan: snapshot freezing preserves entry values *and*
+// adjacency order, so byte-identical snapshot files are the strongest
+// equality there is. The dataset gets one huge action (every node, id
+// order) dominating a handful of small ones, so it clears both the
+// shard floor and Build's fair-share straggler rule and the sharded
+// path actually engages.
+TEST(ParallelCelfTest, ShardedScanSnapshotBytesIdentical) {
+  const NodeId nodes = 400;
+  auto graph_result = GeneratePreferentialAttachment({nodes, 4, 0.6}, 94);
+  ASSERT_TRUE(graph_result.ok());
+  const Graph graph = std::move(graph_result).value();
+  CascadeConfig cascade;
+  cascade.num_actions = 10;
+  cascade.seed = 95;
+  auto data = GenerateCascadeDataset(graph, cascade);
+  ASSERT_TRUE(data.ok());
+  ActionLogBuilder builder(nodes);
+  for (const ActionTuple& t : data->log.tuples()) {
+    builder.Add(t.user, t.action, t.time);
+  }
+  for (NodeId u = 0; u < nodes; ++u) {  // the huge action
+    builder.Add(u, 1u << 20, static_cast<Timestamp>(u));
+  }
+  auto log = builder.Build();
+  ASSERT_TRUE(log.ok());
+  // The huge action must exceed the fair per-worker share for every
+  // multi-thread count below, or Build routes it action-per-worker and
+  // the sharded path sits idle.
+  ASSERT_GT(static_cast<std::uint64_t>(nodes), log->num_tuples() / 2);
+
+  EqualDirectCredit credit;
+  std::string baseline_bytes;
+  for (const std::size_t threads : kThreadCounts) {
+    CdConfig config;
+    config.truncation_threshold = 0.001;
+    config.scan_threads = threads;
+    config.scan_shard_min_positions = 64;  // well under the huge action
+    auto model =
+        CreditDistributionModel::Build(data->graph, *log, credit, config);
+    ASSERT_TRUE(model.ok());
+    const std::string path =
+        TempPath("sharded_scan_" + std::to_string(threads) + ".snap");
+    ASSERT_TRUE(model->WriteSnapshot(path).ok());
+    const std::string bytes = ReadFileBytes(path);
+    std::remove(path.c_str());
+    if (threads == 1) {
+      baseline_bytes = bytes;
+      ASSERT_FALSE(baseline_bytes.empty());
+      continue;
+    }
+    EXPECT_EQ(bytes, baseline_bytes)
+        << threads << " scan threads diverged from the serial scan";
+  }
+}
+
+// ScanDagRangeSharded against ScanDagRange directly, resuming mid-DAG
+// (the incremental-rescan seam) and with sharding forced on.
+TEST(ParallelCelfTest, ShardedScanMatchesSerialFromAnyBeginPos) {
+  const SyntheticDataset data = MakeDataset(250, 40, 96);
+  EqualDirectCredit credit;
+  // The largest action in the log, scanned standalone.
+  ActionId biggest = 0;
+  for (ActionId a = 0; a < data.log.num_actions(); ++a) {
+    if (data.log.ActionSize(a) > data.log.ActionSize(biggest)) biggest = a;
+  }
+  const PropagationDag dag =
+      BuildPropagationDag(data.graph, data.log.ActionTrace(biggest));
+  ASSERT_GT(dag.size(), 8u);
+  for (const NodeId begin_pos : {NodeId{0}, dag.size() / 2}) {
+    ActionCreditTable serial;
+    std::vector<CreditEntry> scratch;
+    ScanDagRange(dag, credit, /*lambda=*/0.0, begin_pos, &serial, &scratch);
+    ActionCreditTable sharded;
+    ScanDagRangeSharded(dag, credit, /*lambda=*/0.0, begin_pos,
+                        /*num_threads=*/7, &sharded, &scratch);
+    ASSERT_EQ(sharded.num_entries(), serial.num_entries())
+        << "begin_pos " << begin_pos;
+    for (NodeId v = 0; v < data.graph.num_nodes(); ++v) {
+      for (NodeId u : serial.CreditedUsers(v)) {
+        EXPECT_EQ(sharded.Credit(v, u), serial.Credit(v, u))
+            << "pair (" << v << ", " << u << ") begin_pos " << begin_pos;
+      }
+    }
+  }
+}
+
+// Many engines over one shared view from many threads — the serving
+// concurrency contract (and the ThreadSanitizer target): every session
+// must independently reproduce the serial answers.
+TEST(ParallelCelfTest, ConcurrentSessionsReproduceSerialAnswers) {
+  const SyntheticDataset data = MakeDataset(200, 100, 97);
+  EqualDirectCredit credit;
+  CdConfig config;
+  config.truncation_threshold = 0.001;
+  auto model =
+      CreditDistributionModel::Build(data.graph, data.log, credit, config);
+  ASSERT_TRUE(model.ok());
+  const std::string path = TempPath("concurrent_sessions.snap");
+  ASSERT_TRUE(model->WriteSnapshot(path).ok());
+  auto view = CreditSnapshotView::Open(path);
+  ASSERT_TRUE(view.ok());
+
+  SnapshotQueryEngine reference(*view);
+  const SnapshotSeedSelection expected_topk = reference.TopKSeeds(5);
+  reference.ResetSession();
+  std::vector<double> expected_gains(view->num_users());
+  for (NodeId x = 0; x < view->num_users(); ++x) {
+    expected_gains[x] = reference.MarginalGain(x);
+  }
+
+  constexpr int kSessions = 6;
+  std::vector<int> mismatches(kSessions, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s] {
+      SnapshotQueryEngine engine(*view);
+      const SnapshotSeedSelection topk = engine.TopKSeeds(5);
+      if (topk.seeds != expected_topk.seeds ||
+          topk.gain_evaluations != expected_topk.gain_evaluations) {
+        ++mismatches[s];
+      }
+      engine.ResetSession();
+      for (NodeId x = 0; x < view->num_users(); ++x) {
+        if (engine.MarginalGain(x) != expected_gains[x]) {
+          ++mismatches[s];
+          break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(mismatches[s], 0) << "session " << s;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace influmax

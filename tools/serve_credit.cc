@@ -20,20 +20,28 @@
 //   serve_credit --rescan --graph=... --log=extended.tsv \
 //       --snapshot=old.snap --out=new.snap [--lambda=...]
 //
-// Latency report (load time, gain/topk percentiles, vs full rebuild):
-//   serve_credit --bench --snapshot=d.snap [--graph=... --log=...]
+// Latency report (load time, gain/topk latency, vs full rebuild; with
+// --serve_threads=N additionally the concurrent-serving section: N
+// engines over the shared view, cold vs warm against the epoch-published
+// gain cache; --json=out.json writes the machine-readable results):
+//   serve_credit --bench --snapshot=d.snap [--graph=... --log=...] \
+//       [--serve_threads=8] [--json=bench.json]
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "actionlog/log_io.h"
+#include "common/bench_json.h"
+#include "common/concurrent_flat_hash.h"
 #include "common/flags.h"
 #include "common/memory.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/cd_model.h"
 #include "core/direct_credit.h"
@@ -45,6 +53,8 @@
 
 namespace influmax {
 namespace {
+
+using BenchRecord = BenchJsonRecord;
 
 Result<Graph> LoadGraph(const std::string& path) {
   if (path.ends_with(".bin")) return ReadGraphBinary(path);
@@ -161,11 +171,12 @@ void PrintSelection(const SnapshotSeedSelection& selection) {
               static_cast<unsigned long long>(selection.gain_evaluations));
 }
 
-int RunServe(const std::string& snapshot_path) {
+int RunServe(const std::string& snapshot_path, std::size_t gain_threads) {
   WallTimer timer;
   auto view = CreditSnapshotView::Open(snapshot_path);
   if (!view.ok()) return Fail(view.status());
   SnapshotQueryEngine engine(*view);
+  engine.set_gain_threads(gain_threads);
   std::fprintf(stderr,
                "serving %s: %u users, %u actions, %llu entries, %s mapped, "
                "loaded in %.1fms\n",
@@ -229,14 +240,117 @@ int RunServe(const std::string& snapshot_path) {
   return 0;
 }
 
+/// Concurrent-serving section of --bench: `serve_threads` engines share
+/// one view; every thread answers base-session marginal gains for its
+/// stripe of the active users, first cold (every gain computed), then
+/// warm against a ConcurrentFlatHashMap gain cache the main thread
+/// filled and epoch-published. The per-thread partial checksums are
+/// combined in thread order, so cold and warm must match bit for bit —
+/// the cache serves the identical values the engines compute.
+int RunServeThreadsBench(const CreditSnapshotView& view,
+                         std::size_t serve_threads,
+                         std::vector<BenchRecord>* records) {
+  std::vector<NodeId> active;
+  for (NodeId x = 0; x < view.num_users(); ++x) {
+    if (view.au()[x] != 0) active.push_back(x);
+  }
+  if (active.empty()) return 0;
+
+  std::vector<std::unique_ptr<SnapshotQueryEngine>> engines;
+  engines.reserve(serve_threads);
+  for (std::size_t t = 0; t < serve_threads; ++t) {
+    engines.push_back(std::make_unique<SnapshotQueryEngine>(view));
+  }
+
+  ConcurrentFlatHashMap<NodeId, double> cache(serve_threads + 1);
+  struct PhaseResult {
+    double seconds = 0.0;
+    double checksum = 0.0;
+    std::uint64_t cache_hits = 0;
+  };
+  const auto run_phase = [&](bool use_cache) {
+    PhaseResult result;
+    std::vector<double> partial(serve_threads, 0.0);
+    std::vector<std::uint64_t> hits(serve_threads, 0);
+    WallTimer timer;
+    ParallelForChunked(
+        active.size(), serve_threads,
+        [&](std::size_t tid, std::size_t begin, std::size_t end) {
+          SnapshotQueryEngine& engine = *engines[tid];
+          std::optional<ConcurrentFlatHashMap<NodeId, double>::ReadSession>
+              session;
+          if (use_cache) session.emplace(cache);
+          double sum = 0.0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const NodeId x = active[i];
+            double gain = 0.0;
+            if (session.has_value() && session->Find(x, &gain)) {
+              ++hits[tid];
+            } else {
+              gain = engine.MarginalGain(x);
+            }
+            sum += gain;
+          }
+          partial[tid] = sum;
+        });
+    result.seconds = timer.ElapsedSeconds();
+    for (std::size_t t = 0; t < serve_threads; ++t) {
+      result.checksum += partial[t];
+      result.cache_hits += hits[t];
+    }
+    return result;
+  };
+
+  const PhaseResult cold = run_phase(/*use_cache=*/false);
+
+  // Fill and publish the cache from the main thread (the one writer);
+  // batched publishes model a producer refreshing the table while the
+  // serving threads keep reading whatever epoch they pinned.
+  WallTimer fill_timer;
+  SnapshotQueryEngine writer_engine(view);
+  constexpr std::size_t kPublishBatch = 4096;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    cache.InsertOrAssign(active[i], writer_engine.MarginalGain(active[i]));
+    if ((i + 1) % kPublishBatch == 0) cache.Publish();
+  }
+  cache.Publish();
+  const double fill_seconds = fill_timer.ElapsedSeconds();
+
+  const PhaseResult warm = run_phase(/*use_cache=*/true);
+
+  const double per_gain_cold_ns = cold.seconds * 1e9 / active.size();
+  const double per_gain_warm_ns = warm.seconds * 1e9 / active.size();
+  std::printf(
+      "serve_threads(%zu): cold %.3f us/gain, warm %.3f us/gain "
+      "(%.1fx, %llu/%zu cache hits, fill+publish %.2f ms, %llu versions)\n",
+      serve_threads, per_gain_cold_ns / 1e3, per_gain_warm_ns / 1e3,
+      per_gain_warm_ns > 0 ? per_gain_cold_ns / per_gain_warm_ns : 0.0,
+      static_cast<unsigned long long>(warm.cache_hits), active.size(),
+      fill_seconds * 1e3,
+      static_cast<unsigned long long>(cache.published_version()));
+  if (cold.checksum != warm.checksum) {
+    std::printf("! checksum mismatch: cold %.17g vs warm %.17g\n",
+                cold.checksum, warm.checksum);
+    return 1;
+  }
+  records->push_back({"serve_gain_cold", per_gain_cold_ns, 0, serve_threads});
+  records->push_back({"serve_gain_warm", per_gain_warm_ns, 0, serve_threads});
+  records->push_back({"gain_cache_fill",
+                      fill_seconds * 1e9 / active.size(), 0, 1});
+  return 0;
+}
+
 int RunBench(const std::string& snapshot_path, const std::string& graph_path,
              const std::string& log_path, const std::string& credit_name,
-             int k) {
+             int k, std::size_t gain_threads, std::size_t serve_threads,
+             const std::string& json_path) {
+  std::vector<BenchRecord> records;
   WallTimer timer;
   auto view = CreditSnapshotView::Open(snapshot_path);
   if (!view.ok()) return Fail(view.status());
   const double load_ms = timer.ElapsedSeconds() * 1e3;
   SnapshotQueryEngine engine(*view);
+  engine.set_gain_threads(gain_threads);
 
   // Marginal-gain latency over every active user.
   timer.Reset();
@@ -259,10 +373,25 @@ int RunBench(const std::string& snapshot_path, const std::string& graph_path,
   std::printf("marginal gain: %.3f us/query over %llu active users "
               "(checksum %.3f)\n",
               gain_us, static_cast<unsigned long long>(gains), sink);
-  std::printf("topk(%d): %.2f ms, %llu gain evaluations, engine %s\n", k,
-              topk_ms,
+  std::printf("topk(%d): %.2f ms, %llu gain evaluations, %zu gain "
+              "threads, engine %s\n",
+              k, topk_ms,
               static_cast<unsigned long long>(selection.gain_evaluations),
+              EffectiveThreadCount(gain_threads),
               FormatBytes(engine.ApproxMemoryBytes()).c_str());
+  records.push_back(
+      {"snapshot_load", load_ms * 1e6, view->ApproxMemoryBytes(), 1});
+  records.push_back({"marginal_gain", gain_us * 1e3, 0, 1});
+  records.push_back({"topk", topk_ms * 1e6, engine.ApproxMemoryBytes(),
+                     EffectiveThreadCount(gain_threads)});
+
+  if (serve_threads > 1) {
+    if (const int status = RunServeThreadsBench(*view, serve_threads,
+                                                &records);
+        status != 0) {
+      return status;
+    }
+  }
 
   if (!graph_path.empty() && !log_path.empty()) {
     // The number the snapshot path is beating: rebuild-from-log per query.
@@ -285,11 +414,14 @@ int RunBench(const std::string& snapshot_path, const std::string& graph_path,
     const double rebuild_ms = timer.ElapsedSeconds() * 1e3;
     std::printf("rebuild + select: %.2f ms (%.1fx the snapshot path)\n",
                 rebuild_ms, topk_ms > 0 ? rebuild_ms / topk_ms : 0.0);
+    records.push_back({"rebuild_topk", rebuild_ms * 1e6,
+                       model->ApproxMemoryBytes(), 1});
     if (live->seeds != selection.seeds) {
       std::printf("! seed mismatch between snapshot and rebuild\n");
       return 1;
     }
   }
+  if (!json_path.empty()) return WriteBenchJson(json_path, records);
   return 0;
 }
 
@@ -299,8 +431,11 @@ int Main(int argc, char** argv) {
   std::string snapshot_path;
   std::string out_path;
   std::string credit_name = "equal";
+  std::string json_path;
   double lambda = 0.001;
   int k = 50;
+  int gain_threads = 0;
+  int serve_threads = 1;
   bool build = false;
   bool rescan = false;
   bool bench = false;
@@ -312,6 +447,12 @@ int Main(int argc, char** argv) {
   flags.AddString("credit", &credit_name, "equal | timedecay");
   flags.AddDouble("lambda", &lambda, "CD truncation threshold");
   flags.AddInt("k", &k, "seeds for --bench topk");
+  flags.AddInt("gain_threads", &gain_threads,
+               "workers for topk gain passes (0 = auto; bit-identical)");
+  flags.AddInt("serve_threads", &serve_threads,
+               "--bench only: concurrent serving engines over one view");
+  flags.AddString("json", &json_path,
+                  "--bench only: write machine-readable results here");
   flags.AddBool("build", &build, "scan graph+log and write the snapshot");
   flags.AddBool("rescan", &rescan, "replay appended log records");
   flags.AddBool("bench", &bench, "report query latency");
@@ -345,10 +486,17 @@ int Main(int argc, char** argv) {
     return RunRescan(graph_path, log_path, snapshot_path, out_path,
                      credit_name, lambda);
   }
-  if (bench) {
-    return RunBench(snapshot_path, graph_path, log_path, credit_name, k);
+  if (gain_threads < 0 || serve_threads < 1) {
+    std::fprintf(stderr,
+                 "--gain_threads must be >= 0, --serve_threads >= 1\n");
+    return 1;
   }
-  return RunServe(snapshot_path);
+  if (bench) {
+    return RunBench(snapshot_path, graph_path, log_path, credit_name, k,
+                    static_cast<std::size_t>(gain_threads),
+                    static_cast<std::size_t>(serve_threads), json_path);
+  }
+  return RunServe(snapshot_path, static_cast<std::size_t>(gain_threads));
 }
 
 }  // namespace
