@@ -113,11 +113,12 @@ struct CdRun {
 
 inline CdRun RunCdPipeline(const Graph& graph, const ActionLog& train,
                            const InfluenceTimeParams& params, double lambda,
-                           NodeId k) {
+                           NodeId k, ScanArenaPool* arena_pool = nullptr) {
   CdRun run;
   TimeDecayDirectCredit credit(params);
   CdConfig config;
   config.truncation_threshold = lambda;
+  config.arena_pool = arena_pool;
   WallTimer scan_timer;
   auto model = CreditDistributionModel::Build(graph, train, credit, config);
   INFLUMAX_CHECK(model.ok()) << model.status();

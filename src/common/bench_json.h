@@ -18,6 +18,14 @@ struct BenchJsonRecord {
   double ns_per_op = 0.0;
   std::uint64_t bytes = 0;
   std::size_t threads = 1;
+  /// Optional latency percentiles (ns), emitted when has_percentiles is
+  /// set — serve_credit --bench fills them from a LatencyHistogram per
+  /// query type. tools/bench_compare.py ignores unknown keys, so records
+  /// with and without percentiles mix freely.
+  bool has_percentiles = false;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
 };
 
 /// Writes `records` as the JSON object above. Returns 0, or 1 (with a
@@ -32,10 +40,16 @@ inline int WriteBenchJson(const std::string& path,
   std::fprintf(out, "{\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     std::fprintf(out, "  \"%s\": {\"ns_per_op\": %.3f, \"bytes\": %llu, "
-                      "\"threads\": %zu}%s\n",
+                      "\"threads\": %zu",
                  records[i].name.c_str(), records[i].ns_per_op,
                  static_cast<unsigned long long>(records[i].bytes),
-                 records[i].threads, i + 1 < records.size() ? "," : "");
+                 records[i].threads);
+    if (records[i].has_percentiles) {
+      std::fprintf(out,
+                   ", \"p50_ns\": %.3f, \"p95_ns\": %.3f, \"p99_ns\": %.3f",
+                   records[i].p50_ns, records[i].p95_ns, records[i].p99_ns);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < records.size() ? "," : "");
   }
   std::fprintf(out, "}\n");
   std::fclose(out);

@@ -11,6 +11,20 @@
 
 namespace influmax {
 
+Status CdConfig::Validate() const {
+  if (truncation_threshold < 0.0) {
+    return Status::InvalidArgument(
+        "CD scan: truncation threshold must be >= 0");
+  }
+  if (scan_threads > kMaxThreads || select_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "CD scan: thread count exceeds kMaxThreads (" +
+        std::to_string(kMaxThreads) +
+        ") — a negative value cast to size_t?");
+  }
+  return Status::OK();
+}
+
 Result<CreditDistributionModel> CreditDistributionModel::Build(
     const Graph& graph, const ActionLog& log,
     const DirectCreditModel& credit_model, const CdConfig& config) {
@@ -18,10 +32,7 @@ Result<CreditDistributionModel> CreditDistributionModel::Build(
     return Status::InvalidArgument(
         "CD scan: action log user space does not match graph");
   }
-  if (config.truncation_threshold < 0.0) {
-    return Status::InvalidArgument(
-        "CD scan: truncation threshold must be >= 0");
-  }
+  if (Status status = config.Validate(); !status.ok()) return status;
 
   CreditDistributionModel model(graph, log);
   model.config_ = config;
@@ -36,7 +47,7 @@ Result<CreditDistributionModel> CreditDistributionModel::Build(
   // arena: AddCredit may rehash the flat adjacency tables, so no span
   // into the table may outlive a mutation.
   const std::size_t scan_workers = EffectiveThreadCount(config.scan_threads);
-  model.store_.PrepareScanArenas(scan_workers);
+  model.store_.PrepareScanArenas(scan_workers, config.arena_pool);
   const auto scan_one = [&](std::size_t thread, ActionId a) {
     const PropagationDag dag = BuildPropagationDag(graph, log.ActionTrace(a));
     ScanArena& arena = model.store_.scan_arena(thread);
@@ -50,7 +61,7 @@ Result<CreditDistributionModel> CreditDistributionModel::Build(
     // the rest of the pool idles. A straggler is an action that clears
     // the floor AND exceeds a fair per-worker share of the whole log —
     // a log of several uniformly large actions parallelizes better
-    // action-per-worker than through the sharded path's serial merge.
+    // action-per-worker than one at a time through the sharded path.
     // Per-action tables stay independent, so the routing cannot change
     // any result.
     const std::uint64_t fair_share = log.num_tuples() / scan_workers;
@@ -65,7 +76,7 @@ Result<CreditDistributionModel> CreditDistributionModel::Build(
           BuildPropagationDag(graph, log.ActionTrace(a));
       ScanDagRangeSharded(dag, credit_model, lambda, /*begin_pos=*/0,
                           config.scan_threads, &model.store_.table(a),
-                          &model.store_.scan_arena(0).creditors);
+                          model.store_.scan_arenas());
     }
     ParallelForDynamic(small_actions.size(), config.scan_threads,
                        [&](std::size_t thread, std::size_t i) {
@@ -77,7 +88,7 @@ Result<CreditDistributionModel> CreditDistributionModel::Build(
                          scan_one(thread, static_cast<ActionId>(action));
                        });
   }
-  model.store_.ReleaseScanArenas();
+  model.store_.ReleaseScanArenas(config.arena_pool);
   return model;
 }
 
@@ -117,31 +128,71 @@ void ScanDagRange(const PropagationDag& dag,
   }
 }
 
+namespace {
+
+/// The PR 3 merge discipline, retained as the narrow-DAG fallback:
+/// replay the positions in order with the precomputed gammas, issuing
+/// the identical SnapshotCreditors / AddCredit sequence as the serial
+/// scan (see ScanDagRange for why the recursion is position-ordered).
+void SerialGammaMerge(const PropagationDag& dag, double lambda,
+                      NodeId begin_pos, NodeId end_pos,
+                      std::span<const std::uint64_t> gamma_begin,
+                      std::span<const std::pair<NodeId, double>> gammas,
+                      ActionCreditTable* table,
+                      std::vector<CreditEntry>* creditor_scratch) {
+  for (NodeId pos = begin_pos; pos < end_pos; ++pos) {
+    const NodeId u = dag.UserAt(pos);
+    const std::size_t rel = pos - begin_pos;
+    for (std::uint64_t g = gamma_begin[rel]; g < gamma_begin[rel + 1]; ++g) {
+      const auto [parent_pos, gamma] = gammas[g];
+      const NodeId v = dag.UserAt(parent_pos);
+      creditor_scratch->clear();
+      table->SnapshotCreditors(v, creditor_scratch);
+      for (const CreditEntry& creditor : *creditor_scratch) {
+        const double transitive = creditor.credit * gamma;
+        if (transitive >= lambda && transitive > 0.0) {
+          table->AddCredit(creditor.node, u, transitive);
+        }
+      }
+      table->AddCredit(v, u, gamma);
+    }
+  }
+}
+
+}  // namespace
+
 void ScanDagRangeSharded(const PropagationDag& dag,
                          const DirectCreditModel& credit_model, double lambda,
                          NodeId begin_pos, std::size_t num_threads,
                          ActionCreditTable* table,
-                         std::vector<CreditEntry>* creditor_scratch) {
+                         std::span<ScanArena> arenas) {
   const NodeId end_pos = dag.size();
   if (begin_pos >= end_pos) return;
+  if (arenas.empty()) {
+    // No scratch to shard over; fall back to the serial scan rather
+    // than silently producing an empty table.
+    std::vector<CreditEntry> scratch;
+    ScanDagRange(dag, credit_model, lambda, begin_pos, table, &scratch);
+    return;
+  }
   const std::size_t total = end_pos - begin_pos;
-  const std::size_t workers =
-      std::min(EffectiveThreadCount(num_threads), total);
+  const std::size_t workers = std::min(
+      {EffectiveThreadCount(num_threads), total, arenas.size()});
   if (workers == 1) {
     ScanDagRange(dag, credit_model, lambda, begin_pos, table,
-                 creditor_scratch);
+                 &arenas[0].creditors);
     return;
   }
 
   // Phase A: shard the position range; each shard computes its direct
-  // credits (v, gamma) — parents, time deltas, and the Gamma evaluation,
-  // filtered by the truncation threshold exactly as the serial loop —
-  // into its own arena. Gamma is a pure function of the tuple, so every
-  // value is the bit the serial scan would compute.
+  // credits (parent position, gamma) — parents, time deltas, and the
+  // Gamma evaluation, filtered by the truncation threshold exactly as
+  // the serial loop — into its own arena. Gamma is a pure function of
+  // the tuple, so every value is the bit the serial scan would compute.
   struct Shard {
     NodeId begin = 0;
     NodeId end = 0;
-    std::vector<std::pair<NodeId, double>> gammas;  // (v, gamma), surviving
+    std::vector<std::pair<NodeId, double>> gammas;  // (parent pos, gamma)
     std::vector<std::uint32_t> counts;              // per position
   };
   // More shards than workers so a dense stretch of the DAG cannot strand
@@ -154,8 +205,8 @@ void ScanDagRangeSharded(const PropagationDag& dag,
     shards[s].end = static_cast<NodeId>(
         std::min<std::size_t>(shards[s].begin + chunk, end_pos));
   }
-  ParallelForDynamic(shards.size(), num_threads, [&](std::size_t,
-                                                     std::size_t s) {
+  ParallelForDynamic(shards.size(), workers, [&](std::size_t,
+                                                 std::size_t s) {
     Shard& shard = shards[s];
     shard.counts.reserve(shard.end - shard.begin);
     for (NodeId pos = shard.begin; pos < shard.end; ++pos) {
@@ -166,11 +217,10 @@ void ScanDagRangeSharded(const PropagationDag& dag,
         const NodeId u = dag.UserAt(pos);
         const std::uint32_t din = static_cast<std::uint32_t>(parents.size());
         for (std::size_t i = 0; i < parents.size(); ++i) {
-          const NodeId v = dag.UserAt(parents[i]);
           const double gamma = credit_model.Gamma(
               u, din, dag.TimeAt(pos) - dag.TimeAt(parents[i]), edges[i]);
           if (gamma < lambda || gamma <= 0.0) continue;
-          shard.gammas.emplace_back(v, gamma);
+          shard.gammas.emplace_back(parents[i], gamma);
           ++kept;
         }
       }
@@ -178,28 +228,137 @@ void ScanDagRangeSharded(const PropagationDag& dag,
     }
   });
 
-  // Phase B: deterministic merge — replay the positions in order with
-  // the precomputed gammas, issuing the identical SnapshotCreditors /
-  // AddCredit sequence as the serial scan (see ScanDagRange for why the
-  // recursion is position-ordered), so entry values and adjacency order
-  // match bit for bit.
-  for (const Shard& shard : shards) {
-    std::size_t cursor = 0;
-    for (NodeId pos = shard.begin; pos < shard.end; ++pos) {
-      const NodeId u = dag.UserAt(pos);
-      const std::uint32_t kept = shard.counts[pos - shard.begin];
-      for (std::uint32_t j = 0; j < kept; ++j, ++cursor) {
-        const auto [v, gamma] = shard.gammas[cursor];
-        creditor_scratch->clear();
-        table->SnapshotCreditors(v, creditor_scratch);
-        for (const CreditEntry& creditor : *creditor_scratch) {
-          const double transitive = creditor.credit * gamma;
+  // Flatten the per-shard arenas into one position-indexed gamma array:
+  // shards are contiguous position ranges in order and each shard's
+  // gammas are position-ordered, so plain concatenation preserves the
+  // serial evaluation order.
+  std::vector<std::uint64_t> gamma_begin(total + 1, 0);
+  {
+    std::size_t rel = 0;
+    for (const Shard& shard : shards) {
+      for (const std::uint32_t kept : shard.counts) {
+        gamma_begin[rel + 1] = gamma_begin[rel] + kept;
+        ++rel;
+      }
+    }
+  }
+  std::vector<std::pair<NodeId, double>> gammas;
+  gammas.reserve(gamma_begin[total]);
+  for (Shard& shard : shards) {
+    gammas.insert(gammas.end(), shard.gammas.begin(), shard.gammas.end());
+    shard.gammas = {};
+    shard.counts = {};
+  }
+
+  // Row recursion (see ScanDagRange): the creditor row of position u is
+  // written only while processing u, and reads only the finalized rows
+  // of u's parents — strictly earlier *levels*. The wavefront schedule
+  // exploits exactly that: process one level at a time, rows within a
+  // level in parallel. A near-chain DAG has nothing to parallelize per
+  // level and would pay one barrier per position, so narrow DAGs replay
+  // the precomputed gammas serially instead (phase A's parallelism — the
+  // Gamma evaluations — is retained either way, and both phase B
+  // disciplines issue the identical first-touch sequence).
+  std::vector<std::uint32_t> levels;
+  const std::uint32_t num_levels = dag.ComputeLevels(&levels);
+  constexpr std::size_t kWavefrontMinAvgWidth = 2;
+  if (static_cast<std::size_t>(num_levels) * kWavefrontMinAvgWidth > total) {
+    SerialGammaMerge(dag, lambda, begin_pos, end_pos, gamma_begin, gammas,
+                     table, &arenas[0].creditors);
+    return;
+  }
+
+  // Counting-sort the positions of [begin_pos, end_pos) by level,
+  // ascending within a level (stable), and record the level boundaries.
+  std::vector<std::size_t> level_begin(num_levels + 1, 0);
+  for (NodeId pos = begin_pos; pos < end_pos; ++pos) {
+    ++level_begin[levels[pos] + 1];
+  }
+  for (std::uint32_t l = 0; l < num_levels; ++l) {
+    level_begin[l + 1] += level_begin[l];
+  }
+  std::vector<NodeId> by_level(total);
+  {
+    std::vector<std::size_t> cursor(level_begin.begin(),
+                                    level_begin.end() - 1);
+    for (NodeId pos = begin_pos; pos < end_pos; ++pos) {
+      by_level[cursor[levels[pos]]++] = pos;
+    }
+  }
+
+  // Phase B, wave after wave: each worker builds its positions' creditor
+  // rows into per-row sub-tables in its arena. A row reads parent rows
+  // either from earlier-level sub-tables (stable RowArena addresses; the
+  // level barrier publishes them) or, for parents before begin_pos (the
+  // incremental-rescan seam), from the untouched table itself. Nothing
+  // writes the shared table here, so the reads are race-free.
+  std::vector<std::span<const CreditEntry>> rows(total);
+  for (std::size_t t = 0; t < workers; ++t) {
+    arenas[t].rows.Reset();
+    arenas[t].row_index.Clear();
+    arenas[t].row_epoch = 0;
+  }
+  ParallelForLevels(level_begin, workers, [&](std::size_t t, std::size_t i) {
+    const NodeId pos = by_level[i];
+    ScanArena& arena = arenas[t];
+    RowArena& row = arena.rows;
+    row.OpenRow();
+    // Epoch-tag the row index instead of clearing it: Clear() scans the
+    // whole (high-water) capacity, which would charge every small row
+    // for the biggest row this worker ever built. A stale epoch reads
+    // as "absent"; at most `total` rows per call, so the 32-bit epoch
+    // cannot wrap between the Clear() above and here.
+    const std::uint64_t epoch_tag =
+        static_cast<std::uint64_t>(++arena.row_epoch) << 32;
+    // First-touch append / in-order accumulate — the AddCredit sequence
+    // the serial scan would issue for this row, replayed into the
+    // sub-table so the stitch can issue it for real later.
+    const auto add = [&](NodeId w, double delta) {
+      auto [slot, inserted] = arena.row_index.TryEmplace(w);
+      if (inserted || (*slot >> 32) != arena.row_epoch) {
+        *slot = epoch_tag | row.RowSize();
+        row.Push({w, delta});
+      } else {
+        row.At(static_cast<std::uint32_t>(*slot)).credit += delta;
+      }
+    };
+    const std::size_t rel = pos - begin_pos;
+    for (std::uint64_t g = gamma_begin[rel]; g < gamma_begin[rel + 1]; ++g) {
+      const auto [parent_pos, gamma] = gammas[g];
+      const NodeId v = dag.UserAt(parent_pos);
+      if (parent_pos >= begin_pos) {
+        for (const CreditEntry& entry : rows[parent_pos - begin_pos]) {
+          const double transitive = entry.credit * gamma;
           if (transitive >= lambda && transitive > 0.0) {
-            table->AddCredit(creditor.node, u, transitive);
+            add(entry.node, transitive);
           }
         }
-        table->AddCredit(v, u, gamma);
+      } else {
+        arena.creditors.clear();
+        table->SnapshotCreditors(v, &arena.creditors);
+        for (const CreditEntry& creditor : arena.creditors) {
+          const double transitive = creditor.credit * gamma;
+          if (transitive >= lambda && transitive > 0.0) {
+            add(creditor.node, transitive);
+          }
+        }
       }
+      add(v, gamma);
+    }
+    rows[rel] = row.FinishRow();
+  });
+
+  // Deterministic stitch: insert every row into the flat table in
+  // position order. Each (w, u) pair is created exactly once (rows hold
+  // unique creditors, and no (., u) entry predates processing u), so the
+  // adjacency first-touch order — backward[u] in row order, forward[w]
+  // in position order of u — is the serial scan's, and every credit is
+  // the serial scan's in-order sum. Snapshots are therefore
+  // byte-identical for any thread count.
+  for (NodeId pos = begin_pos; pos < end_pos; ++pos) {
+    const NodeId u = dag.UserAt(pos);
+    for (const CreditEntry& entry : rows[pos - begin_pos]) {
+      table->AddCredit(entry.node, u, entry.credit);
     }
   }
 }
@@ -229,31 +388,82 @@ double CreditDistributionModel::MarginalGain(NodeId x) const {
   return mg;
 }
 
-void CreditDistributionModel::CommitSeed(NodeId x) {
-  // Algorithm 5. For every action x performed: fold x's credit into SC
+void CreditDistributionModel::CommitSeedOneAction(
+    NodeId x, ActionId a, std::vector<CreditEntry>* credited,
+    std::vector<CreditEntry>* creditors,
+    std::vector<CreditEntry>* sc_deltas) {
+  // Algorithm 5 for one action x performed: fold x's credit into SC
   // (Lemma 3), subtract the through-x paths from every (v, u) pair
   // (Lemma 2), then drop x's row and column — x has left the induced
   // subgraph V - S. The live rows are snapshotted up front: the updates
   // only touch (v, u) pairs with v != x and u != x, so the snapshots stay
   // exact, and SubtractCredit/Erase are then free to compact
   // majority-stale adjacency lists mid-loop.
-  std::vector<CreditEntry> credited;
-  std::vector<CreditEntry> creditors;
-  for (const UserAction& ua : log_->UserActions(x)) {
-    ActionCreditTable& table = store_.table(ua.action);
-    const double sc_x = store_.SetCredit(x, ua.action);
-    credited.clear();
-    creditors.clear();
-    table.SnapshotCredited(x, &credited);
-    table.SnapshotCreditors(x, &creditors);
-    for (const CreditEntry& cu : credited) {
-      for (const CreditEntry& cv : creditors) {
-        table.SubtractCredit(cv.node, cu.node, cv.credit * cu.credit);
-      }
-      store_.AddSetCredit(cu.node, ua.action, cu.credit * (1.0 - sc_x));
+  ActionCreditTable& table = store_.table(a);
+  const double sc_x = store_.SetCredit(x, a);
+  credited->clear();
+  creditors->clear();
+  table.SnapshotCredited(x, credited);
+  table.SnapshotCreditors(x, creditors);
+  for (const CreditEntry& cu : *credited) {
+    for (const CreditEntry& cv : *creditors) {
+      table.SubtractCredit(cv.node, cu.node, cv.credit * cu.credit);
     }
-    for (const CreditEntry& cu : credited) table.Erase(x, cu.node);
-    for (const CreditEntry& cv : creditors) table.Erase(cv.node, x);
+    const double delta = cu.credit * (1.0 - sc_x);
+    if (sc_deltas != nullptr) {
+      sc_deltas->push_back({cu.node, delta});
+    } else {
+      store_.AddSetCredit(cu.node, a, delta);
+    }
+  }
+  for (const CreditEntry& cu : *credited) table.Erase(x, cu.node);
+  for (const CreditEntry& cv : *creditors) table.Erase(cv.node, x);
+}
+
+void CreditDistributionModel::CommitSeed(NodeId x) {
+  // Algorithm 5 across every action x performed. The per-action updates
+  // are mutually independent — each touches only its own credit table,
+  // reads only the (x, a) SC entries this commit never writes (x credits
+  // no one after the scan erased self-pairs, so no (x, .) key is
+  // inserted here), and its SC writes go to keys carrying its own action
+  // id. So the actions fan out over scan_threads workers; only the SC
+  // inserts are deferred into per-worker delta arenas and replayed in
+  // action order afterwards, which reproduces the serial path's exact SC
+  // accumulation *and insertion* sequence — results are bit-identical
+  // (and snapshots byte-identical) for any thread count.
+  const auto actions = log_->UserActions(x);
+  const std::size_t workers = std::min(
+      EffectiveThreadCount(config_.scan_threads), actions.size());
+  if (workers <= 1) {
+    std::vector<CreditEntry> credited;
+    std::vector<CreditEntry> creditors;
+    for (const UserAction& ua : actions) {
+      CommitSeedOneAction(x, ua.action, &credited, &creditors,
+                          /*sc_deltas=*/nullptr);
+    }
+  } else {
+    if (commit_arenas_.size() < workers) commit_arenas_.resize(workers);
+    std::vector<ArenaSlice> deltas(actions.size());
+    ParallelForDynamic(
+        actions.size(), workers, [&](std::size_t t, std::size_t i) {
+          ScanArena& arena = commit_arenas_[t];
+          const std::uint64_t offset = arena.sc_deltas.size();
+          CommitSeedOneAction(x, actions[i].action, &arena.credited,
+                              &arena.creditors, &arena.sc_deltas);
+          deltas[i] = {static_cast<std::uint32_t>(t), offset,
+                       static_cast<std::uint32_t>(arena.sc_deltas.size() -
+                                                  offset)};
+        });
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const ArenaSlice& slice = deltas[i];
+      const CreditEntry* entries =
+          commit_arenas_[slice.worker].sc_deltas.data() + slice.offset;
+      for (std::uint32_t e = 0; e < slice.count; ++e) {
+        store_.AddSetCredit(entries[e].node, actions[i].action,
+                            entries[e].credit);
+      }
+    }
+    for (ScanArena& arena : commit_arenas_) arena.sc_deltas.clear();
   }
   current_seeds_.push_back(x);
   is_seed_[x] = true;

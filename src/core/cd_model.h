@@ -2,6 +2,7 @@
 #define INFLUMAX_CORE_CD_MODEL_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,9 +24,10 @@ struct CdConfig {
   /// exact scan (tests do this).
   double truncation_threshold = 0.001;
 
-  /// Worker threads for the scan (0 = all hardware threads). Actions'
-  /// credit tables are mutually independent, so the scan parallelizes
-  /// across actions with bit-identical results for any thread count.
+  /// Worker threads for the scan and for CommitSeed's batched Algorithm 5
+  /// updates (0 = all hardware threads). Actions' credit tables are
+  /// mutually independent, so both paths parallelize across actions with
+  /// bit-identical results for any thread count.
   std::size_t scan_threads = 0;
 
   /// Worker threads for the CELF greedy (0 = all hardware threads): the
@@ -36,8 +38,27 @@ struct CdConfig {
 
   /// Actions whose trace reaches this many tuples are scanned with the
   /// intra-action sharded path (ScanDagRangeSharded) instead of pinning
-  /// one scan worker. 0 disables intra-action sharding.
+  /// one scan worker. 0 disables intra-action sharding; with
+  /// scan_threads == 1 the serial path is taken silently regardless
+  /// (there is no pool to shard across).
   NodeId scan_shard_min_positions = 4096;
+
+  /// Optional cross-Build arena pool (multi-dataset batching): when set,
+  /// Build() draws its per-worker scan arenas from the pool and returns
+  /// them after the scan, so back-to-back Build() calls over datasets
+  /// sharing a graph reuse the arena allocations. Borrowed for the
+  /// duration of one Build() at a time; never owned.
+  ScanArenaPool* arena_pool = nullptr;
+
+  /// Thread-count knobs above this are rejected by Validate(): a
+  /// negative int cast through std::size_t lands far beyond it, and no
+  /// real machine is within orders of magnitude of it.
+  static constexpr std::size_t kMaxThreads = std::size_t{1} << 16;
+
+  /// Rejects nonsensical configurations (negative truncation threshold,
+  /// thread counts that are negative ints in disguise) as
+  /// InvalidArgument. Build() calls this first.
+  Status Validate() const;
 };
 
 /// Influence maximization under the Credit Distribution model
@@ -77,8 +98,13 @@ class CreditDistributionModel {
   /// is already a seed. Exposed for tests; SelectSeeds uses it internally.
   double MarginalGain(NodeId x) const;
 
-  /// Commits `x` as a seed: applies Algorithm 5's UC/SC updates. Exposed
-  /// for tests; SelectSeeds uses it internally.
+  /// Commits `x` as a seed: applies Algorithm 5's UC/SC updates. The
+  /// per-action updates touch mutually independent credit tables, so they
+  /// fan out over `scan_threads` workers, with the sharded SC updated via
+  /// per-worker deltas replayed in action order afterwards — results (and
+  /// even SC hash insertion order) are bit-identical to the serial commit
+  /// for any thread count (docs/parallelism.md). Exposed for tests;
+  /// SelectSeeds uses it internally.
   void CommitSeed(NodeId x);
 
   /// Live UC entries after the scan / current entries during selection.
@@ -112,6 +138,17 @@ class CreditDistributionModel {
   CreditDistributionModel(const Graph& graph, const ActionLog& log)
       : graph_(&graph), log_(&log) {}
 
+  /// Algorithm 5 for one action `x` performed: snapshots x's rows,
+  /// applies the Lemma 2 subtractions and row/column erases to the
+  /// action's table, and either applies the Lemma 3 SC updates directly
+  /// (`sc_deltas == nullptr`, the serial path) or appends them to
+  /// `*sc_deltas` for the caller to replay in action order (the parallel
+  /// path). `credited`/`creditors` are caller-owned scratch.
+  void CommitSeedOneAction(NodeId x, ActionId a,
+                           std::vector<CreditEntry>* credited,
+                           std::vector<CreditEntry>* creditors,
+                           std::vector<CreditEntry>* sc_deltas);
+
   const Graph* graph_;
   const ActionLog* log_;
   CdConfig config_;
@@ -119,6 +156,10 @@ class CreditDistributionModel {
   bool selection_done_ = false;
   std::vector<NodeId> current_seeds_;
   std::vector<bool> is_seed_;
+  // Per-worker scratch for the parallel CommitSeed, sized lazily on the
+  // first parallel commit and reused across commits (the greedy loop
+  // commits k times; steady state must not allocate).
+  std::vector<ScanArena> commit_arenas_;
 };
 
 /// Algorithm 2's inner loop over one action DAG: accumulates credits for
@@ -134,18 +175,26 @@ void ScanDagRange(const PropagationDag& dag,
 
 /// Intra-action sharded variant of ScanDagRange for one huge action:
 /// phase A splits [begin_pos, dag.size()) into DAG-node ranges and
-/// precomputes every surviving direct credit (v, gamma) into per-shard
-/// arenas in parallel (Gamma is a pure function of the tuple, the hot
-/// cost under Eq. 9's exponentials); phase B replays the positions in
-/// order against the table — the identical AddCredit sequence as the
-/// serial scan, so entry values *and* adjacency order are bit-identical
-/// for any thread count. The hash merge stays serial; see
-/// docs/parallelism.md for the shape of the bound.
+/// precomputes every surviving direct credit (parent position, gamma)
+/// into per-shard arenas in parallel (Gamma is a pure function of the
+/// tuple, the hot cost under Eq. 9's exponentials); phase B merges on a
+/// level-synchronous (wavefront) schedule: rows within one DAG level
+/// depend only on finalized rows of strictly earlier levels, so each
+/// worker builds its positions' creditor rows into per-row sub-tables
+/// (RowArena-backed), and a deterministic stitch then inserts them into
+/// the flat table in position order — replicating the serial scan's
+/// AddCredit first-touch sequence exactly, so entry values *and*
+/// adjacency order are bit-identical for any thread count (and snapshots
+/// stay byte-identical). DAGs too narrow to pay for level barriers
+/// (average level width < 2) fall back to the serial position-ordered
+/// merge over the precomputed gammas. `arenas` is per-worker scratch
+/// (one per worker; fewer arenas clamp the worker count); see
+/// docs/parallelism.md.
 void ScanDagRangeSharded(const PropagationDag& dag,
                          const DirectCreditModel& credit_model, double lambda,
                          NodeId begin_pos, std::size_t num_threads,
                          ActionCreditTable* table,
-                         std::vector<CreditEntry>* creditor_scratch);
+                         std::span<ScanArena> arenas);
 
 }  // namespace influmax
 

@@ -53,7 +53,11 @@ inline constexpr std::size_t kCelfBatchPerWorker = 4;
 /// stamp != any |S| + 1 reachable in this run (callers zero-fill; the
 /// memo is only touched when more than one worker resolves). `gain_of`
 /// must be safe to call from `num_threads` workers concurrently — both
-/// callers' MarginalGain are pure reads. `Selection` is the caller's
+/// callers' MarginalGain are pure reads. `commit` runs with no gain pass
+/// in flight (the batch pass joins before any pop can commit), so it is
+/// free to parallelize internally — both callers' CommitSeed fan their
+/// per-action updates out over their own worker knob
+/// (docs/parallelism.md). `Selection` is the caller's
 /// {seeds, marginal_gains, cumulative_spread, gain_evaluations} struct.
 template <typename Selection, typename GainFn, typename CommitFn>
 void RunCelfGreedy(NodeId k, double spread_budget, std::size_t num_threads,

@@ -16,29 +16,24 @@ SnapshotQueryEngine::SnapshotQueryEngine(const CreditSnapshotView& view)
   sc_dirty_.assign(view.num_slots(), 0);
   is_seed_.assign(view.num_users(), 0);
   for (NodeId s : view.seeds()) is_seed_[s] = 1;
-  stamp_epoch_.assign(view.num_users(), 0);
-  stamp_credit_.assign(view.num_users(), 0.0);
+  commit_scratch_.resize(1);
+  EnsureScratch(&commit_scratch_[0]);
   memo_gain_.assign(view.num_users(), 0.0);
   memo_stamp_.assign(view.num_users(), 0);
+}
+
+void SnapshotQueryEngine::EnsureScratch(CommitScratch* scratch) {
+  if (scratch->stamp_epoch.size() < view_->num_users()) {
+    scratch->stamp_epoch.assign(view_->num_users(), 0);
+    scratch->stamp_credit.assign(view_->num_users(), 0.0);
+    scratch->epoch = 0;
+  }
 }
 
 const double* SnapshotQueryEngine::CreditsOf(ActionId a) const {
   const std::uint64_t off = ovl_offset_[a];
   if (off != kNotOverlaid) return ovl_buf_.data() + off;
   return view_->fwd_credit().data() + view_->action_entry_begin()[a];
-}
-
-double* SnapshotQueryEngine::EnsureOverlay(ActionId a) {
-  std::uint64_t off = ovl_offset_[a];
-  if (off == kNotOverlaid) {
-    const auto aeb = view_->action_entry_begin();
-    const double* base = view_->fwd_credit().data() + aeb[a];
-    off = ovl_buf_.size();
-    ovl_buf_.insert(ovl_buf_.end(), base, base + (aeb[a + 1] - aeb[a]));
-    ovl_offset_[a] = off;
-    ovl_actions_.push_back(a);
-  }
-  return ovl_buf_.data() + off;
 }
 
 double SnapshotQueryEngine::MarginalGain(NodeId x) const {
@@ -77,13 +72,13 @@ double SnapshotQueryEngine::MarginalGain(NodeId x) const {
   return mg;
 }
 
-void SnapshotQueryEngine::CommitSeed(NodeId x) {
-  // Algorithm 5 against the copy-on-write overlay. A credit of exactly
-  // 0.0 encodes "erased": live entries are always > kZeroEpsilon, and
-  // SubtractCredit's epsilon-erase is replayed below, so 0.0 is
-  // unambiguous.
-  if (x >= view_->num_users() || is_seed_[x]) return;
-  const auto uo = view_->user_offsets();
+void SnapshotQueryEngine::CommitOneSlot(
+    std::uint64_t s, NodeId x, CommitScratch* scratch,
+    std::vector<std::uint64_t>* touched_out) {
+  // Algorithm 5 for one slot (one action x performed) against the
+  // pre-created copy-on-write overlay. A credit of exactly 0.0 encodes
+  // "erased": live entries are always > kZeroEpsilon, and SubtractCredit's
+  // epsilon-erase is replayed below, so 0.0 is unambiguous.
   const auto slot_action = view_->slot_action();
   const auto fwd_begin = view_->fwd_begin();
   const auto fwd_count = view_->fwd_count();
@@ -94,69 +89,145 @@ void SnapshotQueryEngine::CommitSeed(NodeId x) {
   const auto bwd_entry = view_->bwd_entry();
   const auto aeb = view_->action_entry_begin();
 
-  for (std::uint64_t s = uo[x]; s < uo[x + 1]; ++s) {
-    const ActionId a = slot_action[s];
-    double* ovl = EnsureOverlay(a);
-    const std::uint64_t base = aeb[a];
-    const double sc_x = sc_cur_[s];
+  const ActionId a = slot_action[s];
+  double* ovl = ovl_buf_.data() + ovl_offset_[a];
+  const std::uint64_t base = aeb[a];
+  const double sc_x = sc_cur_[s];
 
-    // Snapshot the live rows up front, as the live CommitSeed does.
-    credited_.clear();
-    creditors_.clear();
-    const std::uint64_t fb = fwd_begin[s];
-    for (std::uint64_t e = fb; e < fb + fwd_count[s]; ++e) {
+  // Snapshot the live rows up front, as the live CommitSeed does.
+  scratch->credited.clear();
+  scratch->creditors.clear();
+  const std::uint64_t fb = fwd_begin[s];
+  for (std::uint64_t e = fb; e < fb + fwd_count[s]; ++e) {
+    const double credit = ovl[e - base];
+    if (credit > 0.0) scratch->credited.push_back({fwd_node[e], credit});
+  }
+  const std::uint64_t bb = bwd_begin[s];
+  for (std::uint64_t j = bb; j < bb + bwd_count[s]; ++j) {
+    const double credit = ovl[bwd_entry[j] - base];
+    if (credit > 0.0) scratch->creditors.push_back({bwd_node[j], credit});
+  }
+
+  // Lemma 2: subtract the through-x path product from every
+  // (creditor, credited) pair. The live code addresses each pair by
+  // hash lookup; here each creditor's forward list is walked once
+  // against an epoch-stamped credited set — the same pairs, each
+  // subtracted exactly once with the identical delta, no hashing.
+  const std::uint64_t epoch = ++scratch->epoch;
+  for (const CommitScratch::LiveEntry& cu : scratch->credited) {
+    scratch->stamp_epoch[cu.node] = epoch;
+    scratch->stamp_credit[cu.node] = cu.credit;
+  }
+  for (const CommitScratch::LiveEntry& cv : scratch->creditors) {
+    // Every creditor of an action participates in it, so its slot must
+    // exist; tolerate a crafted file rather than index out of bounds.
+    const std::uint64_t sv = view_->SlotOf(cv.node, a);
+    if (sv == CreditSnapshotView::kNoSlot) continue;
+    const std::uint64_t vb = fwd_begin[sv];
+    for (std::uint64_t e = vb; e < vb + fwd_count[sv]; ++e) {
+      const NodeId u = fwd_node[e];
+      if (u == x) {
+        ovl[e - base] = 0.0;  // column erase: drop (creditor -> x)
+        continue;
+      }
+      if (scratch->stamp_epoch[u] != epoch) continue;
       const double credit = ovl[e - base];
-      if (credit > 0.0) credited_.push_back({fwd_node[e], credit});
+      if (credit == 0.0) continue;  // truncated away or already erased
+      const double next = credit - cv.credit * scratch->stamp_credit[u];
+      ovl[e - base] =
+          next <= ActionCreditTable::kZeroEpsilon ? 0.0 : next;
     }
-    const std::uint64_t bb = bwd_begin[s];
-    for (std::uint64_t j = bb; j < bb + bwd_count[s]; ++j) {
-      const double credit = ovl[bwd_entry[j] - base];
-      if (credit > 0.0) creditors_.push_back({bwd_node[j], credit});
+  }
+  // Lemma 3: fold x's credit into SC for every user x credits. The slots
+  // all belong to action a, so parallel slot updates never collide here.
+  for (const CommitScratch::LiveEntry& cu : scratch->credited) {
+    const std::uint64_t su = view_->SlotOf(cu.node, a);
+    if (su == CreditSnapshotView::kNoSlot) continue;
+    if (!sc_dirty_[su]) {
+      sc_dirty_[su] = 1;
+      touched_out->push_back(su);
     }
+    sc_cur_[su] += cu.credit * (1.0 - sc_x);
+  }
+  // Row erase: x has left the induced subgraph V - S.
+  for (std::uint64_t e = fb; e < fb + fwd_count[s]; ++e) {
+    ovl[e - base] = 0.0;
+  }
+}
 
-    // Lemma 2: subtract the through-x path product from every
-    // (creditor, credited) pair. The live code addresses each pair by
-    // hash lookup; here each creditor's forward list is walked once
-    // against an epoch-stamped credited set — the same pairs, each
-    // subtracted exactly once with the identical delta, no hashing.
-    ++epoch_;
-    for (const LiveEntry& cu : credited_) {
-      stamp_epoch_[cu.node] = epoch_;
-      stamp_credit_[cu.node] = cu.credit;
-    }
-    for (const LiveEntry& cv : creditors_) {
-      // Every creditor of an action participates in it, so its slot must
-      // exist; tolerate a crafted file rather than index out of bounds.
-      const std::uint64_t sv = view_->SlotOf(cv.node, a);
-      if (sv == CreditSnapshotView::kNoSlot) continue;
-      const std::uint64_t vb = fwd_begin[sv];
-      for (std::uint64_t e = vb; e < vb + fwd_count[sv]; ++e) {
-        const NodeId u = fwd_node[e];
-        if (u == x) {
-          ovl[e - base] = 0.0;  // column erase: drop (creditor -> x)
-          continue;
-        }
-        if (stamp_epoch_[u] != epoch_) continue;
-        const double credit = ovl[e - base];
-        if (credit == 0.0) continue;  // truncated away or already erased
-        const double next = credit - cv.credit * stamp_credit_[u];
-        ovl[e - base] =
-            next <= ActionCreditTable::kZeroEpsilon ? 0.0 : next;
+void SnapshotQueryEngine::CommitSeed(NodeId x) {
+  // Algorithm 5 against the copy-on-write overlay. Slots of x reference
+  // distinct actions; their updates write disjoint overlay slices and
+  // disjoint SC-shadow slots, so after a serial overlay pre-pass (the
+  // only ovl_buf_ growth) the slots fan out over gain_threads() workers.
+  // Per-worker touched-slot logs are merged back in slot order, so the
+  // session state — every overlay credit, every SC value, the rewind log
+  // — is bit-identical to the serial commit for any thread count.
+  if (x >= view_->num_users() || is_seed_[x]) return;
+  const auto uo = view_->user_offsets();
+  const std::uint64_t slot_begin = uo[x];
+  const std::uint64_t slot_end = uo[x + 1];
+  const std::size_t num_slots = slot_end - slot_begin;
+  if (num_slots > 0) {
+    // Overlay pre-pass: create every missing overlay for x's actions in
+    // slot order (one ovl_buf_ resize), then fill the copies in
+    // parallel — they are disjoint slices of the grown buffer.
+    const auto slot_action = view_->slot_action();
+    const auto aeb = view_->action_entry_begin();
+    fresh_actions_.clear();
+    std::uint64_t extra = 0;
+    for (std::uint64_t s = slot_begin; s < slot_end; ++s) {
+      const ActionId a = slot_action[s];
+      if (ovl_offset_[a] == kNotOverlaid) {
+        fresh_actions_.push_back(a);
+        extra += aeb[a + 1] - aeb[a];
       }
     }
-    // Lemma 3: fold x's credit into SC for every user x credits.
-    for (const LiveEntry& cu : credited_) {
-      const std::uint64_t su = view_->SlotOf(cu.node, a);
-      if (su == CreditSnapshotView::kNoSlot) continue;
-      if (!sc_dirty_[su]) {
-        sc_dirty_[su] = 1;
-        sc_touched_.push_back(su);
+    const std::size_t workers = std::min(
+        EffectiveThreadCount(gain_threads_), num_slots);
+    if (extra > 0) {
+      std::uint64_t off = ovl_buf_.size();
+      ovl_buf_.resize(off + extra);
+      for (const ActionId a : fresh_actions_) {
+        ovl_offset_[a] = off;
+        ovl_actions_.push_back(a);
+        off += aeb[a + 1] - aeb[a];
       }
-      sc_cur_[su] += cu.credit * (1.0 - sc_x);
+      ParallelForDynamic(
+          fresh_actions_.size(), workers, [&](std::size_t, std::size_t i) {
+            const ActionId a = fresh_actions_[i];
+            const double* base = view_->fwd_credit().data() + aeb[a];
+            std::copy(base, base + (aeb[a + 1] - aeb[a]),
+                      ovl_buf_.data() + ovl_offset_[a]);
+          });
     }
-    // Row erase: x has left the induced subgraph V - S.
-    for (std::uint64_t e = fb; e < fb + fwd_count[s]; ++e) {
-      ovl[e - base] = 0.0;
+    if (workers <= 1) {
+      for (std::uint64_t s = slot_begin; s < slot_end; ++s) {
+        CommitOneSlot(s, x, &commit_scratch_[0], &sc_touched_);
+      }
+    } else {
+      if (commit_scratch_.size() < workers) commit_scratch_.resize(workers);
+      touched_slices_.resize(num_slots);
+      ParallelForDynamic(
+          num_slots, workers, [&](std::size_t t, std::size_t i) {
+            CommitScratch& scratch = commit_scratch_[t];
+            EnsureScratch(&scratch);
+            const std::uint64_t offset = scratch.sc_touched.size();
+            CommitOneSlot(slot_begin + i, x, &scratch, &scratch.sc_touched);
+            touched_slices_[i] = {
+                static_cast<std::uint32_t>(t), offset,
+                static_cast<std::uint32_t>(scratch.sc_touched.size() -
+                                           offset)};
+          });
+      for (const ArenaSlice& slice : touched_slices_) {
+        const std::uint64_t* entries =
+            commit_scratch_[slice.worker].sc_touched.data() + slice.offset;
+        sc_touched_.insert(sc_touched_.end(), entries,
+                           entries + slice.count);
+      }
+      for (CommitScratch& scratch : commit_scratch_) {
+        scratch.sc_touched.clear();
+      }
     }
   }
   is_seed_[x] = 1;
@@ -242,13 +313,20 @@ std::uint64_t SnapshotQueryEngine::ApproxMemoryBytes() const {
   auto bytes_of = [](const auto& v) {
     return static_cast<std::uint64_t>(v.capacity()) * sizeof(v[0]);
   };
+  std::uint64_t scratch_bytes = 0;
+  for (const CommitScratch& scratch : commit_scratch_) {
+    scratch_bytes += bytes_of(scratch.credited) + bytes_of(scratch.creditors) +
+                     bytes_of(scratch.stamp_epoch) +
+                     bytes_of(scratch.stamp_credit) +
+                     bytes_of(scratch.sc_touched);
+  }
   return bytes_of(ovl_offset_) + bytes_of(ovl_buf_) +
          bytes_of(ovl_actions_) + bytes_of(sc_cur_) + bytes_of(sc_touched_) +
          bytes_of(sc_dirty_) + bytes_of(is_seed_) + bytes_of(committed_) +
-         bytes_of(stamp_epoch_) + bytes_of(stamp_credit_) +
-         bytes_of(memo_gain_) + bytes_of(memo_stamp_) +
-         bytes_of(credited_) + bytes_of(creditors_) + bytes_of(heap_) +
-         bytes_of(batch_) + bytes_of(gains_);
+         scratch_bytes + bytes_of(fresh_actions_) +
+         bytes_of(touched_slices_) + bytes_of(memo_gain_) +
+         bytes_of(memo_stamp_) + bytes_of(heap_) + bytes_of(batch_) +
+         bytes_of(gains_);
 }
 
 Status IncrementalRescan(const CreditSnapshotView& view, const Graph& graph,

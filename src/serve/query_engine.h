@@ -66,7 +66,13 @@ class SnapshotQueryEngine {
   double MarginalGain(NodeId x) const;
 
   /// Commits x into the session seed set (Algorithm 5 against the
-  /// overlay). No-op when x is already a seed.
+  /// overlay). No-op when x is already a seed. The per-action updates
+  /// touch disjoint overlay slices and disjoint SC-shadow slots, so they
+  /// fan out over gain_threads() workers (after a serial overlay
+  /// pre-pass), with per-worker touched-slot logs merged in action order
+  /// — bit-identical to the serial commit for any thread count
+  /// (docs/parallelism.md). With the default gain_threads() == 1 the
+  /// serial path runs and no per-worker scratch is ever allocated.
   void CommitSeed(NodeId x);
 
   /// sigma_cd of `seeds` (committed in order over a fresh session; the
@@ -103,13 +109,41 @@ class SnapshotQueryEngine {
   std::uint64_t ApproxMemoryBytes() const;
 
  private:
+  /// Per-worker scratch of the (possibly parallel) CommitSeed: row
+  /// snapshots, the epoch-stamped credited set of the slot under update,
+  /// and — on the parallel path — the deferred touched-SC-slot log.
+  /// Slot 0 exists from construction (the serial path uses it); further
+  /// slots appear on the first parallel commit and are reused across
+  /// commits.
+  struct CommitScratch {
+    struct LiveEntry {
+      NodeId node;
+      double credit;
+    };
+    std::vector<LiveEntry> credited;
+    std::vector<LiveEntry> creditors;
+    // Credited-user stamps (epoch-tagged so clearing is free), sized [U]
+    // lazily by EnsureScratch.
+    std::vector<std::uint64_t> stamp_epoch;
+    std::vector<double> stamp_credit;
+    std::uint64_t epoch = 0;
+    std::vector<std::uint64_t> sc_touched;  // parallel path: deferred log
+  };
+
   /// Credits of action a, through the overlay when present, indexed by
   /// (entry - action_entry_begin[a]).
   const double* CreditsOf(ActionId a) const;
 
-  /// Mutable overlay slice for action a, copied from the base on first
-  /// touch (the "copy" in copy-on-write).
-  double* EnsureOverlay(ActionId a);
+  /// Algorithm 5 for one slot of x (one action): Lemma 2 subtractions +
+  /// column erase against the action's (pre-created) overlay, Lemma 3 SC
+  /// folds, row erase. Touched SC slots are logged to `*touched_out`
+  /// (&sc_touched_ on the serial path; the scratch's own log on the
+  /// parallel path, merged in action order afterwards).
+  void CommitOneSlot(std::uint64_t s, NodeId x, CommitScratch* scratch,
+                     std::vector<std::uint64_t>* touched_out);
+
+  /// Sizes a scratch's stamp arrays to [U] on first use.
+  void EnsureScratch(CommitScratch* scratch);
 
   const CreditSnapshotView* view_;
 
@@ -130,11 +164,12 @@ class SnapshotQueryEngine {
   std::vector<std::uint8_t> is_seed_;      // [U]
   std::vector<NodeId> committed_;          // session commits, in order
 
-  // Credited-user stamps for the commit update (epoch-tagged so clearing
-  // is free).
-  std::vector<std::uint64_t> stamp_epoch_;  // [U]
-  std::vector<double> stamp_credit_;        // [U]
-  std::uint64_t epoch_ = 0;
+  // CommitSeed workspaces: scratch per worker (see CommitScratch), the
+  // overlay pre-pass's fresh-action list, and the parallel path's
+  // per-action ArenaSlice refs for the deterministic touched-log merge.
+  std::vector<CommitScratch> commit_scratch_;
+  std::vector<ActionId> fresh_actions_;
+  std::vector<ArenaSlice> touched_slices_;
 
   // CELF speculation memo (TopKSeeds): gain of a node re-evaluated in a
   // parallel batch, valid only while |S| + 1 == the stamp.
@@ -144,13 +179,6 @@ class SnapshotQueryEngine {
 
   // Reused scratch (never shrunk, so steady-state queries do not
   // allocate).
-  struct LiveEntry {
-    NodeId node;
-    double credit;
-  };
-  std::vector<LiveEntry> credited_;
-  std::vector<LiveEntry> creditors_;
-
   std::vector<CelfQueueEntry> heap_;
   std::vector<CelfQueueEntry> batch_;
   std::vector<double> gains_;  // initial-pass gather array

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/histogram.h"
 #include "common/memory.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -286,6 +287,57 @@ TEST(ParallelTest, SingleItemRunsInlineEvenWithManyThreads) {
   });
 }
 
+TEST(ParallelTest, LevelsCoverAllIndicesOnceAndRespectBarriers) {
+  // 5 levels of uneven width over 100 indices; a level's indices must
+  // all run strictly after every index of earlier levels.
+  const std::vector<std::size_t> level_begin = {0, 1, 40, 41, 90, 100};
+  std::vector<std::atomic<int>> hits(100);
+  std::atomic<std::size_t> completed{0};
+  std::vector<std::atomic<std::size_t>> done_below(level_begin.size());
+  for (auto& d : done_below) d.store(0);
+  const auto level_of = [&](std::size_t i) {
+    std::size_t l = 0;
+    while (level_begin[l + 1] <= i) ++l;
+    return l;
+  };
+  std::atomic<bool> order_violated{false};
+  ParallelForLevels(level_begin, 4, [&](std::size_t, std::size_t i) {
+    const std::size_t l = level_of(i);
+    // Every index of every earlier level must already have completed.
+    for (std::size_t earlier = 0; earlier < l; ++earlier) {
+      const std::size_t width =
+          level_begin[earlier + 1] - level_begin[earlier];
+      if (done_below[earlier].load() != width) order_violated = true;
+    }
+    hits[i].fetch_add(1);
+    done_below[l].fetch_add(1);
+    completed.fetch_add(1);
+  });
+  EXPECT_EQ(completed.load(), 100u);
+  EXPECT_FALSE(order_violated.load());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelTest, LevelsSingleWorkerRunsInlineInOrder) {
+  const std::vector<std::size_t> level_begin = {0, 2, 5};
+  std::vector<int> order;
+  ParallelForLevels(level_begin, 1, [&](std::size_t t, std::size_t i) {
+    EXPECT_EQ(t, 0u);
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelTest, LevelsEmptyAndDegenerateAreNoops) {
+  bool called = false;
+  ParallelForLevels({}, 4,
+                    [&](std::size_t, std::size_t) { called = true; });
+  const std::vector<std::size_t> empty_levels = {0, 0, 0};
+  ParallelForLevels(empty_levels, 4,
+                    [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
 TEST(ParallelTest, CallerParticipatesAsWorkerZero) {
   // With N workers only N - 1 threads spawn; worker 0 is the caller.
   const auto caller = std::this_thread::get_id();
@@ -308,6 +360,71 @@ TEST(ParallelTest, CallerParticipatesAsWorkerZero) {
     }
   });
   EXPECT_EQ(caller_was_worker_zero.load(), zero_indices.load());
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram hist;
+  // Values below 32 land in exact unit buckets, so percentiles of a
+  // small-value distribution are exact order statistics.
+  for (int i = 1; i <= 20; ++i) hist.Record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 20u);
+  EXPECT_EQ(hist.Percentile(50.0), 10.0);
+  EXPECT_EQ(hist.Percentile(95.0), 19.0);
+  EXPECT_EQ(hist.Percentile(100.0), 20.0);
+  EXPECT_EQ(hist.Percentile(0.0), 1.0);
+}
+
+TEST(LatencyHistogramTest, LargeValuesWithinResolution) {
+  LatencyHistogram hist;
+  // A latency-shaped spread: the bucket midpoint must be within ~3.2%
+  // (one sub-bucket width, half above / half below) of the true value.
+  const double values[] = {100.0,    1234.0,      56789.0,
+                           1.5e6,    2.34e8,      9.87e9};
+  for (const double v : values) {
+    hist.Reset();
+    hist.Record(v);
+    EXPECT_NEAR(hist.Percentile(50.0), v, v * 0.032) << v;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndTailSensitive) {
+  LatencyHistogram hist;
+  // 99 fast queries and one 100x outlier: p50 stays fast, p99+ sees it.
+  for (int i = 0; i < 99; ++i) hist.Record(1000.0);
+  hist.Record(100000.0);
+  const double p50 = hist.Percentile(50.0);
+  const double p95 = hist.Percentile(95.0);
+  const double p100 = hist.Percentile(100.0);
+  EXPECT_NEAR(p50, 1000.0, 1000.0 * 0.032);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p100);
+  EXPECT_NEAR(p100, 100000.0, 100000.0 * 0.032);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesInterleavedRecording) {
+  LatencyHistogram merged;
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>((i * 7919) % 100000);
+    merged.Record(v);
+    (i % 2 == 0 ? a : b).Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), merged.count());
+  for (const double p : {1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(a.Percentile(p), merged.Percentile(p)) << p;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyAndNegativeInputs) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Percentile(50.0), 0.0);
+  hist.Record(-5.0);  // clamps to 0
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.Percentile(50.0), 0.0);
 }
 
 // ---------------------------------------------------------------- Memory

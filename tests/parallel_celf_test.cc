@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -61,11 +62,12 @@ void ExpectSelectionsIdentical(
   }
 }
 
-// SelectSeeds with the parallel initial pass and batched stale
-// re-evaluations must reproduce the serial greedy bit for bit — seed
-// order, every gain, and the CELF evaluation count — for any thread
-// count (the count is the lazy-forward efficiency metric; speculative
-// evaluations must never leak into it).
+// SelectSeeds with the parallel initial pass, batched stale
+// re-evaluations, AND the batched parallel CommitSeed (scan_threads
+// drives the commit fan-out) must reproduce the serial greedy bit for
+// bit — seed order, every gain, and the CELF evaluation count — for any
+// thread count (the count is the lazy-forward efficiency metric;
+// speculative evaluations must never leak into it).
 TEST(ParallelCelfTest, SelectSeedsIdenticalForAnyThreadCount) {
   const SyntheticDataset data = MakeDataset(300, 150, 91);
   EqualDirectCredit credit;
@@ -74,6 +76,7 @@ TEST(ParallelCelfTest, SelectSeedsIdenticalForAnyThreadCount) {
     CdConfig config;
     config.truncation_threshold = 0.001;
     config.select_threads = threads;
+    config.scan_threads = threads;  // parallel commits inside the greedy
     auto model =
         CreditDistributionModel::Build(data.graph, data.log, credit, config);
     ASSERT_TRUE(model.ok());
@@ -245,8 +248,9 @@ TEST(ParallelCelfTest, ShardedScanMatchesSerialFromAnyBeginPos) {
     std::vector<CreditEntry> scratch;
     ScanDagRange(dag, credit, /*lambda=*/0.0, begin_pos, &serial, &scratch);
     ActionCreditTable sharded;
+    std::vector<ScanArena> arenas(7);
     ScanDagRangeSharded(dag, credit, /*lambda=*/0.0, begin_pos,
-                        /*num_threads=*/7, &sharded, &scratch);
+                        /*num_threads=*/7, &sharded, arenas);
     ASSERT_EQ(sharded.num_entries(), serial.num_entries())
         << "begin_pos " << begin_pos;
     for (NodeId v = 0; v < data.graph.num_nodes(); ++v) {
@@ -255,6 +259,257 @@ TEST(ParallelCelfTest, ShardedScanMatchesSerialFromAnyBeginPos) {
             << "pair (" << v << ", " << u << ") begin_pos " << begin_pos;
       }
     }
+  }
+}
+
+// The live model's batched parallel CommitSeed: manual commits of the
+// busiest users (long per-action update lists) under every thread count
+// must leave the store byte-identical to the serial commit — snapshots
+// freeze UC adjacency order, credit values, and the SC baseline, so
+// byte-equality is the strongest store equality there is.
+TEST(ParallelCelfTest, CommitSeedParallelSnapshotBytesIdentical) {
+  const SyntheticDataset data = MakeDataset(250, 120, 98);
+  EqualDirectCredit credit;
+  // The three busiest users: their UserActions lists are the longest
+  // commit fan-outs the dataset has.
+  std::vector<NodeId> busiest(data.graph.num_nodes());
+  for (NodeId u = 0; u < data.graph.num_nodes(); ++u) busiest[u] = u;
+  std::sort(busiest.begin(), busiest.end(), [&](NodeId a, NodeId b) {
+    const auto na = data.log.ActionsPerformedBy(a);
+    const auto nb = data.log.ActionsPerformedBy(b);
+    return na != nb ? na > nb : a < b;
+  });
+  busiest.resize(3);
+
+  std::string baseline_bytes;
+  for (const std::size_t threads : kThreadCounts) {
+    CdConfig config;
+    config.truncation_threshold = 0.001;
+    config.scan_threads = threads;
+    auto model =
+        CreditDistributionModel::Build(data.graph, data.log, credit, config);
+    ASSERT_TRUE(model.ok());
+    for (const NodeId seed : busiest) model->CommitSeed(seed);
+    const std::string path =
+        TempPath("parallel_commit_" + std::to_string(threads) + ".snap");
+    ASSERT_TRUE(model->WriteSnapshot(path).ok());
+    const std::string bytes = ReadFileBytes(path);
+    std::remove(path.c_str());
+    if (threads == 1) {
+      baseline_bytes = bytes;
+      ASSERT_FALSE(baseline_bytes.empty());
+      continue;
+    }
+    EXPECT_EQ(bytes, baseline_bytes)
+        << threads << " commit threads diverged from the serial commit";
+  }
+}
+
+// The snapshot engine's parallel CommitSeed: a session driven with
+// gain_threads > 1 must hold exactly the serial session's state after
+// every commit — identical marginal gains everywhere, identical
+// follow-up TopKSeeds, and an O(touched) reset that still rewinds
+// everything (the per-worker touched-log merge must lose no slot).
+TEST(ParallelCelfTest, EngineCommitSeedParallelMatchesSerial) {
+  const SyntheticDataset data = MakeDataset(200, 100, 99);
+  EqualDirectCredit credit;
+  CdConfig config;
+  config.truncation_threshold = 0.001;
+  auto model =
+      CreditDistributionModel::Build(data.graph, data.log, credit, config);
+  ASSERT_TRUE(model.ok());
+  const std::string path = TempPath("parallel_commit_engine.snap");
+  ASSERT_TRUE(model->WriteSnapshot(path).ok());
+  auto view = CreditSnapshotView::Open(path);
+  ASSERT_TRUE(view.ok());
+
+  SnapshotQueryEngine serial(*view);
+  const SnapshotSeedSelection seeds = serial.TopKSeeds(4);
+  ASSERT_GE(seeds.seeds.size(), 2u);
+  serial.ResetSession();
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{7}}) {
+    SnapshotQueryEngine parallel(*view);
+    parallel.set_gain_threads(threads);
+    serial.ResetSession();
+    for (const NodeId seed : seeds.seeds) {
+      serial.CommitSeed(seed);
+      parallel.CommitSeed(seed);
+      for (NodeId x = 0; x < view->num_users(); ++x) {
+        ASSERT_EQ(parallel.MarginalGain(x), serial.MarginalGain(x))
+            << "gain of " << x << " after committing " << seed << " with "
+            << threads << " threads";
+      }
+    }
+    // The reset must rewind the merged touched set completely: a fresh
+    // TopKSeeds afterwards replays the base-session selection.
+    const SnapshotSeedSelection repeat = parallel.TopKSeeds(4);
+    EXPECT_EQ(repeat.seeds, seeds.seeds) << threads << " threads";
+    EXPECT_EQ(repeat.gain_evaluations, seeds.gain_evaluations)
+        << threads << " threads";
+  }
+  std::remove(path.c_str());
+}
+
+// Sharded-scan boundary case: an action whose length is *exactly*
+// scan_shard_min_positions (and exactly the fair per-worker share edge)
+// must still produce byte-identical snapshots whichever routing it gets.
+TEST(ParallelCelfTest, ShardedScanExactlyAtFloorBytesIdentical) {
+  const NodeId nodes = 256;
+  auto graph_result = GeneratePreferentialAttachment({nodes, 4, 0.6}, 100);
+  ASSERT_TRUE(graph_result.ok());
+  const Graph graph = std::move(graph_result).value();
+  ActionLogBuilder builder(nodes);
+  // One action covering every node (length == nodes == the floor below),
+  // plus a few small ones so the fair-share rule has a log to weigh.
+  for (NodeId u = 0; u < nodes; ++u) {
+    builder.Add(u, 0, static_cast<Timestamp>(u));
+  }
+  for (NodeId u = 0; u < 16; ++u) {
+    builder.Add(u, 1, static_cast<Timestamp>(u));
+    builder.Add(u, 2, static_cast<Timestamp>(u + 1));
+  }
+  auto log = builder.Build();
+  ASSERT_TRUE(log.ok());
+
+  EqualDirectCredit credit;
+  std::string baseline_bytes;
+  for (const std::size_t threads : kThreadCounts) {
+    CdConfig config;
+    config.truncation_threshold = 0.001;
+    config.scan_threads = threads;
+    config.scan_shard_min_positions = nodes;  // exactly the action length
+    auto model =
+        CreditDistributionModel::Build(graph, *log, credit, config);
+    ASSERT_TRUE(model.ok());
+    const std::string path =
+        TempPath("floor_scan_" + std::to_string(threads) + ".snap");
+    ASSERT_TRUE(model->WriteSnapshot(path).ok());
+    const std::string bytes = ReadFileBytes(path);
+    std::remove(path.c_str());
+    if (threads == 1) {
+      baseline_bytes = bytes;
+      continue;
+    }
+    EXPECT_EQ(bytes, baseline_bytes) << threads << " scan threads";
+  }
+}
+
+// Sharded-scan boundary case: a truncation threshold high enough that
+// whole stretches of the DAG (every multi-parent position) keep zero
+// gammas — the wavefront must handle all-empty rows and still match the
+// serial scan exactly.
+TEST(ParallelCelfTest, ShardedScanTruncationFilteredShardsMatchSerial) {
+  const SyntheticDataset data = MakeDataset(250, 40, 101);
+  EqualDirectCredit credit;
+  ActionId biggest = 0;
+  for (ActionId a = 0; a < data.log.num_actions(); ++a) {
+    if (data.log.ActionSize(a) > data.log.ActionSize(biggest)) biggest = a;
+  }
+  const PropagationDag dag =
+      BuildPropagationDag(data.graph, data.log.ActionTrace(biggest));
+  ASSERT_GT(dag.size(), 8u);
+  // Equal credit hands out 1/d_in: lambda = 0.6 keeps only d_in == 1
+  // positions, lambda = 1.1 keeps none at all.
+  for (const double lambda : {0.6, 1.1}) {
+    ActionCreditTable serial;
+    std::vector<CreditEntry> scratch;
+    ScanDagRange(dag, credit, lambda, /*begin_pos=*/0, &serial, &scratch);
+    ActionCreditTable sharded;
+    std::vector<ScanArena> arenas(7);
+    ScanDagRangeSharded(dag, credit, lambda, /*begin_pos=*/0,
+                        /*num_threads=*/7, &sharded, arenas);
+    ASSERT_EQ(sharded.num_entries(), serial.num_entries())
+        << "lambda " << lambda;
+    for (NodeId v = 0; v < data.graph.num_nodes(); ++v) {
+      for (NodeId u : serial.CreditedUsers(v)) {
+        EXPECT_EQ(sharded.Credit(v, u), serial.Credit(v, u))
+            << "pair (" << v << ", " << u << ") lambda " << lambda;
+      }
+    }
+  }
+}
+
+// Sharded-scan degenerate shapes: a single-level DAG (simultaneous
+// activations — no parents at all) and a pure chain (every level has
+// width 1, where the wavefront falls back to the serial merge). Both
+// must match the serial scan entry for entry.
+TEST(ParallelCelfTest, ShardedScanDegenerateDagsMatchSerial) {
+  const NodeId nodes = 64;
+  GraphBuilder graph_builder(nodes);
+  for (NodeId u = 0; u + 1 < nodes; ++u) {
+    graph_builder.AddReciprocalEdge(u, u + 1);
+  }
+  auto graph = graph_builder.Build();
+  ASSERT_TRUE(graph.ok());
+  EqualDirectCredit credit;
+
+  // Single level: every user acts at t = 0, so nobody parents anybody
+  // and the wavefront is one (empty-rows) wave.
+  std::vector<ActionTuple> simultaneous;
+  for (NodeId u = 0; u < nodes; ++u) simultaneous.push_back({u, 0, 0.0});
+  // Chain: id-order activations over the path graph — level i holds
+  // exactly position i, the narrow-DAG fallback.
+  std::vector<ActionTuple> chain;
+  for (NodeId u = 0; u < nodes; ++u) {
+    chain.push_back({u, 0, static_cast<Timestamp>(u)});
+  }
+  for (const auto* trace : {&simultaneous, &chain}) {
+    const PropagationDag dag = BuildPropagationDag(*graph, *trace);
+    std::vector<std::uint32_t> levels;
+    const std::uint32_t num_levels = dag.ComputeLevels(&levels);
+    ActionCreditTable serial;
+    std::vector<CreditEntry> scratch;
+    ScanDagRange(dag, credit, /*lambda=*/0.0, /*begin_pos=*/0, &serial,
+                 &scratch);
+    ActionCreditTable sharded;
+    std::vector<ScanArena> arenas(4);
+    ScanDagRangeSharded(dag, credit, /*lambda=*/0.0, /*begin_pos=*/0,
+                        /*num_threads=*/4, &sharded, arenas);
+    ASSERT_EQ(sharded.num_entries(), serial.num_entries())
+        << num_levels << " levels";
+    for (NodeId v = 0; v < nodes; ++v) {
+      for (NodeId u : serial.CreditedUsers(v)) {
+        EXPECT_EQ(sharded.Credit(v, u), serial.Credit(v, u))
+            << "pair (" << v << ", " << u << "), " << num_levels
+            << " levels";
+      }
+    }
+  }
+}
+
+// Builds drawing their arenas from a shared ScanArenaPool must stay
+// byte-identical to pool-less builds — reuse is a pure allocation
+// optimization (ROADMAP "multi-dataset batching").
+TEST(ParallelCelfTest, ArenaPoolReuseKeepsSnapshotsIdentical) {
+  const SyntheticDataset data = MakeDataset(200, 100, 102);
+  EqualDirectCredit credit;
+  CdConfig config;
+  config.truncation_threshold = 0.001;
+  config.scan_threads = 3;
+  config.scan_shard_min_positions = 32;  // exercise the sharded path too
+
+  auto reference =
+      CreditDistributionModel::Build(data.graph, data.log, credit, config);
+  ASSERT_TRUE(reference.ok());
+  const std::string ref_path = TempPath("pool_reference.snap");
+  ASSERT_TRUE(reference->WriteSnapshot(ref_path).ok());
+  const std::string expected = ReadFileBytes(ref_path);
+  std::remove(ref_path.c_str());
+
+  ScanArenaPool pool;
+  config.arena_pool = &pool;
+  for (int round = 0; round < 3; ++round) {
+    auto model =
+        CreditDistributionModel::Build(data.graph, data.log, credit, config);
+    ASSERT_TRUE(model.ok());
+    const std::string path =
+        TempPath("pool_round_" + std::to_string(round) + ".snap");
+    ASSERT_TRUE(model->WriteSnapshot(path).ok());
+    const std::string bytes = ReadFileBytes(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(bytes, expected) << "pool round " << round;
+    EXPECT_EQ(pool.size(), 3u) << "arenas returned after round " << round;
   }
 }
 

@@ -40,6 +40,7 @@
 #include "common/bench_json.h"
 #include "common/concurrent_flat_hash.h"
 #include "common/flags.h"
+#include "common/histogram.h"
 #include "common/memory.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -55,6 +56,30 @@ namespace influmax {
 namespace {
 
 using BenchRecord = BenchJsonRecord;
+
+/// Attaches a histogram's p50/p95/p99 (ns) to a bench record; the shared
+/// LatencyHistogram (src/common/histogram.h) keeps the digest O(1) per
+/// sample, so every per-query latency can be recorded.
+BenchRecord WithPercentiles(BenchRecord record,
+                            const LatencyHistogram& hist) {
+  if (hist.count() > 0) {
+    record.has_percentiles = true;
+    record.p50_ns = hist.Percentile(50.0);
+    record.p95_ns = hist.Percentile(95.0);
+    record.p99_ns = hist.Percentile(99.0);
+  }
+  return record;
+}
+
+void PrintPercentiles(const char* label, const LatencyHistogram& hist,
+                      double ns_per_unit, const char* unit) {
+  std::printf("  %s percentiles: p50 %.3f %s, p95 %.3f %s, p99 %.3f %s "
+              "(%llu samples)\n",
+              label, hist.Percentile(50.0) / ns_per_unit, unit,
+              hist.Percentile(95.0) / ns_per_unit, unit,
+              hist.Percentile(99.0) / ns_per_unit, unit,
+              static_cast<unsigned long long>(hist.count()));
+}
 
 Result<Graph> LoadGraph(const std::string& path) {
   if (path.ends_with(".bin")) return ReadGraphBinary(path);
@@ -267,11 +292,13 @@ int RunServeThreadsBench(const CreditSnapshotView& view,
     double seconds = 0.0;
     double checksum = 0.0;
     std::uint64_t cache_hits = 0;
+    LatencyHistogram latencies;  // per-gain, merged across threads
   };
   const auto run_phase = [&](bool use_cache) {
     PhaseResult result;
     std::vector<double> partial(serve_threads, 0.0);
     std::vector<std::uint64_t> hits(serve_threads, 0);
+    std::vector<LatencyHistogram> hist(serve_threads);
     WallTimer timer;
     ParallelForChunked(
         active.size(), serve_threads,
@@ -281,14 +308,17 @@ int RunServeThreadsBench(const CreditSnapshotView& view,
               session;
           if (use_cache) session.emplace(cache);
           double sum = 0.0;
+          WallTimer query_timer;
           for (std::size_t i = begin; i < end; ++i) {
             const NodeId x = active[i];
             double gain = 0.0;
+            query_timer.Reset();
             if (session.has_value() && session->Find(x, &gain)) {
               ++hits[tid];
             } else {
               gain = engine.MarginalGain(x);
             }
+            hist[tid].Record(query_timer.ElapsedSeconds() * 1e9);
             sum += gain;
           }
           partial[tid] = sum;
@@ -297,6 +327,7 @@ int RunServeThreadsBench(const CreditSnapshotView& view,
     for (std::size_t t = 0; t < serve_threads; ++t) {
       result.checksum += partial[t];
       result.cache_hits += hits[t];
+      result.latencies.Merge(hist[t]);
     }
     return result;
   };
@@ -328,13 +359,19 @@ int RunServeThreadsBench(const CreditSnapshotView& view,
       static_cast<unsigned long long>(warm.cache_hits), active.size(),
       fill_seconds * 1e3,
       static_cast<unsigned long long>(cache.published_version()));
+  PrintPercentiles("serve_gain_cold", cold.latencies, 1e3, "us");
+  PrintPercentiles("serve_gain_warm", warm.latencies, 1e3, "us");
   if (cold.checksum != warm.checksum) {
     std::printf("! checksum mismatch: cold %.17g vs warm %.17g\n",
                 cold.checksum, warm.checksum);
     return 1;
   }
-  records->push_back({"serve_gain_cold", per_gain_cold_ns, 0, serve_threads});
-  records->push_back({"serve_gain_warm", per_gain_warm_ns, 0, serve_threads});
+  records->push_back(WithPercentiles(
+      {"serve_gain_cold", per_gain_cold_ns, 0, serve_threads},
+      cold.latencies));
+  records->push_back(WithPercentiles(
+      {"serve_gain_warm", per_gain_warm_ns, 0, serve_threads},
+      warm.latencies));
   records->push_back({"gain_cache_fill",
                       fill_seconds * 1e9 / active.size(), 0, 1});
   return 0;
@@ -343,7 +380,7 @@ int RunServeThreadsBench(const CreditSnapshotView& view,
 int RunBench(const std::string& snapshot_path, const std::string& graph_path,
              const std::string& log_path, const std::string& credit_name,
              int k, std::size_t gain_threads, std::size_t serve_threads,
-             const std::string& json_path) {
+             std::size_t topk_samples, const std::string& json_path) {
   std::vector<BenchRecord> records;
   WallTimer timer;
   auto view = CreditSnapshotView::Open(snapshot_path);
@@ -352,38 +389,61 @@ int RunBench(const std::string& snapshot_path, const std::string& graph_path,
   SnapshotQueryEngine engine(*view);
   engine.set_gain_threads(gain_threads);
 
-  // Marginal-gain latency over every active user.
+  // Marginal-gain latency over every active user, every query timed into
+  // the histogram (the mean hides tail behavior; serving SLOs are p99s).
+  LatencyHistogram gain_hist;
   timer.Reset();
   std::uint64_t gains = 0;
   double sink = 0.0;
+  WallTimer query_timer;
   for (NodeId x = 0; x < view->num_users(); ++x) {
     if (view->au()[x] == 0) continue;
+    query_timer.Reset();
     sink += engine.MarginalGain(x);
+    gain_hist.Record(query_timer.ElapsedSeconds() * 1e9);
     ++gains;
   }
   const double gain_us =
       gains == 0 ? 0.0 : timer.ElapsedSeconds() * 1e6 / gains;
 
-  timer.Reset();
-  auto selection = engine.TopKSeeds(static_cast<NodeId>(k));
-  const double topk_ms = timer.ElapsedSeconds() * 1e3;
+  // Top-k: `topk_samples` full queries for a latency distribution (cheap
+  // next to the per-gain loop above; the first selection is the one the
+  // rebuild path is checked against).
+  LatencyHistogram topk_hist;
+  SnapshotSeedSelection selection;
+  double topk_ms = 0.0;
+  for (std::size_t sample = 0; sample < topk_samples; ++sample) {
+    query_timer.Reset();
+    auto current = engine.TopKSeeds(static_cast<NodeId>(k));
+    const double ms = query_timer.ElapsedSeconds() * 1e3;
+    topk_hist.Record(ms * 1e6);
+    if (sample == 0) {
+      selection = std::move(current);
+      topk_ms = ms;
+    }
+  }
 
   std::printf("snapshot load: %.2f ms (%s mapped)\n", load_ms,
               FormatBytes(view->ApproxMemoryBytes()).c_str());
   std::printf("marginal gain: %.3f us/query over %llu active users "
               "(checksum %.3f)\n",
               gain_us, static_cast<unsigned long long>(gains), sink);
+  PrintPercentiles("gain", gain_hist, 1e3, "us");
   std::printf("topk(%d): %.2f ms, %llu gain evaluations, %zu gain "
               "threads, engine %s\n",
               k, topk_ms,
               static_cast<unsigned long long>(selection.gain_evaluations),
               EffectiveThreadCount(gain_threads),
               FormatBytes(engine.ApproxMemoryBytes()).c_str());
+  PrintPercentiles("topk", topk_hist, 1e6, "ms");
   records.push_back(
       {"snapshot_load", load_ms * 1e6, view->ApproxMemoryBytes(), 1});
-  records.push_back({"marginal_gain", gain_us * 1e3, 0, 1});
-  records.push_back({"topk", topk_ms * 1e6, engine.ApproxMemoryBytes(),
-                     EffectiveThreadCount(gain_threads)});
+  records.push_back(
+      WithPercentiles({"marginal_gain", gain_us * 1e3, 0, 1}, gain_hist));
+  records.push_back(WithPercentiles(
+      {"topk", topk_ms * 1e6, engine.ApproxMemoryBytes(),
+       EffectiveThreadCount(gain_threads)},
+      topk_hist));
 
   if (serve_threads > 1) {
     if (const int status = RunServeThreadsBench(*view, serve_threads,
@@ -436,6 +496,7 @@ int Main(int argc, char** argv) {
   int k = 50;
   int gain_threads = 0;
   int serve_threads = 1;
+  int topk_samples = 3;
   bool build = false;
   bool rescan = false;
   bool bench = false;
@@ -451,6 +512,8 @@ int Main(int argc, char** argv) {
                "workers for topk gain passes (0 = auto; bit-identical)");
   flags.AddInt("serve_threads", &serve_threads,
                "--bench only: concurrent serving engines over one view");
+  flags.AddInt("topk_samples", &topk_samples,
+               "--bench only: topk queries per latency distribution");
   flags.AddString("json", &json_path,
                   "--bench only: write machine-readable results here");
   flags.AddBool("build", &build, "scan graph+log and write the snapshot");
@@ -486,15 +549,17 @@ int Main(int argc, char** argv) {
     return RunRescan(graph_path, log_path, snapshot_path, out_path,
                      credit_name, lambda);
   }
-  if (gain_threads < 0 || serve_threads < 1) {
+  if (gain_threads < 0 || serve_threads < 1 || topk_samples < 1) {
     std::fprintf(stderr,
-                 "--gain_threads must be >= 0, --serve_threads >= 1\n");
+                 "--gain_threads must be >= 0, --serve_threads >= 1, "
+                 "--topk_samples >= 1\n");
     return 1;
   }
   if (bench) {
     return RunBench(snapshot_path, graph_path, log_path, credit_name, k,
                     static_cast<std::size_t>(gain_threads),
-                    static_cast<std::size_t>(serve_threads), json_path);
+                    static_cast<std::size_t>(serve_threads),
+                    static_cast<std::size_t>(topk_samples), json_path);
   }
   return RunServe(snapshot_path, static_cast<std::size_t>(gain_threads));
 }
