@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
@@ -31,6 +32,10 @@
 #include "propagation/monte_carlo.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot_view.h"
+#include "shard/generation_manager.h"
+#include "shard/shard_manifest.h"
+#include "shard/shard_router.h"
+#include "shard/shard_writer.h"
 
 namespace influmax {
 namespace {
@@ -218,6 +223,84 @@ void BM_RebuildTopKSeeds(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RebuildTopKSeeds)->Arg(500)->Arg(2000);
+
+// ---------------------------------------------- sharded-serving benches
+// Sharded serving (docs/sharding.md): BM_ShardRouterGain is the routed
+// marginal gain — the shard-order gain-term fold across one engine per
+// shard — with the shard count as the range argument (the /1 row is the
+// single-shard baseline; every row returns the identical bits).
+// BM_GenerationSwap is one full generation swap under a live session:
+// flip CURRENT, RefreshFromDisk (manifest read + blob validation +
+// epoch publish + reclaim), then Session::Refresh (router rebuild on
+// the new generation) and one query to prove liveness.
+
+// One sharded generation directory per (nodes, shards), written once
+// from the monolithic snapshot fixture.
+const std::string& ShardDir(NodeId nodes, std::size_t shards) {
+  static auto* dirs =
+      new std::map<std::pair<NodeId, std::size_t>, std::string>();
+  std::string& dir = (*dirs)[{nodes, shards}];
+  if (dir.empty()) {
+    dir = "/tmp/influmax_bench_shards_" + std::to_string(nodes) + "_" +
+          std::to_string(shards);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    auto view = CreditSnapshotView::Open(SnapshotPath(nodes));
+    INFLUMAX_CHECK(view.ok());
+    ShardedSnapshotWriter writer(dir, shards);
+    INFLUMAX_CHECK(writer.WriteFromView(*view, 1).ok());
+    INFLUMAX_CHECK(WriteCurrentManifestName(dir, ManifestFileName(1)).ok());
+  }
+  return dir;
+}
+
+void BM_ShardRouterGain(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const std::string& dir = ShardDir(2000, shards);
+  auto sharded = OpenShardedSnapshot(dir + "/" + ManifestFileName(1));
+  INFLUMAX_CHECK(sharded.ok());
+  ShardRouter router(*sharded);
+  NodeId node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.MarginalGain(node));
+    node = (node + 1) % router.num_users();
+  }
+  state.counters["shards"] = static_cast<double>(sharded->views.size());
+}
+BENCHMARK(BM_ShardRouterGain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GenerationSwap(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  // Two identical-content generations with distinct numbers; the swap
+  // machinery (not the ingest scan) is what the loop measures.
+  const std::string dir = "/tmp/influmax_bench_swap_" +
+                          std::to_string(shards);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto view = CreditSnapshotView::Open(SnapshotPath(500));
+  INFLUMAX_CHECK(view.ok());
+  ShardedSnapshotWriter writer(dir, shards);
+  INFLUMAX_CHECK(writer.WriteFromView(*view, 1).ok());
+  INFLUMAX_CHECK(writer.WriteFromView(*view, 2).ok());
+  INFLUMAX_CHECK(WriteCurrentManifestName(dir, ManifestFileName(1)).ok());
+  auto manager = GenerationManager::Open(dir);
+  INFLUMAX_CHECK(manager.ok());
+  GenerationManager::Session session(**manager);
+  std::uint64_t next = 2;
+  for (auto _ : state) {
+    INFLUMAX_CHECK(
+        WriteCurrentManifestName(dir, ManifestFileName(next)).ok());
+    auto swapped = (*manager)->RefreshFromDisk();
+    INFLUMAX_CHECK(swapped.ok() && *swapped);
+    INFLUMAX_CHECK(session.Refresh());
+    benchmark::DoNotOptimize(session.router().MarginalGain(0));
+    next = next == 2 ? 1 : 2;
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["retired"] =
+      static_cast<double>((*manager)->retired_generations());
+}
+BENCHMARK(BM_GenerationSwap)->Arg(4);
 
 // ------------------------------------------------ parallel CELF benches
 // The parallel-greedy claim (docs/parallelism.md): the CELF initial

@@ -111,4 +111,83 @@ void ParallelForLevels(
   for (auto& th : threads) th.join();
 }
 
+WorkerPool::WorkerPool(std::size_t num_threads) {
+  const std::size_t workers = EffectiveThreadCount(num_threads);
+  threads_.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) {
+    threads_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void WorkerPool::WorkerLoop(std::size_t worker_index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen; });
+      if (stop_) return;
+      seen = job_seq_;
+      job = job_;
+    }
+    Drain(*job, worker_index);
+  }
+}
+
+void WorkerPool::Drain(Job& job, std::size_t worker_index) {
+  for (;;) {
+    const std::size_t i = job.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.total) return;
+    (*job.body)(worker_index, i);
+    // acq_rel: releases this body's writes to the caller's acquire read
+    // of `completed` below.
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.total) {
+      // Last index done: release the caller. The empty lock pairs with
+      // the caller's under-lock predicate check, so the notify cannot
+      // land between its check and its sleep.
+      { std::lock_guard<std::mutex> lock(mu_); }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (total == 0) return;
+  if (threads_.empty() || total == 1) {
+    for (std::size_t i = 0; i < total; ++i) body(0, i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->total = total;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_seq_;
+  }
+  job_cv_.notify_all();
+  // The calling thread is worker 0.
+  Drain(*job, 0);
+  // Wait for finished *indices*, not woken workers: once every body has
+  // returned, `body` cannot dangle (late workers find the cursor
+  // exhausted and never touch it), so the caller leaves without paying
+  // for parked threads' wakeups.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job->completed.load(std::memory_order_acquire) == job->total;
+  });
+}
+
 }  // namespace influmax

@@ -2,8 +2,12 @@
 #define INFLUMAX_COMMON_PARALLEL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
@@ -57,6 +61,76 @@ void ParallelForLevels(
     std::span<const std::size_t> level_begin, std::size_t num_threads,
     const std::function<void(std::size_t thread_index, std::size_t index)>&
         body);
+
+/// Persistent worker pool: the loops above spawn their workers per call,
+/// which is fine for scans that run for milliseconds but not for a
+/// serving fan-out that runs per query. A WorkerPool spawns its threads
+/// once and parks them on a condition variable between jobs, so
+/// steady-state ParallelFor calls spawn zero threads (the ROADMAP's
+/// "persistent worker pool" open item; the ShardRouter's per-query shard
+/// fan-out is the first user — docs/sharding.md).
+///
+/// ParallelFor has ParallelForDynamic's semantics: workers repeatedly
+/// claim the next index from a shared counter and run
+/// `body(thread_index, index)`; the calling thread participates as
+/// worker 0, spawned threads are workers 1..num_workers()-1. Same inline
+/// guarantee: with no spawned threads (pool built on a 1-thread request
+/// or 1-core machine) or total <= 1, the body runs inline on the caller
+/// in ascending index order.
+///
+/// Concurrency contract: one ParallelFor at a time (it blocks until the
+/// job drains, so distinct callers must externally serialize — in the
+/// serving layer each session owns its pool use for the duration of a
+/// query). Not reentrant: calling ParallelFor from inside a body
+/// deadlocks.
+class WorkerPool {
+ public:
+  /// Spawns EffectiveThreadCount(num_threads) - 1 persistent threads
+  /// (0 = all hardware threads).
+  explicit WorkerPool(std::size_t num_threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total workers a job runs on: spawned threads + the caller.
+  std::size_t num_workers() const { return threads_.size() + 1; }
+
+  /// Runs `body(thread_index, index)` over [0, total) with dynamic
+  /// claiming. Blocks until every index has completed.
+  void ParallelFor(
+      std::size_t total,
+      const std::function<void(std::size_t thread_index, std::size_t index)>&
+          body);
+
+ private:
+  /// One dispatched job. Completion is counted per finished *index*
+  /// (not per woken worker), so ParallelFor returns as soon as the last
+  /// index's body returns — a parked worker that loses the race for a
+  /// small job never adds its scheduler wakeup to the caller's latency.
+  /// Shared-ptr owned: a late worker still holds the job alive, finds
+  /// the cursor exhausted (completed == total implies cursor >= total),
+  /// and never dereferences the caller's `body` after it returned.
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t total = 0;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> completed{0};
+  };
+
+  void WorkerLoop(std::size_t worker_index);
+  void Drain(Job& job, std::size_t worker_index);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait here between jobs
+  std::condition_variable done_cv_;  // the caller waits here per job
+  // Guarded by mu_: bumping job_seq_ publishes job_ to workers.
+  std::uint64_t job_seq_ = 0;
+  std::shared_ptr<Job> job_;
+  bool stop_ = false;
+};
 
 }  // namespace influmax
 

@@ -484,37 +484,28 @@ CreditDistributionModel::SelectSeeds(NodeId k) {
   // every active user's gain against S = {} — is embarrassingly
   // parallel because MarginalGain only reads the store: gains land in a
   // dense per-user array and the heap is built from it in user order,
-  // the serial push sequence. The consumption loop (including batched
-  // speculative stale re-evaluations) is the shared RunCelfGreedy —
-  // exactly the code the snapshot engine replays, so the two can never
-  // drift.
+  // the serial push sequence. Both passes and the consumption loop are
+  // the shared RunCelfTopK — exactly the code the snapshot engine and
+  // the shard router replay, so none of them can drift.
   SeedSelection selection;
   const NodeId num_users = log_->num_users();
-
-  std::vector<double> gains(num_users, 0.0);
-  ParallelForDynamic(num_users, config_.select_threads,
-                     [&](std::size_t, std::size_t x) {
-                       const NodeId node = static_cast<NodeId>(x);
-                       if (log_->ActionsPerformedBy(node) == 0) return;
-                       gains[x] = MarginalGain(node);
-                     });
+  std::vector<double> gains;
   std::vector<CelfQueueEntry> heap;
   heap.reserve(num_users);
-  for (NodeId x = 0; x < num_users; ++x) {
-    if (log_->ActionsPerformedBy(x) == 0) continue;  // gain is always 0
-    heap.push_back({gains[x], x, 0});
-    ++selection.gain_evaluations;
-  }
-  std::make_heap(heap.begin(), heap.end());
-
   std::vector<double> memo_gain(num_users, 0.0);
   std::vector<std::uint64_t> memo_stamp(num_users, 0);
   std::vector<CelfQueueEntry> batch;
-  RunCelfGreedy(
-      k, std::numeric_limits<double>::infinity(), config_.select_threads,
+  RunCelfTopK(
+      k, std::numeric_limits<double>::infinity(),
+      EffectiveThreadCount(config_.select_threads), num_users,
+      [this](std::size_t total,
+             const std::function<void(std::size_t, std::size_t)>& body) {
+        ParallelForDynamic(total, config_.select_threads, body);
+      },
+      [this](NodeId x) { return log_->ActionsPerformedBy(x) != 0; },
       [this](NodeId x) { return MarginalGain(x); },
       [this](NodeId x) { CommitSeed(x); }, &heap, &memo_gain, &memo_stamp,
-      &batch, &selection);
+      &batch, &gains, &selection);
   return selection;
 }
 

@@ -30,9 +30,10 @@ struct CelfQueueEntry {
 inline constexpr std::size_t kCelfBatchPerWorker = 4;
 
 /// Algorithm 3's greedy + CELF consumption loop, shared verbatim by the
-/// live model and the snapshot engine so their queue disciplines can
-/// never drift (the serving layer's bit-identical contract depends on
-/// both replaying exactly this code).
+/// live model, the snapshot engine, and the shard router (all via
+/// RunCelfTopK below) so their queue disciplines can never drift (the
+/// serving layer's bit-identical contract depends on every caller
+/// replaying exactly this code).
 ///
 /// Queue entries carry the iteration (|S| value) their gain was
 /// computed at; by submodularity a stale gain is an upper bound, so an
@@ -46,29 +47,38 @@ inline constexpr std::size_t kCelfBatchPerWorker = 4;
 /// speculative values are only ever consumed against the seed set they
 /// were computed for, and unconsumed ones are never counted — seeds,
 /// gains, and evaluation counts are bit-identical to the serial greedy
-/// for any thread count (docs/parallelism.md).
+/// for any worker count (docs/parallelism.md).
+///
+/// `parallel_for(total, body)` must run `body(thread_index, index)`
+/// over [0, total) and block until done — ParallelForDynamic semantics,
+/// or a persistent WorkerPool so steady-state queries spawn zero
+/// threads (docs/sharding.md). `num_workers` is the worker count that
+/// runner resolves to; it gates the speculative-memo path, and the
+/// result is bit-identical for any runner and any worker count.
 ///
 /// `heap` holds fresh (iteration 0) entries, already make_heap'd.
 /// `memo_gain`/`memo_stamp` are caller-owned, node-indexed, with every
 /// stamp != any |S| + 1 reachable in this run (callers zero-fill; the
 /// memo is only touched when more than one worker resolves). `gain_of`
-/// must be safe to call from `num_threads` workers concurrently — both
-/// callers' MarginalGain are pure reads. `commit` runs with no gain pass
+/// must be safe to call from `num_workers` workers concurrently — every
+/// caller's MarginalGain is pure reads. `commit` runs with no gain pass
 /// in flight (the batch pass joins before any pop can commit), so it is
-/// free to parallelize internally — both callers' CommitSeed fan their
+/// free to parallelize internally — the callers' CommitSeed fan their
 /// per-action updates out over their own worker knob
 /// (docs/parallelism.md). `Selection` is the caller's
 /// {seeds, marginal_gains, cumulative_spread, gain_evaluations} struct.
-template <typename Selection, typename GainFn, typename CommitFn>
-void RunCelfGreedy(NodeId k, double spread_budget, std::size_t num_threads,
-                   const GainFn& gain_of, const CommitFn& commit,
-                   std::vector<CelfQueueEntry>* heap,
-                   std::vector<double>* memo_gain,
-                   std::vector<std::uint64_t>* memo_stamp,
-                   std::vector<CelfQueueEntry>* batch,
-                   Selection* selection) {
+template <typename Selection, typename GainFn, typename CommitFn,
+          typename ParallelFn>
+void RunCelfGreedyWith(NodeId k, double spread_budget,
+                       std::size_t num_workers, const ParallelFn& parallel_for,
+                       const GainFn& gain_of, const CommitFn& commit,
+                       std::vector<CelfQueueEntry>* heap,
+                       std::vector<double>* memo_gain,
+                       std::vector<std::uint64_t>* memo_stamp,
+                       std::vector<CelfQueueEntry>* batch,
+                       Selection* selection) {
   const std::size_t workers = std::min<std::size_t>(
-      EffectiveThreadCount(num_threads), heap->empty() ? 1 : heap->size());
+      num_workers == 0 ? 1 : num_workers, heap->empty() ? 1 : heap->size());
   double spread = 0.0;
   while (selection->seeds.size() < k && !heap->empty()) {
     std::pop_heap(heap->begin(), heap->end());
@@ -101,13 +111,12 @@ void RunCelfGreedy(NodeId k, double spread_budget, std::size_t num_threads,
         batch->push_back(heap->back());
         heap->pop_back();
       }
-      ParallelForDynamic(batch->size(), num_threads,
-                         [&](std::size_t, std::size_t i) {
-                           // Distinct nodes: each slot written once.
-                           const NodeId node = (*batch)[i].node;
-                           (*memo_gain)[node] = gain_of(node);
-                           (*memo_stamp)[node] = stamp;
-                         });
+      parallel_for(batch->size(), [&](std::size_t, std::size_t i) {
+        // Distinct nodes: each slot written once.
+        const NodeId node = (*batch)[i].node;
+        (*memo_gain)[node] = gain_of(node);
+        (*memo_stamp)[node] = stamp;
+      });
       for (std::size_t i = 1; i < batch->size(); ++i) {
         heap->push_back((*batch)[i]);
         std::push_heap(heap->begin(), heap->end());
@@ -121,6 +130,52 @@ void RunCelfGreedy(NodeId k, double spread_budget, std::size_t num_threads,
     std::push_heap(heap->begin(), heap->end());
     ++selection->gain_evaluations;
   }
+}
+
+/// Algorithm 3's complete top-k: the initial gain pass over every
+/// active candidate (parallel, gathered into `gains` and heap-built in
+/// node order — the serial push sequence, one counted evaluation each),
+/// the speculative-memo invalidation, and the shared consumption loop
+/// (RunCelfGreedyWith). The live model, the snapshot engine, and the
+/// shard router all call exactly this — they differ only in how they
+/// answer "is x a candidate", compute a gain, commit a seed, and run a
+/// parallel loop — so no half of the bit-identical contract exists in
+/// more than one place. `gains` needs sizing, not clearing: only active
+/// candidates' slots are written and read. `memo_stamp` is only touched
+/// when more than one worker resolves; stamps encode |S| + 1, which
+/// restarts at 1 every call, so the fill invalidates any previous run's
+/// speculation.
+template <typename Selection, typename ActiveFn, typename GainFn,
+          typename CommitFn, typename ParallelFn>
+void RunCelfTopK(NodeId k, double spread_budget, std::size_t num_workers,
+                 NodeId num_users, const ParallelFn& parallel_for,
+                 const ActiveFn& is_active, const GainFn& gain_of,
+                 const CommitFn& commit, std::vector<CelfQueueEntry>* heap,
+                 std::vector<double>* memo_gain,
+                 std::vector<std::uint64_t>* memo_stamp,
+                 std::vector<CelfQueueEntry>* batch,
+                 std::vector<double>* gains, Selection* selection) {
+  heap->clear();
+  const std::size_t workers = std::min<std::size_t>(
+      num_workers == 0 ? 1 : num_workers, num_users == 0 ? 1 : num_users);
+  gains->resize(num_users);
+  parallel_for(static_cast<std::size_t>(num_users),
+               [&](std::size_t, std::size_t x) {
+                 const NodeId node = static_cast<NodeId>(x);
+                 if (!is_active(node)) return;
+                 (*gains)[x] = gain_of(node);
+               });
+  for (NodeId x = 0; x < num_users; ++x) {
+    if (!is_active(x)) continue;  // gain is always 0
+    heap->push_back({(*gains)[x], x, 0});
+    ++selection->gain_evaluations;
+  }
+  std::make_heap(heap->begin(), heap->end());
+  if (workers > 1) {
+    std::fill(memo_stamp->begin(), memo_stamp->end(), 0);
+  }
+  RunCelfGreedyWith(k, spread_budget, workers, parallel_for, gain_of, commit,
+                    heap, memo_gain, memo_stamp, batch, selection);
 }
 
 }  // namespace influmax

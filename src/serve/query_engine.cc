@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "actionlog/propagation_dag.h"
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "core/credit_store.h"
 #include "serve/snapshot_writer.h"
@@ -10,7 +11,12 @@
 namespace influmax {
 
 SnapshotQueryEngine::SnapshotQueryEngine(const CreditSnapshotView& view)
-    : view_(&view) {
+    : SnapshotQueryEngine(view, view.au()) {}
+
+SnapshotQueryEngine::SnapshotQueryEngine(
+    const CreditSnapshotView& view, std::span<const std::uint32_t> au_override)
+    : view_(&view), au_(au_override) {
+  INFLUMAX_CHECK(au_.size() >= view.num_users());
   ovl_offset_.assign(view.num_actions(), kNotOverlaid);
   sc_cur_.assign(view.slot_sc().begin(), view.slot_sc().end());
   sc_dirty_.assign(view.num_slots(), 0);
@@ -36,15 +42,15 @@ const double* SnapshotQueryEngine::CreditsOf(ActionId a) const {
   return view_->fwd_credit().data() + view_->action_entry_begin()[a];
 }
 
-double SnapshotQueryEngine::MarginalGain(NodeId x) const {
+template <typename TermFn>
+void SnapshotQueryEngine::ForEachGainTerm(NodeId x, TermFn&& term) const {
   // Algorithm 4 / Theorem 3, replayed over the flat arrays. The entry
   // iteration order equals the live adjacency order (the snapshot
   // preserves it), so the floating-point sums — and thus every returned
   // gain — are bit-identical to CreditDistributionModel::MarginalGain.
-  if (x >= view_->num_users() || is_seed_[x]) return 0.0;
-  const auto au = view_->au();
+  const auto au = au_;
   const std::uint32_t ax = au[x];
-  if (ax == 0) return 0.0;
+  if (ax == 0) return;
   const double inv_ax = 1.0 / ax;
 
   const auto uo = view_->user_offsets();
@@ -54,7 +60,6 @@ double SnapshotQueryEngine::MarginalGain(NodeId x) const {
   const auto fwd_node = view_->fwd_node();
   const auto aeb = view_->action_entry_begin();
 
-  double mg = 0.0;
   for (std::uint64_t s = uo[x]; s < uo[x + 1]; ++s) {
     const ActionId a = slot_action[s];
     const double* credits = CreditsOf(a);
@@ -67,9 +72,23 @@ double SnapshotQueryEngine::MarginalGain(NodeId x) const {
         mga += credit / au[fwd_node[e]];
       }
     }
-    mg += mga * (1.0 - sc_cur_[s]);
+    term(mga * (1.0 - sc_cur_[s]));
   }
-  return mg;
+}
+
+double SnapshotQueryEngine::MarginalGain(NodeId x) const {
+  if (x >= view_->num_users() || is_seed_[x]) return 0.0;
+  return AccumulateGainTerms(x, 0.0);
+}
+
+double SnapshotQueryEngine::AccumulateGainTerms(NodeId x, double acc) const {
+  ForEachGainTerm(x, [&acc](double term) { acc += term; });
+  return acc;
+}
+
+void SnapshotQueryEngine::AppendGainTerms(NodeId x,
+                                          std::vector<double>* out) const {
+  ForEachGainTerm(x, [out](double term) { out->push_back(term); });
 }
 
 void SnapshotQueryEngine::CommitOneSlot(
@@ -249,8 +268,9 @@ double SnapshotQueryEngine::SpreadOf(std::span<const NodeId> seeds) {
 SnapshotSeedSelection SnapshotQueryEngine::TopKSeeds(NodeId k,
                                                      double spread_budget) {
   // Algorithm 3 (greedy + CELF lazy-forward), the exact queue discipline
-  // of CreditDistributionModel::SelectSeeds — literally: the consumption
-  // loop is the shared RunCelfGreedy, so the two cannot drift. Both
+  // of CreditDistributionModel::SelectSeeds — literally: both passes and
+  // the consumption loop are the shared RunCelfTopK, so the two (and
+  // the shard router) cannot drift. Both
   // evaluation passes run on gain_threads_ workers: MarginalGain is
   // const (pure reads of view + overlay + SC shadow) and no mutating
   // method runs while a pass is in flight, so the passes are race-free
@@ -260,38 +280,18 @@ SnapshotSeedSelection SnapshotQueryEngine::TopKSeeds(NodeId k,
   // steady state.
   ResetSession();
   SnapshotSeedSelection selection;
-  heap_.clear();
-  const NodeId num_users = view_->num_users();
-  const auto au = view_->au();
-  const std::size_t workers = std::min<std::size_t>(
-      EffectiveThreadCount(gain_threads_), num_users == 0 ? 1 : num_users);
-
-  // Only the slots of active users are written *and* read, so the
-  // gather array needs sizing, not clearing.
-  gains_.resize(num_users);
-  ParallelForDynamic(num_users, gain_threads_,
-                     [&](std::size_t, std::size_t x) {
-                       if (au[x] == 0) return;
-                       gains_[x] = MarginalGain(static_cast<NodeId>(x));
-                     });
-  for (NodeId x = 0; x < num_users; ++x) {
-    if (au[x] == 0) continue;  // gain is always 0
-    heap_.push_back({gains_[x], x, 0});
-    ++selection.gain_evaluations;
-  }
-  std::make_heap(heap_.begin(), heap_.end());
-
-  if (workers > 1) {
-    // Invalidate any speculation memo left by a previous TopKSeeds call:
-    // stamps encode |S| + 1, which restarts at 1 every call. (Serial
-    // runs never touch the memo, so they skip the fill too.)
-    std::fill(memo_stamp_.begin(), memo_stamp_.end(), 0);
-  }
-  RunCelfGreedy(
-      k, spread_budget, gain_threads_,
+  const auto au = au_;
+  RunCelfTopK(
+      k, spread_budget, EffectiveThreadCount(gain_threads_),
+      view_->num_users(),
+      [this](std::size_t total,
+             const std::function<void(std::size_t, std::size_t)>& body) {
+        ParallelForDynamic(total, gain_threads_, body);
+      },
+      [au](NodeId x) { return au[x] != 0; },
       [this](NodeId x) { return MarginalGain(x); },
       [this](NodeId x) { CommitSeed(x); }, &heap_, &memo_gain_,
-      &memo_stamp_, &batch_, &selection);
+      &memo_stamp_, &batch_, &gains_, &selection);
   return selection;
 }
 

@@ -56,6 +56,15 @@ class SnapshotQueryEngine {
   /// the snapshot's UC/SC arrays).
   explicit SnapshotQueryEngine(const CreditSnapshotView& view);
 
+  /// Shard-serving constructor (docs/sharding.md): `au_override` (length
+  /// >= the view's user count, outliving the engine) replaces the view's
+  /// own A_u array in every gain formula. An action-range shard stores
+  /// only the slots of its own actions, so its local au says "actions in
+  /// this shard" — but Theorem 3 divides by the user's *global* action
+  /// count, which the ShardRouter supplies from the shard manifest.
+  SnapshotQueryEngine(const CreditSnapshotView& view,
+                      std::span<const std::uint32_t> au_override);
+
   /// Marginal gain sigma_cd(S + x) - sigma_cd(S) of x against the
   /// current session seed set S (Algorithm 4 / Theorem 3); 0 when x is
   /// a seed or never acted. Non-destructive, and const: it only reads
@@ -64,6 +73,25 @@ class SnapshotQueryEngine {
   /// TopKSeeds / ResetSession) runs — the property the parallel gain
   /// passes below rely on.
   double MarginalGain(NodeId x) const;
+
+  /// The gain fold underneath MarginalGain, exposed for the ShardRouter
+  /// (docs/sharding.md): folds x's per-slot terms
+  /// `mg_a(x) * (1 - SC(x, a))` into `acc` in ascending-action order and
+  /// returns the result — MarginalGain(x) is AccumulateGainTerms(x, 0.0)
+  /// behind the seed/inactive checks. Because a router's shards cover
+  /// contiguous ascending action ranges, chaining the fold through every
+  /// shard's engine replays the monolithic engine's floating-point
+  /// addition sequence exactly; summing per-shard partials instead would
+  /// reassociate it. Const like MarginalGain, same concurrency contract.
+  /// The caller owns the seed/range checks (the router keeps its own
+  /// global seed set).
+  double AccumulateGainTerms(NodeId x, double acc) const;
+
+  /// Appends x's per-slot gain terms to `*out` (same terms the fold
+  /// above adds, in the same order) so a router can compute shards'
+  /// terms in parallel and fold the buffered terms serially — identical
+  /// bits, fan-out latency (docs/sharding.md).
+  void AppendGainTerms(NodeId x, std::vector<double>* out) const;
 
   /// Commits x into the session seed set (Algorithm 5 against the
   /// overlay). No-op when x is already a seed. The per-action updates
@@ -145,7 +173,16 @@ class SnapshotQueryEngine {
   /// Sizes a scratch's stamp arrays to [U] on first use.
   void EnsureScratch(CommitScratch* scratch);
 
+  /// Calls `term(value)` for each of x's slots in ascending-action
+  /// order; shared by the fold, the term buffer, and MarginalGain.
+  template <typename TermFn>
+  void ForEachGainTerm(NodeId x, TermFn&& term) const;
+
   const CreditSnapshotView* view_;
+
+  // A_u divisors for every gain formula: the view's au section, or the
+  // router-supplied global override (see the sharding constructor).
+  std::span<const std::uint32_t> au_;
 
   // Copy-on-write credit overlay: per-action offset into ovl_buf_
   // (kNotOverlaid when the action is untouched this session).

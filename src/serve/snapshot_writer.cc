@@ -56,13 +56,23 @@ std::uint64_t HashActionTrace(std::span<const ActionTuple> trace) {
   return h;
 }
 
-std::uint64_t FingerprintActionLog(const ActionLog& log) {
-  std::uint64_t h = HashChain(0x6C6F675F66707630ULL, log.num_users());
-  h = HashChain(h, log.num_actions());
-  for (ActionId a = 0; a < log.num_actions(); ++a) {
-    h = HashChain(h, HashActionTrace(log.ActionTrace(a)));
+std::uint64_t FingerprintTraceHashes(
+    NodeId num_users, std::span<const std::uint64_t> trace_hashes) {
+  std::uint64_t h = HashChain(0x6C6F675F66707630ULL, num_users);
+  h = HashChain(h, trace_hashes.size());
+  for (std::uint64_t trace_hash : trace_hashes) {
+    h = HashChain(h, trace_hash);
   }
   return h;
+}
+
+std::uint64_t FingerprintActionLog(const ActionLog& log) {
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(log.num_actions());
+  for (ActionId a = 0; a < log.num_actions(); ++a) {
+    hashes.push_back(HashActionTrace(log.ActionTrace(a)));
+  }
+  return FingerprintTraceHashes(log.num_users(), hashes);
 }
 
 void AppendActionFromTable(const ActionCreditTable& table, ActionId a,

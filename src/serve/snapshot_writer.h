@@ -72,6 +72,17 @@ std::uint64_t FingerprintGraph(const Graph& graph);
 /// the same traces in the same dense-action order.
 std::uint64_t FingerprintActionLog(const ActionLog& log);
 
+/// The same chain computed from already-hashed traces (num_actions is
+/// `trace_hashes.size()`). FingerprintActionLog(log) ==
+/// FingerprintTraceHashes(log.num_users(), per-action HashActionTrace) —
+/// which lets the shard writer stamp a shard blob with the fingerprint
+/// of its restricted log using only the snapshot's kActionTraceHash
+/// section, so a sliced shard is byte-identical to one built from
+/// ActionLog::RestrictToActions directly (tested).
+std::uint64_t FingerprintTraceHashes(NodeId num_users,
+                                     std::span<const std::uint64_t>
+                                         trace_hashes);
+
 /// Order-sensitive hash of one action trace (user + activation time of
 /// every tuple). IncrementalRescan uses it to prove that a new log is an
 /// append-only extension of the snapshotted one, action by action.

@@ -1,0 +1,356 @@
+#include "shard/generation_manager.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <span>
+#include <utility>
+
+#include "common/logging.h"
+#include "serve/snapshot_writer.h"
+
+namespace influmax {
+namespace {
+
+/// Highest generation number any MANIFEST-* file in `dir` names. The
+/// next ingested generation must exceed every number ever written, not
+/// just the published one: after a RefreshFromDisk flip-back to an
+/// older generation, published+1 would collide with on-disk files and
+/// rewrite blobs in place — under the mmaps of a still-pinned session.
+std::uint64_t MaxGenerationOnDisk(const std::string& dir) {
+  std::uint64_t max_generation = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t generation = 0;
+    if (std::sscanf(name.c_str(), "MANIFEST-%" SCNu64, &generation) == 1) {
+      max_generation = std::max(max_generation, generation);
+    }
+  }
+  return max_generation;
+}
+
+}  // namespace
+
+GenerationManager::GenerationManager(std::string dir,
+                                     std::unique_ptr<Generation> initial,
+                                     std::size_t max_sessions)
+    : dir_(std::move(dir)), slots_(max_sessions) {
+  initial->publish_seq = publish_seq_;
+  published_.store(initial.release());
+  for (SessionSlot& slot : slots_) {
+    slot.epoch.store(kFreeSlot, std::memory_order_relaxed);
+  }
+}
+
+GenerationManager::~GenerationManager() {
+  StopWatch();
+  delete published_.load(std::memory_order_relaxed);
+  for (const Generation* generation : retired_) delete generation;
+}
+
+Result<std::unique_ptr<GenerationManager>> GenerationManager::Open(
+    const std::string& dir, std::size_t max_sessions) {
+  auto current = ReadCurrentManifestName(dir);
+  INFLUMAX_RETURN_IF_ERROR(current.status());
+  auto shards = OpenShardedSnapshot(dir + "/" + *current);
+  INFLUMAX_RETURN_IF_ERROR(shards.status());
+  auto generation = std::make_unique<Generation>();
+  generation->shards = std::move(shards).value();
+  return std::unique_ptr<GenerationManager>(
+      new GenerationManager(dir, std::move(generation), max_sessions));
+}
+
+void GenerationManager::Publish(std::unique_ptr<Generation> next) {
+  next->publish_seq = ++publish_seq_;
+  Generation* old = published_.exchange(next.release());
+  if (old != nullptr) {
+    old->retire_epoch = global_epoch_.load();
+    retired_.push_back(old);
+    retired_count_.store(retired_.size());
+  }
+  global_epoch_.fetch_add(1);
+  ReclaimRetired();
+}
+
+void GenerationManager::ReclaimRetired() {
+  // Identical reclamation condition to ConcurrentFlatHashMap: a retired
+  // generation is unmapped only when every registered session has pinned
+  // an epoch past its retirement (or released its slot). A session that
+  // never refreshes keeps its generation mapped — that is the contract,
+  // not a leak.
+  std::uint64_t min_pinned = kFreeSlot;
+  for (const SessionSlot& slot : slots_) {
+    const std::uint64_t epoch = slot.epoch.load();
+    if (epoch < min_pinned) min_pinned = epoch;
+  }
+  std::size_t kept = 0;
+  for (Generation* generation : retired_) {
+    if (generation->retire_epoch < min_pinned) {
+      delete generation;
+    } else {
+      retired_[kept++] = generation;
+    }
+  }
+  retired_.resize(kept);
+  retired_count_.store(kept);
+}
+
+Status GenerationManager::IngestLog(const ActionLog& log, const Graph& graph,
+                                    const DirectCreditModel& credit_model,
+                                    CdConfig config, std::size_t shard_threads,
+                                    IngestStats* stats) {
+  // The writer owns published_; a plain load is the current generation.
+  const Generation* cur = published_.load();
+  const ShardManifest& m = cur->shards.manifest;
+  if (log.num_users() != m.num_users) {
+    return Status::InvalidArgument(
+        "ingest: log user space does not match the manifest (" +
+        std::to_string(log.num_users()) + " vs " +
+        std::to_string(m.num_users) + ")");
+  }
+  if (log.num_actions() < m.num_actions) {
+    return Status::Corruption(
+        "ingest: log has fewer actions than the current generation");
+  }
+  // Hash every trace once: it yields the whole-log fingerprint (the
+  // no-op check), and each shard's restricted-log fingerprint (the
+  // reuse check below) as sub-chains of the same array.
+  std::vector<std::uint64_t> trace_hashes(log.num_actions());
+  for (ActionId a = 0; a < log.num_actions(); ++a) {
+    trace_hashes[a] = HashActionTrace(log.ActionTrace(a));
+  }
+  const std::uint64_t log_fingerprint =
+      FingerprintTraceHashes(log.num_users(), trace_hashes);
+  if (log_fingerprint == m.log_fingerprint) {
+    if (stats != nullptr) *stats = {.generation = m.generation};
+    return Status::OK();  // nothing appended
+  }
+
+  // Shard boundaries are stable across generations; actions appended
+  // past the old action count extend the last shard's range (re-run
+  // `serve_shards split` to rebalance).
+  std::vector<ActionId> range_begin = m.range_begin;
+  range_begin.back() = log.num_actions();
+  const std::size_t shards = range_begin.size() - 1;
+  const std::uint64_t generation =
+      std::max(m.generation, MaxGenerationOnDisk(dir_)) + 1;
+
+  // Per-shard IncrementalRescan in parallel — but only for shards whose
+  // restricted log actually grew. An untouched shard's blob is
+  // re-referenced by name in the new manifest instead of being
+  // byte-copied into a gen-g+1 file (an append that lands in one shard
+  // must not rewrite the whole snapshot every watch tick). Each rescan
+  // verifies its own append-only extension (prefix trace hashes)
+  // against its restricted log. On any failure the already written
+  // blobs are orphans of an unpublished generation — CURRENT still
+  // names generation g, so nothing serves them.
+  std::vector<Status> shard_status(shards);
+  std::vector<RescanStats> shard_stats(shards);
+  std::vector<std::string> shard_files(shards);
+  std::vector<std::uint8_t> reused(shards, 0);
+  for (std::size_t i = 0; i < shards; ++i) {
+    const ActionId range = range_begin[i + 1] - range_begin[i];
+    const std::uint64_t restricted_fingerprint = FingerprintTraceHashes(
+        log.num_users(),
+        std::span<const std::uint64_t>(trace_hashes)
+            .subspan(range_begin[i], range));
+    // Every shard blob records its restricted log's fingerprint
+    // (SliceShardData and IncrementalRescan both stamp it).
+    if (restricted_fingerprint == cur->shards.views[i].log_fingerprint()) {
+      reused[i] = 1;
+      shard_files[i] = m.shard_files[i];
+      shard_stats[i].unchanged_actions = range;
+    }
+  }
+  ParallelForDynamic(
+      shards, shard_threads, [&](std::size_t /*thread*/, std::size_t i) {
+        if (reused[i]) return;
+        std::vector<ActionId> actions(range_begin[i + 1] - range_begin[i]);
+        std::iota(actions.begin(), actions.end(), range_begin[i]);
+        const ActionLog restricted = log.RestrictToActions(actions);
+        shard_files[i] = ShardFileName(generation, i);
+        shard_status[i] = IncrementalRescan(
+            cur->shards.views[i], graph, restricted, credit_model, config,
+            dir_ + "/" + shard_files[i], &shard_stats[i]);
+      });
+  for (const Status& status : shard_status) {
+    INFLUMAX_RETURN_IF_ERROR(status);
+  }
+
+  ShardManifest next;
+  next.generation = generation;
+  next.num_users = m.num_users;
+  next.num_actions = log.num_actions();
+  next.graph_fingerprint = m.graph_fingerprint;
+  next.log_fingerprint = log_fingerprint;
+  next.truncation_threshold = m.truncation_threshold;
+  next.range_begin = std::move(range_begin);
+  next.au.resize(m.num_users);
+  for (NodeId u = 0; u < m.num_users; ++u) {
+    next.au[u] = log.ActionsPerformedBy(u);
+  }
+  next.shard_files = std::move(shard_files);
+  next.shard_fingerprints.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    if (reused[i]) {
+      next.shard_fingerprints.push_back(m.shard_fingerprints[i]);
+      continue;
+    }
+    auto fingerprint =
+        FingerprintShardFile(dir_ + "/" + next.shard_files[i]);
+    INFLUMAX_RETURN_IF_ERROR(fingerprint.status());
+    next.shard_fingerprints.push_back(*fingerprint);
+  }
+  const std::string manifest_name = ManifestFileName(generation);
+  INFLUMAX_RETURN_IF_ERROR(
+      WriteShardManifest(next, dir_ + "/" + manifest_name));
+
+  // Re-open through the validating path (what any fresh process would
+  // see), then make the generation durable (CURRENT) and live (publish).
+  auto opened = OpenShardedSnapshot(dir_ + "/" + manifest_name);
+  INFLUMAX_RETURN_IF_ERROR(opened.status());
+  INFLUMAX_RETURN_IF_ERROR(WriteCurrentManifestName(dir_, manifest_name));
+  auto next_generation = std::make_unique<Generation>();
+  next_generation->shards = std::move(opened).value();
+  Publish(std::move(next_generation));
+
+  if (stats != nullptr) {
+    IngestStats total{.generation = generation};
+    for (const RescanStats& s : shard_stats) {
+      total.unchanged_actions += s.unchanged_actions;
+      total.rescanned_actions += s.rescanned_actions;
+      total.new_actions += s.new_actions;
+      total.replayed_tuples += s.replayed_tuples;
+    }
+    *stats = total;
+  }
+  return Status::OK();
+}
+
+Result<bool> GenerationManager::RefreshFromDisk() {
+  auto current = ReadCurrentManifestName(dir_);
+  INFLUMAX_RETURN_IF_ERROR(current.status());
+  auto manifest = ReadShardManifest(dir_ + "/" + *current);
+  INFLUMAX_RETURN_IF_ERROR(manifest.status());
+  if (manifest->generation == current_generation()) return false;
+  auto shards = OpenShardedSnapshot(dir_ + "/" + *current);
+  INFLUMAX_RETURN_IF_ERROR(shards.status());
+  auto generation = std::make_unique<Generation>();
+  generation->shards = std::move(shards).value();
+  Publish(std::move(generation));
+  return true;
+}
+
+void GenerationManager::StartWatch(
+    std::function<Result<std::optional<ActionLog>>()> reload,
+    const Graph& graph, const DirectCreditModel& credit_model,
+    CdConfig config, std::chrono::milliseconds poll_interval,
+    std::size_t shard_threads) {
+  INFLUMAX_CHECK(!watch_thread_.joinable());
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_stop_ = false;
+  }
+  watch_ingests_.store(0);  // "generations published since StartWatch"
+  watch_thread_ = std::thread([this, reload = std::move(reload), &graph,
+                               &credit_model, config, poll_interval,
+                               shard_threads] {
+    WatchLoop(reload, graph, credit_model, config, poll_interval,
+              shard_threads);
+  });
+}
+
+void GenerationManager::WatchLoop(
+    std::function<Result<std::optional<ActionLog>>()> reload,
+    const Graph& graph, const DirectCreditModel& credit_model,
+    CdConfig config, std::chrono::milliseconds poll_interval,
+    std::size_t shard_threads) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watch_mu_);
+      watch_cv_.wait_for(lock, poll_interval, [this] { return watch_stop_; });
+      if (watch_stop_) return;
+    }
+    auto log = reload();
+    Status status = log.status();
+    if (status.ok() && log->has_value()) {
+      const std::uint64_t before = current_generation();
+      status = IngestLog(**log, graph, credit_model, config, shard_threads);
+      if (status.ok() && current_generation() != before) {
+        watch_ingests_.fetch_add(1);
+      }
+    }
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_status_ = status;
+  }
+}
+
+void GenerationManager::StopWatch() {
+  if (!watch_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  watch_thread_.join();
+}
+
+Status GenerationManager::last_watch_status() const {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  return watch_status_;
+}
+
+// ---------------------------------------------------------------- Session
+
+GenerationManager::Session::Session(GenerationManager& manager,
+                                    WorkerPool* pool)
+    : manager_(&manager), pool_(pool), slot_(nullptr) {
+  for (SessionSlot& slot : manager.slots_) {
+    std::uint64_t expected = kFreeSlot;
+    // Claim with a sub-epoch pin so a concurrent publish can never
+    // reclaim the generation loaded just below (same pin-before-load
+    // order as ConcurrentFlatHashMap::Guard).
+    if (slot.epoch.compare_exchange_strong(expected,
+                                           manager.global_epoch_.load())) {
+      slot_ = &slot.epoch;
+      break;
+    }
+  }
+  INFLUMAX_CHECK(slot_ != nullptr &&
+                 "GenerationManager: all reader sessions are in use");
+  generation_ = manager.published_.load();
+  router_ = std::make_unique<ShardRouter>(generation_->shards, pool_);
+}
+
+GenerationManager::Session::~Session() {
+  router_.reset();
+  slot_->store(kFreeSlot);
+}
+
+bool GenerationManager::Session::Refresh() {
+  // Read the pinned publish sequence while the old pin still protects
+  // the object, then re-pin and reload. Sequences strictly increase per
+  // publish and are never recycled, so an equal sequence proves the
+  // loaded pointer IS the very publish we pinned — still published,
+  // hence never retired, hence alive — and the router (with its session
+  // seeds) is kept. Raw pointers can't prove that (a reclaimed
+  // generation's address may be reused) and manifest numbers can't
+  // either (RefreshFromDisk legally republishes an older number).
+  // Past the re-pin store the old generation is dereferenced only in
+  // the equal-sequence case, where it is the published one.
+  const std::uint64_t pinned_seq = generation_->publish_seq;
+  slot_->store(manager_->global_epoch_.load());
+  const Generation* latest = manager_->published_.load();
+  if (latest->publish_seq == pinned_seq) {
+    return false;
+  }
+  router_.reset();
+  generation_ = latest;
+  router_ = std::make_unique<ShardRouter>(generation_->shards, pool_);
+  return true;
+}
+
+}  // namespace influmax

@@ -1,0 +1,137 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace influmax {
+
+ShardRouter::ShardRouter(const ShardedSnapshot& shards, WorkerPool* pool)
+    : shards_(&shards),
+      pool_(pool),
+      num_users_(shards.manifest.num_users),
+      au_(shards.manifest.au) {
+  INFLUMAX_CHECK(!shards.views.empty());
+  engines_.reserve(shards.views.size());
+  for (const CreditSnapshotView& view : shards.views) {
+    engines_.emplace_back(view, au_);
+  }
+  term_buf_.resize(shards.views.size());
+  is_seed_.assign(num_users_, 0);
+  // Frozen seeds agree across shards (OpenShardedSnapshot checks).
+  for (NodeId s : shards.views[0].seeds()) is_seed_[s] = 1;
+  memo_gain_.assign(num_users_, 0.0);
+  memo_stamp_.assign(num_users_, 0);
+}
+
+void ShardRouter::ForEachShard(const std::function<void(std::size_t)>& body) {
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(engines_.size(),
+                       [&body](std::size_t, std::size_t i) { body(i); });
+    return;
+  }
+  for (std::size_t i = 0; i < engines_.size(); ++i) body(i);
+}
+
+double ShardRouter::MarginalGain(NodeId x) const {
+  if (x >= num_users_ || is_seed_[x] || au_[x] == 0) return 0.0;
+  // The gain-merge fold (docs/sharding.md): shards cover contiguous
+  // ascending action ranges, so chaining the per-slot term fold through
+  // the engines in shard order replays the monolithic engine's exact
+  // floating-point addition sequence. Summing per-shard partials would
+  // reassociate the sum and drift in the last bits.
+  double mg = 0.0;
+  for (const SnapshotQueryEngine& engine : engines_) {
+    mg = engine.AccumulateGainTerms(x, mg);
+  }
+  return mg;
+}
+
+double ShardRouter::MarginalGainParallel(NodeId x) {
+  if (x >= num_users_ || is_seed_[x] || au_[x] == 0) return 0.0;
+  if (pool_ == nullptr) return MarginalGain(x);
+  // Terms are computed per shard in parallel, then folded serially in
+  // shard order — the same additions as the serial fold, in the same
+  // order, so the result is bit-identical to MarginalGain.
+  pool_->ParallelFor(engines_.size(), [&](std::size_t, std::size_t i) {
+    term_buf_[i].clear();
+    engines_[i].AppendGainTerms(x, &term_buf_[i]);
+  });
+  double mg = 0.0;
+  for (const std::vector<double>& terms : term_buf_) {
+    for (double term : terms) mg += term;
+  }
+  return mg;
+}
+
+void ShardRouter::CommitSeed(NodeId x) {
+  if (x >= num_users_ || is_seed_[x]) return;
+  // Algorithm 5 decomposes by action: each shard's commit touches only
+  // its own overlay and SC shadow, so the fan-out is exact (and each
+  // engine's internal commit stays serial — gain_threads defaults to 1).
+  ForEachShard([this, x](std::size_t i) { engines_[i].CommitSeed(x); });
+  is_seed_[x] = 1;
+  committed_.push_back(x);
+}
+
+double ShardRouter::SpreadOf(std::span<const NodeId> seeds) {
+  // Theorem 3 telescopes, exactly as in SnapshotQueryEngine::SpreadOf.
+  ResetSession();
+  double total = 0.0;
+  for (NodeId seed : seeds) {
+    total += MarginalGain(seed);
+    CommitSeed(seed);
+  }
+  return total;
+}
+
+SnapshotSeedSelection ShardRouter::TopKSeeds(NodeId k, double spread_budget) {
+  // The monolithic engine's TopKSeeds with the router's gain fold and
+  // fan-out commit plugged into the shared CELF driver: same initial
+  // pass over active users, same heap build order, same consumption
+  // discipline (RunCelfGreedyWith), so seeds, gains, and evaluation
+  // counts are bit-identical for any shard count and any pool size.
+  ResetSession();
+  SnapshotSeedSelection selection;
+  const auto au = au_;
+  RunCelfTopK(
+      k, spread_budget, pool_ == nullptr ? 1 : pool_->num_workers(),
+      num_users_,
+      [this](std::size_t total,
+             const std::function<void(std::size_t, std::size_t)>& body) {
+        if (pool_ != nullptr) {
+          pool_->ParallelFor(total, body);
+        } else {
+          for (std::size_t i = 0; i < total; ++i) body(0, i);
+        }
+      },
+      [au](NodeId x) { return au[x] != 0; },
+      [this](NodeId x) { return MarginalGain(x); },
+      [this](NodeId x) { CommitSeed(x); }, &heap_, &memo_gain_, &memo_stamp_,
+      &batch_, &gains_, &selection);
+  return selection;
+}
+
+void ShardRouter::ResetSession() {
+  ForEachShard([this](std::size_t i) { engines_[i].ResetSession(); });
+  for (NodeId x : committed_) is_seed_[x] = 0;
+  committed_.clear();
+}
+
+std::uint64_t ShardRouter::ApproxMemoryBytes() const {
+  auto bytes_of = [](const auto& v) {
+    return static_cast<std::uint64_t>(v.capacity()) * sizeof(v[0]);
+  };
+  std::uint64_t total = 0;
+  for (const SnapshotQueryEngine& engine : engines_) {
+    total += engine.ApproxMemoryBytes();
+  }
+  for (const std::vector<double>& terms : term_buf_) {
+    total += bytes_of(terms);
+  }
+  return total + bytes_of(is_seed_) + bytes_of(committed_) + bytes_of(heap_) +
+         bytes_of(batch_) + bytes_of(memo_gain_) + bytes_of(memo_stamp_) +
+         bytes_of(gains_);
+}
+
+}  // namespace influmax

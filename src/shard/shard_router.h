@@ -1,0 +1,118 @@
+#ifndef INFLUMAX_SHARD_SHARD_ROUTER_H_
+#define INFLUMAX_SHARD_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/types.h"
+#include "core/celf.h"
+#include "serve/query_engine.h"
+#include "shard/shard_manifest.h"
+
+namespace influmax {
+
+/// One serving session over an action-range sharded snapshot: a
+/// SnapshotQueryEngine per shard (each fed the manifest's *global* A_u),
+/// queries answered by merging per-shard gains (docs/sharding.md).
+///
+/// Bit-identity contract — the reason this router can replace the
+/// monolithic engine transparently: credit in the CD model is additive
+/// over actions (Goyal et al., Algorithm 2/4), so a user's marginal gain
+/// is a fold of per-slot terms in ascending-action order. Shards cover
+/// contiguous ascending action ranges, so that global order is the
+/// concatenation of the shards' local orders: chaining
+/// AccumulateGainTerms through the shard engines in manifest order
+/// replays the monolithic engine's floating-point addition sequence
+/// exactly — gains, TopKSeeds (built on the shared RunCelfGreedyWith),
+/// and gain_evaluations are all bit-identical to SnapshotQueryEngine on
+/// the unsharded snapshot (tested for shard counts {1, 2, 3, 7}).
+/// CommitSeed decomposes the same way: Algorithm 5's updates for one
+/// slot touch only that slot's action, so per-shard commits are exact
+/// and independent — they fan out across the pool.
+///
+/// Concurrency contract: like the engine, one router per serving thread;
+/// const queries (MarginalGain) may run concurrently with each other but
+/// not with mutating calls. The optional WorkerPool accelerates
+/// CommitSeed fan-out, TopKSeeds gain passes, and MarginalGainParallel;
+/// with a persistent pool, steady-state queries spawn zero threads. The
+/// pool must not be shared with another router running concurrently.
+class ShardRouter {
+ public:
+  /// `shards` (and `pool`, when given) must outlive the router.
+  explicit ShardRouter(const ShardedSnapshot& shards,
+                       WorkerPool* pool = nullptr);
+
+  /// Marginal gain of x against the session seed set: the serial
+  /// shard-order fold. Const and safe to call concurrently (the CELF
+  /// passes do); identical bits to the monolithic engine.
+  double MarginalGain(NodeId x) const;
+
+  /// The same gain with the per-shard term computation fanned out over
+  /// the pool (terms buffered per shard, folded serially in shard
+  /// order — same additions, same bits). Falls back to the serial fold
+  /// without a pool. Mutating (uses the router-owned term buffers), so
+  /// do not call it concurrently.
+  double MarginalGainParallel(NodeId x);
+
+  /// Commits x in every shard (Algorithm 5 against each shard's
+  /// overlay), fanned out over the pool. No-op when x is already a seed.
+  void CommitSeed(NodeId x);
+
+  /// sigma_cd of `seeds` committed in order over a fresh session.
+  double SpreadOf(std::span<const NodeId> seeds);
+
+  /// CELF greedy top-k from a fresh session; matches the monolithic
+  /// engine's TopKSeeds bit for bit (seeds, gains, evaluation counts).
+  SnapshotSeedSelection TopKSeeds(
+      NodeId k,
+      double spread_budget = std::numeric_limits<double>::infinity());
+
+  /// Rewinds every shard session in O(touched).
+  void ResetSession();
+
+  std::span<const NodeId> session_seeds() const { return committed_; }
+  std::size_t num_shards() const { return engines_.size(); }
+  NodeId num_users() const { return num_users_; }
+
+  /// Per-shard engine, for per-shard benchmarking/diagnostics.
+  const SnapshotQueryEngine& shard_engine(std::size_t i) const {
+    return engines_[i];
+  }
+
+  /// Sum of the shard engines' workspaces plus router scratch — the
+  /// per-session cost on top of the shared mappings.
+  std::uint64_t ApproxMemoryBytes() const;
+
+ private:
+  /// Runs body(i) over shards: pool fan-out when available, else serial.
+  void ForEachShard(const std::function<void(std::size_t)>& body);
+
+  const ShardedSnapshot* shards_;
+  WorkerPool* pool_;
+  NodeId num_users_ = 0;
+  std::span<const std::uint32_t> au_;  // manifest global A_u
+
+  std::vector<SnapshotQueryEngine> engines_;  // one per shard
+
+  // Router-level session seed set (mirrors each engine's, so const gain
+  // checks never touch a shard).
+  std::vector<std::uint8_t> is_seed_;  // [U]
+  std::vector<NodeId> committed_;
+
+  // MarginalGainParallel term buffers, one per shard (reused).
+  std::vector<std::vector<double>> term_buf_;
+
+  // CELF scratch, mirroring SnapshotQueryEngine's (docs/parallelism.md).
+  std::vector<CelfQueueEntry> heap_;
+  std::vector<CelfQueueEntry> batch_;
+  std::vector<double> memo_gain_;          // [U]
+  std::vector<std::uint64_t> memo_stamp_;  // [U]
+  std::vector<double> gains_;              // initial-pass gather array
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_SHARD_SHARD_ROUTER_H_

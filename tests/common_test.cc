@@ -362,6 +362,77 @@ TEST(ParallelTest, CallerParticipatesAsWorkerZero) {
   EXPECT_EQ(caller_was_worker_zero.load(), zero_indices.load());
 }
 
+// ------------------------------------------------------------ WorkerPool
+
+TEST(WorkerPoolTest, CoversEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  constexpr std::size_t kTotal = 5000;
+  std::vector<std::atomic<int>> hits(kTotal);
+  for (auto& hit : hits) hit.store(0);
+  pool.ParallelFor(kTotal, [&](std::size_t t, std::size_t i) {
+    ASSERT_LT(t, 4u);
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ReusableAcrossManyJobsWithoutRespawning) {
+  // The pool's point (vs ParallelForDynamic) is that back-to-back jobs
+  // reuse the same parked threads; hammer it and check every job's sum.
+  WorkerPool pool(3);
+  for (int job = 1; job <= 200; ++job) {
+    std::atomic<long long> sum{0};
+    pool.ParallelFor(static_cast<std::size_t>(job),
+                     [&](std::size_t, std::size_t i) {
+                       sum.fetch_add(static_cast<long long>(i) + 1);
+                     });
+    ASSERT_EQ(sum.load(), static_cast<long long>(job) * (job + 1) / 2)
+        << "job " << job;
+  }
+}
+
+TEST(WorkerPoolTest, SingleWorkerRunsInlineInOrder) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.ParallelFor(10, [&](std::size_t t, std::size_t i) {
+    EXPECT_EQ(t, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  const std::vector<std::size_t> want = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(order, want);
+}
+
+TEST(WorkerPoolTest, MoreWorkersThanItemsAndEmptyJobs) {
+  WorkerPool pool(8);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.ParallelFor(3, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(WorkerPoolTest, CallerParticipatesAsWorkerZero) {
+  WorkerPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> caller_was_worker_zero{0};
+  std::atomic<int> zero_indices{0};
+  pool.ParallelFor(200, [&](std::size_t t, std::size_t) {
+    if (t == 0) {
+      zero_indices.fetch_add(1);
+      if (std::this_thread::get_id() == caller) {
+        caller_was_worker_zero.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(caller_was_worker_zero.load(), zero_indices.load());
+}
+
 // ------------------------------------------------------------- Histogram
 
 TEST(LatencyHistogramTest, SmallValuesAreExact) {

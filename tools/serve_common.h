@@ -1,0 +1,89 @@
+#ifndef INFLUMAX_TOOLS_SERVE_COMMON_H_
+#define INFLUMAX_TOOLS_SERVE_COMMON_H_
+
+// Helpers shared by the serving CLIs (serve_credit, serve_shards):
+// graph/log loading with binary-or-text dispatch, direct-credit model
+// selection, error reporting, and LatencyHistogram -> bench-record
+// percentile plumbing. Header-only; tools are single-TU binaries.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "actionlog/log_io.h"
+#include "common/bench_json.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "core/direct_credit.h"
+#include "graph/graph_io.h"
+#include "probability/time_params.h"
+
+namespace influmax {
+
+inline Result<Graph> LoadGraph(const std::string& path) {
+  if (path.ends_with(".bin")) return ReadGraphBinary(path);
+  return ReadEdgeListFile(path);
+}
+
+inline Result<ActionLog> LoadLog(const std::string& path) {
+  if (path.ends_with(".bin")) return ReadActionLogBinary(path);
+  return ReadActionLogFile(path);
+}
+
+struct CreditChoice {
+  std::unique_ptr<InfluenceTimeParams> params;  // owns timedecay's state
+  std::unique_ptr<DirectCreditModel> model;
+};
+
+inline Result<CreditChoice> MakeCredit(const std::string& name,
+                                       const Graph& graph,
+                                       const ActionLog& log) {
+  CreditChoice choice;
+  if (name == "equal") {
+    choice.model = std::make_unique<EqualDirectCredit>();
+    return choice;
+  }
+  if (name == "timedecay") {
+    auto params = LearnTimeParams(graph, log);
+    if (!params.ok()) return params.status();
+    choice.params =
+        std::make_unique<InfluenceTimeParams>(std::move(params).value());
+    choice.model = std::make_unique<TimeDecayDirectCredit>(*choice.params);
+    return choice;
+  }
+  return Status::InvalidArgument("unknown credit model '" + name +
+                                 "' (want equal | timedecay)");
+}
+
+inline int Fail(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Attaches a histogram's p50/p95/p99 (ns) to a bench record; the shared
+/// LatencyHistogram (src/common/histogram.h) keeps the digest O(1) per
+/// sample, so every per-query latency can be recorded.
+inline BenchJsonRecord WithPercentiles(BenchJsonRecord record,
+                                       const LatencyHistogram& hist) {
+  if (hist.count() > 0) {
+    record.has_percentiles = true;
+    record.p50_ns = hist.Percentile(50.0);
+    record.p95_ns = hist.Percentile(95.0);
+    record.p99_ns = hist.Percentile(99.0);
+  }
+  return record;
+}
+
+inline void PrintPercentiles(const char* label, const LatencyHistogram& hist,
+                             double ns_per_unit, const char* unit) {
+  std::printf("  %s percentiles: p50 %.3f %s, p95 %.3f %s, p99 %.3f %s "
+              "(%llu samples)\n",
+              label, hist.Percentile(50.0) / ns_per_unit, unit,
+              hist.Percentile(95.0) / ns_per_unit, unit,
+              hist.Percentile(99.0) / ns_per_unit, unit,
+              static_cast<unsigned long long>(hist.count()));
+}
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_TOOLS_SERVE_COMMON_H_

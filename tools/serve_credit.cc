@@ -51,74 +51,12 @@
 #include "serve/query_engine.h"
 #include "serve/snapshot_view.h"
 #include "serve/snapshot_writer.h"
+#include "serve_common.h"
 
 namespace influmax {
 namespace {
 
 using BenchRecord = BenchJsonRecord;
-
-/// Attaches a histogram's p50/p95/p99 (ns) to a bench record; the shared
-/// LatencyHistogram (src/common/histogram.h) keeps the digest O(1) per
-/// sample, so every per-query latency can be recorded.
-BenchRecord WithPercentiles(BenchRecord record,
-                            const LatencyHistogram& hist) {
-  if (hist.count() > 0) {
-    record.has_percentiles = true;
-    record.p50_ns = hist.Percentile(50.0);
-    record.p95_ns = hist.Percentile(95.0);
-    record.p99_ns = hist.Percentile(99.0);
-  }
-  return record;
-}
-
-void PrintPercentiles(const char* label, const LatencyHistogram& hist,
-                      double ns_per_unit, const char* unit) {
-  std::printf("  %s percentiles: p50 %.3f %s, p95 %.3f %s, p99 %.3f %s "
-              "(%llu samples)\n",
-              label, hist.Percentile(50.0) / ns_per_unit, unit,
-              hist.Percentile(95.0) / ns_per_unit, unit,
-              hist.Percentile(99.0) / ns_per_unit, unit,
-              static_cast<unsigned long long>(hist.count()));
-}
-
-Result<Graph> LoadGraph(const std::string& path) {
-  if (path.ends_with(".bin")) return ReadGraphBinary(path);
-  return ReadEdgeListFile(path);
-}
-
-Result<ActionLog> LoadLog(const std::string& path) {
-  if (path.ends_with(".bin")) return ReadActionLogBinary(path);
-  return ReadActionLogFile(path);
-}
-
-struct CreditChoice {
-  std::unique_ptr<InfluenceTimeParams> params;  // owns timedecay's state
-  std::unique_ptr<DirectCreditModel> model;
-};
-
-Result<CreditChoice> MakeCredit(const std::string& name, const Graph& graph,
-                                const ActionLog& log) {
-  CreditChoice choice;
-  if (name == "equal") {
-    choice.model = std::make_unique<EqualDirectCredit>();
-    return choice;
-  }
-  if (name == "timedecay") {
-    auto params = LearnTimeParams(graph, log);
-    if (!params.ok()) return params.status();
-    choice.params =
-        std::make_unique<InfluenceTimeParams>(std::move(params).value());
-    choice.model = std::make_unique<TimeDecayDirectCredit>(*choice.params);
-    return choice;
-  }
-  return Status::InvalidArgument("unknown credit model '" + name +
-                                 "' (want equal | timedecay)");
-}
-
-int Fail(const Status& status) {
-  std::fprintf(stderr, "%s\n", status.ToString().c_str());
-  return 1;
-}
 
 int RunBuild(const std::string& graph_path, const std::string& log_path,
              const std::string& snapshot_path, const std::string& credit_name,
@@ -227,15 +165,21 @@ int RunServe(const std::string& snapshot_path, std::size_t gain_threads) {
         continue;
       }
       PrintSelection(engine.TopKSeeds(k, budget));
-    } else if (command == "gain") {
+    } else if (command == "gain" || command == "commit") {
+      // A failed extraction writes 0, not the sentinel — committing
+      // node 0 on a typo would silently poison the session.
       NodeId x = kInvalidNode;
-      in >> x;
-      std::printf("%.6f\n", engine.MarginalGain(x));
-    } else if (command == "commit") {
-      NodeId x = kInvalidNode;
-      in >> x;
-      engine.CommitSeed(x);
-      std::printf("# %zu session seeds\n", engine.session_seeds().size());
+      if (!(in >> x)) {
+        std::printf("! usage: %s NODE\n", command.c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      if (command == "gain") {
+        std::printf("%.6f\n", engine.MarginalGain(x));
+      } else {
+        engine.CommitSeed(x);
+        std::printf("# %zu session seeds\n", engine.session_seeds().size());
+      }
     } else if (command == "spread") {
       std::vector<NodeId> seeds;
       NodeId x;

@@ -1,0 +1,530 @@
+// Sharded snapshot serving CLI (docs/sharding.md).
+//
+// Split a credit snapshot (or a freshly scanned graph+log) into an
+// action-range sharded generation directory:
+//   serve_shards --split --snapshot=d.snap --dir=D --shards=4
+//   serve_shards --split --build --graph=g.tsv --log=l.tsv --dir=D \
+//       --shards=4 [--lambda=0.001] [--credit=timedecay]
+//
+// Serve queries from the directory's CURRENT generation (one session,
+// queries answered by the gain-merging ShardRouter; bit-identical to the
+// monolithic engine):
+//   serve_shards --dir=D [--pool_threads=4]
+// one query per stdin line:
+//   topk K [BUDGET]   CELF greedy seeds across all shards
+//   gain X            routed marginal gain (serial shard fold)
+//   pgain X           same gain, per-shard terms computed on the pool
+//   commit X          commit X in every shard
+//   spread X Y Z ...  sigma_cd of the given set
+//   reset             rewind every shard session
+//   refresh           re-pin the latest generation
+//   stats             manifest + per-shard + session counters
+//   quit
+//
+// Tail an appended action log into new generations while serving
+// (generation-swap ingestion; the REPL keeps answering from its pinned
+// generation until `refresh`):
+//   serve_shards --dir=D --watch --graph=g.tsv --log=l.tsv [--poll_ms=500]
+// or run one ingest and exit:
+//   serve_shards --ingest --dir=D --graph=g.tsv --log=l.tsv
+//
+// Latency report (per-thread histograms merged with LatencyHistogram::
+// Merge, per-shard gain-term p50/p95/p99 in --json):
+//   serve_shards --bench --dir=D [--threads=4 --k=50 --json=out.json]
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "actionlog/log_io.h"
+#include "common/bench_json.h"
+#include "common/flags.h"
+#include "common/histogram.h"
+#include "common/memory.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/cd_model.h"
+#include "core/direct_credit.h"
+#include "graph/graph_io.h"
+#include "probability/time_params.h"
+#include "serve_common.h"
+#include "shard/generation_manager.h"
+#include "shard/shard_manifest.h"
+#include "shard/shard_router.h"
+#include "shard/shard_writer.h"
+
+namespace influmax {
+namespace {
+
+/// Truncation threshold recorded by the directory's live manifest.
+Result<double> CurrentLambda(const std::string& dir) {
+  auto name = ReadCurrentManifestName(dir);
+  INFLUMAX_RETURN_IF_ERROR(name.status());
+  auto manifest = ReadShardManifest(dir + "/" + *name);
+  INFLUMAX_RETURN_IF_ERROR(manifest.status());
+  return manifest->truncation_threshold;
+}
+
+void PrintManifest(const ShardManifest& m, const char* verb) {
+  std::fprintf(stderr, "%s generation %llu: %u actions over %zu shards (",
+               verb, static_cast<unsigned long long>(m.generation),
+               m.num_actions, m.num_shards());
+  for (std::size_t i = 0; i < m.num_shards(); ++i) {
+    std::fprintf(stderr, "%s[%u,%u)", i == 0 ? "" : " ", m.range_begin[i],
+                 m.range_begin[i + 1]);
+  }
+  std::fprintf(stderr, ")\n");
+}
+
+int RunSplit(const std::string& snapshot_path, bool build,
+             const std::string& graph_path, const std::string& log_path,
+             const std::string& credit_name, double lambda,
+             const std::string& dir, std::size_t shards,
+             std::uint64_t generation) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create '%s': %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  ShardedSnapshotWriter writer(dir, shards);
+  ShardManifest manifest;
+  WallTimer timer;
+  if (build) {
+    auto graph = LoadGraph(graph_path);
+    if (!graph.ok()) return Fail(graph.status());
+    auto log = LoadLog(log_path);
+    if (!log.ok()) return Fail(log.status());
+    auto credit = MakeCredit(credit_name, *graph, *log);
+    if (!credit.ok()) return Fail(credit.status());
+    CdConfig config;
+    config.truncation_threshold = lambda;
+    auto model =
+        CreditDistributionModel::Build(*graph, *log, *credit->model, config);
+    if (!model.ok()) return Fail(model.status());
+    if (Status status = writer.WriteFromModel(*model, generation, &manifest);
+        !status.ok()) {
+      return Fail(status);
+    }
+  } else {
+    auto view = CreditSnapshotView::Open(snapshot_path);
+    if (!view.ok()) return Fail(view.status());
+    if (Status status = writer.WriteFromView(*view, generation, &manifest);
+        !status.ok()) {
+      return Fail(status);
+    }
+  }
+  if (Status status =
+          WriteCurrentManifestName(dir, ManifestFileName(generation));
+      !status.ok()) {
+    return Fail(status);
+  }
+  PrintManifest(manifest, "split");
+  std::fprintf(stderr, "wrote %s/%s + %zu shard blobs in %.2fs\n",
+               dir.c_str(), ManifestFileName(generation).c_str(),
+               manifest.num_shards(), timer.ElapsedSeconds());
+  return 0;
+}
+
+int RunIngest(GenerationManager& manager, const std::string& graph_path,
+              const std::string& log_path, const std::string& credit_name) {
+  auto graph = LoadGraph(graph_path);
+  if (!graph.ok()) return Fail(graph.status());
+  auto log = LoadLog(log_path);
+  if (!log.ok()) return Fail(log.status());
+  auto credit = MakeCredit(credit_name, *graph, *log);
+  if (!credit.ok()) return Fail(credit.status());
+  // The only fair (and hash-compatible) rescan uses the lambda the
+  // generation was scanned with, which the manifest records.
+  auto lambda = CurrentLambda(manager.dir());
+  if (!lambda.ok()) return Fail(lambda.status());
+  CdConfig config;
+  config.truncation_threshold = *lambda;
+  WallTimer timer;
+  IngestStats stats;
+  if (Status status = manager.IngestLog(*log, *graph, *credit->model, config,
+                                        /*shard_threads=*/0, &stats);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::fprintf(stderr,
+               "ingested generation %llu: %u unchanged, %u extended, %u new "
+               "actions, %llu tuples replayed in %.2fs\n",
+               static_cast<unsigned long long>(stats.generation),
+               stats.unchanged_actions, stats.rescanned_actions,
+               stats.new_actions,
+               static_cast<unsigned long long>(stats.replayed_tuples),
+               timer.ElapsedSeconds());
+  return 0;
+}
+
+void PrintSelection(const SnapshotSeedSelection& selection) {
+  for (std::size_t i = 0; i < selection.seeds.size(); ++i) {
+    std::printf("%u\t%.6f\t%.6f\n", selection.seeds[i],
+                selection.marginal_gains[i], selection.cumulative_spread[i]);
+  }
+  std::printf("# %zu seeds, %llu gain evaluations\n",
+              selection.seeds.size(),
+              static_cast<unsigned long long>(selection.gain_evaluations));
+}
+
+int RunServe(GenerationManager& manager, WorkerPool* pool) {
+  GenerationManager::Session session(manager, pool);
+  {
+    const ShardManifest& m = session.shards().manifest;
+    PrintManifest(m, "serving");
+    std::fprintf(stderr, "%u users, lambda %g, pool %zu workers\n",
+                 m.num_users, m.truncation_threshold,
+                 pool == nullptr ? 1 : pool->num_workers());
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty() || command[0] == '#') continue;
+    if (command == "quit" || command == "exit") break;
+    ShardRouter& router = session.router();
+    if (command == "topk") {
+      NodeId k = 0;
+      in >> k;
+      double budget;  // optional second operand
+      if (!(in >> budget)) budget = std::numeric_limits<double>::infinity();
+      if (k == 0) {
+        std::printf("! usage: topk K [BUDGET]\n");
+        std::fflush(stdout);
+        continue;
+      }
+      PrintSelection(router.TopKSeeds(k, budget));
+    } else if (command == "gain" || command == "pgain" ||
+               command == "commit") {
+      // A failed extraction writes 0, not the sentinel — committing
+      // node 0 on a typo would silently poison the session.
+      NodeId x = kInvalidNode;
+      if (!(in >> x)) {
+        std::printf("! usage: %s NODE\n", command.c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      if (command == "gain") {
+        std::printf("%.6f\n", router.MarginalGain(x));
+      } else if (command == "pgain") {
+        std::printf("%.6f\n", router.MarginalGainParallel(x));
+      } else {
+        router.CommitSeed(x);
+        std::printf("# %zu session seeds\n", router.session_seeds().size());
+      }
+    } else if (command == "spread") {
+      std::vector<NodeId> seeds;
+      NodeId x;
+      while (in >> x) seeds.push_back(x);
+      std::printf("%.6f\n", router.SpreadOf(seeds));
+    } else if (command == "reset") {
+      router.ResetSession();
+      std::printf("# session reset\n");
+    } else if (command == "refresh") {
+      const bool moved = session.Refresh();
+      std::printf("# generation %llu%s\n",
+                  static_cast<unsigned long long>(session.generation()),
+                  moved ? " (swapped)" : " (unchanged)");
+    } else {
+      if (command != "stats") {
+        std::printf("! unknown command '%s' (topk | gain | pgain | commit | "
+                    "spread | reset | refresh | stats | quit)\n",
+                    command.c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      const ShardManifest& m = session.shards().manifest;
+      std::uint64_t mapped = 0;
+      for (const CreditSnapshotView& view : session.shards().views) {
+        mapped += view.ApproxMemoryBytes();
+      }
+      std::printf(
+          "generation=%llu latest=%llu shards=%zu users=%u actions=%u "
+          "lambda=%g session_seeds=%zu mapped=%llu router=%llu retired=%zu\n",
+          static_cast<unsigned long long>(session.generation()),
+          static_cast<unsigned long long>(manager.current_generation()),
+          m.num_shards(), m.num_users, m.num_actions,
+          m.truncation_threshold, router.session_seeds().size(),
+          static_cast<unsigned long long>(mapped),
+          static_cast<unsigned long long>(router.ApproxMemoryBytes()),
+          manager.retired_generations());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+/// --bench: routed-gain latency under `threads` concurrent sessions
+/// (per-thread LatencyHistograms merged with Merge(), never a shared
+/// locked histogram), per-shard gain-term percentiles, and routed topk.
+int RunBench(GenerationManager& manager, std::size_t threads, int k,
+             std::size_t samples, const std::string& json_path) {
+  std::vector<BenchJsonRecord> records;
+  GenerationManager::Session main_session(manager);
+  const ShardManifest& m = main_session.shards().manifest;
+  PrintManifest(m, "bench");
+
+  std::vector<NodeId> active;
+  for (NodeId x = 0; x < m.num_users; ++x) {
+    if (m.au[x] != 0) active.push_back(x);
+  }
+  if (active.empty()) {
+    std::fprintf(stderr, "no active users, nothing to bench\n");
+    return 1;
+  }
+
+  const auto print_hist = [](const char* label,
+                             const LatencyHistogram& hist) {
+    std::printf("  %s: p50 %.3f us, p95 %.3f us, p99 %.3f us (%llu "
+                "samples)\n",
+                label, hist.Percentile(50.0) / 1e3,
+                hist.Percentile(95.0) / 1e3, hist.Percentile(99.0) / 1e3,
+                static_cast<unsigned long long>(hist.count()));
+  };
+
+  // Routed gains, `threads` sessions each working a stripe of the active
+  // users; per-thread digests merged at the end (Merge is
+  // order-independent, so the merged percentiles are deterministic).
+  std::vector<std::unique_ptr<GenerationManager::Session>> sessions;
+  for (std::size_t t = 0; t < threads; ++t) {
+    sessions.push_back(
+        std::make_unique<GenerationManager::Session>(manager));
+  }
+  std::vector<LatencyHistogram> gain_hist(threads);
+  std::vector<double> partial(threads, 0.0);
+  WallTimer timer;
+  ParallelForChunked(
+      active.size(), threads,
+      [&](std::size_t tid, std::size_t begin, std::size_t end) {
+        ShardRouter& router = sessions[tid]->router();
+        WallTimer query_timer;
+        double sum = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          query_timer.Reset();
+          sum += router.MarginalGain(active[i]);
+          gain_hist[tid].Record(query_timer.ElapsedSeconds() * 1e9);
+        }
+        partial[tid] = sum;
+      });
+  const double gain_seconds = timer.ElapsedSeconds();
+  LatencyHistogram merged_gain;
+  double checksum = 0.0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    merged_gain.Merge(gain_hist[t]);
+    checksum += partial[t];
+  }
+  const double gain_ns = gain_seconds * 1e9 / active.size();
+  std::printf("routed gain: %.3f us/query over %zu active users x %zu "
+              "sessions (checksum %.3f)\n",
+              gain_ns / 1e3, active.size(), threads, checksum);
+  print_hist("routed_gain", merged_gain);
+  records.push_back(
+      WithPercentiles({"shard_gain_routed", gain_ns, 0, threads}, merged_gain));
+
+  // Per-shard gain-term latency: where each query's time actually goes,
+  // one histogram (and one --json record with p50/p95/p99) per shard.
+  ShardRouter& router = main_session.router();
+  for (std::size_t i = 0; i < router.num_shards(); ++i) {
+    const SnapshotQueryEngine& engine = router.shard_engine(i);
+    LatencyHistogram hist;
+    WallTimer query_timer;
+    double sink = 0.0;
+    for (NodeId x : active) {
+      query_timer.Reset();
+      sink += engine.AccumulateGainTerms(x, 0.0);
+      hist.Record(query_timer.ElapsedSeconds() * 1e9);
+    }
+    char label[48];
+    std::snprintf(label, sizeof(label), "shard%zu_gain_terms", i);
+    std::printf("shard %zu [%u,%u): checksum %.3f\n", i, m.range_begin[i],
+                m.range_begin[i + 1], sink);
+    print_hist(label, hist);
+    records.push_back(
+        WithPercentiles({label, hist.Percentile(50.0), 0, 1}, hist));
+  }
+
+  // Routed topk.
+  LatencyHistogram topk_hist;
+  SnapshotSeedSelection selection;
+  for (std::size_t sample = 0; sample < samples; ++sample) {
+    WallTimer query_timer;
+    auto current = router.TopKSeeds(static_cast<NodeId>(k));
+    topk_hist.Record(query_timer.ElapsedSeconds() * 1e9);
+    if (sample == 0) selection = std::move(current);
+  }
+  std::printf("topk(%d): %llu gain evaluations, router %s\n", k,
+              static_cast<unsigned long long>(selection.gain_evaluations),
+              FormatBytes(router.ApproxMemoryBytes()).c_str());
+  print_hist("shard_topk", topk_hist);
+  records.push_back(WithPercentiles(
+      {"shard_topk", topk_hist.Percentile(50.0),
+       router.ApproxMemoryBytes(), 1},
+      topk_hist));
+
+  if (!json_path.empty()) return WriteBenchJson(json_path, records);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string dir;
+  std::string snapshot_path;
+  std::string graph_path;
+  std::string log_path;
+  std::string credit_name = "equal";
+  std::string json_path;
+  double lambda = 0.001;
+  int shards = 4;
+  int generation = 1;
+  int k = 50;
+  int pool_threads = 0;
+  int threads = 1;
+  int samples = 3;
+  int poll_ms = 500;
+  bool split = false;
+  bool build = false;
+  bool ingest = false;
+  bool watch = false;
+  bool bench = false;
+  FlagParser flags;
+  flags.AddString("dir", &dir, "sharded generation directory");
+  flags.AddString("snapshot", &snapshot_path,
+                  "monolithic snapshot to --split");
+  flags.AddString("graph", &graph_path, "graph file (.tsv or .bin)");
+  flags.AddString("log", &log_path, "action log file (.tsv or .bin)");
+  flags.AddString("credit", &credit_name, "equal | timedecay");
+  flags.AddDouble("lambda", &lambda, "CD truncation threshold (--build)");
+  flags.AddInt("shards", &shards, "target shard count for --split");
+  flags.AddInt("generation", &generation, "generation number for --split");
+  flags.AddInt("k", &k, "seeds for --bench topk");
+  flags.AddInt("pool_threads", &pool_threads,
+               "serve: persistent WorkerPool size (0 = all hardware)");
+  flags.AddInt("threads", &threads, "--bench: concurrent serving sessions");
+  flags.AddInt("samples", &samples, "--bench: topk latency samples");
+  flags.AddInt("poll_ms", &poll_ms, "--watch: log poll interval");
+  flags.AddString("json", &json_path,
+                  "--bench: write machine-readable results here");
+  flags.AddBool("split", &split, "partition a snapshot into shards");
+  flags.AddBool("build", &build, "--split from graph+log instead of a file");
+  flags.AddBool("ingest", &ingest, "one-shot: ingest the log and exit");
+  flags.AddBool("watch", &watch, "serve + tail the log into generations");
+  flags.AddBool("bench", &bench, "report query latency");
+  if (Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Usage(argv[0]).c_str());
+    return 0;
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "--dir is required\n");
+    return 1;
+  }
+  if (shards < 1 || generation < 1 || threads < 1 || samples < 1 ||
+      poll_ms < 1 || pool_threads < 0) {
+    std::fprintf(stderr, "nonsensical numeric flag\n");
+    return 1;
+  }
+  if (split) {
+    if (build ? (graph_path.empty() || log_path.empty())
+              : snapshot_path.empty()) {
+      std::fprintf(stderr,
+                   "--split needs --snapshot, or --build with --graph and "
+                   "--log\n");
+      return 1;
+    }
+    return RunSplit(snapshot_path, build, graph_path, log_path, credit_name,
+                    lambda, dir, static_cast<std::size_t>(shards),
+                    static_cast<std::uint64_t>(generation));
+  }
+
+  // --bench pins threads + 1 sessions at once; size the session table so
+  // a large --threads degrades into an error, never an aborting CHECK.
+  auto manager = GenerationManager::Open(
+      dir, std::max<std::size_t>(64, static_cast<std::size_t>(threads) + 8));
+  if (!manager.ok()) return Fail(manager.status());
+  if (ingest) {
+    if (graph_path.empty() || log_path.empty()) {
+      std::fprintf(stderr, "--ingest needs --graph and --log\n");
+      return 1;
+    }
+    return RunIngest(**manager, graph_path, log_path, credit_name);
+  }
+  if (bench) {
+    return RunBench(**manager, static_cast<std::size_t>(threads), k,
+                    static_cast<std::size_t>(samples), json_path);
+  }
+
+  std::unique_ptr<WorkerPool> pool;
+  if (pool_threads != 1) {
+    pool = std::make_unique<WorkerPool>(
+        static_cast<std::size_t>(pool_threads));
+  }
+
+  // --watch: the background ingestion loop reloads the log file every
+  // poll and swaps a new generation in; the REPL session keeps serving
+  // its pinned generation until `refresh`.
+  Graph watch_graph;
+  Result<CreditChoice> watch_credit = CreditChoice{};
+  if (watch) {
+    if (graph_path.empty() || log_path.empty()) {
+      std::fprintf(stderr, "--watch needs --graph and --log\n");
+      return 1;
+    }
+    auto graph = LoadGraph(graph_path);
+    if (!graph.ok()) return Fail(graph.status());
+    watch_graph = std::move(graph).value();
+    auto log = LoadLog(log_path);
+    if (!log.ok()) return Fail(log.status());
+    watch_credit = MakeCredit(credit_name, watch_graph, *log);
+    if (!watch_credit.ok()) return Fail(watch_credit.status());
+    auto lambda = CurrentLambda(dir);
+    if (!lambda.ok()) return Fail(lambda.status());
+    CdConfig config;
+    config.truncation_threshold = *lambda;
+    // Stat before reparsing: an idle watch tick costs two stat calls,
+    // not a full log parse + fingerprint (see StartWatch's contract).
+    auto last_size = std::make_shared<std::uintmax_t>(0);
+    auto last_mtime = std::make_shared<std::filesystem::file_time_type>();
+    (*manager)->StartWatch(
+        [log_path, last_size,
+         last_mtime]() -> Result<std::optional<ActionLog>> {
+          std::error_code ec;
+          const std::uintmax_t size =
+              std::filesystem::file_size(log_path, ec);
+          if (ec) return Status::IoError("cannot stat '" + log_path + "'");
+          const auto mtime = std::filesystem::last_write_time(log_path, ec);
+          if (ec) return Status::IoError("cannot stat '" + log_path + "'");
+          if (size == *last_size && mtime == *last_mtime) {
+            return std::optional<ActionLog>();
+          }
+          auto log = LoadLog(log_path);
+          INFLUMAX_RETURN_IF_ERROR(log.status());
+          *last_size = size;
+          *last_mtime = mtime;
+          return std::optional<ActionLog>(std::move(log).value());
+        },
+        watch_graph, *watch_credit->model, config,
+        std::chrono::milliseconds(poll_ms));
+    std::fprintf(stderr, "watching %s every %d ms\n", log_path.c_str(),
+                 poll_ms);
+  }
+  const int status = RunServe(**manager, pool.get());
+  (*manager)->StopWatch();
+  return status;
+}
+
+}  // namespace
+}  // namespace influmax
+
+int main(int argc, char** argv) { return influmax::Main(argc, argv); }
