@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "actionlog/action_log.h"
 #include "actionlog/propagation_dag.h"
 #include "common/bench_json.h"
 #include "common/logging.h"
@@ -30,6 +31,7 @@
 #include "probability/em_learner.h"
 #include "probability/time_params.h"
 #include "propagation/monte_carlo.h"
+#include "serve/gain_kernel.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot_view.h"
 #include "shard/generation_manager.h"
@@ -223,6 +225,105 @@ void BM_RebuildTopKSeeds(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RebuildTopKSeeds)->Arg(500)->Arg(2000);
+
+// ------------------------------------------------- gain-kernel benches
+// The quotient-pool claim (docs/gain_kernel.md): folding the snapshot's
+// precomputed fwd_quotient stream beats the divide-and-gather fold the
+// engine used before the pool existed, and the fast_math kernel
+// vectorizes the per-slot sums on top. BM_GainKernelLegacy replays the
+// old fold verbatim over the raw view arrays (per-entry credit /
+// au[fwd_node[e]] division, skip-if-zero branch); BM_GainKernelExact is
+// the engine's default division-free fold (bit-identical results);
+// BM_GainKernelFast is GainKernelMode::kFastMath. The fixture is one
+// huge action — every node activating in id order under equal credit,
+// lambda 0.001 — so the per-slot forward lists are long enough for the
+// vector sums to dominate.
+
+const std::string& DenseSnapshotPath() {
+  static auto* path = new std::string();
+  if (path->empty()) {
+    constexpr NodeId kNodes = 2000;
+    auto graph = GeneratePreferentialAttachment({kNodes, 4, 0.6}, 77);
+    INFLUMAX_CHECK(graph.ok());
+    ActionLogBuilder builder(kNodes);
+    for (NodeId u = 0; u < kNodes; ++u) {
+      builder.Add(u, 0, static_cast<Timestamp>(u));
+    }
+    auto log = builder.Build();
+    INFLUMAX_CHECK(log.ok());
+    EqualDirectCredit credit;
+    CdConfig config;
+    config.truncation_threshold = 0.001;
+    auto model =
+        CreditDistributionModel::Build(*graph, *log, credit, config);
+    INFLUMAX_CHECK(model.ok());
+    *path = "/tmp/influmax_bench_dense.snap";
+    INFLUMAX_CHECK(model->WriteSnapshot(*path).ok());
+  }
+  return *path;
+}
+
+/// The pre-quotient-pool gain fold, kept verbatim as the baseline under
+/// test: divide by au[fwd_node[e]] per entry, gather through fwd_node,
+/// skip zero credits. Fresh-session shape (slot_sc is the frozen SC).
+double LegacyMarginalGain(const CreditSnapshotView& view, NodeId x) {
+  const auto au = view.au();
+  if (au[x] == 0) return 0.0;
+  const double inv_ax = 1.0 / au[x];
+  const auto uo = view.user_offsets();
+  const auto slot_sc = view.slot_sc();
+  const auto fwd_begin = view.fwd_begin();
+  const auto fwd_count = view.fwd_count();
+  const auto fwd_node = view.fwd_node();
+  const auto fwd_credit = view.fwd_credit();
+  double mg = 0.0;
+  for (std::uint64_t s = uo[x]; s < uo[x + 1]; ++s) {
+    double mga = inv_ax;
+    const std::uint64_t fb = fwd_begin[s];
+    const std::uint32_t fc = fwd_count[s];
+    for (std::uint64_t e = fb; e < fb + fc; ++e) {
+      const double credit = fwd_credit[e];
+      if (credit > 0.0) mga += credit / au[fwd_node[e]];
+    }
+    mg += mga * (1.0 - slot_sc[s]);
+  }
+  return mg;
+}
+
+void BM_GainKernelLegacy(benchmark::State& state) {
+  auto view = CreditSnapshotView::Open(DenseSnapshotPath());
+  INFLUMAX_CHECK(view.ok());
+  NodeId node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LegacyMarginalGain(*view, node));
+    node = (node + 1) % view->num_users();
+  }
+  state.counters["entries"] = static_cast<double>(view->num_entries());
+}
+BENCHMARK(BM_GainKernelLegacy);
+
+void RunGainKernelBench(benchmark::State& state, GainKernelMode mode) {
+  auto view = CreditSnapshotView::Open(DenseSnapshotPath());
+  INFLUMAX_CHECK(view.ok());
+  SnapshotQueryEngine engine(*view);
+  engine.set_kernel_mode(mode);
+  NodeId node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.MarginalGain(node));
+    node = (node + 1) % view->num_users();
+  }
+  state.counters["entries"] = static_cast<double>(view->num_entries());
+}
+
+void BM_GainKernelExact(benchmark::State& state) {
+  RunGainKernelBench(state, GainKernelMode::kExact);
+}
+BENCHMARK(BM_GainKernelExact);
+
+void BM_GainKernelFast(benchmark::State& state) {
+  RunGainKernelBench(state, GainKernelMode::kFastMath);
+}
+BENCHMARK(BM_GainKernelFast);
 
 // ---------------------------------------------- sharded-serving benches
 // Sharded serving (docs/sharding.md): BM_ShardRouterGain is the routed

@@ -26,6 +26,10 @@ struct BenchJsonRecord {
   double p50_ns = 0.0;
   double p95_ns = 0.0;
   double p99_ns = 0.0;
+  /// Optional gain-kernel label ("exact" | "fast", src/serve/gain_kernel.h),
+  /// emitted when non-empty so the archived perf trajectory distinguishes
+  /// exact from fast_math numbers. tools/bench_compare.py ignores it.
+  std::string mode;
 };
 
 /// Writes `records` as the JSON object above. Returns 0, or 1 (with a
@@ -48,6 +52,9 @@ inline int WriteBenchJson(const std::string& path,
       std::fprintf(out,
                    ", \"p50_ns\": %.3f, \"p95_ns\": %.3f, \"p99_ns\": %.3f",
                    records[i].p50_ns, records[i].p95_ns, records[i].p99_ns);
+    }
+    if (!records[i].mode.empty()) {
+      std::fprintf(out, ", \"mode\": \"%s\"", records[i].mode.c_str());
     }
     std::fprintf(out, "}%s\n", i + 1 < records.size() ? "," : "");
   }

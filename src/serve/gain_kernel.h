@@ -1,0 +1,67 @@
+#ifndef INFLUMAX_SERVE_GAIN_KERNEL_H_
+#define INFLUMAX_SERVE_GAIN_KERNEL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace influmax {
+
+/// The gain kernel: how a slot's quotient run — the precomputed
+/// q[e] = credit[e] / au[fwd_node[e]] pool of snapshot format v2
+/// (src/serve/snapshot_format.h, docs/gain_kernel.md) — is summed into
+/// the marginal-gain fold of Theorem 3.
+///
+///  * kExact (default): serial left-to-right fold, the exact addition
+///    sequence of the live model. Bit-identical results; still
+///    division-free and gather-free thanks to the pool.
+///  * kFastMath: vectorized multi-accumulator sum (AVX2 when the CPU has
+///    it, unrolled scalar otherwise). Reassociates the additions, so the
+///    result can differ from exact in the last bits; because every
+///    quotient is non-negative, the relative error of a run of n terms
+///    is bounded by n * 2^-52 — kFastMathRelErrorBound covers any run up
+///    to ~4 million entries, far beyond real stores.
+enum class GainKernelMode { kExact, kFastMath };
+
+/// Documented relative-error bound of kFastMath vs kExact per gain:
+/// |fast - exact| <= kFastMathRelErrorBound * exact. Derivation in
+/// docs/gain_kernel.md; the randomized differential test asserts it.
+inline constexpr double kFastMathRelErrorBound = 1e-9;
+
+/// Which SumQuotientsFast implementation is live. kAuto is only an input
+/// to ForceGainKernelBackend (re-run detection); Active... never returns
+/// it.
+enum class GainKernelBackend { kAuto, kScalar, kAvx2 };
+
+/// Exact serial fold: acc + q[0] + q[1] + ... in index order, one IEEE
+/// addition per element — the same sequence the live model performs.
+inline double FoldQuotientsExact(double acc, const double* q,
+                                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc += q[i];
+  return acc;
+}
+
+/// Vectorized sum of q[0..n) with reassociated additions; see
+/// kFastMathRelErrorBound. Runtime-dispatched on first use: AVX2 when
+/// __builtin_cpu_supports says so and INFLUMAX_KERNEL_FORCE is not
+/// "scalar", the unrolled scalar fallback otherwise. Thread-safe.
+double SumQuotientsFast(const double* q, std::size_t n);
+
+/// Backend SumQuotientsFast currently dispatches to.
+GainKernelBackend ActiveGainKernelBackend();
+
+/// Pins the dispatch (kAvx2 silently degrades to kScalar on CPUs without
+/// it; kAuto restores detection). For tests and CI, which must exercise
+/// both branches regardless of the build host.
+void ForceGainKernelBackend(GainKernelBackend backend);
+
+const char* GainKernelModeName(GainKernelMode mode);
+const char* GainKernelBackendName(GainKernelBackend backend);
+
+/// Parses the CLIs' --kernel flag value: "exact" | "fast".
+Result<GainKernelMode> ParseGainKernelMode(const std::string& name);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_SERVE_GAIN_KERNEL_H_

@@ -11,12 +11,37 @@
 namespace influmax {
 
 SnapshotQueryEngine::SnapshotQueryEngine(const CreditSnapshotView& view)
-    : SnapshotQueryEngine(view, view.au()) {}
+    : SnapshotQueryEngine(view, view.au(), view.fwd_quotient()) {}
 
 SnapshotQueryEngine::SnapshotQueryEngine(
     const CreditSnapshotView& view, std::span<const std::uint32_t> au_override)
-    : view_(&view), au_(au_override) {
+    : SnapshotQueryEngine(view, au_override, {}) {}
+
+SnapshotQueryEngine::SnapshotQueryEngine(
+    const CreditSnapshotView& view, std::span<const std::uint32_t> au_override,
+    std::span<const double> quotient_override)
+    : view_(&view), au_(au_override), quot_(quotient_override) {
   INFLUMAX_CHECK(au_.size() >= view.num_users());
+  INFLUMAX_CHECK(quot_.empty() || quot_.size() == view.num_entries());
+  if (quot_.empty()) {
+    // An au override redefines every divisor, so the snapshot's stored
+    // pool does not apply; reuse it only when the override's divisors
+    // match, otherwise derive an engine-owned pool once (the shard
+    // router shares one via the quotient_override constructor instead).
+    const auto view_au = view.au();
+    if (au_.size() == view_au.size() &&
+        std::equal(au_.begin(), au_.end(), view_au.begin())) {
+      quot_ = view.fwd_quotient();
+    } else {
+      const auto credit = view.fwd_credit();
+      const auto node = view.fwd_node();
+      own_quot_.resize(view.num_entries());
+      for (std::uint64_t e = 0; e < own_quot_.size(); ++e) {
+        own_quot_[e] = credit[e] / au_[node[e]];
+      }
+      quot_ = own_quot_;
+    }
+  }
   ovl_offset_.assign(view.num_actions(), kNotOverlaid);
   sc_cur_.assign(view.slot_sc().begin(), view.slot_sc().end());
   sc_dirty_.assign(view.num_slots(), 0);
@@ -46,33 +71,57 @@ template <typename TermFn>
 void SnapshotQueryEngine::ForEachGainTerm(NodeId x, TermFn&& term) const {
   // Algorithm 4 / Theorem 3, replayed over the flat arrays. The entry
   // iteration order equals the live adjacency order (the snapshot
-  // preserves it), so the floating-point sums — and thus every returned
-  // gain — are bit-identical to CreditDistributionModel::MarginalGain.
+  // preserves it), and in exact mode each slot folds the precomputed
+  // quotient run serially — the same additions as credit / au[node] in
+  // the same order (each q[e] bit-equals its division, view-validated) —
+  // so every returned gain is bit-identical to
+  // CreditDistributionModel::MarginalGain. Fast mode reassociates the
+  // per-slot sums within kFastMathRelErrorBound (docs/gain_kernel.md).
+  // Overlaid actions carry session-mutated credits the pool does not
+  // reflect, so they divide on the fly in both modes — exact always.
   const auto au = au_;
   const std::uint32_t ax = au[x];
   if (ax == 0) return;
   const double inv_ax = 1.0 / ax;
 
   const auto uo = view_->user_offsets();
+  const std::uint64_t slot_begin = uo[x];
+  const std::uint64_t slot_end = uo[x + 1];
   const auto slot_action = view_->slot_action();
   const auto fwd_begin = view_->fwd_begin();
   const auto fwd_count = view_->fwd_count();
   const auto fwd_node = view_->fwd_node();
   const auto aeb = view_->action_entry_begin();
+  const double* quot = quot_.data();
+  const bool fast = kernel_mode_ == GainKernelMode::kFastMath;
 
-  for (std::uint64_t s = uo[x]; s < uo[x + 1]; ++s) {
-    const ActionId a = slot_action[s];
-    const double* credits = CreditsOf(a);
-    const std::uint64_t base = aeb[a];
-    const std::uint64_t fb = fwd_begin[s];
-    double mga = inv_ax;
-    for (std::uint64_t e = fb; e < fb + fwd_count[s]; ++e) {
-      const double credit = credits[e - base];
-      if (credit > 0.0) {
-        mga += credit / au[fwd_node[e]];
-      }
+  for (std::uint64_t s = slot_begin; s < slot_end; ++s) {
+    const double sc_term = 1.0 - sc_cur_[s];
+    const std::uint32_t fc = fwd_count[s];
+    if (fc == 0) {  // x credits nobody for this action: mg_a(x) = 1/A_x
+      term(inv_ax * sc_term);
+      continue;
     }
-    term(mga * (1.0 - sc_cur_[s]));
+    const std::uint64_t fb = fwd_begin[s];
+    const ActionId a = slot_action[s];
+    const std::uint64_t off = ovl_offset_[a];
+    double mga;
+    if (off != kNotOverlaid) {
+      const double* credits = ovl_buf_.data() + off;
+      const std::uint64_t base = aeb[a];
+      mga = inv_ax;
+      for (std::uint64_t e = fb; e < fb + fc; ++e) {
+        const double credit = credits[e - base];
+        if (credit > 0.0) {
+          mga += credit / au[fwd_node[e]];
+        }
+      }
+    } else if (fast) {
+      mga = inv_ax + SumQuotientsFast(quot + fb, fc);
+    } else {
+      mga = FoldQuotientsExact(inv_ax, quot + fb, fc);
+    }
+    term(mga * sc_term);
   }
 }
 
@@ -108,6 +157,14 @@ void SnapshotQueryEngine::CommitOneSlot(
   const auto bwd_entry = view_->bwd_entry();
   const auto aeb = view_->action_entry_begin();
 
+  const std::uint32_t fc = fwd_count[s];
+  const std::uint32_t bc = bwd_count[s];
+  // Nothing flows through this slot: x credits nobody and nobody
+  // credits x for this action, so every loop below is empty — skip
+  // before touching the overlay. (Algorithm 5 is a no-op here: no pairs
+  // to subtract, no SC folds, an empty row to erase.)
+  if (fc == 0 && bc == 0) return;
+
   const ActionId a = slot_action[s];
   double* ovl = ovl_buf_.data() + ovl_offset_[a];
   const std::uint64_t base = aeb[a];
@@ -117,12 +174,12 @@ void SnapshotQueryEngine::CommitOneSlot(
   scratch->credited.clear();
   scratch->creditors.clear();
   const std::uint64_t fb = fwd_begin[s];
-  for (std::uint64_t e = fb; e < fb + fwd_count[s]; ++e) {
+  for (std::uint64_t e = fb; e < fb + fc; ++e) {
     const double credit = ovl[e - base];
     if (credit > 0.0) scratch->credited.push_back({fwd_node[e], credit});
   }
   const std::uint64_t bb = bwd_begin[s];
-  for (std::uint64_t j = bb; j < bb + bwd_count[s]; ++j) {
+  for (std::uint64_t j = bb; j < bb + bc; ++j) {
     const double credit = ovl[bwd_entry[j] - base];
     if (credit > 0.0) scratch->creditors.push_back({bwd_node[j], credit});
   }
@@ -143,7 +200,8 @@ void SnapshotQueryEngine::CommitOneSlot(
     const std::uint64_t sv = view_->SlotOf(cv.node, a);
     if (sv == CreditSnapshotView::kNoSlot) continue;
     const std::uint64_t vb = fwd_begin[sv];
-    for (std::uint64_t e = vb; e < vb + fwd_count[sv]; ++e) {
+    const std::uint32_t vc = fwd_count[sv];
+    for (std::uint64_t e = vb; e < vb + vc; ++e) {
       const NodeId u = fwd_node[e];
       if (u == x) {
         ovl[e - base] = 0.0;  // column erase: drop (creditor -> x)
@@ -169,7 +227,7 @@ void SnapshotQueryEngine::CommitOneSlot(
     sc_cur_[su] += cu.credit * (1.0 - sc_x);
   }
   // Row erase: x has left the induced subgraph V - S.
-  for (std::uint64_t e = fb; e < fb + fwd_count[s]; ++e) {
+  for (std::uint64_t e = fb; e < fb + fc; ++e) {
     ovl[e - base] = 0.0;
   }
 }
@@ -320,7 +378,7 @@ std::uint64_t SnapshotQueryEngine::ApproxMemoryBytes() const {
                      bytes_of(scratch.stamp_credit) +
                      bytes_of(scratch.sc_touched);
   }
-  return bytes_of(ovl_offset_) + bytes_of(ovl_buf_) +
+  return bytes_of(own_quot_) + bytes_of(ovl_offset_) + bytes_of(ovl_buf_) +
          bytes_of(ovl_actions_) + bytes_of(sc_cur_) + bytes_of(sc_touched_) +
          bytes_of(sc_dirty_) + bytes_of(is_seed_) + bytes_of(committed_) +
          scratch_bytes + bytes_of(fresh_actions_) +

@@ -11,6 +11,7 @@
 #include "common/types.h"
 #include "core/cd_model.h"
 #include "core/celf.h"
+#include "serve/gain_kernel.h"
 #include "serve/snapshot_view.h"
 
 namespace influmax {
@@ -64,6 +65,16 @@ class SnapshotQueryEngine {
   /// count, which the ShardRouter supplies from the shard manifest.
   SnapshotQueryEngine(const CreditSnapshotView& view,
                       std::span<const std::uint32_t> au_override);
+
+  /// Like the au-override constructor, but with the matching quotient
+  /// pool (q[e] = fwd_credit[e] / au_override[fwd_node[e]], length ==
+  /// the view's entry count, outliving the engine) supplied by the
+  /// caller — OpenShardedSnapshot derives one per shard so every router
+  /// session shares it instead of re-deriving O(E) doubles per engine.
+  /// An empty span makes the engine derive (and own) the pool itself.
+  SnapshotQueryEngine(const CreditSnapshotView& view,
+                      std::span<const std::uint32_t> au_override,
+                      std::span<const double> quotient_override);
 
   /// Marginal gain sigma_cd(S + x) - sigma_cd(S) of x against the
   /// current session seed set S (Algorithm 4 / Theorem 3); 0 when x is
@@ -129,6 +140,17 @@ class SnapshotQueryEngine {
   void set_gain_threads(std::size_t threads) { gain_threads_ = threads; }
   std::size_t gain_threads() const { return gain_threads_; }
 
+  /// Gain kernel for every query this engine answers — MarginalGain,
+  /// both CELF passes, the router's chained fold (src/serve/gain_kernel.h,
+  /// docs/gain_kernel.md). kExact (default) keeps the bit-identity
+  /// contract; kFastMath vectorizes the per-slot quotient sums within
+  /// kFastMathRelErrorBound. Overlaid actions always take the exact
+  /// divide path (their precomputed quotients are stale), so committed
+  /// sessions stay exact in both modes. Not a concurrent-safe setter:
+  /// set it between queries, like the other session mutations.
+  void set_kernel_mode(GainKernelMode mode) { kernel_mode_ = mode; }
+  GainKernelMode kernel_mode() const { return kernel_mode_; }
+
   /// Seeds committed in this session (excluding snapshot-frozen ones).
   std::span<const NodeId> session_seeds() const { return committed_; }
 
@@ -183,6 +205,13 @@ class SnapshotQueryEngine {
   // A_u divisors for every gain formula: the view's au section, or the
   // router-supplied global override (see the sharding constructor).
   std::span<const std::uint32_t> au_;
+
+  // Precomputed q[e] = fwd_credit[e] / au_[fwd_node[e]] ([E], matching
+  // au_): the view's stored pool, a caller-shared override, or own_quot_
+  // when the engine had to derive it (au override without a pool).
+  std::span<const double> quot_;
+  std::vector<double> own_quot_;
+  GainKernelMode kernel_mode_ = GainKernelMode::kExact;
 
   // Copy-on-write credit overlay: per-action offset into ovl_buf_
   // (kNotOverlaid when the action is untouched this session).

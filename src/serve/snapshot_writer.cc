@@ -212,6 +212,20 @@ Status WriteSnapshotFile(const SnapshotData& data, const std::string& path) {
   WriteSection(&writer, data.bwd_count);
   WriteSection(&writer, data.fwd_node);
   WriteSection(&writer, data.fwd_credit);
+  // kFwdQuotient is derived here rather than carried in SnapshotData, so
+  // every producer — full build, incremental rescan, shard slicer — gets
+  // a pool consistent with its own au section by construction. IEEE
+  // division is correctly rounded, hence deterministic: the view re-checks
+  // these exact bits at open, and the engine's exact fold over them
+  // replays the live model's additions bit for bit (docs/gain_kernel.md).
+  // Note a shard blob's pool divides by its *local* au; engines serving
+  // shards under a global-au override get a derived pool from
+  // OpenShardedSnapshot instead.
+  std::vector<double> fwd_quot(data.fwd_node.size());
+  for (std::size_t e = 0; e < fwd_quot.size(); ++e) {
+    fwd_quot[e] = data.fwd_credit[e] / data.au[data.fwd_node[e]];
+  }
+  WriteSection(&writer, fwd_quot);
   WriteSection(&writer, data.bwd_node);
   WriteSection(&writer, data.bwd_entry);
   WriteSection(&writer, data.action_size);

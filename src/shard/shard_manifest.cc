@@ -242,6 +242,28 @@ Result<ShardedSnapshot> OpenShardedSnapshot(const std::string& manifest_path) {
     }
     sharded.views.push_back(std::move(view).value());
   }
+  // Derive each shard's global-au quotient pool once per open. A blob's
+  // stored pool divides by its local au (the blob must self-validate),
+  // which equals the global divisors only when the shard spans every
+  // action — then the stored pool is reused (empty marker, see
+  // shard_quotient()). One O(E) pass per generation, amortized across
+  // all sessions and their engines.
+  sharded.global_quotients.resize(m.num_shards());
+  for (std::size_t i = 0; i < m.num_shards(); ++i) {
+    const CreditSnapshotView& view = sharded.views[i];
+    const auto local_au = view.au();
+    if (std::equal(local_au.begin(), local_au.end(), m.au.begin(),
+                   m.au.end())) {
+      continue;
+    }
+    const auto credit = view.fwd_credit();
+    const auto node = view.fwd_node();
+    std::vector<double>& quot = sharded.global_quotients[i];
+    quot.resize(view.num_entries());
+    for (std::uint64_t e = 0; e < quot.size(); ++e) {
+      quot[e] = credit[e] / m.au[node[e]];
+    }
+  }
   return sharded;
 }
 

@@ -2,6 +2,7 @@
 #define INFLUMAX_SHARD_SHARD_MANIFEST_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,22 @@ struct ShardedSnapshot {
   std::string dir;
   ShardManifest manifest;
   std::vector<CreditSnapshotView> views;  // [N], manifest order
+
+  /// Per-shard quotient pools divided by the manifest's *global* au —
+  /// the divisors Theorem 3 actually uses. A shard blob's stored
+  /// kFwdQuotient section divides by its local au, so it only serves a
+  /// router when the shard covers every action; otherwise the pool here
+  /// (derived once per open, shared by every session's engines) stands
+  /// in. Empty inner vector == "the blob's stored pool is already
+  /// global"; shard_quotient() resolves the choice.
+  std::vector<std::vector<double>> global_quotients;  // [N]
+
+  /// Shard i's quotient pool under the manifest's global au.
+  std::span<const double> shard_quotient(std::size_t i) const {
+    return global_quotients[i].empty()
+               ? views[i].fwd_quotient()
+               : std::span<const double>(global_quotients[i]);
+  }
 };
 
 /// Opens `manifest_path` and every shard blob it names (relative to the

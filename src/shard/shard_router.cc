@@ -13,8 +13,12 @@ ShardRouter::ShardRouter(const ShardedSnapshot& shards, WorkerPool* pool)
       au_(shards.manifest.au) {
   INFLUMAX_CHECK(!shards.views.empty());
   engines_.reserve(shards.views.size());
-  for (const CreditSnapshotView& view : shards.views) {
-    engines_.emplace_back(view, au_);
+  for (std::size_t i = 0; i < shards.views.size(); ++i) {
+    // Each engine divides by the global A_u, so it also needs the
+    // global-au quotient pool OpenShardedSnapshot derived (the blob's
+    // stored pool divides by local au) — shared, not re-derived per
+    // session.
+    engines_.emplace_back(shards.views[i], au_, shards.shard_quotient(i));
   }
   term_buf_.resize(shards.views.size());
   is_seed_.assign(num_users_, 0);

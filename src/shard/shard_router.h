@@ -77,6 +77,18 @@ class ShardRouter {
   std::size_t num_shards() const { return engines_.size(); }
   NodeId num_users() const { return num_users_; }
 
+  /// Gain kernel for every shard engine (src/serve/gain_kernel.h):
+  /// kExact keeps the chained fold bit-identical to the monolithic
+  /// engine; kFastMath vectorizes each shard's per-slot quotient sums
+  /// within kFastMathRelErrorBound. Set between queries, not during.
+  void set_kernel_mode(GainKernelMode mode) {
+    kernel_mode_ = mode;
+    for (SnapshotQueryEngine& engine : engines_) {
+      engine.set_kernel_mode(mode);
+    }
+  }
+  GainKernelMode kernel_mode() const { return kernel_mode_; }
+
   /// Per-shard engine, for per-shard benchmarking/diagnostics.
   const SnapshotQueryEngine& shard_engine(std::size_t i) const {
     return engines_[i];
@@ -96,6 +108,7 @@ class ShardRouter {
   std::span<const std::uint32_t> au_;  // manifest global A_u
 
   std::vector<SnapshotQueryEngine> engines_;  // one per shard
+  GainKernelMode kernel_mode_ = GainKernelMode::kExact;
 
   // Router-level session seed set (mirrors each engine's, so const gain
   // checks never touch a shard).

@@ -53,6 +53,7 @@
 #include "core/direct_credit.h"
 #include "graph/graph_io.h"
 #include "probability/time_params.h"
+#include "serve/gain_kernel.h"
 #include "serve_common.h"
 #include "shard/generation_manager.h"
 #include "shard/shard_manifest.h"
@@ -175,14 +176,19 @@ void PrintSelection(const SnapshotSeedSelection& selection) {
               static_cast<unsigned long long>(selection.gain_evaluations));
 }
 
-int RunServe(GenerationManager& manager, WorkerPool* pool) {
+int RunServe(GenerationManager& manager, WorkerPool* pool,
+             GainKernelMode kernel_mode) {
   GenerationManager::Session session(manager, pool);
+  session.router().set_kernel_mode(kernel_mode);
   {
     const ShardManifest& m = session.shards().manifest;
     PrintManifest(m, "serving");
-    std::fprintf(stderr, "%u users, lambda %g, pool %zu workers\n",
+    std::fprintf(stderr, "%u users, lambda %g, pool %zu workers, "
+                 "kernel %s (%s)\n",
                  m.num_users, m.truncation_threshold,
-                 pool == nullptr ? 1 : pool->num_workers());
+                 pool == nullptr ? 1 : pool->num_workers(),
+                 GainKernelModeName(kernel_mode),
+                 GainKernelBackendName(ActiveGainKernelBackend()));
   }
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -231,6 +237,8 @@ int RunServe(GenerationManager& manager, WorkerPool* pool) {
       std::printf("# session reset\n");
     } else if (command == "refresh") {
       const bool moved = session.Refresh();
+      // A swap builds a fresh router (default kernel); re-apply the flag.
+      if (moved) session.router().set_kernel_mode(kernel_mode);
       std::printf("# generation %llu%s\n",
                   static_cast<unsigned long long>(session.generation()),
                   moved ? " (swapped)" : " (unchanged)");
@@ -267,11 +275,14 @@ int RunServe(GenerationManager& manager, WorkerPool* pool) {
 /// (per-thread LatencyHistograms merged with Merge(), never a shared
 /// locked histogram), per-shard gain-term percentiles, and routed topk.
 int RunBench(GenerationManager& manager, std::size_t threads, int k,
-             std::size_t samples, const std::string& json_path) {
+             std::size_t samples, GainKernelMode kernel_mode,
+             const std::string& json_path) {
   std::vector<BenchJsonRecord> records;
   GenerationManager::Session main_session(manager);
   const ShardManifest& m = main_session.shards().manifest;
   PrintManifest(m, "bench");
+  std::printf("kernel: %s (backend %s)\n", GainKernelModeName(kernel_mode),
+              GainKernelBackendName(ActiveGainKernelBackend()));
 
   std::vector<NodeId> active;
   for (NodeId x = 0; x < m.num_users; ++x) {
@@ -293,42 +304,80 @@ int RunBench(GenerationManager& manager, std::size_t threads, int k,
 
   // Routed gains, `threads` sessions each working a stripe of the active
   // users; per-thread digests merged at the end (Merge is
-  // order-independent, so the merged percentiles are deterministic).
+  // order-independent, so the merged percentiles are deterministic). Run
+  // in both kernel modes so the archived trajectory keeps exact and
+  // fast_math numbers apart; --kernel picks the headline record and the
+  // mode the per-shard + topk sections below run in.
   std::vector<std::unique_ptr<GenerationManager::Session>> sessions;
   for (std::size_t t = 0; t < threads; ++t) {
     sessions.push_back(
         std::make_unique<GenerationManager::Session>(manager));
   }
-  std::vector<LatencyHistogram> gain_hist(threads);
-  std::vector<double> partial(threads, 0.0);
-  WallTimer timer;
-  ParallelForChunked(
-      active.size(), threads,
-      [&](std::size_t tid, std::size_t begin, std::size_t end) {
-        ShardRouter& router = sessions[tid]->router();
-        WallTimer query_timer;
-        double sum = 0.0;
-        for (std::size_t i = begin; i < end; ++i) {
-          query_timer.Reset();
-          sum += router.MarginalGain(active[i]);
-          gain_hist[tid].Record(query_timer.ElapsedSeconds() * 1e9);
-        }
-        partial[tid] = sum;
-      });
-  const double gain_seconds = timer.ElapsedSeconds();
-  LatencyHistogram merged_gain;
-  double checksum = 0.0;
-  for (std::size_t t = 0; t < threads; ++t) {
-    merged_gain.Merge(gain_hist[t]);
-    checksum += partial[t];
-  }
-  const double gain_ns = gain_seconds * 1e9 / active.size();
+  struct RoutedPhase {
+    LatencyHistogram hist;
+    double ns_per_query = 0.0;
+    double checksum = 0.0;
+  };
+  const auto run_routed_phase = [&](GainKernelMode mode) {
+    RoutedPhase phase;
+    std::vector<LatencyHistogram> gain_hist(threads);
+    std::vector<double> partial(threads, 0.0);
+    for (auto& session : sessions) {
+      session->router().set_kernel_mode(mode);
+    }
+    WallTimer timer;
+    ParallelForChunked(
+        active.size(), threads,
+        [&](std::size_t tid, std::size_t begin, std::size_t end) {
+          ShardRouter& router = sessions[tid]->router();
+          WallTimer query_timer;
+          double sum = 0.0;
+          for (std::size_t i = begin; i < end; ++i) {
+            query_timer.Reset();
+            sum += router.MarginalGain(active[i]);
+            gain_hist[tid].Record(query_timer.ElapsedSeconds() * 1e9);
+          }
+          partial[tid] = sum;
+        });
+    phase.ns_per_query =
+        timer.ElapsedSeconds() * 1e9 / static_cast<double>(active.size());
+    for (std::size_t t = 0; t < threads; ++t) {
+      phase.hist.Merge(gain_hist[t]);
+      phase.checksum += partial[t];
+    }
+    return phase;
+  };
+  const RoutedPhase exact_phase = run_routed_phase(GainKernelMode::kExact);
+  const RoutedPhase fast_phase = run_routed_phase(GainKernelMode::kFastMath);
+  const RoutedPhase& selected = kernel_mode == GainKernelMode::kFastMath
+                                    ? fast_phase
+                                    : exact_phase;
   std::printf("routed gain: %.3f us/query over %zu active users x %zu "
               "sessions (checksum %.3f)\n",
-              gain_ns / 1e3, active.size(), threads, checksum);
-  print_hist("routed_gain", merged_gain);
-  records.push_back(
-      WithPercentiles({"shard_gain_routed", gain_ns, 0, threads}, merged_gain));
+              selected.ns_per_query / 1e3, active.size(), threads,
+              selected.checksum);
+  std::printf("  exact %.3f us/query, fast %.3f us/query (%.2fx)\n",
+              exact_phase.ns_per_query / 1e3, fast_phase.ns_per_query / 1e3,
+              fast_phase.ns_per_query > 0
+                  ? exact_phase.ns_per_query / fast_phase.ns_per_query
+                  : 0.0);
+  print_hist("routed_gain_exact", exact_phase.hist);
+  print_hist("routed_gain_fast", fast_phase.hist);
+  BenchJsonRecord routed_record = WithPercentiles(
+      {"shard_gain_routed", selected.ns_per_query, 0, threads},
+      selected.hist);
+  routed_record.mode = GainKernelModeName(kernel_mode);
+  records.push_back(std::move(routed_record));
+  BenchJsonRecord routed_exact = WithPercentiles(
+      {"shard_gain_routed_exact", exact_phase.ns_per_query, 0, threads},
+      exact_phase.hist);
+  routed_exact.mode = GainKernelModeName(GainKernelMode::kExact);
+  records.push_back(std::move(routed_exact));
+  BenchJsonRecord routed_fast = WithPercentiles(
+      {"shard_gain_routed_fast", fast_phase.ns_per_query, 0, threads},
+      fast_phase.hist);
+  routed_fast.mode = GainKernelModeName(GainKernelMode::kFastMath);
+  records.push_back(std::move(routed_fast));
 
   // Per-shard gain-term latency: where each query's time actually goes,
   // one histogram (and one --json record with p50/p95/p99) per shard.
@@ -380,6 +429,7 @@ int Main(int argc, char** argv) {
   std::string graph_path;
   std::string log_path;
   std::string credit_name = "equal";
+  std::string kernel_name = "exact";
   std::string json_path;
   double lambda = 0.001;
   int shards = 4;
@@ -401,6 +451,9 @@ int Main(int argc, char** argv) {
   flags.AddString("graph", &graph_path, "graph file (.tsv or .bin)");
   flags.AddString("log", &log_path, "action log file (.tsv or .bin)");
   flags.AddString("credit", &credit_name, "equal | timedecay");
+  flags.AddString("kernel", &kernel_name,
+                  "gain kernel: exact (bit-identical fold) | fast "
+                  "(vectorized, bounded error)");
   flags.AddDouble("lambda", &lambda, "CD truncation threshold (--build)");
   flags.AddInt("shards", &shards, "target shard count for --split");
   flags.AddInt("generation", &generation, "generation number for --split");
@@ -432,7 +485,16 @@ int Main(int argc, char** argv) {
   }
   if (shards < 1 || generation < 1 || threads < 1 || samples < 1 ||
       poll_ms < 1 || pool_threads < 0) {
-    std::fprintf(stderr, "nonsensical numeric flag\n");
+    std::fprintf(stderr,
+                 "--shards, --generation, --threads, --samples, and "
+                 "--poll_ms must be >= 1; --pool_threads must be >= 0\n%s",
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  const auto kernel_mode = ParseGainKernelMode(kernel_name);
+  if (!kernel_mode.ok()) {
+    std::fprintf(stderr, "%s\n%s", kernel_mode.status().ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
     return 1;
   }
   if (split) {
@@ -462,7 +524,8 @@ int Main(int argc, char** argv) {
   }
   if (bench) {
     return RunBench(**manager, static_cast<std::size_t>(threads), k,
-                    static_cast<std::size_t>(samples), json_path);
+                    static_cast<std::size_t>(samples), *kernel_mode,
+                    json_path);
   }
 
   std::unique_ptr<WorkerPool> pool;
@@ -519,7 +582,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "watching %s every %d ms\n", log_path.c_str(),
                  poll_ms);
   }
-  const int status = RunServe(**manager, pool.get());
+  const int status = RunServe(**manager, pool.get(), *kernel_mode);
   (*manager)->StopWatch();
   return status;
 }
