@@ -197,6 +197,27 @@ void BM_SnapshotMarginalGain(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotMarginalGain)->Arg(500)->Arg(2000);
 
+// The observability overhead contract (docs/observability.md): the
+// instrumented gain path — sampled probe, 1 in kObsSampleEvery queries
+// takes the clock-timed branch — must stay within 2% of the same loop
+// with the engine's telemetry switched off. Arg(0) is the detached
+// baseline, Arg(1) the instrumented path; bench_compare.py diffs both
+// against BM_SnapshotMarginalGain/500, whose loop body this mirrors.
+void BM_MetricsOverhead(benchmark::State& state) {
+  const std::string& path = SnapshotPath(500);
+  auto view = CreditSnapshotView::Open(path);
+  INFLUMAX_CHECK(view.ok());
+  SnapshotQueryEngine engine(*view);
+  engine.set_obs_enabled(state.range(0) == 1);
+  NodeId node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.MarginalGain(node));
+    node = (node + 1) % view->num_users();
+  }
+  state.counters["instrumented"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1);
+
 void BM_SnapshotTopKSeeds(benchmark::State& state) {
   const std::string& path = SnapshotPath(static_cast<NodeId>(state.range(0)));
   auto view = CreditSnapshotView::Open(path);

@@ -30,6 +30,16 @@ struct BenchJsonRecord {
   /// emitted when non-empty so the archived perf trajectory distinguishes
   /// exact from fast_math numbers. tools/bench_compare.py ignores it.
   std::string mode;
+  /// Optional plain value (counters and gauges from the metrics registry
+  /// land here via AppendMetricsJsonRecords), emitted when has_value is
+  /// set. tools/bench_compare.py ignores it.
+  bool has_value = false;
+  double value = 0.0;
+  /// Optional sample count and max (ns), emitted when has_count is set —
+  /// registry timers carry them next to their percentiles.
+  bool has_count = false;
+  std::uint64_t count = 0;
+  double max_ns = 0.0;
 };
 
 /// Writes `records` as the JSON object above. Returns 0, or 1 (with a
@@ -55,6 +65,14 @@ inline int WriteBenchJson(const std::string& path,
     }
     if (!records[i].mode.empty()) {
       std::fprintf(out, ", \"mode\": \"%s\"", records[i].mode.c_str());
+    }
+    if (records[i].has_value) {
+      std::fprintf(out, ", \"value\": %.3f", records[i].value);
+    }
+    if (records[i].has_count) {
+      std::fprintf(out, ", \"count\": %llu, \"max_ns\": %.3f",
+                   static_cast<unsigned long long>(records[i].count),
+                   records[i].max_ns);
     }
     std::fprintf(out, "}%s\n", i + 1 < records.size() ? "," : "");
   }

@@ -29,6 +29,8 @@ class LatencyHistogram {
         value <= 0.0 ? 0 : static_cast<std::uint64_t>(value);
     ++counts_[BucketOf(v)];
     ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
   }
 
   /// Approximate p-th percentile (p in [0, 100]) of the recorded
@@ -51,6 +53,19 @@ class LatencyHistogram {
   /// Samples recorded so far.
   std::uint64_t count() const { return count_; }
 
+  /// Sum of the recorded (clamped-to-uint64) samples. Kept as an integer
+  /// so Merge stays exactly order-independent — no FP addition order.
+  std::uint64_t sum() const { return sum_; }
+
+  /// Largest recorded sample (0 when empty).
+  std::uint64_t max() const { return max_; }
+
+  /// Mean of the recorded samples (0 when empty).
+  double mean() const {
+    if (count_ == 0) return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
   /// Adds another histogram's counts into this one (per-thread digests
   /// merge without ordering effects).
   void Merge(const LatencyHistogram& other) {
@@ -58,12 +73,57 @@ class LatencyHistogram {
       counts_[b] += other.counts_[b];
     }
     count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
   }
 
   /// Drops every sample.
   void Reset() {
     counts_.fill(0);
     count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+  }
+
+  // --- Bucket-iteration API (Prometheus exposition, external digests) ---
+
+  /// Number of buckets; `bucket_count(b)` is valid for b in
+  /// [0, num_buckets()).
+  static constexpr std::size_t num_buckets() { return kBuckets; }
+
+  /// Samples that landed in bucket b.
+  std::uint64_t bucket_count(std::size_t b) const { return counts_[b]; }
+
+  /// The bucket a sample with this value lands in.
+  static std::size_t BucketIndexOf(std::uint64_t v) { return BucketOf(v); }
+
+  /// Inclusive upper bound of bucket b: every sample in the bucket is
+  /// <= this value (Prometheus `le` semantics). The last bucket's bound
+  /// is 2^64 - 1, i.e. effectively +Inf for uint64 samples.
+  static double BucketUpperBound(std::size_t b) {
+    const std::uint64_t group = b >> kSubBits;
+    const std::uint64_t sub = b & (kSub - 1);
+    if (group == 0) return static_cast<double>(sub);
+    // Bucket [lo, lo + width): lo = (kSub + sub) << (group - 1).
+    const std::uint64_t lo = (kSub + sub) << (group - 1);
+    const std::uint64_t width = std::uint64_t{1} << (group - 1);
+    return static_cast<double>(lo + width - 1);
+  }
+
+  /// Folds n pre-bucketed samples into bucket b — the scrape path for
+  /// external per-thread digests (src/obs) that keep atomic bucket
+  /// arrays rather than LatencyHistogram instances. Does not touch
+  /// sum/max; pair with MergeSumMax.
+  void AddBucketCount(std::size_t b, std::uint64_t n) {
+    counts_[b] += n;
+    count_ += n;
+  }
+
+  /// Folds an externally tracked (sum, max) pair into this histogram,
+  /// with the same order-independence as Merge.
+  void MergeSumMax(std::uint64_t sum, std::uint64_t max) {
+    sum_ += sum;
+    if (max > max_) max_ = max;
   }
 
  private:
@@ -99,6 +159,8 @@ class LatencyHistogram {
 
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
 };
 
 }  // namespace influmax

@@ -3,7 +3,40 @@
 #include <algorithm>
 #include <barrier>
 
+#include "obs/metrics.h"
+
 namespace influmax {
+
+namespace {
+
+// WorkerPool telemetry (docs/observability.md). Only the threaded
+// dispatch path records; the inline path (no spawned threads or
+// total <= 1) stays untouched — it is the determinism escape hatch and
+// runs per tiny job. Worker utilization over a window is
+// pool.busy_ns / (window * workers).
+struct PoolMetrics {
+  Counter* jobs;
+  Counter* items;
+  Counter* busy_ns;
+  Timer* queue_wait;
+  Timer* job_latency;
+};
+
+const PoolMetrics& GetPoolMetrics() {
+  static const PoolMetrics metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return PoolMetrics{
+        reg.FindOrCreateCounter("pool.jobs"),
+        reg.FindOrCreateCounter("pool.items"),
+        reg.FindOrCreateCounter("pool.busy_ns"),
+        reg.FindOrCreateTimer("pool.queue_wait"),
+        reg.FindOrCreateTimer("pool.job_latency"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 std::size_t EffectiveThreadCount(std::size_t requested) {
   if (requested != 0) return requested;
@@ -139,11 +172,24 @@ void WorkerPool::WorkerLoop(std::size_t worker_index) {
       seen = job_seq_;
       job = job_;
     }
+    if constexpr (kObsEnabled) {
+      GetPoolMetrics().queue_wait->Record(MonotonicNowNs() - job->publish_ns);
+    }
     Drain(*job, worker_index);
   }
 }
 
 void WorkerPool::Drain(Job& job, std::size_t worker_index) {
+  if constexpr (kObsEnabled) {
+    const std::uint64_t t0 = MonotonicNowNs();
+    DrainLoop(job, worker_index);
+    GetPoolMetrics().busy_ns->Add(MonotonicNowNs() - t0);
+    return;
+  }
+  DrainLoop(job, worker_index);
+}
+
+void WorkerPool::DrainLoop(Job& job, std::size_t worker_index) {
   for (;;) {
     const std::size_t i = job.cursor.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.total) return;
@@ -172,6 +218,12 @@ void WorkerPool::ParallelFor(
   auto job = std::make_shared<Job>();
   job->body = &body;
   job->total = total;
+  if constexpr (kObsEnabled) {
+    const PoolMetrics& metrics = GetPoolMetrics();
+    metrics.jobs->Increment();
+    metrics.items->Add(total);
+    job->publish_ns = MonotonicNowNs();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = job;
@@ -188,6 +240,9 @@ void WorkerPool::ParallelFor(
   done_cv_.wait(lock, [&] {
     return job->completed.load(std::memory_order_acquire) == job->total;
   });
+  if constexpr (kObsEnabled) {
+    GetPoolMetrics().job_latency->Record(MonotonicNowNs() - job->publish_ns);
+  }
 }
 
 }  // namespace influmax

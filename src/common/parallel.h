@@ -114,12 +114,17 @@ class WorkerPool {
   struct Job {
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::size_t total = 0;
+    // MonotonicNowNs at publication; workers subtract it on wakeup to
+    // record pool.queue_wait (src/obs/). Written before the job is
+    // published under mu_, read after workers acquire mu_.
+    std::uint64_t publish_ns = 0;
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> completed{0};
   };
 
   void WorkerLoop(std::size_t worker_index);
   void Drain(Job& job, std::size_t worker_index);
+  void DrainLoop(Job& job, std::size_t worker_index);
 
   std::vector<std::thread> threads_;
 

@@ -1,0 +1,107 @@
+#ifndef INFLUMAX_OBS_OFF
+
+#include "obs/prom_text.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace influmax {
+namespace {
+
+std::string SanitizedName(const std::string& name) {
+  std::string out = "influmax_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendLine(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+}
+
+/// Shortest exact rendering for bucket bounds, which are integers up to
+/// 2^64 - 1 stored as doubles: %.17g prints "10" for 10 and switches to
+/// exponent form only for huge bounds — both valid Prometheus floats.
+void AppendBound(std::string* out, double bound) {
+  AppendLine(out, "%.17g", bound);
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = SanitizedName(c.name);
+    AppendLine(&out, "# TYPE %s_total counter\n", name.c_str());
+    AppendLine(&out, "%s_total %" PRIu64 "\n", name.c_str(), c.value);
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = SanitizedName(g.name);
+    AppendLine(&out, "# TYPE %s gauge\n", name.c_str());
+    AppendLine(&out, "%s %" PRId64 "\n", name.c_str(), g.value);
+  }
+  for (const auto& t : snapshot.timers) {
+    const std::string name = SanitizedName(t.name);
+    AppendLine(&out, "# TYPE %s histogram\n", name.c_str());
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < LatencyHistogram::num_buckets(); ++b) {
+      const std::uint64_t n = t.hist.bucket_count(b);
+      if (n == 0) continue;
+      cumulative += n;
+      AppendLine(&out, "%s_bucket{le=\"", name.c_str());
+      AppendBound(&out, LatencyHistogram::BucketUpperBound(b));
+      AppendLine(&out, "\"} %" PRIu64 "\n", cumulative);
+    }
+    AppendLine(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(),
+               t.hist.count());
+    AppendLine(&out, "%s_sum %" PRIu64 "\n", name.c_str(), t.hist.sum());
+    AppendLine(&out, "%s_count %" PRIu64 "\n", name.c_str(), t.hist.count());
+  }
+  return out;
+}
+
+void AppendMetricsJsonRecords(const MetricsSnapshot& snapshot,
+                              std::vector<BenchJsonRecord>* records) {
+  for (const auto& c : snapshot.counters) {
+    BenchJsonRecord r;
+    r.name = c.name;
+    r.has_value = true;
+    r.value = static_cast<double>(c.value);
+    records->push_back(std::move(r));
+  }
+  for (const auto& g : snapshot.gauges) {
+    BenchJsonRecord r;
+    r.name = g.name;
+    r.has_value = true;
+    r.value = static_cast<double>(g.value);
+    records->push_back(std::move(r));
+  }
+  for (const auto& t : snapshot.timers) {
+    BenchJsonRecord r;
+    r.name = t.name;
+    r.ns_per_op = t.hist.mean();
+    r.has_percentiles = true;
+    r.p50_ns = t.hist.Percentile(50.0);
+    r.p95_ns = t.hist.Percentile(95.0);
+    r.p99_ns = t.hist.Percentile(99.0);
+    r.has_count = true;
+    r.count = t.hist.count();
+    r.max_ns = static_cast<double>(t.hist.max());
+    records->push_back(std::move(r));
+  }
+}
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_OBS_OFF

@@ -1,0 +1,40 @@
+#ifndef INFLUMAX_OBS_PROM_TEXT_H_
+#define INFLUMAX_OBS_PROM_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bench_json.h"
+#include "obs/metrics.h"
+
+namespace influmax {
+
+#ifndef INFLUMAX_OBS_OFF
+
+/// Renders a snapshot in the Prometheus text exposition format (0.0.4):
+/// counters as `<name>_total`, gauges as plain samples, timers as
+/// histograms with cumulative inclusive-`le` buckets (empty buckets
+/// elided, `+Inf` always present) plus `_sum`/`_count`. Metric names are
+/// prefixed `influmax_` and sanitized to [a-zA-Z0-9_:] — the registry's
+/// dotted names ("serve.gain.latency") become
+/// influmax_serve_gain_latency. Ready to serve on a /metrics endpoint
+/// the day the network front-end exists.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Appends the snapshot to a bench-JSON record list (common/bench_json.h)
+/// for --metrics_json dumps: counters/gauges become value records, timers
+/// become records with mean (ns_per_op), p50/p95/p99, count, and max.
+void AppendMetricsJsonRecords(const MetricsSnapshot& snapshot,
+                              std::vector<BenchJsonRecord>* records);
+
+#else  // INFLUMAX_OBS_OFF — snapshots are always empty; keep the calls.
+
+inline std::string PrometheusText(const MetricsSnapshot&) { return ""; }
+inline void AppendMetricsJsonRecords(const MetricsSnapshot&,
+                                     std::vector<BenchJsonRecord>*) {}
+
+#endif  // INFLUMAX_OBS_OFF
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_OBS_PROM_TEXT_H_

@@ -1,0 +1,132 @@
+#ifndef INFLUMAX_OBS_SPAN_H_
+#define INFLUMAX_OBS_SPAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#ifndef INFLUMAX_OBS_OFF
+#include <cstddef>
+#include <mutex>
+#endif
+
+#include "obs/metrics.h"
+
+namespace influmax {
+
+/// One completed trace span. `name` must be a string literal (spans are
+/// recorded on hot-ish paths; no ownership, no allocation). `detail` is
+/// a span-defined payload: the shard index for router fold spans, the
+/// node id for query spans, etc.
+struct SpanRecord {
+  const char* name = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint64_t detail = 0;
+};
+
+#ifndef INFLUMAX_OBS_OFF
+
+/// Fixed-capacity ring of the most recent spans for one serving session.
+/// Push overwrites the oldest entry once full; Snapshot returns the
+/// retained spans oldest-first. Internally synchronized: the shard
+/// router pushes fold spans from concurrent CELF worker threads. Pushes
+/// happen only on sampled / coarse paths, so the mutex is uncontended in
+/// practice and never on the per-gain fast path.
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  void Push(const SpanRecord& record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(record);
+    } else {
+      ring_[next_ % capacity_] = record;
+    }
+    ++next_;
+  }
+
+  /// Retained spans, oldest to newest.
+  std::vector<SpanRecord> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanRecord> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      out = ring_;
+    } else {
+      for (std::size_t i = 0; i < capacity_; ++i) {
+        out.push_back(ring_[(next_ + i) % capacity_]);
+      }
+    }
+    return out;
+  }
+
+  /// Spans pushed over the ring's lifetime (>= Snapshot().size()).
+  std::uint64_t total_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  std::uint64_t next_ = 0;
+};
+
+/// RAII span: stamps MonotonicNowNs() at construction, and at
+/// destruction pushes the completed record into `ring` (if non-null) and
+/// Records the duration into `timer` (if non-null). Both sinks optional
+/// so one scope can feed the session's span ring and a registry
+/// histogram at once.
+class ObsSpan {
+ public:
+  ObsSpan(SpanRing* ring, const char* name, std::uint64_t detail = 0,
+          Timer* timer = nullptr)
+      : ring_(ring), timer_(timer), rec_{name, MonotonicNowNs(), 0, detail} {}
+  ~ObsSpan() {
+    rec_.duration_ns = MonotonicNowNs() - rec_.start_ns;
+    if (ring_ != nullptr) ring_->Push(rec_);
+    if (timer_ != nullptr) timer_->Record(rec_.duration_ns);
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Updates the payload mid-scope (e.g. result sizes known at the end).
+  void set_detail(std::uint64_t detail) { rec_.detail = detail; }
+
+ private:
+  SpanRing* ring_;
+  Timer* timer_;
+  SpanRecord rec_;
+};
+
+#else  // INFLUMAX_OBS_OFF
+
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t = 256) {}
+  void Push(const SpanRecord&) {}
+  std::vector<SpanRecord> Snapshot() const { return {}; }
+  std::uint64_t total_pushed() const { return 0; }
+  std::size_t capacity() const { return 0; }
+};
+
+class ObsSpan {
+ public:
+  ObsSpan(SpanRing*, const char*, std::uint64_t = 0, Timer* = nullptr) {}
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+  void set_detail(std::uint64_t) {}
+};
+
+#endif  // INFLUMAX_OBS_OFF
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_OBS_SPAN_H_

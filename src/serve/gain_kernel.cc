@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 #if defined(__x86_64__)
 #include <immintrin.h>
 #endif
@@ -78,10 +80,26 @@ SumFn ResolveSumFn() {
 
 std::atomic<SumFn> g_sum_fn{nullptr};
 
+/// Mirrors the live dispatch into the serve.kernel.backend gauge (value
+/// = GainKernelBackend enum: 1 scalar, 2 avx2 — docs/observability.md).
+/// Called only when the dispatch changes, never on the per-sum path.
+void PublishBackendGauge(SumFn fn) {
+  if constexpr (kObsEnabled) {
+    GainKernelBackend backend = GainKernelBackend::kScalar;
+#if defined(__x86_64__)
+    if (fn == SumQuotientsAvx2) backend = GainKernelBackend::kAvx2;
+#endif
+    static Gauge* gauge =
+        MetricsRegistry::Global().FindOrCreateGauge("serve.kernel.backend");
+    gauge->Set(static_cast<std::int64_t>(backend));
+  }
+}
+
 SumFn CurrentSumFn() {
   SumFn fn = g_sum_fn.load(std::memory_order_acquire);
   if (fn == nullptr) {
     fn = ResolveSumFn();
+    PublishBackendGauge(fn);
     g_sum_fn.store(fn, std::memory_order_release);
   }
   return fn;
@@ -115,6 +133,7 @@ void ForceGainKernelBackend(GainKernelBackend backend) {
 #endif
       break;
   }
+  PublishBackendGauge(fn);
   g_sum_fn.store(fn, std::memory_order_release);
 }
 

@@ -6,9 +6,65 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "core/credit_store.h"
+#include "obs/metrics.h"
 #include "serve/snapshot_writer.h"
 
 namespace influmax {
+
+namespace {
+
+// Query-engine telemetry (docs/observability.md). The per-gain metrics
+// are fed only by the sampled TimedMarginalGain path, so their counters
+// move in units of kObsSampleEvery; the coarse operations record
+// exactly. The overlay histograms are recorded at ResetSession — the
+// moment the session's copy-on-write footprint is final.
+struct EngineMetrics {
+  Counter* gain_queries;
+  Timer* gain_latency;
+  Counter* kernel_exact;
+  Counter* kernel_fast;
+  Counter* topk_queries;
+  Timer* topk_latency;
+  Counter* commits;
+  Timer* commit_latency;
+  Counter* resets;
+  Timer* reset_latency;
+  Timer* spread_latency;
+  Timer* overlay_actions;
+  Timer* overlay_bytes;
+};
+
+const EngineMetrics& GetEngineMetrics() {
+  static const EngineMetrics metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return EngineMetrics{
+        reg.FindOrCreateCounter("serve.gain.queries"),
+        reg.FindOrCreateTimer("serve.gain.latency"),
+        reg.FindOrCreateCounter("serve.kernel.exact_calls"),
+        reg.FindOrCreateCounter("serve.kernel.fast_calls"),
+        reg.FindOrCreateCounter("serve.topk.queries"),
+        reg.FindOrCreateTimer("serve.topk.latency"),
+        reg.FindOrCreateCounter("serve.commit.count"),
+        reg.FindOrCreateTimer("serve.commit.latency"),
+        reg.FindOrCreateCounter("serve.reset.count"),
+        reg.FindOrCreateTimer("serve.reset.latency"),
+        reg.FindOrCreateTimer("serve.spread.latency"),
+        reg.FindOrCreateTimer("serve.overlay.actions"),
+        reg.FindOrCreateTimer("serve.overlay.bytes"),
+    };
+  }();
+  return metrics;
+}
+
+// thread_local, not per-engine: MarginalGain is const and TopKSeeds
+// fans it out over concurrent workers, so a member tick would race.
+thread_local std::uint64_t t_gain_tick = 0;
+
+inline bool GainTickFires() {
+  return (++t_gain_tick & (kObsSampleEvery - 1)) == 0;
+}
+
+}  // namespace
 
 SnapshotQueryEngine::SnapshotQueryEngine(const CreditSnapshotView& view)
     : SnapshotQueryEngine(view, view.au(), view.fwd_quotient()) {}
@@ -21,6 +77,9 @@ SnapshotQueryEngine::SnapshotQueryEngine(
     const CreditSnapshotView& view, std::span<const std::uint32_t> au_override,
     std::span<const double> quotient_override)
     : view_(&view), au_(au_override), quot_(quotient_override) {
+  // Register the metric names up front so scrapes see them from the
+  // first query, not only once the sampled probe first fires.
+  (void)GetEngineMetrics();
   INFLUMAX_CHECK(au_.size() >= view.num_users());
   INFLUMAX_CHECK(quot_.empty() || quot_.size() == view.num_entries());
   if (quot_.empty()) {
@@ -126,8 +185,26 @@ void SnapshotQueryEngine::ForEachGainTerm(NodeId x, TermFn&& term) const {
 }
 
 double SnapshotQueryEngine::MarginalGain(NodeId x) const {
+  if constexpr (kObsEnabled) {
+    if (obs_enabled_ && GainTickFires()) return TimedMarginalGain(x);
+  }
   if (x >= view_->num_users() || is_seed_[x]) return 0.0;
   return AccumulateGainTerms(x, 0.0);
+}
+
+double SnapshotQueryEngine::TimedMarginalGain(NodeId x) const {
+  const std::uint64_t t0 = MonotonicNowNs();
+  double gain = 0.0;
+  if (x < view_->num_users() && !is_seed_[x]) {
+    gain = AccumulateGainTerms(x, 0.0);
+  }
+  const EngineMetrics& m = GetEngineMetrics();
+  m.gain_latency->Record(MonotonicNowNs() - t0);
+  m.gain_queries->Add(kObsSampleEvery);
+  Counter* kernel = kernel_mode_ == GainKernelMode::kFastMath ? m.kernel_fast
+                                                              : m.kernel_exact;
+  kernel->Add(kObsSampleEvery);
+  return gain;
 }
 
 double SnapshotQueryEngine::AccumulateGainTerms(NodeId x, double acc) const {
@@ -241,6 +318,10 @@ void SnapshotQueryEngine::CommitSeed(NodeId x) {
   // session state — every overlay credit, every SC value, the rewind log
   // — is bit-identical to the serial commit for any thread count.
   if (x >= view_->num_users() || is_seed_[x]) return;
+  std::uint64_t obs_t0 = 0;
+  if constexpr (kObsEnabled) {
+    if (obs_enabled_) obs_t0 = MonotonicNowNs();
+  }
   const auto uo = view_->user_offsets();
   const std::uint64_t slot_begin = uo[x];
   const std::uint64_t slot_end = uo[x + 1];
@@ -309,16 +390,32 @@ void SnapshotQueryEngine::CommitSeed(NodeId x) {
   }
   is_seed_[x] = 1;
   committed_.push_back(x);
+  if constexpr (kObsEnabled) {
+    if (obs_enabled_) {
+      const EngineMetrics& m = GetEngineMetrics();
+      m.commits->Increment();
+      m.commit_latency->Record(MonotonicNowNs() - obs_t0);
+    }
+  }
 }
 
 double SnapshotQueryEngine::SpreadOf(std::span<const NodeId> seeds) {
   // Theorem 3 telescopes: sigma_cd(S) is the sum of the marginal gains
   // of committing S one seed at a time (in the given order).
+  std::uint64_t obs_t0 = 0;
+  if constexpr (kObsEnabled) {
+    if (obs_enabled_) obs_t0 = MonotonicNowNs();
+  }
   ResetSession();
   double total = 0.0;
   for (NodeId seed : seeds) {
     total += MarginalGain(seed);
     CommitSeed(seed);
+  }
+  if constexpr (kObsEnabled) {
+    if (obs_enabled_) {
+      GetEngineMetrics().spread_latency->Record(MonotonicNowNs() - obs_t0);
+    }
   }
   return total;
 }
@@ -336,6 +433,10 @@ SnapshotSeedSelection SnapshotQueryEngine::TopKSeeds(NodeId k,
   // for any thread count (docs/parallelism.md). All scratch is
   // engine-owned and only ever grows, preserving the allocation-free
   // steady state.
+  std::uint64_t obs_t0 = 0;
+  if constexpr (kObsEnabled) {
+    if (obs_enabled_) obs_t0 = MonotonicNowNs();
+  }
   ResetSession();
   SnapshotSeedSelection selection;
   const auto au = au_;
@@ -350,10 +451,28 @@ SnapshotSeedSelection SnapshotQueryEngine::TopKSeeds(NodeId k,
       [this](NodeId x) { return MarginalGain(x); },
       [this](NodeId x) { CommitSeed(x); }, &heap_, &memo_gain_,
       &memo_stamp_, &batch_, &gains_, &selection);
+  if constexpr (kObsEnabled) {
+    if (obs_enabled_) {
+      const EngineMetrics& m = GetEngineMetrics();
+      m.topk_queries->Increment();
+      m.topk_latency->Record(MonotonicNowNs() - obs_t0);
+    }
+  }
   return selection;
 }
 
 void SnapshotQueryEngine::ResetSession() {
+  std::uint64_t obs_t0 = 0;
+  if constexpr (kObsEnabled) {
+    if (obs_enabled_) {
+      obs_t0 = MonotonicNowNs();
+      // The session's copy-on-write footprint is final here: record it
+      // before the rewind clears it.
+      const EngineMetrics& m = GetEngineMetrics();
+      m.overlay_actions->Record(ovl_actions_.size());
+      m.overlay_bytes->Record(ovl_buf_.size() * sizeof(double));
+    }
+  }
   for (ActionId a : ovl_actions_) ovl_offset_[a] = kNotOverlaid;
   ovl_actions_.clear();
   ovl_buf_.clear();  // keeps capacity: steady-state queries do not allocate
@@ -365,6 +484,13 @@ void SnapshotQueryEngine::ResetSession() {
   sc_touched_.clear();
   for (NodeId x : committed_) is_seed_[x] = 0;
   committed_.clear();
+  if constexpr (kObsEnabled) {
+    if (obs_enabled_) {
+      const EngineMetrics& m = GetEngineMetrics();
+      m.resets->Increment();
+      m.reset_latency->Record(MonotonicNowNs() - obs_t0);
+    }
+  }
 }
 
 std::uint64_t SnapshotQueryEngine::ApproxMemoryBytes() const {

@@ -151,6 +151,15 @@ class SnapshotQueryEngine {
   void set_kernel_mode(GainKernelMode mode) { kernel_mode_ = mode; }
   GainKernelMode kernel_mode() const { return kernel_mode_; }
 
+  /// Telemetry switch (src/obs/, docs/observability.md): when on (the
+  /// default), queries record into MetricsRegistry::Global() —
+  /// MarginalGain through a sampled 1-in-kObsSampleEvery latency probe,
+  /// the coarse operations (TopKSeeds / CommitSeed / ResetSession /
+  /// SpreadOf) exactly. BM_MetricsOverhead's baseline row turns it off;
+  /// builds with INFLUMAX_OBS_OFF compile all of it out regardless.
+  void set_obs_enabled(bool enabled) { obs_enabled_ = enabled; }
+  bool obs_enabled() const { return obs_enabled_; }
+
   /// Seeds committed in this session (excluding snapshot-frozen ones).
   std::span<const NodeId> session_seeds() const { return committed_; }
 
@@ -200,6 +209,10 @@ class SnapshotQueryEngine {
   template <typename TermFn>
   void ForEachGainTerm(NodeId x, TermFn&& term) const;
 
+  /// MarginalGain's sampled slow path: the same gain, clock-timed, with
+  /// the deferred counters flushed in units of kObsSampleEvery.
+  double TimedMarginalGain(NodeId x) const;
+
   const CreditSnapshotView* view_;
 
   // A_u divisors for every gain formula: the view's au section, or the
@@ -212,6 +225,7 @@ class SnapshotQueryEngine {
   std::span<const double> quot_;
   std::vector<double> own_quot_;
   GainKernelMode kernel_mode_ = GainKernelMode::kExact;
+  bool obs_enabled_ = true;
 
   // Copy-on-write credit overlay: per-action offset into ovl_buf_
   // (kNotOverlaid when the action is untouched this session).

@@ -9,10 +9,48 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "serve/snapshot_writer.h"
 
 namespace influmax {
 namespace {
+
+// Generation-lifecycle telemetry (docs/observability.md). Everything
+// here is on cold paths (swaps, ingests, session setup/teardown), so it
+// records exactly, always-on. shard.ingest.lag is the watcher-tick ->
+// publish-visible time — the staleness bound a freshly appended tuple
+// pays before queries can see it.
+struct GenMetrics {
+  Counter* swaps;
+  Timer* swap_latency;
+  Gauge* retired;
+  Gauge* pinned_sessions;
+  Counter* ingests;
+  Timer* ingest_latency;
+  Counter* replayed_tuples;
+  Timer* ingest_lag;
+  Counter* watch_ticks;
+  Counter* watch_errors;
+};
+
+const GenMetrics& GetGenMetrics() {
+  static const GenMetrics metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return GenMetrics{
+        reg.FindOrCreateCounter("shard.generation.swaps"),
+        reg.FindOrCreateTimer("shard.generation.swap_latency"),
+        reg.FindOrCreateGauge("shard.generation.retired"),
+        reg.FindOrCreateGauge("shard.generation.pinned_sessions"),
+        reg.FindOrCreateCounter("shard.ingest.count"),
+        reg.FindOrCreateTimer("shard.ingest.latency"),
+        reg.FindOrCreateCounter("shard.ingest.replayed_tuples"),
+        reg.FindOrCreateTimer("shard.ingest.lag"),
+        reg.FindOrCreateCounter("shard.watch.ticks"),
+        reg.FindOrCreateCounter("shard.watch.errors"),
+    };
+  }();
+  return metrics;
+}
 
 /// Highest generation number any MANIFEST-* file in `dir` names. The
 /// next ingested generation must exceed every number ever written, not
@@ -64,6 +102,8 @@ Result<std::unique_ptr<GenerationManager>> GenerationManager::Open(
 }
 
 void GenerationManager::Publish(std::unique_ptr<Generation> next) {
+  std::uint64_t obs_t0 = 0;
+  if constexpr (kObsEnabled) obs_t0 = MonotonicNowNs();
   next->publish_seq = ++publish_seq_;
   Generation* old = published_.exchange(next.release());
   if (old != nullptr) {
@@ -73,6 +113,11 @@ void GenerationManager::Publish(std::unique_ptr<Generation> next) {
   }
   global_epoch_.fetch_add(1);
   ReclaimRetired();
+  if constexpr (kObsEnabled) {
+    const GenMetrics& m = GetGenMetrics();
+    m.swaps->Increment();
+    m.swap_latency->Record(MonotonicNowNs() - obs_t0);
+  }
 }
 
 void GenerationManager::ReclaimRetired() {
@@ -96,12 +141,15 @@ void GenerationManager::ReclaimRetired() {
   }
   retired_.resize(kept);
   retired_count_.store(kept);
+  GetGenMetrics().retired->Set(static_cast<std::int64_t>(kept));
 }
 
 Status GenerationManager::IngestLog(const ActionLog& log, const Graph& graph,
                                     const DirectCreditModel& credit_model,
                                     CdConfig config, std::size_t shard_threads,
                                     IngestStats* stats) {
+  std::uint64_t obs_t0 = 0;
+  if constexpr (kObsEnabled) obs_t0 = MonotonicNowNs();
   // The writer owns published_; a plain load is the current generation.
   const Generation* cur = published_.load();
   const ShardManifest& m = cur->shards.manifest;
@@ -217,16 +265,20 @@ Status GenerationManager::IngestLog(const ActionLog& log, const Graph& graph,
   next_generation->shards = std::move(opened).value();
   Publish(std::move(next_generation));
 
-  if (stats != nullptr) {
-    IngestStats total{.generation = generation};
-    for (const RescanStats& s : shard_stats) {
-      total.unchanged_actions += s.unchanged_actions;
-      total.rescanned_actions += s.rescanned_actions;
-      total.new_actions += s.new_actions;
-      total.replayed_tuples += s.replayed_tuples;
-    }
-    *stats = total;
+  IngestStats total{.generation = generation};
+  for (const RescanStats& s : shard_stats) {
+    total.unchanged_actions += s.unchanged_actions;
+    total.rescanned_actions += s.rescanned_actions;
+    total.new_actions += s.new_actions;
+    total.replayed_tuples += s.replayed_tuples;
   }
+  if constexpr (kObsEnabled) {
+    const GenMetrics& m = GetGenMetrics();
+    m.ingests->Increment();
+    m.ingest_latency->Record(MonotonicNowNs() - obs_t0);
+    m.replayed_tuples->Add(total.replayed_tuples);
+  }
+  if (stats != nullptr) *stats = total;
   return Status::OK();
 }
 
@@ -274,6 +326,11 @@ void GenerationManager::WatchLoop(
       watch_cv_.wait_for(lock, poll_interval, [this] { return watch_stop_; });
       if (watch_stop_) return;
     }
+    std::uint64_t tick_t0 = 0;
+    if constexpr (kObsEnabled) {
+      GetGenMetrics().watch_ticks->Increment();
+      tick_t0 = MonotonicNowNs();
+    }
     auto log = reload();
     Status status = log.status();
     if (status.ok() && log->has_value()) {
@@ -281,7 +338,15 @@ void GenerationManager::WatchLoop(
       status = IngestLog(**log, graph, credit_model, config, shard_threads);
       if (status.ok() && current_generation() != before) {
         watch_ingests_.fetch_add(1);
+        if constexpr (kObsEnabled) {
+          // Ingest lag: watcher tick (log reload included) to the new
+          // generation being visible to fresh sessions.
+          GetGenMetrics().ingest_lag->Record(MonotonicNowNs() - tick_t0);
+        }
       }
+    }
+    if constexpr (kObsEnabled) {
+      if (!status.ok()) GetGenMetrics().watch_errors->Increment();
     }
     std::lock_guard<std::mutex> lock(watch_mu_);
     watch_status_ = status;
@@ -323,11 +388,13 @@ GenerationManager::Session::Session(GenerationManager& manager,
                  "GenerationManager: all reader sessions are in use");
   generation_ = manager.published_.load();
   router_ = std::make_unique<ShardRouter>(generation_->shards, pool_);
+  GetGenMetrics().pinned_sessions->Add(1);
 }
 
 GenerationManager::Session::~Session() {
   router_.reset();
   slot_->store(kFreeSlot);
+  GetGenMetrics().pinned_sessions->Add(-1);
 }
 
 bool GenerationManager::Session::Refresh() {

@@ -1,16 +1,71 @@
 #include "shard/shard_router.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace influmax {
+
+namespace {
+
+// Router telemetry (docs/observability.md). Gain metrics come from the
+// sampled TimedMarginalGain path (counters move in units of
+// kObsSampleEvery); commit/topk record exactly. Per-shard chained-fold
+// timers exist for the first kPerShardTimers shard indices — folds of
+// higher shards still land in the aggregate shard.fold timer.
+constexpr std::size_t kPerShardTimers = 8;
+
+struct RouterMetrics {
+  Counter* gain_queries;
+  Timer* gain_latency;
+  Timer* shard_fold;  // every shard's fold segment, aggregated
+  std::array<Timer*, kPerShardTimers> shard_fold_by_index;
+  Counter* commits;
+  Timer* commit_latency;
+  Counter* topk_queries;
+  Timer* topk_latency;
+};
+
+const RouterMetrics& GetRouterMetrics() {
+  static const RouterMetrics metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    RouterMetrics m{};
+    m.gain_queries = reg.FindOrCreateCounter("shard.router.gain_queries");
+    m.gain_latency = reg.FindOrCreateTimer("shard.router.gain_latency");
+    m.shard_fold = reg.FindOrCreateTimer("shard.fold.all");
+    for (std::size_t i = 0; i < kPerShardTimers; ++i) {
+      m.shard_fold_by_index[i] =
+          reg.FindOrCreateTimer("shard.fold.s" + std::to_string(i));
+    }
+    m.commits = reg.FindOrCreateCounter("shard.router.commits");
+    m.commit_latency = reg.FindOrCreateTimer("shard.router.commit_latency");
+    m.topk_queries = reg.FindOrCreateCounter("shard.router.topk_queries");
+    m.topk_latency = reg.FindOrCreateTimer("shard.router.topk_latency");
+    return m;
+  }();
+  return metrics;
+}
+
+// thread_local for the same reason as the engine's tick: the CELF
+// passes call the const MarginalGain from concurrent pool workers.
+thread_local std::uint64_t t_router_tick = 0;
+
+inline bool RouterTickFires() {
+  return (++t_router_tick & (kObsSampleEvery - 1)) == 0;
+}
+
+}  // namespace
 
 ShardRouter::ShardRouter(const ShardedSnapshot& shards, WorkerPool* pool)
     : shards_(&shards),
       pool_(pool),
       num_users_(shards.manifest.num_users),
       au_(shards.manifest.au) {
+  // Register the metric names up front so scrapes see them from the
+  // first query, not only once the sampled probe first fires.
+  (void)GetRouterMetrics();
   INFLUMAX_CHECK(!shards.views.empty());
   engines_.reserve(shards.views.size());
   for (std::size_t i = 0; i < shards.views.size(); ++i) {
@@ -38,6 +93,9 @@ void ShardRouter::ForEachShard(const std::function<void(std::size_t)>& body) {
 }
 
 double ShardRouter::MarginalGain(NodeId x) const {
+  if constexpr (kObsEnabled) {
+    if (obs_enabled_ && RouterTickFires()) return TimedMarginalGain(x);
+  }
   if (x >= num_users_ || is_seed_[x] || au_[x] == 0) return 0.0;
   // The gain-merge fold (docs/sharding.md): shards cover contiguous
   // ascending action ranges, so chaining the per-slot term fold through
@@ -48,6 +106,32 @@ double ShardRouter::MarginalGain(NodeId x) const {
   for (const SnapshotQueryEngine& engine : engines_) {
     mg = engine.AccumulateGainTerms(x, mg);
   }
+  return mg;
+}
+
+double ShardRouter::TimedMarginalGain(NodeId x) const {
+  const RouterMetrics& m = GetRouterMetrics();
+  const std::uint64_t q0 = MonotonicNowNs();
+  double mg = 0.0;
+  if (x < num_users_ && !is_seed_[x] && au_[x] != 0) {
+    // Same chained fold as the fast path, with each shard's segment
+    // timed: the per-shard cost is the skew signal that tells an
+    // operator which action range is hot.
+    std::uint64_t t0 = q0;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      mg = engines_[i].AccumulateGainTerms(x, mg);
+      const std::uint64_t t1 = MonotonicNowNs();
+      const std::uint64_t dt = t1 - t0;
+      m.shard_fold->Record(dt);
+      if (i < kPerShardTimers) m.shard_fold_by_index[i]->Record(dt);
+      if (ring_ != nullptr) ring_->Push({"router.shard_fold", t0, dt, i});
+      t0 = t1;
+    }
+  }
+  const std::uint64_t q1 = MonotonicNowNs();
+  m.gain_latency->Record(q1 - q0);
+  m.gain_queries->Add(kObsSampleEvery);
+  if (ring_ != nullptr) ring_->Push({"router.gain", q0, q1 - q0, x});
   return mg;
 }
 
@@ -70,6 +154,9 @@ double ShardRouter::MarginalGainParallel(NodeId x) {
 
 void ShardRouter::CommitSeed(NodeId x) {
   if (x >= num_users_ || is_seed_[x]) return;
+  const RouterMetrics& m = GetRouterMetrics();
+  m.commits->Increment();
+  ObsSpan span(ring_, "router.commit", x, m.commit_latency);
   // Algorithm 5 decomposes by action: each shard's commit touches only
   // its own overlay and SC shadow, so the fan-out is exact (and each
   // engine's internal commit stays serial — gain_threads defaults to 1).
@@ -95,6 +182,9 @@ SnapshotSeedSelection ShardRouter::TopKSeeds(NodeId k, double spread_budget) {
   // pass over active users, same heap build order, same consumption
   // discipline (RunCelfGreedyWith), so seeds, gains, and evaluation
   // counts are bit-identical for any shard count and any pool size.
+  const RouterMetrics& m = GetRouterMetrics();
+  m.topk_queries->Increment();
+  ObsSpan span(ring_, "router.topk", k, m.topk_latency);
   ResetSession();
   SnapshotSeedSelection selection;
   const auto au = au_;

@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "common/types.h"
 #include "core/celf.h"
+#include "obs/span.h"
 #include "serve/query_engine.h"
 #include "shard/shard_manifest.h"
 
@@ -94,6 +95,20 @@ class ShardRouter {
     return engines_[i];
   }
 
+  /// Attaches a session span ring (src/obs/span.h): the sampled gain
+  /// probe pushes one router.gain span plus a router.shard_fold span per
+  /// shard, CommitSeed/TopKSeeds push always-on spans. Not owned;
+  /// nullptr (the default) disables span capture. A Session::Refresh
+  /// rebuilds the router, so re-attach after a generation swap (the
+  /// serving CLIs do, alongside the kernel mode).
+  void set_span_ring(SpanRing* ring) { ring_ = ring; }
+  SpanRing* span_ring() const { return ring_; }
+
+  /// Telemetry switch, mirroring SnapshotQueryEngine::set_obs_enabled:
+  /// gates the router's sampled gain probe (the per-query metrics and
+  /// spans of coarse operations stay on — they are not on a hot path).
+  void set_obs_enabled(bool enabled) { obs_enabled_ = enabled; }
+
   /// Sum of the shard engines' workspaces plus router scratch — the
   /// per-session cost on top of the shared mappings.
   std::uint64_t ApproxMemoryBytes() const;
@@ -102,6 +117,10 @@ class ShardRouter {
   /// Runs body(i) over shards: pool fan-out when available, else serial.
   void ForEachShard(const std::function<void(std::size_t)>& body);
 
+  /// MarginalGain's sampled slow path: the same chained fold with each
+  /// shard's segment clock-timed (shard.fold.* timers + span ring).
+  double TimedMarginalGain(NodeId x) const;
+
   const ShardedSnapshot* shards_;
   WorkerPool* pool_;
   NodeId num_users_ = 0;
@@ -109,6 +128,8 @@ class ShardRouter {
 
   std::vector<SnapshotQueryEngine> engines_;  // one per shard
   GainKernelMode kernel_mode_ = GainKernelMode::kExact;
+  SpanRing* ring_ = nullptr;
+  bool obs_enabled_ = true;
 
   // Router-level session seed set (mirrors each engine's, so const gain
   // checks never touch a shard).

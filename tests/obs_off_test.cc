@@ -1,0 +1,76 @@
+// INFLUMAX_OBS_OFF surface (docs/observability.md): this TU is compiled
+// with the OFF macro (see CMakeLists) and linked against GTest only, so
+// it proves the stub headers are self-contained — every call site idiom
+// the instrumented code uses must compile and no-op. It is deliberately
+// NOT linked with the ON-compiled libraries: that would mix two
+// definitions of the obs inline classes (ODR).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/prom_text.h"
+#include "obs/span.h"
+
+namespace influmax {
+namespace {
+
+static_assert(!kObsEnabled, "this TU must be compiled with INFLUMAX_OBS_OFF");
+
+TEST(ObsOffTest, RegistryHandlesNoOp) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.FindOrCreateCounter("off.counter");
+  Gauge* g = reg.FindOrCreateGauge("off.gauge");
+  Timer* t = reg.FindOrCreateTimer("off.timer");
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(g, nullptr);
+  ASSERT_NE(t, nullptr);
+  c->Add(5);
+  c->Increment();
+  g->Set(42);
+  g->Add(1);
+  EXPECT_EQ(g->Value(), 0);  // stub gauges read zero
+  t->Record(100);
+  EXPECT_EQ(reg.num_shards(), 0u);
+}
+
+TEST(ObsOffTest, ScrapeIsEmpty) {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Scrape();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.timers.empty());
+  EXPECT_EQ(snap.FindCounter("off.counter"), nullptr);
+  EXPECT_EQ(snap.FindGauge("off.gauge"), nullptr);
+  EXPECT_EQ(snap.FindTimer("off.timer"), nullptr);
+}
+
+TEST(ObsOffTest, SpanRingAndObsSpanNoOp) {
+  SpanRing ring(4);
+  ring.Push({"s", 1, 2, 3});
+  {
+    ObsSpan span(&ring, "scope", 7,
+                 MetricsRegistry::Global().FindOrCreateTimer("off.t"));
+    span.set_detail(9);
+  }
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.total_pushed(), 0u);
+  EXPECT_EQ(ring.capacity(), 0u);
+}
+
+TEST(ObsOffTest, ExpositionsAreEmpty) {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Scrape();
+  EXPECT_EQ(PrometheusText(snap), "");
+  std::vector<BenchJsonRecord> records;
+  AppendMetricsJsonRecords(snap, &records);
+  EXPECT_TRUE(records.empty());
+}
+
+TEST(ObsOffTest, TimestampAndConstantsStillAvailable) {
+  // MonotonicNowNs and kObsSampleEvery are unconditional — call sites
+  // outside `if constexpr (kObsEnabled)` guards may still reference them.
+  EXPECT_GT(MonotonicNowNs(), 0u);
+  EXPECT_EQ(kObsSampleEvery, 256u);
+}
+
+}  // namespace
+}  // namespace influmax

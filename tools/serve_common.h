@@ -3,12 +3,16 @@
 
 // Helpers shared by the serving CLIs (serve_credit, serve_shards):
 // graph/log loading with binary-or-text dispatch, direct-credit model
-// selection, error reporting, and LatencyHistogram -> bench-record
-// percentile plumbing. Header-only; tools are single-TU binaries.
+// selection, error reporting, LatencyHistogram -> bench-record
+// percentile plumbing, and the metrics exposition surface (the `metrics`
+// REPL command, --metrics_json / --metrics_prom dumps —
+// docs/observability.md). Header-only; tools are single-TU binaries.
 
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "actionlog/log_io.h"
 #include "common/bench_json.h"
@@ -16,6 +20,9 @@
 #include "common/status.h"
 #include "core/direct_credit.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/prom_text.h"
+#include "obs/span.h"
 #include "probability/time_params.h"
 
 namespace influmax {
@@ -82,6 +89,146 @@ inline void PrintPercentiles(const char* label, const LatencyHistogram& hist,
               hist.Percentile(95.0) / ns_per_unit, unit,
               hist.Percentile(99.0) / ns_per_unit, unit,
               static_cast<unsigned long long>(hist.count()));
+}
+
+// ------------------------------------------------------------- metrics
+
+/// Always-on per-REPL-query telemetry, shared by both serving CLIs.
+/// The engine/router gain probes are sampled (1 in kObsSampleEvery), so
+/// a short interactive session may never trip them; these timers wrap
+/// every REPL query exactly, which is cheap at REPL rate and guarantees
+/// a live session's scrape carries query-latency percentiles and
+/// kernel-dispatch counts (docs/observability.md).
+struct ServeQueryMetrics {
+  Timer* gain;
+  Timer* topk;
+  Timer* commit;
+  Timer* spread;
+  Timer* reset;
+  Counter* kernel_exact;  // REPL queries answered in exact mode
+  Counter* kernel_fast;   // ... and in fast_math mode
+};
+
+inline const ServeQueryMetrics& GetServeQueryMetrics() {
+  static const ServeQueryMetrics metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    ServeQueryMetrics m{};
+    m.gain = reg.FindOrCreateTimer("serve.query.gain");
+    m.topk = reg.FindOrCreateTimer("serve.query.topk");
+    m.commit = reg.FindOrCreateTimer("serve.query.commit");
+    m.spread = reg.FindOrCreateTimer("serve.query.spread");
+    m.reset = reg.FindOrCreateTimer("serve.query.reset");
+    m.kernel_exact = reg.FindOrCreateCounter("serve.query.kernel_exact");
+    m.kernel_fast = reg.FindOrCreateCounter("serve.query.kernel_fast");
+    return m;
+  }();
+  return metrics;
+}
+
+/// Human-readable table of a registry snapshot (the `metrics` REPL
+/// command in both serving CLIs).
+inline void PrintMetricsTable(const MetricsSnapshot& snap) {
+  if (snap.counters.empty() && snap.gauges.empty() && snap.timers.empty()) {
+    std::printf("no metrics recorded%s\n",
+                kObsEnabled ? "" : " (built with INFLUMAX_OBS_OFF)");
+    return;
+  }
+  if (!snap.counters.empty()) std::printf("counters:\n");
+  for (const auto& c : snap.counters) {
+    std::printf("  %-36s %llu\n", c.name.c_str(),
+                static_cast<unsigned long long>(c.value));
+  }
+  if (!snap.gauges.empty()) std::printf("gauges:\n");
+  for (const auto& g : snap.gauges) {
+    std::printf("  %-36s %lld\n", g.name.c_str(),
+                static_cast<long long>(g.value));
+  }
+  if (!snap.timers.empty()) {
+    std::printf("timers (ns):%25s%12s%12s%12s%12s%12s\n", "count", "mean",
+                "p50", "p95", "p99", "max");
+  }
+  for (const auto& t : snap.timers) {
+    if (t.hist.count() == 0) continue;
+    std::printf("  %-34s %llu%12.0f%12.0f%12.0f%12.0f%12llu\n",
+                t.name.c_str(), static_cast<unsigned long long>(t.hist.count()),
+                t.hist.mean(), t.hist.Percentile(50.0),
+                t.hist.Percentile(95.0), t.hist.Percentile(99.0),
+                static_cast<unsigned long long>(t.hist.max()));
+  }
+}
+
+/// Most recent spans of the session's ring, oldest first (the
+/// `metrics spans` REPL command).
+inline void PrintSpans(const SpanRing& ring) {
+  const std::vector<SpanRecord> spans = ring.Snapshot();
+  if (spans.empty()) {
+    std::printf("no spans recorded (ring capacity %zu, %llu total pushed)\n",
+                ring.capacity(),
+                static_cast<unsigned long long>(ring.total_pushed()));
+    return;
+  }
+  std::printf("last %zu spans (of %llu pushed, oldest first):\n", spans.size(),
+              static_cast<unsigned long long>(ring.total_pushed()));
+  for (const SpanRecord& s : spans) {
+    std::printf("  %-20s start_ns=%llu dur_ns=%llu detail=%llu\n", s.name,
+                static_cast<unsigned long long>(s.start_ns),
+                static_cast<unsigned long long>(s.duration_ns),
+                static_cast<unsigned long long>(s.detail));
+  }
+}
+
+/// At-exit / on-demand metrics dump targets (--metrics_json,
+/// --metrics_prom). DumpAll scrapes once and writes whichever paths are
+/// set; with neither set it is a no-op, so the CLIs call it
+/// unconditionally at exit and after every `metrics` command (the
+/// "periodic" refresh follows the operator's queries, not a timer
+/// thread).
+struct MetricsDump {
+  std::string json_path;
+  std::string prom_path;
+
+  int DumpAll() const {
+    if (json_path.empty() && prom_path.empty()) return 0;
+    const MetricsSnapshot snap = MetricsRegistry::Global().Scrape();
+    int rc = 0;
+    if (!json_path.empty()) {
+      std::vector<BenchJsonRecord> records;
+      AppendMetricsJsonRecords(snap, &records);
+      rc |= WriteBenchJson(json_path, records);
+    }
+    if (!prom_path.empty()) {
+      std::FILE* out = std::fopen(prom_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", prom_path.c_str());
+        rc |= 1;
+      } else {
+        const std::string text = PrometheusText(snap);
+        std::fwrite(text.data(), 1, text.size(), out);
+        std::fclose(out);
+      }
+    }
+    return rc;
+  }
+};
+
+/// The `metrics [prom|spans]` REPL command, shared by both serving CLIs:
+/// plain -> human table, `prom` -> Prometheus text on stdout, `spans` ->
+/// the session span ring. Refreshes the --metrics_json/--metrics_prom
+/// dumps on every invocation.
+inline void HandleMetricsCommand(std::istringstream& in, const SpanRing& ring,
+                                 const MetricsDump& dump) {
+  std::string sub;
+  in >> sub;
+  if (sub == "spans") {
+    PrintSpans(ring);
+  } else if (sub == "prom") {
+    const std::string text =
+        PrometheusText(MetricsRegistry::Global().Scrape());
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  } else {
+    PrintMetricsTable(MetricsRegistry::Global().Scrape());
+  }
+  dump.DumpAll();
 }
 
 }  // namespace influmax

@@ -14,7 +14,11 @@
 //   spread X Y Z ...  sigma_cd of the given set (session keeps it)
 //   reset             rewind the session to the snapshot base
 //   stats             snapshot + engine counters
+//   metrics [prom|spans]  registry scrape (table, Prometheus text, or
+//                     the session span ring — docs/observability.md)
 //   quit
+// With --metrics_json=<path> / --metrics_prom=<path> the registry is
+// dumped to those files after every `metrics` command and at exit.
 //
 // Replay appended log records onto an existing snapshot:
 //   serve_credit --rescan --graph=... --log=extended.tsv \
@@ -136,13 +140,15 @@ void PrintSelection(const SnapshotSeedSelection& selection) {
 }
 
 int RunServe(const std::string& snapshot_path, std::size_t gain_threads,
-             GainKernelMode kernel_mode) {
+             GainKernelMode kernel_mode, const MetricsDump& dump) {
   WallTimer timer;
   auto view = CreditSnapshotView::Open(snapshot_path);
   if (!view.ok()) return Fail(view.status());
   SnapshotQueryEngine engine(*view);
   engine.set_gain_threads(gain_threads);
   engine.set_kernel_mode(kernel_mode);
+  const ServeQueryMetrics& qm = GetServeQueryMetrics();
+  SpanRing ring(256);
   std::fprintf(stderr,
                "serving %s: %u users, %u actions, %llu entries, %s mapped, "
                "kernel %s (%s), loaded in %.1fms\n",
@@ -169,7 +175,15 @@ int RunServe(const std::string& snapshot_path, std::size_t gain_threads,
         std::printf("! usage: topk K [BUDGET]\n");
         continue;
       }
-      PrintSelection(engine.TopKSeeds(k, budget));
+      SnapshotSeedSelection selection;
+      {
+        ObsSpan span(&ring, "query.topk", k, qm.topk);
+        selection = engine.TopKSeeds(k, budget);
+      }
+      (engine.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
+                                                         : qm.kernel_exact)
+          ->Increment();
+      PrintSelection(selection);
     } else if (command == "gain" || command == "commit") {
       // A failed extraction writes 0, not the sentinel — committing
       // node 0 on a typo would silently poison the session.
@@ -180,19 +194,43 @@ int RunServe(const std::string& snapshot_path, std::size_t gain_threads,
         continue;
       }
       if (command == "gain") {
-        std::printf("%.6f\n", engine.MarginalGain(x));
+        double gain = 0.0;
+        {
+          ObsSpan span(&ring, "query.gain", x, qm.gain);
+          gain = engine.MarginalGain(x);
+        }
+        (engine.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
+                                                           : qm.kernel_exact)
+            ->Increment();
+        std::printf("%.6f\n", gain);
       } else {
-        engine.CommitSeed(x);
+        {
+          ObsSpan span(&ring, "query.commit", x, qm.commit);
+          engine.CommitSeed(x);
+        }
         std::printf("# %zu session seeds\n", engine.session_seeds().size());
       }
     } else if (command == "spread") {
       std::vector<NodeId> seeds;
       NodeId x;
       while (in >> x) seeds.push_back(x);
-      std::printf("%.6f\n", engine.SpreadOf(seeds));
+      double spread = 0.0;
+      {
+        ObsSpan span(&ring, "query.spread", seeds.size(), qm.spread);
+        spread = engine.SpreadOf(seeds);
+      }
+      (engine.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
+                                                         : qm.kernel_exact)
+          ->Increment();
+      std::printf("%.6f\n", spread);
     } else if (command == "reset") {
-      engine.ResetSession();
+      {
+        ObsSpan span(&ring, "query.reset", 0, qm.reset);
+        engine.ResetSession();
+      }
       std::printf("# session reset\n");
+    } else if (command == "metrics") {
+      HandleMetricsCommand(in, ring, dump);
     } else if (command == "stats") {
       std::printf(
           "users=%u actions=%u slots=%llu entries=%llu lambda=%g "
@@ -205,13 +243,13 @@ int RunServe(const std::string& snapshot_path, std::size_t gain_threads,
           static_cast<unsigned long long>(view->ApproxMemoryBytes()),
           static_cast<unsigned long long>(engine.ApproxMemoryBytes()));
     } else {
-      std::printf("! unknown command '%s' "
-                  "(topk | gain | commit | spread | reset | stats | quit)\n",
+      std::printf("! unknown command '%s' (topk | gain | commit | spread | "
+                  "reset | stats | metrics [prom|spans] | quit)\n",
                   command.c_str());
     }
     std::fflush(stdout);
   }
-  return 0;
+  return dump.DumpAll();
 }
 
 /// Concurrent-serving section of --bench: `serve_threads` engines share
@@ -330,7 +368,7 @@ int RunBench(const std::string& snapshot_path, const std::string& graph_path,
              const std::string& log_path, const std::string& credit_name,
              int k, std::size_t gain_threads, std::size_t serve_threads,
              std::size_t topk_samples, GainKernelMode kernel_mode,
-             const std::string& json_path) {
+             const std::string& json_path, const MetricsDump& dump) {
   std::vector<BenchRecord> records;
   WallTimer timer;
   auto view = CreditSnapshotView::Open(snapshot_path);
@@ -480,8 +518,10 @@ int RunBench(const std::string& snapshot_path, const std::string& graph_path,
       return 1;
     }
   }
-  if (!json_path.empty()) return WriteBenchJson(json_path, records);
-  return 0;
+  int rc = 0;
+  if (!json_path.empty()) rc = WriteBenchJson(json_path, records);
+  rc |= dump.DumpAll();
+  return rc;
 }
 
 int Main(int argc, char** argv) {
@@ -491,6 +531,8 @@ int Main(int argc, char** argv) {
   std::string out_path;
   std::string credit_name = "equal";
   std::string json_path;
+  std::string metrics_json;
+  std::string metrics_prom;
   double lambda = 0.001;
   int k = 50;
   int gain_threads = 0;
@@ -519,6 +561,11 @@ int Main(int argc, char** argv) {
                   "(vectorized, bounded error; docs/gain_kernel.md)");
   flags.AddString("json", &json_path,
                   "--bench only: write machine-readable results here");
+  flags.AddString("metrics_json", &metrics_json,
+                  "dump the metrics registry here (bench-json records; "
+                  "refreshed by `metrics` and at exit)");
+  flags.AddString("metrics_prom", &metrics_prom,
+                  "dump the registry here as Prometheus text");
   flags.AddBool("build", &build, "scan graph+log and write the snapshot");
   flags.AddBool("rescan", &rescan, "replay appended log records");
   flags.AddBool("bench", &bench, "report query latency");
@@ -565,15 +612,16 @@ int Main(int argc, char** argv) {
                  flags.Usage(argv[0]).c_str());
     return 1;
   }
+  const MetricsDump dump{metrics_json, metrics_prom};
   if (bench) {
     return RunBench(snapshot_path, graph_path, log_path, credit_name, k,
                     static_cast<std::size_t>(gain_threads),
                     static_cast<std::size_t>(serve_threads),
                     static_cast<std::size_t>(topk_samples), *kernel_mode,
-                    json_path);
+                    json_path, dump);
   }
   return RunServe(snapshot_path, static_cast<std::size_t>(gain_threads),
-                  *kernel_mode);
+                  *kernel_mode, dump);
 }
 
 }  // namespace

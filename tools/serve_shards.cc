@@ -18,8 +18,12 @@
 //   spread X Y Z ...  sigma_cd of the given set
 //   reset             rewind every shard session
 //   refresh           re-pin the latest generation
-//   stats             manifest + per-shard + session counters
+//   stats             manifest + session counters + registry totals
+//   metrics [prom|spans]  registry scrape (table, Prometheus text, or
+//                     the session span ring — docs/observability.md)
 //   quit
+// With --metrics_json=<path> / --metrics_prom=<path> the registry is
+// dumped to those files after every `metrics` command and at exit.
 //
 // Tail an appended action log into new generations while serving
 // (generation-swap ingestion; the REPL keeps answering from its pinned
@@ -177,9 +181,12 @@ void PrintSelection(const SnapshotSeedSelection& selection) {
 }
 
 int RunServe(GenerationManager& manager, WorkerPool* pool,
-             GainKernelMode kernel_mode) {
+             GainKernelMode kernel_mode, const MetricsDump& dump) {
+  const ServeQueryMetrics& qm = GetServeQueryMetrics();
+  SpanRing ring(256);
   GenerationManager::Session session(manager, pool);
   session.router().set_kernel_mode(kernel_mode);
+  session.router().set_span_ring(&ring);
   {
     const ShardManifest& m = session.shards().manifest;
     PrintManifest(m, "serving");
@@ -208,7 +215,15 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
         std::fflush(stdout);
         continue;
       }
-      PrintSelection(router.TopKSeeds(k, budget));
+      SnapshotSeedSelection selection;
+      {
+        ObsSpan span(&ring, "query.topk", k, qm.topk);
+        selection = router.TopKSeeds(k, budget);
+      }
+      (router.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
+                                                         : qm.kernel_exact)
+          ->Increment();
+      PrintSelection(selection);
     } else if (command == "gain" || command == "pgain" ||
                command == "commit") {
       // A failed extraction writes 0, not the sentinel — committing
@@ -219,33 +234,61 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
         std::fflush(stdout);
         continue;
       }
-      if (command == "gain") {
-        std::printf("%.6f\n", router.MarginalGain(x));
-      } else if (command == "pgain") {
-        std::printf("%.6f\n", router.MarginalGainParallel(x));
-      } else {
-        router.CommitSeed(x);
+      if (command == "commit") {
+        {
+          ObsSpan span(&ring, "query.commit", x, qm.commit);
+          router.CommitSeed(x);
+        }
         std::printf("# %zu session seeds\n", router.session_seeds().size());
+      } else {
+        double gain = 0.0;
+        {
+          ObsSpan span(&ring, "query.gain", x, qm.gain);
+          gain = command == "gain" ? router.MarginalGain(x)
+                                   : router.MarginalGainParallel(x);
+        }
+        (router.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
+                                                           : qm.kernel_exact)
+            ->Increment();
+        std::printf("%.6f\n", gain);
       }
     } else if (command == "spread") {
       std::vector<NodeId> seeds;
       NodeId x;
       while (in >> x) seeds.push_back(x);
-      std::printf("%.6f\n", router.SpreadOf(seeds));
+      double spread = 0.0;
+      {
+        ObsSpan span(&ring, "query.spread", seeds.size(), qm.spread);
+        spread = router.SpreadOf(seeds);
+      }
+      (router.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
+                                                         : qm.kernel_exact)
+          ->Increment();
+      std::printf("%.6f\n", spread);
     } else if (command == "reset") {
-      router.ResetSession();
+      {
+        ObsSpan span(&ring, "query.reset", 0, qm.reset);
+        router.ResetSession();
+      }
       std::printf("# session reset\n");
     } else if (command == "refresh") {
       const bool moved = session.Refresh();
-      // A swap builds a fresh router (default kernel); re-apply the flag.
-      if (moved) session.router().set_kernel_mode(kernel_mode);
+      // A swap builds a fresh router (default kernel, no span ring);
+      // re-apply both.
+      if (moved) {
+        session.router().set_kernel_mode(kernel_mode);
+        session.router().set_span_ring(&ring);
+      }
       std::printf("# generation %llu%s\n",
                   static_cast<unsigned long long>(session.generation()),
                   moved ? " (swapped)" : " (unchanged)");
+    } else if (command == "metrics") {
+      HandleMetricsCommand(in, ring, dump);
     } else {
       if (command != "stats") {
         std::printf("! unknown command '%s' (topk | gain | pgain | commit | "
-                    "spread | reset | refresh | stats | quit)\n",
+                    "spread | reset | refresh | stats | "
+                    "metrics [prom|spans] | quit)\n",
                     command.c_str());
         std::fflush(stdout);
         continue;
@@ -255,20 +298,50 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
       for (const CreditSnapshotView& view : session.shards().views) {
         mapped += view.ApproxMemoryBytes();
       }
+      // Lifecycle counters come from the metrics registry — the same
+      // values `metrics` and the Prometheus dump expose — so stats stays
+      // one scrape, not a parallel set of ad-hoc counters. Under
+      // INFLUMAX_OBS_OFF the scrape is empty and the gauges fall back to
+      // what the manager can answer directly.
+      const MetricsSnapshot snap = MetricsRegistry::Global().Scrape();
+      const auto counter_of = [&snap](const char* name) {
+        const auto* c = snap.FindCounter(name);
+        return c != nullptr ? c->value : 0;
+      };
+      const auto* retired_gauge = snap.FindGauge("shard.generation.retired");
+      const auto* pinned_gauge =
+          snap.FindGauge("shard.generation.pinned_sessions");
+      const std::uint64_t retired =
+          retired_gauge != nullptr
+              ? static_cast<std::uint64_t>(retired_gauge->value)
+              : manager.retired_generations();
       std::printf(
           "generation=%llu latest=%llu shards=%zu users=%u actions=%u "
-          "lambda=%g session_seeds=%zu mapped=%llu router=%llu retired=%zu\n",
+          "lambda=%g session_seeds=%zu mapped=%llu router=%llu "
+          "retired=%llu pinned_sessions=%lld swaps=%llu ingests=%llu "
+          "replayed_tuples=%llu watch_ticks=%llu watch_errors=%llu "
+          "pool_jobs=%llu\n",
           static_cast<unsigned long long>(session.generation()),
           static_cast<unsigned long long>(manager.current_generation()),
           m.num_shards(), m.num_users, m.num_actions,
           m.truncation_threshold, router.session_seeds().size(),
           static_cast<unsigned long long>(mapped),
           static_cast<unsigned long long>(router.ApproxMemoryBytes()),
-          manager.retired_generations());
+          static_cast<unsigned long long>(retired),
+          pinned_gauge != nullptr ? static_cast<long long>(pinned_gauge->value)
+                                  : 1LL,
+          static_cast<unsigned long long>(
+              counter_of("shard.generation.swaps")),
+          static_cast<unsigned long long>(counter_of("shard.ingest.count")),
+          static_cast<unsigned long long>(
+              counter_of("shard.ingest.replayed_tuples")),
+          static_cast<unsigned long long>(counter_of("shard.watch.ticks")),
+          static_cast<unsigned long long>(counter_of("shard.watch.errors")),
+          static_cast<unsigned long long>(counter_of("pool.jobs")));
     }
     std::fflush(stdout);
   }
-  return 0;
+  return dump.DumpAll();
 }
 
 /// --bench: routed-gain latency under `threads` concurrent sessions
@@ -276,7 +349,7 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
 /// locked histogram), per-shard gain-term percentiles, and routed topk.
 int RunBench(GenerationManager& manager, std::size_t threads, int k,
              std::size_t samples, GainKernelMode kernel_mode,
-             const std::string& json_path) {
+             const std::string& json_path, const MetricsDump& dump) {
   std::vector<BenchJsonRecord> records;
   GenerationManager::Session main_session(manager);
   const ShardManifest& m = main_session.shards().manifest;
@@ -419,8 +492,31 @@ int RunBench(GenerationManager& manager, std::size_t threads, int k,
        router.ApproxMemoryBytes(), 1},
       topk_hist));
 
-  if (!json_path.empty()) return WriteBenchJson(json_path, records);
-  return 0;
+  // Generation-lifecycle state at bench end, for the archived record:
+  // retired generations still held and sessions pinned (the bench's
+  // `threads` stripes plus main_session). The pinned count reads the
+  // same gauge the Prometheus dump exposes; with INFLUMAX_OBS_OFF it
+  // falls back to what this function pinned itself.
+  {
+    BenchJsonRecord retired{"retired_generations", 0.0, 0, 1};
+    retired.has_value = true;
+    retired.value = static_cast<double>(manager.retired_generations());
+    records.push_back(std::move(retired));
+    const MetricsSnapshot snap = MetricsRegistry::Global().Scrape();
+    const auto* pinned_gauge =
+        snap.FindGauge("shard.generation.pinned_sessions");
+    BenchJsonRecord pinned{"pinned_sessions", 0.0, 0, threads};
+    pinned.has_value = true;
+    pinned.value = pinned_gauge != nullptr
+                       ? static_cast<double>(pinned_gauge->value)
+                       : static_cast<double>(threads + 1);
+    records.push_back(std::move(pinned));
+  }
+
+  int rc = 0;
+  if (!json_path.empty()) rc = WriteBenchJson(json_path, records);
+  rc |= dump.DumpAll();
+  return rc;
 }
 
 int Main(int argc, char** argv) {
@@ -431,6 +527,8 @@ int Main(int argc, char** argv) {
   std::string credit_name = "equal";
   std::string kernel_name = "exact";
   std::string json_path;
+  std::string metrics_json;
+  std::string metrics_prom;
   double lambda = 0.001;
   int shards = 4;
   int generation = 1;
@@ -465,6 +563,11 @@ int Main(int argc, char** argv) {
   flags.AddInt("poll_ms", &poll_ms, "--watch: log poll interval");
   flags.AddString("json", &json_path,
                   "--bench: write machine-readable results here");
+  flags.AddString("metrics_json", &metrics_json,
+                  "dump the metrics registry here (bench-json records; "
+                  "refreshed by `metrics` and at exit)");
+  flags.AddString("metrics_prom", &metrics_prom,
+                  "dump the registry here as Prometheus text");
   flags.AddBool("split", &split, "partition a snapshot into shards");
   flags.AddBool("build", &build, "--split from graph+log instead of a file");
   flags.AddBool("ingest", &ingest, "one-shot: ingest the log and exit");
@@ -522,10 +625,11 @@ int Main(int argc, char** argv) {
     }
     return RunIngest(**manager, graph_path, log_path, credit_name);
   }
+  const MetricsDump dump{metrics_json, metrics_prom};
   if (bench) {
     return RunBench(**manager, static_cast<std::size_t>(threads), k,
                     static_cast<std::size_t>(samples), *kernel_mode,
-                    json_path);
+                    json_path, dump);
   }
 
   std::unique_ptr<WorkerPool> pool;
@@ -582,7 +686,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "watching %s every %d ms\n", log_path.c_str(),
                  poll_ms);
   }
-  const int status = RunServe(**manager, pool.get(), *kernel_mode);
+  const int status = RunServe(**manager, pool.get(), *kernel_mode, dump);
   (*manager)->StopWatch();
   return status;
 }
