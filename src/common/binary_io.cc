@@ -1,5 +1,13 @@
 #include "common/binary_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
 namespace influmax {
 
 BinaryWriter::BinaryWriter(const std::string& path, std::uint64_t magic,
@@ -26,6 +34,37 @@ void BinaryWriter::WriteRaw(const void* data, std::size_t bytes) {
                                std::to_string(bytes_written_));
     return;
   }
+#ifdef INFLUMAX_FAILPOINTS
+  if (failpoint_ != nullptr) {
+    if (auto hit = failpoint_internal::CheckSite(failpoint_)) {
+      if (hit->mode == FailpointMode::kTorn ||
+          hit->mode == FailpointMode::kTornCrash) {
+        // Tear only the write that crosses the cut offset; earlier
+        // writes pass so the file is cut at exactly `arg` bytes.
+        if (bytes_written_ + bytes > hit->arg) {
+          const std::uint64_t keep =
+              hit->arg > bytes_written_ ? hit->arg - bytes_written_ : 0;
+          out_.write(static_cast<const char*>(data),
+                     static_cast<std::streamsize>(keep));
+          out_.flush();
+          bytes_written_ += keep;
+          failpoint_internal::RecordTornTrip(failpoint_);
+          if (hit->mode == FailpointMode::kTornCrash) {
+            failpoint_internal::Crash(failpoint_);
+          }
+          status_ = Status::IoError(
+              std::string("injected failpoint '") + failpoint_ +
+              "': torn write at byte offset " + std::to_string(bytes_written_));
+          return;
+        }
+      } else if (Status st = failpoint_internal::HitEffect(failpoint_, *hit);
+                 !st.ok()) {
+        status_ = st;
+        return;
+      }
+    }
+  }
+#endif
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(bytes));
   if (!out_.good()) {
@@ -82,6 +121,17 @@ BinaryReader::BinaryReader(const std::string& path,
 
 void BinaryReader::ReadRaw(void* data, std::size_t bytes) {
   if (!status_.ok()) return;
+#ifdef INFLUMAX_FAILPOINTS
+  if (failpoint_ != nullptr) {
+    if (auto hit = failpoint_internal::CheckSite(failpoint_)) {
+      if (Status st = failpoint_internal::HitEffect(failpoint_, *hit);
+          !st.ok()) {
+        status_ = st;
+        return;
+      }
+    }
+  }
+#endif
   in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
   const std::streamsize got = in_.gcount();
   if (got != static_cast<std::streamsize>(bytes)) {
@@ -96,6 +146,33 @@ void BinaryReader::ReadRaw(void* data, std::size_t bytes) {
 
 void BinaryReader::Fail(const std::string& message) {
   if (status_.ok()) status_ = Status::Corruption(message);
+}
+
+namespace {
+
+Status SyncFd(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("fsync open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("fsync '" + path + "': " + std::strerror(err));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SyncFileToDisk(const std::string& path) {
+  return SyncFd(path, O_RDONLY);
+}
+
+Status SyncDirToDisk(const std::string& dir) {
+  return SyncFd(dir, O_RDONLY | O_DIRECTORY);
 }
 
 }  // namespace influmax

@@ -50,12 +50,19 @@ class BinaryWriter {
   /// Flushes and reports any accumulated I/O error.
   Status Finish();
 
+  /// Names the failpoint consulted on every subsequent write (fault
+  /// injection, docs/durability.md): torn-write specs cut the stream at
+  /// their byte offset. Inert unless the build compiles failpoints in
+  /// AND the named point is armed; `name` must outlive the writer.
+  void set_failpoint(const char* name) { failpoint_ = name; }
+
  private:
   void WriteRaw(const void* data, std::size_t bytes);
 
   std::ofstream out_;
   Status status_;
   std::uint64_t bytes_written_ = 0;
+  const char* failpoint_ = nullptr;
 };
 
 /// Reader counterpart; validates magic and version on open.
@@ -105,6 +112,11 @@ class BinaryReader {
   /// OK iff everything read so far was present and well-formed.
   Status Finish() const { return status_; }
 
+  /// Failpoint consulted on every subsequent read (docs/durability.md);
+  /// error specs surface as IoError so retry policies treat the
+  /// injection as the transient it simulates.
+  void set_failpoint(const char* name) { failpoint_ = name; }
+
  private:
   void ReadRaw(void* data, std::size_t bytes);
   void Fail(const std::string& message);
@@ -113,7 +125,16 @@ class BinaryReader {
   std::string path_;
   Status status_;
   std::uint64_t bytes_read_ = 0;
+  const char* failpoint_ = nullptr;
 };
+
+/// fsync(2) of `path`'s contents / of a directory's entry table. The
+/// generation swap protocol (docs/durability.md) syncs every blob and
+/// the manifest before the CURRENT flip, and the directory after it, so
+/// a crash can never publish a pointer to bytes that might not survive
+/// the crash. ofstream cannot express this, hence the by-path helpers.
+Status SyncFileToDisk(const std::string& path);
+Status SyncDirToDisk(const std::string& dir);
 
 }  // namespace influmax
 

@@ -1,0 +1,305 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace influmax {
+namespace {
+
+struct Entry {
+  FailpointSpec spec;
+  std::uint64_t evals = 0;     // evaluations since armed
+  std::uint64_t trips = 0;     // times the effect actually fired
+  std::int64_t remaining = -1; // fires left; -1 = unlimited
+};
+
+std::mutex g_mu;
+
+// One registry for the process; `less<>` enables string_view lookups.
+std::map<std::string, Entry, std::less<>>& Entries() {
+  static std::map<std::string, Entry, std::less<>> entries;
+  return entries;
+}
+
+std::vector<std::string>& Trace() {
+  static std::vector<std::string> trace;
+  return trace;
+}
+
+bool g_tracing = false;
+
+// Fast-path gate: armed entry count + (tracing ? 1 : 0). Sites bail on
+// a single relaxed load when nothing is armed and nothing traces, so
+// even failpoint-enabled builds only pay the slow path during a drill.
+std::atomic<std::uint32_t> g_active{0};
+
+std::atomic<FailpointCrashHandler> g_crash_handler{nullptr};
+
+std::uint32_t ActiveCountLocked() {
+  std::uint32_t armed = 0;
+  for (const auto& [name, entry] : Entries()) {
+    if (entry.spec.mode != FailpointMode::kOff && entry.remaining != 0) {
+      ++armed;
+    }
+  }
+  return armed + (g_tracing ? 1 : 0);
+}
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+#ifdef INFLUMAX_FAILPOINTS
+// Env arming happens once per process, before main in enabled builds,
+// so INFLUMAX_FAILPOINTS_ARM reaches sites hit during static init too.
+const bool g_env_armed = [] {
+  const Status status = ArmFailpointsFromEnv();
+  if (!status.ok()) {
+    INFLUMAX_LOG_WARN << "INFLUMAX_FAILPOINTS_ARM: " << status;
+  }
+  return true;
+}();
+#endif
+
+}  // namespace
+
+bool FailpointsCompiledIn() { return kFailpointsEnabled; }
+
+Status ArmFailpoint(std::string_view name, const FailpointSpec& spec) {
+  if (!kFailpointsEnabled) {
+    return Status::FailedPrecondition(
+        "failpoints are compiled out (build with -DINFLUMAX_FAILPOINTS=ON)");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name is empty");
+  }
+  if (spec.mode == FailpointMode::kOff) {
+    return Status::InvalidArgument("arming 'off' makes no sense; disarm '" +
+                                   std::string(name) + "' instead");
+  }
+  std::lock_guard<std::mutex> lock(g_mu);
+  Entry& entry = Entries()[std::string(name)];
+  entry.spec = spec;
+  entry.evals = 0;
+  entry.remaining = spec.limit;
+  g_active.store(ActiveCountLocked(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void DisarmFailpoint(std::string_view name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Entries().find(name);
+  if (it != Entries().end()) {
+    it->second.spec.mode = FailpointMode::kOff;
+    it->second.remaining = 0;
+  }
+  g_active.store(ActiveCountLocked(), std::memory_order_relaxed);
+}
+
+void DisarmAllFailpoints() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (auto& [name, entry] : Entries()) {
+    entry.spec.mode = FailpointMode::kOff;
+    entry.remaining = 0;
+  }
+  g_active.store(ActiveCountLocked(), std::memory_order_relaxed);
+}
+
+std::uint64_t FailpointTripCount(std::string_view name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Entries().find(name);
+  return it == Entries().end() ? 0 : it->second.trips;
+}
+
+std::vector<std::string> FailpointCatalog() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::vector<std::string> names;
+  names.reserve(Entries().size());
+  for (const auto& [name, entry] : Entries()) names.push_back(name);
+  return names;
+}
+
+Result<FailpointSpec> ParseFailpointSpec(std::string_view text) {
+  FailpointSpec spec;
+  // Strip "#<limit>" then "@<skip>" suffixes (either order of
+  // appearance, but # binds last so "error@2#1" parses naturally).
+  const auto take_suffix = [&](char marker, std::uint64_t* out) -> Status {
+    const std::size_t pos = text.rfind(marker);
+    if (pos == std::string_view::npos) return Status::OK();
+    if (!ParseU64(text.substr(pos + 1), out)) {
+      return Status::InvalidArgument("bad failpoint spec suffix '" +
+                                     std::string(text.substr(pos)) + "'");
+    }
+    text = text.substr(0, pos);
+    return Status::OK();
+  };
+  std::uint64_t limit = 0;
+  const std::size_t limit_pos = text.rfind('#');
+  const bool has_limit = limit_pos != std::string_view::npos;
+  INFLUMAX_RETURN_IF_ERROR(take_suffix('#', &limit));
+  if (has_limit) spec.limit = static_cast<std::int64_t>(limit);
+  INFLUMAX_RETURN_IF_ERROR(take_suffix('@', &spec.skip));
+
+  std::string_view mode = text;
+  std::string_view arg;
+  if (const std::size_t colon = text.find(':');
+      colon != std::string_view::npos) {
+    mode = text.substr(0, colon);
+    arg = text.substr(colon + 1);
+  }
+  const bool wants_arg = !arg.empty();
+  if (wants_arg && !ParseU64(arg, &spec.arg)) {
+    return Status::InvalidArgument("bad failpoint argument '" +
+                                   std::string(arg) + "'");
+  }
+  if (mode == "off") {
+    spec.mode = FailpointMode::kOff;
+  } else if (mode == "error") {
+    spec.mode = FailpointMode::kError;
+  } else if (mode == "crash") {
+    spec.mode = FailpointMode::kCrash;
+  } else if (mode == "torn") {
+    spec.mode = FailpointMode::kTorn;
+  } else if (mode == "torncrash") {
+    spec.mode = FailpointMode::kTornCrash;
+  } else if (mode == "delay") {
+    spec.mode = FailpointMode::kDelay;
+  } else {
+    return Status::InvalidArgument(
+        "unknown failpoint mode '" + std::string(mode) +
+        "' (expected off|error|crash|torn|torncrash|delay)");
+  }
+  return spec;
+}
+
+Status ArmFailpointsFromSpec(std::string_view list) {
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    std::size_t end = list.find_first_of(";,", begin);
+    if (end == std::string_view::npos) end = list.size();
+    const std::string_view item = list.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("failpoint item '" + std::string(item) +
+                                     "' is not name=spec");
+    }
+    auto spec = ParseFailpointSpec(item.substr(eq + 1));
+    INFLUMAX_RETURN_IF_ERROR(spec.status());
+    if (spec->mode == FailpointMode::kOff) {
+      DisarmFailpoint(item.substr(0, eq));
+      continue;
+    }
+    INFLUMAX_RETURN_IF_ERROR(ArmFailpoint(item.substr(0, eq), *spec));
+  }
+  return Status::OK();
+}
+
+Status ArmFailpointsFromEnv() {
+  const char* env = std::getenv("INFLUMAX_FAILPOINTS_ARM");
+  if (env == nullptr || env[0] == '\0') return Status::OK();
+  return ArmFailpointsFromSpec(env);
+}
+
+void SetFailpointCrashHandler(FailpointCrashHandler handler) {
+  g_crash_handler.store(handler, std::memory_order_release);
+}
+
+void EnableFailpointTrace(bool enabled) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_tracing = enabled;
+  if (!enabled) Trace().clear();
+  g_active.store(ActiveCountLocked(), std::memory_order_relaxed);
+}
+
+std::vector<std::string> TakeFailpointTrace() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::vector<std::string> out;
+  out.swap(Trace());
+  return out;
+}
+
+namespace failpoint_internal {
+
+std::optional<FailpointHit> CheckSite(const char* name) {
+  if (g_active.load(std::memory_order_relaxed) == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_tracing) Trace().emplace_back(name);
+  auto it = Entries().find(std::string_view(name));
+  if (it == Entries().end()) return std::nullopt;
+  Entry& entry = it->second;
+  if (entry.spec.mode == FailpointMode::kOff || entry.remaining == 0) {
+    return std::nullopt;
+  }
+  ++entry.evals;
+  if (entry.evals <= entry.spec.skip) return std::nullopt;
+  const FailpointHit hit{entry.spec.mode, entry.spec.arg};
+  if (hit.mode == FailpointMode::kTorn ||
+      hit.mode == FailpointMode::kTornCrash) {
+    // The site decides whether this write crosses the cut offset; the
+    // fire budget is consumed in RecordTornTrip on the actual tear.
+    return hit;
+  }
+  ++entry.trips;
+  if (entry.remaining > 0) --entry.remaining;
+  g_active.store(ActiveCountLocked(), std::memory_order_relaxed);
+  return hit;
+}
+
+Status HitEffect(const char* name, const FailpointHit& hit) {
+  switch (hit.mode) {
+    case FailpointMode::kOff:
+      return Status::OK();
+    case FailpointMode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+      return Status::OK();
+    case FailpointMode::kCrash:
+      Crash(name);  // does not return
+    case FailpointMode::kError:  // fallthrough unreachable from kCrash
+
+    case FailpointMode::kTorn:
+    case FailpointMode::kTornCrash:
+      // Torn modes at a site with no byte stream to cut (a reader, an
+      // fsync marker) degrade to a plain injected error.
+      return Status::IoError(std::string("injected failpoint '") + name +
+                             "'");
+  }
+  return Status::OK();
+}
+
+void Crash(const char* name) {
+  if (FailpointCrashHandler handler =
+          g_crash_handler.load(std::memory_order_acquire);
+      handler != nullptr) {
+    handler(name);
+  }
+  INFLUMAX_LOG_FATAL << "failpoint '" << name
+                     << "' crash (no handler installed)";
+  std::abort();  // not reached; LOG_FATAL aborts
+}
+
+void RecordTornTrip(const char* name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Entries().find(std::string_view(name));
+  if (it == Entries().end()) return;
+  ++it->second.trips;
+  if (it->second.remaining > 0) --it->second.remaining;
+  g_active.store(ActiveCountLocked(), std::memory_order_relaxed);
+}
+
+}  // namespace failpoint_internal
+}  // namespace influmax

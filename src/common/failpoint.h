@@ -1,0 +1,146 @@
+#ifndef INFLUMAX_COMMON_FAILPOINT_H_
+#define INFLUMAX_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// Fault-injection failpoints (docs/durability.md).
+///
+/// A failpoint is a named site on an I/O or lifecycle path that tests
+/// (and manual chaos drills via `serve_shards`) can arm to fail in a
+/// controlled way: return an error, tear a file at an exact byte
+/// offset, simulate a process crash, or inject latency. Sites are
+/// compiled in only under INFLUMAX_FAILPOINTS (a CMake option, OFF by
+/// default); the default build expands every site macro to nothing, so
+/// production binaries carry zero overhead — not even a branch.
+///
+/// The arming API below is always linkable so tools can expose flags
+/// unconditionally; when the framework is compiled out, ArmFailpoint
+/// reports FailedPrecondition and everything else no-ops.
+
+namespace influmax {
+
+#ifdef INFLUMAX_FAILPOINTS
+inline constexpr bool kFailpointsEnabled = true;
+#else
+inline constexpr bool kFailpointsEnabled = false;
+#endif
+
+enum class FailpointMode : std::uint8_t {
+  kOff = 0,
+  kError,      ///< the site fails with Status::IoError
+  kTorn,       ///< writers: cut the file at byte offset `arg`, then error
+  kTornCrash,  ///< writers: cut the file at `arg`, then crash
+  kCrash,      ///< invoke the crash handler (default: abort)
+  kDelay,      ///< sleep `arg` milliseconds, then continue normally
+};
+
+/// What an armed failpoint does when its site is evaluated.
+struct FailpointSpec {
+  FailpointMode mode = FailpointMode::kOff;
+  std::uint64_t arg = 0;   ///< kTorn*: absolute byte offset; kDelay: millis
+  std::uint64_t skip = 0;  ///< pass this many evaluations before firing
+  std::int64_t limit = -1; ///< fire at most this many times; -1 = forever
+};
+
+/// True when this binary was built with INFLUMAX_FAILPOINTS.
+bool FailpointsCompiledIn();
+
+/// Arms `name` with `spec`. FailedPrecondition when the framework is
+/// compiled out (so a `--failpoints` flag errors loudly instead of
+/// silently testing nothing); InvalidArgument on a kOff spec (use
+/// DisarmFailpoint).
+Status ArmFailpoint(std::string_view name, const FailpointSpec& spec);
+void DisarmFailpoint(std::string_view name);
+void DisarmAllFailpoints();
+
+/// Times the armed spec at `name` actually fired (tore, errored,
+/// crashed, or delayed) — not mere evaluations.
+std::uint64_t FailpointTripCount(std::string_view name);
+
+/// Names known to the registry: every armed point plus every site
+/// evaluated while the registry was active (armed or tracing).
+std::vector<std::string> FailpointCatalog();
+
+/// Parses "error", "crash", "delay:50", "torn:128", "torncrash:4096",
+/// "off" — each optionally suffixed with "@<skip>" and/or "#<limit>",
+/// e.g. "error@2#1" = pass twice, then fail exactly once.
+Result<FailpointSpec> ParseFailpointSpec(std::string_view text);
+
+/// Arms a ';'- or ','-separated list of "name=spec" pairs (the
+/// `--failpoints` flag / INFLUMAX_FAILPOINTS_ARM env format).
+Status ArmFailpointsFromSpec(std::string_view list);
+
+/// Reads INFLUMAX_FAILPOINTS_ARM and arms it; called automatically at
+/// static-init time in failpoint-enabled builds.
+Status ArmFailpointsFromEnv();
+
+/// Invoked by kCrash/kTornCrash sites in place of a real crash. Tests
+/// install a handler that throws (FailpointCrash below) so the
+/// "process death" unwinds to the test without running the aborted
+/// operation's cleanup; nullptr restores the default, which logs and
+/// aborts. The handler must not return.
+using FailpointCrashHandler = void (*)(const char* site);
+void SetFailpointCrashHandler(FailpointCrashHandler handler);
+
+/// Conventional payload for test crash handlers to throw.
+struct FailpointCrash {
+  std::string site;
+};
+
+/// Ordered site-visit trace, recorded while enabled: the deterministic
+/// "crashed filesystem" harness asserts protocol order (every
+/// *.fsync before current.rename) from it. Take clears.
+void EnableFailpointTrace(bool enabled);
+std::vector<std::string> TakeFailpointTrace();
+
+namespace failpoint_internal {
+
+struct FailpointHit {
+  FailpointMode mode;
+  std::uint64_t arg;
+};
+
+/// Evaluates site `name`: records it in the catalog/trace when the
+/// registry is active and returns the armed effect when it fires.
+/// kTorn/kTornCrash hits are returned without consuming the fire
+/// budget — the site calls RecordTornTrip when it actually tears
+/// (a write wholly below the cut offset passes untouched).
+std::optional<FailpointHit> CheckSite(const char* name);
+
+/// Applies a non-torn hit: kError -> IoError, kDelay -> sleep + OK,
+/// kCrash -> Crash below. Torn hits reaching here (a site with no
+/// byte stream to cut, e.g. a reader) degrade to kError.
+Status HitEffect(const char* name, const FailpointHit& hit);
+
+[[noreturn]] void Crash(const char* name);
+void RecordTornTrip(const char* name);
+
+}  // namespace failpoint_internal
+}  // namespace influmax
+
+/// Site macro: evaluates the named failpoint and `return`s a non-OK
+/// Status from the enclosing function when it fires with an error
+/// effect (works in Result<T>-returning functions via implicit
+/// conversion). Compiles to nothing when failpoints are off.
+#ifdef INFLUMAX_FAILPOINTS
+#define INFLUMAX_FAILPOINT(name)                                            \
+  do {                                                                      \
+    if (auto _fp_hit = ::influmax::failpoint_internal::CheckSite(name)) {   \
+      ::influmax::Status _fp_st =                                           \
+          ::influmax::failpoint_internal::HitEffect(name, *_fp_hit);        \
+      if (!_fp_st.ok()) return _fp_st;                                      \
+    }                                                                       \
+  } while (0)
+#else
+#define INFLUMAX_FAILPOINT(name) \
+  do {                           \
+  } while (0)
+#endif
+
+#endif  // INFLUMAX_COMMON_FAILPOINT_H_

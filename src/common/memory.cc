@@ -12,6 +12,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/failpoint.h"
+
 namespace influmax {
 namespace {
 
@@ -62,6 +64,7 @@ std::string FormatBytes(std::uint64_t bytes) {
 }
 
 Result<MmapFile> MmapFile::Open(const std::string& path) {
+  INFLUMAX_FAILPOINT("mmap.open");
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::IoError("mmap open '" + path +

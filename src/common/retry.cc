@@ -1,0 +1,50 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace influmax {
+
+bool IsTransientIoError(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& attempt,
+                    Counter* attempts_counter,
+                    const std::function<void(std::uint64_t)>& sleep_ms) {
+  Rng rng(policy.jitter_seed);
+  double backoff = static_cast<double>(policy.initial_backoff_ms);
+  std::uint64_t slept = 0;
+  const std::uint32_t attempts = std::max<std::uint32_t>(1, policy.max_attempts);
+  Status status;
+  for (std::uint32_t i = 0; i < attempts; ++i) {
+    if (attempts_counter != nullptr) attempts_counter->Increment();
+    status = attempt();
+    if (status.ok()) return status;
+    if (policy.retryable != nullptr && !policy.retryable(status)) {
+      return status;
+    }
+    if (i + 1 >= attempts) break;
+    // Jitter in [backoff/2, backoff]: decorrelates watcher fleets
+    // hammering a shared filesystem without ever halving below the
+    // floor a transient needs to clear.
+    const std::uint64_t delay =
+        static_cast<std::uint64_t>(backoff * (0.5 + 0.5 * rng.NextDouble()));
+    if (slept + delay > policy.budget_ms) break;
+    slept += delay;
+    if (sleep_ms) {
+      sleep_ms(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    backoff = std::min(backoff * policy.multiplier,
+                       static_cast<double>(policy.max_backoff_ms));
+  }
+  return status;
+}
+
+}  // namespace influmax

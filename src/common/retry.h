@@ -1,0 +1,46 @@
+#ifndef INFLUMAX_COMMON_RETRY_H_
+#define INFLUMAX_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace influmax {
+
+/// True for StatusCode::kIoError — the class of failures a backoff can
+/// heal (a file mid-rename, NFS hiccup, transient EIO). Corruption,
+/// NotFound, and argument errors are deterministic and never retried.
+bool IsTransientIoError(const Status& status);
+
+/// Bounded exponential backoff shared by the generation watcher and
+/// RefreshFromDisk (docs/durability.md). Deterministic given
+/// jitter_seed: the jitter stream comes from common/rng's xoshiro256**,
+/// so chaos tests replay the exact same schedule.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;
+  std::uint64_t initial_backoff_ms = 10;
+  std::uint64_t max_backoff_ms = 500;
+  double multiplier = 2.0;
+  /// Cap on cumulative backoff sleep; attempts stop early once the next
+  /// delay would exceed it.
+  std::uint64_t budget_ms = 2000;
+  std::uint64_t jitter_seed = 0x72657472795F6A74ULL;
+  bool (*retryable)(const Status&) = &IsTransientIoError;
+};
+
+/// Runs `attempt` until it succeeds, returns a non-retryable status,
+/// exhausts max_attempts, or exhausts the sleep budget; returns the
+/// last status. Every call of `attempt` bumps `attempts_counter` (the
+/// registry's retry.attempts; nullptr skips). `sleep_ms` overrides the
+/// delay primitive — the watcher passes an interruptible wait, tests
+/// pass a recorder.
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& attempt,
+                    Counter* attempts_counter = nullptr,
+                    const std::function<void(std::uint64_t)>& sleep_ms = {});
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_COMMON_RETRY_H_

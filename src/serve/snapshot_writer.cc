@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdio>
 
 #include "common/binary_io.h"
+#include "common/failpoint.h"
 #include "common/flat_hash.h"
 #include "serve/snapshot_format.h"
 
@@ -183,9 +185,13 @@ SnapshotData BuildSnapshotData(const UserCreditStore& store,
   return data;
 }
 
-Status WriteSnapshotFile(const SnapshotData& data, const std::string& path) {
+namespace {
+
+Status WriteSnapshotFileImpl(const SnapshotData& data,
+                             const std::string& path) {
   BinaryWriter writer(path, kSnapshotMagic, kSnapshotVersion);
   INFLUMAX_RETURN_IF_ERROR(writer.status());
+  writer.set_failpoint("snapshot.write");
   writer.WriteU32(0);  // pad the prelude to an 8-byte boundary
   writer.WriteU64(data.graph_fingerprint);
   writer.WriteU64(data.log_fingerprint);
@@ -231,7 +237,27 @@ Status WriteSnapshotFile(const SnapshotData& data, const std::string& path) {
   WriteSection(&writer, data.action_size);
   WriteSection(&writer, data.action_trace_hash);
   WriteSection(&writer, data.seeds);
-  return writer.Finish();
+  INFLUMAX_RETURN_IF_ERROR(writer.Finish());
+  // Durability point of the swap protocol (docs/durability.md): a
+  // manifest fingerprint of this blob is only trustworthy once its
+  // bytes are on stable storage, so every producer syncs here, before
+  // any manifest names the file.
+  INFLUMAX_FAILPOINT("snapshot.fsync");
+  return SyncFileToDisk(path);
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const SnapshotData& data, const std::string& path) {
+  const Status status = WriteSnapshotFileImpl(data, path);
+  if (!status.ok()) {
+    // No partial outputs on the error path — a half-written blob left
+    // in a generation dir looks exactly like a crash artifact to the
+    // recovery scan. (An injected kTornCrash bypasses this by design:
+    // a real crash gets no cleanup either.)
+    std::remove(path.c_str());
+  }
+  return status;
 }
 
 Status WriteCreditSnapshot(const CreditDistributionModel& model,

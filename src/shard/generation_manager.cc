@@ -8,9 +8,11 @@
 #include <span>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "serve/snapshot_writer.h"
+#include "shard/recovery.h"
 
 namespace influmax {
 namespace {
@@ -31,6 +33,13 @@ struct GenMetrics {
   Timer* ingest_lag;
   Counter* watch_ticks;
   Counter* watch_errors;
+  // Robustness surface (docs/durability.md): failures degrade into
+  // these instead of tearing serving down.
+  Counter* ingest_failures;     // IngestLog attempts that failed
+  Counter* reload_errors;       // watcher reload/parse failures (NOT
+                                // "no change" ticks — satellite fix)
+  Gauge* consecutive_errors;    // failed watcher ticks in a row
+  Counter* retry_attempts;      // every RunWithRetry attempt
 };
 
 const GenMetrics& GetGenMetrics() {
@@ -47,6 +56,10 @@ const GenMetrics& GetGenMetrics() {
         reg.FindOrCreateTimer("shard.ingest.lag"),
         reg.FindOrCreateCounter("shard.watch.ticks"),
         reg.FindOrCreateCounter("shard.watch.errors"),
+        reg.FindOrCreateCounter("gen.ingest_failures"),
+        reg.FindOrCreateCounter("watch.reload_errors"),
+        reg.FindOrCreateGauge("watch.consecutive_errors"),
+        reg.FindOrCreateCounter("retry.attempts"),
     };
   }();
   return metrics;
@@ -90,7 +103,11 @@ GenerationManager::~GenerationManager() {
 }
 
 Result<std::unique_ptr<GenerationManager>> GenerationManager::Open(
-    const std::string& dir, std::size_t max_sessions) {
+    const std::string& dir, std::size_t max_sessions, bool recover) {
+  if (recover) {
+    auto report = RecoverGenerationDir(dir);
+    INFLUMAX_RETURN_IF_ERROR(report.status());
+  }
   auto current = ReadCurrentManifestName(dir);
   INFLUMAX_RETURN_IF_ERROR(current.status());
   auto shards = OpenShardedSnapshot(dir + "/" + *current);
@@ -148,6 +165,39 @@ Status GenerationManager::IngestLog(const ActionLog& log, const Graph& graph,
                                     const DirectCreditModel& credit_model,
                                     CdConfig config, std::size_t shard_threads,
                                     IngestStats* stats) {
+  std::uint64_t new_generation = 0;
+  std::vector<std::string> written;
+  bool current_flipped = false;
+  Status status = IngestLogImpl(log, graph, credit_model, config,
+                                shard_threads, stats, &new_generation,
+                                &written, &current_flipped);
+  if (!status.ok()) {
+    GetGenMetrics().ingest_failures->Increment();
+    // Graceful degradation: the published generation keeps serving —
+    // CURRENT still names it — and the aborted attempt's files are
+    // quarantined so scans and MaxGenerationOnDisk stop seeing them.
+    // Past the CURRENT flip the new generation is committed and valid;
+    // quarantining it would contradict the disk (RefreshFromDisk picks
+    // it up instead).
+    if (!current_flipped && !written.empty()) {
+      auto quarantined = QuarantineGenerationFiles(
+          dir_, new_generation, status.message(), written);
+      if (!quarantined.ok()) {
+        INFLUMAX_LOG_WARN << "ingest: could not quarantine generation "
+                          << new_generation << ": "
+                          << quarantined.status().message();
+      }
+    }
+  }
+  return status;
+}
+
+Status GenerationManager::IngestLogImpl(
+    const ActionLog& log, const Graph& graph,
+    const DirectCreditModel& credit_model, CdConfig config,
+    std::size_t shard_threads, IngestStats* stats,
+    std::uint64_t* new_generation, std::vector<std::string>* written,
+    bool* current_flipped) {
   std::uint64_t obs_t0 = 0;
   if constexpr (kObsEnabled) obs_t0 = MonotonicNowNs();
   // The writer owns published_; a plain load is the current generation.
@@ -185,6 +235,7 @@ Status GenerationManager::IngestLog(const ActionLog& log, const Graph& graph,
   const std::size_t shards = range_begin.size() - 1;
   const std::uint64_t generation =
       std::max(m.generation, MaxGenerationOnDisk(dir_)) + 1;
+  *new_generation = generation;
 
   // Per-shard IncrementalRescan in parallel — but only for shards whose
   // restricted log actually grew. An untouched shard's blob is
@@ -224,9 +275,15 @@ Status GenerationManager::IngestLog(const ActionLog& log, const Graph& graph,
             cur->shards.views[i], graph, restricted, credit_model, config,
             dir_ + "/" + shard_files[i], &shard_stats[i]);
       });
+  for (std::size_t i = 0; i < shards; ++i) {
+    // Blobs that reached disk, whether or not a sibling failed — the
+    // wrapper quarantines them on any error below.
+    if (!reused[i] && shard_status[i].ok()) written->push_back(shard_files[i]);
+  }
   for (const Status& status : shard_status) {
     INFLUMAX_RETURN_IF_ERROR(status);
   }
+  INFLUMAX_FAILPOINT("ingest.after_blobs");
 
   ShardManifest next;
   next.generation = generation;
@@ -243,24 +300,36 @@ Status GenerationManager::IngestLog(const ActionLog& log, const Graph& graph,
   next.shard_files = std::move(shard_files);
   next.shard_fingerprints.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
-    if (reused[i]) {
-      next.shard_fingerprints.push_back(m.shard_fingerprints[i]);
-      continue;
-    }
     auto fingerprint =
         FingerprintShardFile(dir_ + "/" + next.shard_files[i]);
     INFLUMAX_RETURN_IF_ERROR(fingerprint.status());
+    if (reused[i]) {
+      // Reuse-by-name safety: the new manifest is about to vouch for
+      // this blob with the old manifest's fingerprint, so the bytes on
+      // disk must still match it — a blob rewritten, truncated, or
+      // bit-rotted since generation g was validated must fail HERE, not
+      // in some future reader of generation g+1.
+      if (*fingerprint != m.shard_fingerprints[i]) {
+        return Status::Corruption(
+            "ingest: reused shard blob '" + next.shard_files[i] +
+            "' no longer matches the current manifest's fingerprint");
+      }
+    }
     next.shard_fingerprints.push_back(*fingerprint);
   }
   const std::string manifest_name = ManifestFileName(generation);
   INFLUMAX_RETURN_IF_ERROR(
       WriteShardManifest(next, dir_ + "/" + manifest_name));
+  written->push_back(manifest_name);
+  INFLUMAX_FAILPOINT("ingest.after_manifest");
 
   // Re-open through the validating path (what any fresh process would
   // see), then make the generation durable (CURRENT) and live (publish).
   auto opened = OpenShardedSnapshot(dir_ + "/" + manifest_name);
   INFLUMAX_RETURN_IF_ERROR(opened.status());
   INFLUMAX_RETURN_IF_ERROR(WriteCurrentManifestName(dir_, manifest_name));
+  *current_flipped = true;  // the commit point — no quarantine past here
+  INFLUMAX_FAILPOINT("ingest.after_current");
   auto next_generation = std::make_unique<Generation>();
   next_generation->shards = std::move(opened).value();
   Publish(std::move(next_generation));
@@ -283,15 +352,51 @@ Status GenerationManager::IngestLog(const ActionLog& log, const Graph& graph,
 }
 
 Result<bool> GenerationManager::RefreshFromDisk() {
-  auto current = ReadCurrentManifestName(dir_);
-  INFLUMAX_RETURN_IF_ERROR(current.status());
-  auto manifest = ReadShardManifest(dir_ + "/" + *current);
-  INFLUMAX_RETURN_IF_ERROR(manifest.status());
-  if (manifest->generation == current_generation()) return false;
-  auto shards = OpenShardedSnapshot(dir_ + "/" + *current);
-  INFLUMAX_RETURN_IF_ERROR(shards.status());
+  std::string manifest_name;
+  bool unchanged = false;
+  std::optional<ShardedSnapshot> shards;
+  const auto attempt = [&]() -> Status {
+    unchanged = false;
+    shards.reset();
+    auto current = ReadCurrentManifestName(dir_);
+    INFLUMAX_RETURN_IF_ERROR(current.status());
+    manifest_name = *current;
+    auto manifest = ReadShardManifest(dir_ + "/" + manifest_name);
+    INFLUMAX_RETURN_IF_ERROR(manifest.status());
+    if (manifest->generation == current_generation()) {
+      unchanged = true;
+      return Status::OK();
+    }
+    auto opened = OpenShardedSnapshot(dir_ + "/" + manifest_name);
+    INFLUMAX_RETURN_IF_ERROR(opened.status());
+    shards = std::move(opened).value();
+    return Status::OK();
+  };
+  const Status status =
+      RunWithRetry(retry_policy_, attempt, GetGenMetrics().retry_attempts);
+  if (!status.ok()) {
+    // A generation still Corruption after retries is damaged on disk,
+    // not in flight — quarantine it so recovery and scans skip it. The
+    // published generation (still serving from its mmaps) is left
+    // alone even if CURRENT points at it: renaming files does not
+    // perturb live mappings, but it WOULD break future reuse-by-name.
+    std::uint64_t bad_generation = 0;
+    if (status.code() == StatusCode::kCorruption &&
+        std::sscanf(manifest_name.c_str(), "MANIFEST-%" SCNu64,
+                    &bad_generation) == 1 &&
+        bad_generation != current_generation()) {
+      if (Status q = QuarantineGeneration(dir_, bad_generation,
+                                          status.message());
+          !q.ok()) {
+        INFLUMAX_LOG_WARN << "refresh: could not quarantine generation "
+                          << bad_generation << ": " << q.message();
+      }
+    }
+    return status;
+  }
+  if (unchanged) return false;
   auto generation = std::make_unique<Generation>();
-  generation->shards = std::move(shards).value();
+  generation->shards = std::move(*shards);
   Publish(std::move(generation));
   return true;
 }
@@ -320,6 +425,22 @@ void GenerationManager::WatchLoop(
     const Graph& graph, const DirectCreditModel& credit_model,
     CdConfig config, std::chrono::milliseconds poll_interval,
     std::size_t shard_threads) {
+  // Backoff sleeps wake immediately on StopWatch so an in-tick retry
+  // never delays shutdown past one attempt.
+  const auto interruptible_sleep = [this](std::uint64_t millis) {
+    std::unique_lock<std::mutex> lock(watch_mu_);
+    watch_cv_.wait_for(lock, std::chrono::milliseconds(millis),
+                       [this] { return watch_stop_; });
+  };
+  const auto stopping = [this] {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    return watch_stop_;
+  };
+  // Degradation is per-tick, teardown never: each failure is recorded
+  // and logged once per distinct reason (a flapping disk must not fill
+  // the log at poll frequency), and the next tick starts clean.
+  std::string last_error_reason;
+  std::int64_t consecutive_errors = 0;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(watch_mu_);
@@ -331,11 +452,33 @@ void GenerationManager::WatchLoop(
       GetGenMetrics().watch_ticks->Increment();
       tick_t0 = MonotonicNowNs();
     }
-    auto log = reload();
-    Status status = log.status();
-    if (status.ok() && log->has_value()) {
+    // Reload under retry. A reload error (the log no longer parses, the
+    // file went unreadable) is a real failure, counted separately from
+    // the "no change" nullopt a healthy idle tick returns.
+    std::optional<ActionLog> log;
+    Status status = RunWithRetry(
+        retry_policy_,
+        [&]() -> Status {
+          if (stopping()) return Status::FailedPrecondition("watch stopping");
+          auto reloaded = reload();
+          INFLUMAX_RETURN_IF_ERROR(reloaded.status());
+          log = std::move(reloaded).value();
+          return Status::OK();
+        },
+        GetGenMetrics().retry_attempts, interruptible_sleep);
+    if (!status.ok()) {
+      GetGenMetrics().reload_errors->Increment();
+    } else if (log.has_value()) {
       const std::uint64_t before = current_generation();
-      status = IngestLog(**log, graph, credit_model, config, shard_threads);
+      status = RunWithRetry(
+          retry_policy_,
+          [&]() -> Status {
+            if (stopping()) return Status::FailedPrecondition(
+                "watch stopping");
+            return IngestLog(*log, graph, credit_model, config,
+                             shard_threads);
+          },
+          GetGenMetrics().retry_attempts, interruptible_sleep);
       if (status.ok() && current_generation() != before) {
         watch_ingests_.fetch_add(1);
         if constexpr (kObsEnabled) {
@@ -345,9 +488,21 @@ void GenerationManager::WatchLoop(
         }
       }
     }
-    if constexpr (kObsEnabled) {
-      if (!status.ok()) GetGenMetrics().watch_errors->Increment();
+    if (stopping()) return;  // don't record the shutdown sentinel status
+    if (status.ok()) {
+      consecutive_errors = 0;
+      last_error_reason.clear();  // a recurrence after recovery re-logs
+    } else {
+      ++consecutive_errors;
+      GetGenMetrics().watch_errors->Increment();
+      if (status.message() != last_error_reason) {
+        last_error_reason = status.message();
+        INFLUMAX_LOG_WARN << "watch: tick failed, generation "
+                          << current_generation() << " keeps serving: "
+                          << last_error_reason;
+      }
     }
+    GetGenMetrics().consecutive_errors->Set(consecutive_errors);
     std::lock_guard<std::mutex> lock(watch_mu_);
     watch_status_ = status;
   }

@@ -15,6 +15,7 @@
 
 #include "actionlog/action_log.h"
 #include "common/parallel.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/cd_model.h"
 #include "core/direct_credit.h"
@@ -72,9 +73,14 @@ class GenerationManager {
   };
 
   /// Opens the generation directory: reads CURRENT, opens and validates
-  /// the manifest it names plus every shard blob.
+  /// the manifest it names plus every shard blob. With `recover`, runs
+  /// RecoverGenerationDir first (docs/durability.md): temp/orphan
+  /// cleanup, quarantine of invalid generations, and fallback to the
+  /// newest fully-valid one when CURRENT's target is damaged — the
+  /// restart-after-crash path.
   static Result<std::unique_ptr<GenerationManager>> Open(
-      const std::string& dir, std::size_t max_sessions = 64);
+      const std::string& dir, std::size_t max_sessions = 64,
+      bool recover = false);
 
   ~GenerationManager();
 
@@ -113,8 +119,16 @@ class GenerationManager {
   /// generation than the published one, opens and publishes it. This is
   /// the multi-process path: an external splitter writes a generation
   /// and flips CURRENT; the serving process only ever calls this.
-  /// Returns true when a new generation was published.
+  /// Returns true when a new generation was published. Transient I/O
+  /// errors are retried under retry_policy(); a generation that still
+  /// fails as Corruption after retries is quarantined
+  /// (docs/durability.md) and the error returned — the published
+  /// generation keeps serving either way.
   Result<bool> RefreshFromDisk();
+
+  /// Backoff schedule shared by RefreshFromDisk and the watcher loop.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
 
   /// Unmaps retired generations no session still pins. Publishing also
   /// reclaims; this exposes the sweep for drain loops and tests.
@@ -130,8 +144,13 @@ class GenerationManager {
   /// that did not grow is a no-op). `reload` returns nullopt to skip
   /// the tick cheaply — the tool's file watcher stats the log and only
   /// reparses when size/mtime moved, so an idle watch costs two stat
-  /// calls per tick, not a full parse + fingerprint. `reload` failures
-  /// are recorded (last_watch_status) and retried next tick. One
+  /// calls per tick, not a full parse + fingerprint. A failed tick
+  /// degrades, never tears down: transient reload/ingest errors retry
+  /// in-tick under retry_policy(), persistent ones are recorded
+  /// (last_watch_status, watch.consecutive_errors, and — distinctly
+  /// from a "no change" tick — watch.reload_errors for parse/reload
+  /// failures), logged once per distinct reason, and retried next
+  /// tick while the published generation keeps serving. One
   /// watcher at a time; StopWatch (or the destructor) joins it. The
   /// references must stay valid until StopWatch.
   void StartWatch(
@@ -195,12 +214,24 @@ class GenerationManager {
   /// reclaims. Writer-side.
   void Publish(std::unique_ptr<Generation> next);
 
+  /// IngestLog's body. Reports through the out-params what the failure
+  /// wrapper needs: the generation being built, its files that reached
+  /// disk, and whether CURRENT was flipped (the commit point — past it
+  /// a failure no longer makes the generation quarantinable).
+  Status IngestLogImpl(const ActionLog& log, const Graph& graph,
+                       const DirectCreditModel& credit_model, CdConfig config,
+                       std::size_t shard_threads, IngestStats* stats,
+                       std::uint64_t* new_generation,
+                       std::vector<std::string>* written,
+                       bool* current_flipped);
+
   void WatchLoop(std::function<Result<std::optional<ActionLog>>()> reload,
                  const Graph& graph, const DirectCreditModel& credit_model,
                  CdConfig config, std::chrono::milliseconds poll_interval,
                  std::size_t shard_threads);
 
   std::string dir_;
+  RetryPolicy retry_policy_;
   std::atomic<Generation*> published_;
   std::atomic<std::uint64_t> global_epoch_{1};
   std::uint64_t publish_seq_ = 1;     // writer-private, init generation = 1

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/binary_io.h"
+#include "common/failpoint.h"
 #include "common/flat_hash.h"
 #include "common/memory.h"
 #include "serve/snapshot_format.h"
@@ -123,14 +124,13 @@ Status ValidateShardManifest(const ShardManifest& manifest) {
   return Status::OK();
 }
 
-Status WriteShardManifest(const ShardManifest& manifest,
-                          const std::string& path) {
-  if (Status status = ValidateShardManifest(manifest); !status.ok()) {
-    return Status::InvalidArgument("refusing to write invalid manifest: " +
-                                   status.message());
-  }
+namespace {
+
+Status WriteShardManifestImpl(const ShardManifest& manifest,
+                              const std::string& path) {
   BinaryWriter writer(path, kShardManifestMagic, kShardManifestVersion);
   INFLUMAX_RETURN_IF_ERROR(writer.status());
+  writer.set_failpoint("manifest.write");
   writer.WriteU64(manifest.generation);
   writer.WriteU32(manifest.num_users);
   writer.WriteU32(manifest.num_actions);
@@ -144,12 +144,29 @@ Status WriteShardManifest(const ShardManifest& manifest,
   for (const std::string& name : manifest.shard_files) {
     writer.WriteVector(std::vector<char>(name.begin(), name.end()));
   }
-  return writer.Finish();
+  INFLUMAX_RETURN_IF_ERROR(writer.Finish());
+  // Durable before CURRENT may name it (docs/durability.md).
+  INFLUMAX_FAILPOINT("manifest.fsync");
+  return SyncFileToDisk(path);
+}
+
+}  // namespace
+
+Status WriteShardManifest(const ShardManifest& manifest,
+                          const std::string& path) {
+  if (Status status = ValidateShardManifest(manifest); !status.ok()) {
+    return Status::InvalidArgument("refusing to write invalid manifest: " +
+                                   status.message());
+  }
+  const Status status = WriteShardManifestImpl(manifest, path);
+  if (!status.ok()) std::remove(path.c_str());  // no partial manifests
+  return status;
 }
 
 Result<ShardManifest> ReadShardManifest(const std::string& path) {
   BinaryReader reader(path, kShardManifestMagic, kShardManifestVersion);
   INFLUMAX_RETURN_IF_ERROR(reader.status());
+  reader.set_failpoint("manifest.read");
   ShardManifest manifest;
   manifest.generation = reader.ReadU64();
   manifest.num_users = reader.ReadU32();
@@ -268,6 +285,7 @@ Result<ShardedSnapshot> OpenShardedSnapshot(const std::string& manifest_path) {
 }
 
 Result<std::string> ReadCurrentManifestName(const std::string& dir) {
+  INFLUMAX_FAILPOINT("current.read");
   std::ifstream in(dir + "/CURRENT");
   if (!in) {
     return Status::NotFound("no CURRENT file in '" + dir + "'");
@@ -281,19 +299,60 @@ Result<std::string> ReadCurrentManifestName(const std::string& dir) {
   return name;
 }
 
-Status WriteCurrentManifestName(const std::string& dir,
-                                const std::string& manifest_name) {
-  const std::string tmp = dir + "/CURRENT.tmp";
+namespace {
+
+Status WriteCurrentImpl(const std::string& dir, const std::string& tmp,
+                        const std::string& manifest_name) {
+  const std::string line = manifest_name + "\n";
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) return Status::IoError("cannot write '" + tmp + "'");
-    out << manifest_name << "\n";
+#ifdef INFLUMAX_FAILPOINTS
+    if (auto hit = failpoint_internal::CheckSite("current.write")) {
+      if (hit->mode == FailpointMode::kTorn ||
+          hit->mode == FailpointMode::kTornCrash) {
+        const std::size_t keep =
+            static_cast<std::size_t>(std::min<std::uint64_t>(
+                hit->arg, line.size()));
+        out.write(line.data(), static_cast<std::streamsize>(keep));
+        out.flush();
+        failpoint_internal::RecordTornTrip("current.write");
+        if (hit->mode == FailpointMode::kTornCrash) {
+          failpoint_internal::Crash("current.write");
+        }
+        return Status::IoError(
+            "injected failpoint 'current.write': torn write at byte offset " +
+            std::to_string(keep));
+      }
+      INFLUMAX_RETURN_IF_ERROR(
+          failpoint_internal::HitEffect("current.write", *hit));
+    }
+#endif
+    out << line;
     if (!out.flush()) return Status::IoError("cannot flush '" + tmp + "'");
   }
+  // Commit protocol (docs/durability.md): the rename below is the
+  // commit point, so the pointer's bytes must be durable before it and
+  // the directory entry after it — a crash straddling the flip then
+  // yields either the old or the new CURRENT, both fully valid.
+  INFLUMAX_FAILPOINT("current.fsync");
+  INFLUMAX_RETURN_IF_ERROR(SyncFileToDisk(tmp));
+  INFLUMAX_FAILPOINT("current.rename");
   if (std::rename(tmp.c_str(), (dir + "/CURRENT").c_str()) != 0) {
     return Status::IoError("cannot rename '" + tmp + "' over CURRENT");
   }
-  return Status::OK();
+  INFLUMAX_FAILPOINT("current.dirsync");
+  return SyncDirToDisk(dir);
+}
+
+}  // namespace
+
+Status WriteCurrentManifestName(const std::string& dir,
+                                const std::string& manifest_name) {
+  const std::string tmp = dir + "/CURRENT.tmp";
+  const Status status = WriteCurrentImpl(dir, tmp, manifest_name);
+  if (!status.ok()) std::remove(tmp.c_str());
+  return status;
 }
 
 }  // namespace influmax

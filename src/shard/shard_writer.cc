@@ -137,19 +137,39 @@ Status ShardedSnapshotWriter::WriteShards(
   }
 
   const std::size_t shards = manifest.range_begin.size() - 1;
+  // Written-so-far list for the error path: a failure mid-set must not
+  // leave a partial generation behind (each WriteSnapshotFile already
+  // unlinks its own torn file; this removes the completed siblings).
+  const auto unlink_written = [&] {
+    for (const std::string& name : manifest.shard_files) {
+      std::remove((dir_ + "/" + name).c_str());
+    }
+  };
   for (std::size_t i = 0; i < shards; ++i) {
     const std::string name = ShardFileName(generation, i);
     const std::string path = dir_ + "/" + name;
     const SnapshotData data = SliceShardData(mono, manifest.range_begin[i],
                                              manifest.range_begin[i + 1]);
-    INFLUMAX_RETURN_IF_ERROR(WriteSnapshotFile(data, path));
-    auto fingerprint = FingerprintShardFile(path);
-    INFLUMAX_RETURN_IF_ERROR(fingerprint.status());
-    manifest.shard_files.push_back(name);
-    manifest.shard_fingerprints.push_back(*fingerprint);
+    Status status = WriteSnapshotFile(data, path);
+    if (status.ok()) {
+      auto fingerprint = FingerprintShardFile(path);
+      status = fingerprint.status();
+      if (status.ok()) {
+        manifest.shard_files.push_back(name);
+        manifest.shard_fingerprints.push_back(*fingerprint);
+      }
+    }
+    if (!status.ok()) {
+      unlink_written();
+      return status;
+    }
   }
-  INFLUMAX_RETURN_IF_ERROR(WriteShardManifest(
-      manifest, dir_ + "/" + ManifestFileName(generation)));
+  if (Status status = WriteShardManifest(
+          manifest, dir_ + "/" + ManifestFileName(generation));
+      !status.ok()) {
+    unlink_written();
+    return status;
+  }
   if (out_manifest != nullptr) *out_manifest = std::move(manifest);
   return Status::OK();
 }

@@ -8,8 +8,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/histogram.h"
+#include "common/retry.h"
 #include "common/memory.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -567,6 +569,125 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
   timer.Reset();
   EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+// ----------------------------------------------------------------- Retry
+
+TEST(RetryTest, RetriesTransientIoErrorUntilSuccess) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 4;
+  int calls = 0;
+  std::vector<std::uint64_t> sleeps;
+  const Status status = RunWithRetry(
+      policy,
+      [&]() -> Status {
+        return ++calls < 3 ? Status::IoError("flaky") : Status::OK();
+      },
+      nullptr, [&](std::uint64_t ms) { sleeps.push_back(ms); });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(sleeps.size(), 2u);  // one sleep between each attempt pair
+}
+
+TEST(RetryTest, DoesNotRetryDeterministicFailures) {
+  int calls = 0;
+  const Status status = RunWithRetry(
+      RetryPolicy{}, [&]() -> Status {
+        ++calls;
+        return Status::Corruption("bad bytes");
+      },
+      nullptr, [](std::uint64_t) {});
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1) << "corruption must not be retried";
+  EXPECT_FALSE(IsTransientIoError(Status::NotFound("x")));
+  EXPECT_TRUE(IsTransientIoError(Status::IoError("x")));
+}
+
+TEST(RetryTest, StopsAtMaxAttemptsAndReportsLastStatus) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+  int calls = 0;
+  const Status status = RunWithRetry(
+      policy, [&]() -> Status { return Status::IoError(std::to_string(++calls)); },
+      nullptr, [](std::uint64_t) {});
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(status.message(), "3");
+}
+
+TEST(RetryTest, BackoffIsBoundedDeterministicAndBudgetCapped) {
+  RetryPolicy policy;
+  policy.max_attempts = 32;
+  policy.initial_backoff_ms = 8;
+  policy.max_backoff_ms = 20;
+  policy.budget_ms = 60;
+  const auto run = [&] {
+    std::vector<std::uint64_t> sleeps;
+    (void)RunWithRetry(
+        policy, [] { return Status::IoError("always"); }, nullptr,
+        [&](std::uint64_t ms) { sleeps.push_back(ms); });
+    return sleeps;
+  };
+  const std::vector<std::uint64_t> first = run();
+  EXPECT_EQ(first, run()) << "jitter must be deterministic per seed";
+  std::uint64_t total = 0;
+  for (std::uint64_t ms : first) {
+    EXPECT_GE(ms, policy.initial_backoff_ms / 2);  // jitter in [b/2, b]
+    EXPECT_LE(ms, policy.max_backoff_ms);
+    total += ms;
+  }
+  EXPECT_LE(total, policy.budget_ms);
+  EXPECT_LT(first.size() + 1, 32u) << "budget must cut attempts short";
+
+  RetryPolicy reseeded = policy;
+  reseeded.jitter_seed = 1234;
+  std::vector<std::uint64_t> other;
+  (void)RunWithRetry(
+      reseeded, [] { return Status::IoError("always"); }, nullptr,
+      [&](std::uint64_t ms) { other.push_back(ms); });
+  EXPECT_NE(first, other) << "seed must steer the jitter stream";
+}
+
+TEST(RetryTest, CountsEveryAttemptInTheRegistry) {
+  MetricsRegistry reg;
+  Counter* attempts = reg.FindOrCreateCounter("retry.attempts");
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 1;
+  (void)RunWithRetry(
+      policy, [] { return Status::IoError("always"); }, attempts,
+      [](std::uint64_t) {});
+  EXPECT_EQ(reg.Scrape().FindCounter("retry.attempts")->value, 4u);
+}
+
+// ------------------------------------------------------------ Failpoints
+// In the default build this binary links the failpoint-free libraries:
+// the arming API must stay linkable but refuse loudly, and the
+// compiled-out site macro must be a true no-op. The armed behavior
+// lives in fault_test, which links the INFLUMAX_FAILPOINTS mirror.
+// Under a global INFLUMAX_FAILPOINTS=ON build (failpoints presets)
+// the compiled-out surface doesn't exist, so only the parser contract
+// is checked here.
+
+TEST(FailpointOffTest, CompiledOutSurfaceRefusesLoudly) {
+#ifndef INFLUMAX_FAILPOINTS
+  static_assert(!kFailpointsEnabled);
+  EXPECT_FALSE(FailpointsCompiledIn());
+  const Status armed =
+      ArmFailpoint("snapshot.write", {.mode = FailpointMode::kError});
+  EXPECT_EQ(armed.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ArmFailpointsFromSpec("manifest.write=torn:16").code(),
+            StatusCode::kFailedPrecondition);
+  DisarmAllFailpoints();  // linkable no-op
+  EXPECT_EQ(FailpointTripCount("snapshot.write"), 0u);
+#else
+  static_assert(kFailpointsEnabled);
+  EXPECT_TRUE(FailpointsCompiledIn());
+#endif
+  auto spec = ParseFailpointSpec("torncrash:64@1#2");  // parsing still works
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->mode, FailpointMode::kTornCrash);
 }
 
 }  // namespace

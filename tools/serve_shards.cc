@@ -18,10 +18,17 @@
 //   spread X Y Z ...  sigma_cd of the given set
 //   reset             rewind every shard session
 //   refresh           re-pin the latest generation
+//   recover           run crash recovery on the directory, then refresh
+//   failpoint list | arm NAME SPEC | disarm NAME | disarm all
+//                     fault injection (docs/durability.md; needs an
+//                     INFLUMAX_FAILPOINTS build)
 //   stats             manifest + session counters + registry totals
 //   metrics [prom|spans]  registry scrape (table, Prometheus text, or
 //                     the session span ring — docs/observability.md)
 //   quit
+// --recover runs the same recovery before opening (the restart path);
+// --failpoints=name=spec;... arms failpoints at startup and errors
+// loudly when the build compiled them out.
 // With --metrics_json=<path> / --metrics_prom=<path> the registry is
 // dumped to those files after every `metrics` command and at exit.
 //
@@ -48,6 +55,7 @@
 
 #include "actionlog/log_io.h"
 #include "common/bench_json.h"
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/histogram.h"
 #include "common/memory.h"
@@ -60,6 +68,7 @@
 #include "serve/gain_kernel.h"
 #include "serve_common.h"
 #include "shard/generation_manager.h"
+#include "shard/recovery.h"
 #include "shard/shard_manifest.h"
 #include "shard/shard_router.h"
 #include "shard/shard_writer.h"
@@ -74,6 +83,74 @@ Result<double> CurrentLambda(const std::string& dir) {
   auto manifest = ReadShardManifest(dir + "/" + *name);
   INFLUMAX_RETURN_IF_ERROR(manifest.status());
   return manifest->truncation_threshold;
+}
+
+void PrintRecoveryReport(const RecoveryReport& report) {
+  std::fprintf(stderr,
+               "recovered: serving %s (generation %llu)%s, removed %zu "
+               "leftover file(s), filled %zu quarantine dir(s)\n",
+               report.current_manifest.c_str(),
+               static_cast<unsigned long long>(report.generation),
+               report.current_rewritten ? ", CURRENT repointed" : "",
+               report.removed.size(), report.quarantined.size());
+  for (const std::string& q : report.quarantined) {
+    std::fprintf(stderr, "  quarantined: %s\n", q.c_str());
+  }
+}
+
+/// `failpoint list|arm NAME SPEC|disarm NAME|disarm all`. Always parsed
+/// (the subcommands print FailedPrecondition when the build compiled
+/// failpoints out, rather than pretending to inject anything).
+void HandleFailpointCommand(std::istringstream& in) {
+  std::string verb;
+  in >> verb;
+  if (verb == "list") {
+    const auto names = FailpointCatalog();
+    if (!FailpointsCompiledIn()) {
+      std::printf("! failpoints are compiled out "
+                  "(build with -DINFLUMAX_FAILPOINTS=ON)\n");
+    } else if (names.empty()) {
+      std::printf("# no failpoints armed or evaluated yet\n");
+    }
+    for (const std::string& name : names) {
+      std::printf("%s\ttrips=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(FailpointTripCount(name)));
+    }
+  } else if (verb == "arm") {
+    std::string name;
+    std::string spec_text;
+    in >> name >> spec_text;
+    if (name.empty() || spec_text.empty()) {
+      std::printf("! usage: failpoint arm NAME SPEC (e.g. torn:128@1#2)\n");
+      return;
+    }
+    auto spec = ParseFailpointSpec(spec_text);
+    if (!spec.ok()) {
+      std::printf("! %s\n", spec.status().ToString().c_str());
+      return;
+    }
+    if (Status status = ArmFailpoint(name, *spec); !status.ok()) {
+      std::printf("! %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("# armed %s=%s\n", name.c_str(), spec_text.c_str());
+  } else if (verb == "disarm") {
+    std::string name;
+    in >> name;
+    if (name.empty()) {
+      std::printf("! usage: failpoint disarm NAME|all\n");
+      return;
+    }
+    if (name == "all") {
+      DisarmAllFailpoints();
+      std::printf("# all failpoints disarmed\n");
+    } else {
+      DisarmFailpoint(name);
+      std::printf("# disarmed %s\n", name.c_str());
+    }
+  } else {
+    std::printf("! usage: failpoint list | arm NAME SPEC | disarm NAME|all\n");
+  }
 }
 
 void PrintManifest(const ShardManifest& m, const char* verb) {
@@ -282,13 +359,40 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
       std::printf("# generation %llu%s\n",
                   static_cast<unsigned long long>(session.generation()),
                   moved ? " (swapped)" : " (unchanged)");
+    } else if (command == "recover") {
+      // Self-healing while serving: sweep the directory, then re-pin —
+      // the session keeps answering from its pinned mmaps throughout,
+      // even if recovery repointed CURRENT under it.
+      auto report = RecoverGenerationDir(manager.dir());
+      if (!report.ok()) {
+        std::printf("! %s\n", report.status().ToString().c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      PrintRecoveryReport(*report);
+      if (auto refreshed = manager.RefreshFromDisk(); !refreshed.ok()) {
+        std::printf("! refresh after recover: %s\n",
+                    refreshed.status().ToString().c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      const bool moved = session.Refresh();
+      if (moved) {
+        session.router().set_kernel_mode(kernel_mode);
+        session.router().set_span_ring(&ring);
+      }
+      std::printf("# generation %llu%s\n",
+                  static_cast<unsigned long long>(session.generation()),
+                  moved ? " (swapped)" : " (unchanged)");
+    } else if (command == "failpoint") {
+      HandleFailpointCommand(in);
     } else if (command == "metrics") {
       HandleMetricsCommand(in, ring, dump);
     } else {
       if (command != "stats") {
         std::printf("! unknown command '%s' (topk | gain | pgain | commit | "
-                    "spread | reset | refresh | stats | "
-                    "metrics [prom|spans] | quit)\n",
+                    "spread | reset | refresh | recover | failpoint ... | "
+                    "stats | metrics [prom|spans] | quit)\n",
                     command.c_str());
         std::fflush(stdout);
         continue;
@@ -320,6 +424,7 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
           "lambda=%g session_seeds=%zu mapped=%llu router=%llu "
           "retired=%llu pinned_sessions=%lld swaps=%llu ingests=%llu "
           "replayed_tuples=%llu watch_ticks=%llu watch_errors=%llu "
+          "ingest_failures=%llu recovery_events=%llu quarantined=%llu "
           "pool_jobs=%llu\n",
           static_cast<unsigned long long>(session.generation()),
           static_cast<unsigned long long>(manager.current_generation()),
@@ -337,6 +442,9 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
               counter_of("shard.ingest.replayed_tuples")),
           static_cast<unsigned long long>(counter_of("shard.watch.ticks")),
           static_cast<unsigned long long>(counter_of("shard.watch.errors")),
+          static_cast<unsigned long long>(counter_of("gen.ingest_failures")),
+          static_cast<unsigned long long>(counter_of("gen.recovery_events")),
+          static_cast<unsigned long long>(counter_of("gen.quarantined")),
           static_cast<unsigned long long>(counter_of("pool.jobs")));
     }
     std::fflush(stdout);
@@ -511,6 +619,19 @@ int RunBench(GenerationManager& manager, std::size_t threads, int k,
                        ? static_cast<double>(pinned_gauge->value)
                        : static_cast<double>(threads + 1);
     records.push_back(std::move(pinned));
+    // Robustness counters (docs/durability.md): normally zero, nonzero
+    // exactly when a bench run crossed an ingest failure or a recovery
+    // repaired the directory — the archived trajectory flags it.
+    const auto counter_record = [&snap](const char* name) {
+      const auto* counter = snap.FindCounter(name);
+      BenchJsonRecord record{name, 0.0, 0, 1};
+      record.has_value = true;
+      record.value =
+          counter != nullptr ? static_cast<double>(counter->value) : 0.0;
+      return record;
+    };
+    records.push_back(counter_record("gen.ingest_failures"));
+    records.push_back(counter_record("gen.recovery_events"));
   }
 
   int rc = 0;
@@ -542,6 +663,8 @@ int Main(int argc, char** argv) {
   bool ingest = false;
   bool watch = false;
   bool bench = false;
+  bool recover = false;
+  std::string failpoints_spec;
   FlagParser flags;
   flags.AddString("dir", &dir, "sharded generation directory");
   flags.AddString("snapshot", &snapshot_path,
@@ -573,6 +696,12 @@ int Main(int argc, char** argv) {
   flags.AddBool("ingest", &ingest, "one-shot: ingest the log and exit");
   flags.AddBool("watch", &watch, "serve + tail the log into generations");
   flags.AddBool("bench", &bench, "report query latency");
+  flags.AddBool("recover", &recover,
+                "run crash recovery on --dir before opening "
+                "(docs/durability.md)");
+  flags.AddString("failpoints", &failpoints_spec,
+                  "arm failpoints: name=spec;... (needs an "
+                  "INFLUMAX_FAILPOINTS build)");
   if (Status status = flags.Parse(argc, argv); !status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
                  flags.Usage(argv[0]).c_str());
@@ -600,6 +729,15 @@ int Main(int argc, char** argv) {
                  flags.Usage(argv[0]).c_str());
     return 1;
   }
+  // Arm failpoints before anything touches --dir so injected faults cover
+  // --split and the recovery scan itself. A non-failpoint build refuses
+  // loudly rather than silently serving a healthy binary under a chaos
+  // harness.
+  if (!failpoints_spec.empty()) {
+    if (Status status = ArmFailpointsFromSpec(failpoints_spec); !status.ok()) {
+      return Fail(status);
+    }
+  }
   if (split) {
     if (build ? (graph_path.empty() || log_path.empty())
               : snapshot_path.empty()) {
@@ -611,6 +749,12 @@ int Main(int argc, char** argv) {
     return RunSplit(snapshot_path, build, graph_path, log_path, credit_name,
                     lambda, dir, static_cast<std::size_t>(shards),
                     static_cast<std::uint64_t>(generation));
+  }
+
+  if (recover) {
+    auto report = RecoverGenerationDir(dir);
+    if (!report.ok()) return Fail(report.status());
+    PrintRecoveryReport(*report);
   }
 
   // --bench pins threads + 1 sessions at once; size the session table so
