@@ -1,8 +1,11 @@
 #ifndef INFLUMAX_COMMON_BINARY_IO_H_
 #define INFLUMAX_COMMON_BINARY_IO_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -126,6 +129,147 @@ class BinaryReader {
   Status status_;
   std::uint64_t bytes_read_ = 0;
   const char* failpoint_ = nullptr;
+};
+
+/// BinaryWriter's typed-section API over an in-memory byte buffer
+/// instead of a file: the wire protocol (src/net/wire.h) serializes
+/// frame payloads with it, so frames speak the same section grammar as
+/// every on-disk container. No magic/version prelude — a frame's header
+/// carries both — and no failpoint hook (the socket layer tears whole
+/// frames; mid-payload cuts are indistinguishable on a stream).
+class BufferWriter {
+ public:
+  void WriteU32(std::uint32_t value) { WriteRaw(&value, sizeof(value)); }
+  void WriteU64(std::uint64_t value) { WriteRaw(&value, sizeof(value)); }
+  void WriteDouble(double value) { WriteRaw(&value, sizeof(value)); }
+
+  /// Length-prefixed vector of trivially copyable elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(values.size());
+    if (!values.empty()) {
+      WriteRaw(values.data(), values.size() * sizeof(T));
+    }
+  }
+
+  /// Length-prefixed byte string (error messages on the wire).
+  void WriteString(const std::string& value) {
+    WriteU64(value.size());
+    if (!value.empty()) WriteRaw(value.data(), value.size());
+  }
+
+  std::uint64_t bytes_written() const { return buffer_.size(); }
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::vector<std::uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  void WriteRaw(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + bytes);
+  }
+
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reader counterpart over a borrowed byte span (a received frame's
+/// payload; the span must outlive the reader). Same defensive contract
+/// as BinaryReader: short reads fail with the byte offset, and every
+/// length prefix is validated against both a caller bound and the bytes
+/// actually present BEFORE any allocation — a hostile frame cannot make
+/// the receiver resize a vector it could never fill.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  const Status& status() const { return status_; }
+
+  std::uint32_t ReadU32() {
+    std::uint32_t value = 0;
+    ReadRaw(&value, sizeof(value));
+    return value;
+  }
+  std::uint64_t ReadU64() {
+    std::uint64_t value = 0;
+    ReadRaw(&value, sizeof(value));
+    return value;
+  }
+  double ReadDouble() {
+    double value = 0;
+    ReadRaw(&value, sizeof(value));
+    return value;
+  }
+
+  /// Length-prefixed vector bounded by `max_elements` and by the bytes
+  /// remaining in the buffer.
+  template <typename T>
+  std::vector<T> ReadVector(std::uint64_t max_elements) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t count = ReadU64();
+    if (!status_.ok()) return {};
+    if (count > max_elements) {
+      Fail("vector length " + std::to_string(count) + " at byte offset " +
+           std::to_string(offset_ - sizeof(std::uint64_t)) +
+           " exceeds limit " + std::to_string(max_elements));
+      return {};
+    }
+    // Divide, never multiply: count * sizeof(T) can wrap to a small (or
+    // zero) value for hostile counts and sail past the remaining check.
+    if (count > remaining() / sizeof(T)) {
+      Fail("vector of " + std::to_string(count) + " elements at byte offset " +
+           std::to_string(offset_ - sizeof(std::uint64_t)) +
+           " exceeds the " + std::to_string(remaining()) +
+           " bytes remaining");
+      return {};
+    }
+    std::vector<T> values(count);
+    if (count > 0) ReadRaw(values.data(), count * sizeof(T));
+    return values;
+  }
+
+  /// Length-prefixed byte string bounded by `max_bytes` and the buffer.
+  std::string ReadString(std::uint64_t max_bytes) {
+    const std::uint64_t count = ReadU64();
+    if (!status_.ok()) return {};
+    if (count > max_bytes || count > remaining()) {
+      Fail("string length " + std::to_string(count) + " at byte offset " +
+           std::to_string(offset_ - sizeof(std::uint64_t)) +
+           " exceeds limit " +
+           std::to_string(std::min<std::uint64_t>(max_bytes, remaining())));
+      return {};
+    }
+    std::string value(count, '\0');
+    if (count > 0) ReadRaw(value.data(), count);
+    return value;
+  }
+
+  std::uint64_t bytes_read() const { return offset_; }
+  std::uint64_t remaining() const { return data_.size() - offset_; }
+
+  /// OK iff everything read so far was present and well-formed.
+  Status Finish() const { return status_; }
+
+ private:
+  void ReadRaw(void* data, std::size_t bytes) {
+    if (!status_.ok()) return;
+    if (bytes > remaining()) {
+      Fail("short read of " + std::to_string(bytes) + " bytes at byte offset " +
+           std::to_string(offset_) + " (only " + std::to_string(remaining()) +
+           " remain)");
+      return;
+    }
+    std::memcpy(data, data_.data() + offset_, bytes);
+    offset_ += bytes;
+  }
+
+  void Fail(const std::string& message) {
+    if (status_.ok()) status_ = Status::Corruption("frame payload: " + message);
+  }
+
+  std::span<const std::uint8_t> data_;
+  Status status_;
+  std::uint64_t offset_ = 0;
 };
 
 /// fsync(2) of `path`'s contents / of a directory's entry table. The

@@ -8,14 +8,16 @@
 
 namespace influmax {
 
-bool IsTransientIoError(const Status& status) {
-  return status.code() == StatusCode::kIoError;
+bool IsTransientError(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
 }
 
 Status RunWithRetry(const RetryPolicy& policy,
                     const std::function<Status()>& attempt,
                     Counter* attempts_counter,
-                    const std::function<void(std::uint64_t)>& sleep_ms) {
+                    const std::function<void(std::uint64_t)>& sleep_ms,
+                    const Deadline& deadline) {
   Rng rng(policy.jitter_seed);
   double backoff = static_cast<double>(policy.initial_backoff_ms);
   std::uint64_t slept = 0;
@@ -35,6 +37,11 @@ Status RunWithRetry(const RetryPolicy& policy,
     const std::uint64_t delay =
         static_cast<std::uint64_t>(backoff * (0.5 + 0.5 * rng.NextDouble()));
     if (slept + delay > policy.budget_ms) break;
+    // A sleep that would overshoot the caller's deadline buys nothing:
+    // the next attempt could not finish in time anyway. Stop now and
+    // hand the last status back while the caller still has budget to
+    // act on it (fail over, degrade, report).
+    if (deadline.expired() || delay > deadline.remaining_ms()) break;
     slept += delay;
     if (sleep_ms) {
       sleep_ms(delay);

@@ -5,14 +5,23 @@
 #include <functional>
 
 #include "common/status.h"
+#include "common/timer.h"
 #include "obs/metrics.h"
 
 namespace influmax {
 
-/// True for StatusCode::kIoError — the class of failures a backoff can
-/// heal (a file mid-rename, NFS hiccup, transient EIO). Corruption,
-/// NotFound, and argument errors are deterministic and never retried.
-bool IsTransientIoError(const Status& status);
+/// True for the class of failures a backoff (or a replica failover) can
+/// heal: kIoError (a file mid-rename, NFS hiccup, transient EIO) and
+/// kUnavailable (refused/reset/timed-out connections, a replica at
+/// capacity — src/net's errno mapping). Corruption, NotFound, and
+/// argument errors are deterministic and never retried.
+bool IsTransientError(const Status& status);
+
+/// Historical name for the disk-only half; now the same widened
+/// classifier (the network class arrived with src/net).
+inline bool IsTransientIoError(const Status& status) {
+  return IsTransientError(status);
+}
 
 /// Bounded exponential backoff shared by the generation watcher and
 /// RefreshFromDisk (docs/durability.md). Deterministic given
@@ -27,19 +36,24 @@ struct RetryPolicy {
   /// delay would exceed it.
   std::uint64_t budget_ms = 2000;
   std::uint64_t jitter_seed = 0x72657472795F6A74ULL;
-  bool (*retryable)(const Status&) = &IsTransientIoError;
+  bool (*retryable)(const Status&) = &IsTransientError;
 };
 
 /// Runs `attempt` until it succeeds, returns a non-retryable status,
-/// exhausts max_attempts, or exhausts the sleep budget; returns the
-/// last status. Every call of `attempt` bumps `attempts_counter` (the
-/// registry's retry.attempts; nullptr skips). `sleep_ms` overrides the
-/// delay primitive — the watcher passes an interruptible wait, tests
-/// pass a recorder.
+/// exhausts max_attempts, exhausts the sleep budget, or the next backoff
+/// would overshoot `deadline`; returns the last status. The deadline
+/// check is in addition to budget_ms: the budget caps this loop's own
+/// cumulative sleep, the deadline is the caller's absolute bound (a
+/// watcher tick, an RPC deadline) that keeps a retry schedule from
+/// outliving the operation it serves. Every call of `attempt` bumps
+/// `attempts_counter` (the registry's retry.attempts; nullptr skips).
+/// `sleep_ms` overrides the delay primitive — the watcher passes an
+/// interruptible wait, tests pass a recorder.
 Status RunWithRetry(const RetryPolicy& policy,
                     const std::function<Status()>& attempt,
                     Counter* attempts_counter = nullptr,
-                    const std::function<void(std::uint64_t)>& sleep_ms = {});
+                    const std::function<void(std::uint64_t)>& sleep_ms = {},
+                    const Deadline& deadline = Deadline::Infinite());
 
 }  // namespace influmax
 

@@ -20,6 +20,7 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -58,6 +59,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A peer, replica, or resource that cannot serve right now but may
+  /// after a retry or failover: refused/reset/timed-out connections, a
+  /// server at session capacity, a range with no live replica. The
+  /// transient-network class RetryPolicy treats as retryable
+  /// (common/retry.h); deterministic failures (Corruption, NotFound)
+  /// must not use it.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

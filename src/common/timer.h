@@ -2,6 +2,8 @@
 #define INFLUMAX_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
+#include <limits>
 
 namespace influmax {
 
@@ -25,6 +27,65 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// A point on the monotonic clock by which an operation must finish.
+///
+/// Deadlines compose where per-call timeouts cannot: one Deadline flows
+/// through retry loops (RunWithRetry stops before a backoff that would
+/// overshoot it), socket waits (poll timeouts come from remaining_ms()),
+/// and the wire protocol (the frame header carries remaining_us(), since
+/// two machines share no monotonic epoch — the receiver rebuilds the
+/// deadline from the remaining budget at receipt). Infinite() is the
+/// explicit "no deadline" value; it never expires and its remaining_*()
+/// saturate, so callers need no special-casing.
+class Deadline {
+ public:
+  /// The wire encoding of "no deadline" (frame header deadline_us).
+  static constexpr std::uint64_t kNoDeadlineUs =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline AfterMs(std::uint64_t ms) { return AfterUs(ms * 1000); }
+
+  /// `us == kNoDeadlineUs` decodes back to Infinite() — the round-trip
+  /// a frame header needs.
+  static Deadline AfterUs(std::uint64_t us) {
+    if (us == kNoDeadlineUs) return Infinite();
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::microseconds(us);
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Remaining budget; 0 once expired, kNoDeadlineUs when infinite.
+  /// Rounded up to the next whole unit so a poll timeout derived from it
+  /// never spins at sub-unit remainders.
+  std::uint64_t remaining_us() const {
+    if (infinite_) return kNoDeadlineUs;
+    const auto left = at_ - Clock::now();
+    if (left <= Clock::duration::zero()) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::ceil<std::chrono::microseconds>(left).count());
+  }
+  std::uint64_t remaining_ms() const {
+    if (infinite_) return kNoDeadlineUs;
+    const auto left = at_ - Clock::now();
+    if (left <= Clock::duration::zero()) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::ceil<std::chrono::milliseconds>(left).count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool infinite_ = true;
+  Clock::time_point at_{};
 };
 
 }  // namespace influmax

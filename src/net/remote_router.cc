@@ -1,0 +1,571 @@
+#include "net/remote_router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/net_metrics.h"
+
+namespace influmax {
+namespace {
+
+/// FoldBatch chunk: 12 wire bytes per node keeps a chunk far under
+/// kMaxFramePayloadBytes while amortizing the round trip over the whole
+/// CELF initial pass.
+constexpr std::size_t kFoldBatchChunk = std::size_t{1} << 16;
+
+/// Failures that justify trying another replica: the transient-network
+/// class (refused/reset/timed-out/closed, a replica at capacity or past
+/// the deadline) plus Corruption — a torn or fingerprint-mismatched
+/// frame condemns this replica's STREAM, not the request, so the same
+/// request is deterministic-retryable elsewhere.
+bool IsFailoverTrigger(const Status& status) {
+  return IsTransientError(status) ||
+         status.code() == StatusCode::kCorruption;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<RemoteEndpoint>>> ParseEndpointSpec(
+    const std::string& spec) {
+  std::vector<std::vector<RemoteEndpoint>> slots;
+  std::size_t slot_begin = 0;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i != spec.size() && spec[i] != ',') continue;
+    const std::string slot_str = spec.substr(slot_begin, i - slot_begin);
+    slot_begin = i + 1;
+    std::vector<RemoteEndpoint> replicas;
+    std::size_t ep_begin = 0;
+    for (std::size_t j = 0; j <= slot_str.size(); ++j) {
+      if (j != slot_str.size() && slot_str[j] != '|') continue;
+      const std::string ep = slot_str.substr(ep_begin, j - ep_begin);
+      ep_begin = j + 1;
+      const std::size_t colon = ep.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == ep.size()) {
+        return Status::InvalidArgument(
+            "endpoint spec: '" + ep + "' is not host:port (slots separated "
+            "by ',', replicas of one slot by '|')");
+      }
+      int port = 0;
+      for (std::size_t k = colon + 1; k < ep.size(); ++k) {
+        if (ep[k] < '0' || ep[k] > '9' || port > 65535) {
+          return Status::InvalidArgument("endpoint spec: bad port in '" +
+                                         ep + "'");
+        }
+        port = port * 10 + (ep[k] - '0');
+      }
+      if (port < 1 || port > 65535) {
+        return Status::InvalidArgument("endpoint spec: bad port in '" + ep +
+                                       "'");
+      }
+      replicas.push_back(RemoteEndpoint{ep.substr(0, colon), port});
+    }
+    if (replicas.empty()) {
+      return Status::InvalidArgument("endpoint spec: empty slot in '" + spec +
+                                     "'");
+    }
+    slots.push_back(std::move(replicas));
+  }
+  if (slots.empty()) {
+    return Status::InvalidArgument("endpoint spec: no endpoints in '" + spec +
+                                   "'");
+  }
+  return slots;
+}
+
+Result<std::unique_ptr<RemoteShardRouter>> RemoteShardRouter::Connect(
+    const RemoteRouterOptions& options) {
+  if (options.replica_sets.empty()) {
+    return Status::InvalidArgument("remote router: no replica sets");
+  }
+  for (std::size_t s = 0; s < options.replica_sets.size(); ++s) {
+    if (options.replica_sets[s].empty()) {
+      return Status::InvalidArgument("remote router: slot " +
+                                     std::to_string(s) + " has no replicas");
+    }
+  }
+  std::unique_ptr<RemoteShardRouter> router(new RemoteShardRouter());
+  router->options_ = options;
+  router->kernel_mode_ = options.kernel_mode;
+  router->slots_.resize(options.replica_sets.size());
+  for (std::size_t s = 0; s < options.replica_sets.size(); ++s) {
+    router->slots_[s].replicas = options.replica_sets[s];
+  }
+  INFLUMAX_RETURN_IF_ERROR(router->ConnectAll(options.generation_pin));
+  return router;
+}
+
+RemoteShardRouter::~RemoteShardRouter() {
+  for (Slot& slot : slots_) DropConn(slot);
+}
+
+Deadline RemoteShardRouter::RpcDeadline() const {
+  return options_.rpc_deadline_ms == 0
+             ? Deadline::Infinite()
+             : Deadline::AfterMs(options_.rpc_deadline_ms);
+}
+
+Status RemoteShardRouter::ConnectAll(std::uint64_t pin) {
+  generation_ = pin;
+  num_users_ = 0;
+  num_actions_ = 0;
+  committed_.clear();
+  poisoned_ = Status::OK();
+  for (Slot& slot : slots_) {
+    DropConn(slot);
+    slot.range_known = false;
+  }
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    // A ping through the full CallSlot ladder: connects (hello + empty
+    // replay) with replica failover and retry, so a dead first replica
+    // never blocks startup.
+    BufferWriter empty;
+    std::vector<std::uint8_t> payload;
+    INFLUMAX_RETURN_IF_ERROR(
+        CallSlot(s, MsgType::kPing, empty, MsgType::kPong, &payload));
+    if (s == 0) {
+      // Adopt slot 0's identity; every other slot (and every later
+      // reconnect) is validated against it.
+      const HelloResponse& h = slots_[0].hello;
+      generation_ = h.generation;
+      num_users_ = h.num_users;
+      num_actions_ = h.num_actions;
+      graph_fingerprint_ = h.graph_fingerprint;
+      log_fingerprint_ = h.log_fingerprint;
+      au_ = h.au;
+      if (au_.size() != num_users_) {
+        return Status::Corruption(
+            "hello A_u has " + std::to_string(au_.size()) + " entries for " +
+            std::to_string(num_users_) + " users");
+      }
+      is_frozen_.assign(num_users_, 0);
+      for (NodeId x : h.frozen_seeds) {
+        if (x >= num_users_) {
+          return Status::Corruption("hello frozen seed " + std::to_string(x) +
+                                    " out of range");
+        }
+        is_frozen_[x] = 1;
+      }
+      is_seed_ = is_frozen_;
+      memo_gain_.assign(num_users_, 0.0);
+      memo_stamp_.assign(num_users_, 0);
+      prefetch_gain_.assign(num_users_, 0.0);
+      prefetch_valid_.assign(num_users_, 0);
+    }
+  }
+
+  // Topology: one generation/dataset, ranges contiguous ascending and
+  // covering [0, num_actions) — the precondition of the chained fold.
+  ActionId expect = 0;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    const HelloResponse& h = slots_[s].hello;
+    if (h.generation != generation_ || h.num_users != num_users_ ||
+        h.num_actions != num_actions_ ||
+        h.graph_fingerprint != graph_fingerprint_ ||
+        h.log_fingerprint != log_fingerprint_) {
+      return Status::FailedPrecondition(
+          "slot " + std::to_string(s) + " serves generation " +
+          std::to_string(h.generation) + " of a different dataset than slot "
+          "0 (generation " + std::to_string(generation_) + ")");
+    }
+    if (h.action_begin != expect || h.action_end < h.action_begin) {
+      return Status::FailedPrecondition(
+          "slot " + std::to_string(s) + " covers actions [" +
+          std::to_string(h.action_begin) + ", " +
+          std::to_string(h.action_end) + ") but the fold chain needs it to "
+          "start at " + std::to_string(expect) +
+          " (slots must be listed in ascending range order)");
+    }
+    expect = h.action_end;
+    slots_[s].range_known = true;
+  }
+  if (expect != num_actions_) {
+    return Status::FailedPrecondition(
+        "slots cover actions [0, " + std::to_string(expect) + ") of " +
+        std::to_string(num_actions_) + " — a range slot is missing");
+  }
+  return Status::OK();
+}
+
+void RemoteShardRouter::DropConn(Slot& slot) {
+  if (slot.conn.valid()) {
+    slot.conn.Close();
+    GetNetMetrics().connections->Add(-1);
+  }
+  slot.hello_done = false;
+}
+
+Status RemoteShardRouter::ConnectActiveReplica(Slot& slot,
+                                               const Deadline& deadline) {
+  const NetMetrics& nm = GetNetMetrics();
+  DropConn(slot);
+  const RemoteEndpoint& ep = slot.replicas[slot.active];
+  Deadline dial = options_.connect_timeout_ms == 0
+                      ? deadline
+                      : Deadline::AfterMs(options_.connect_timeout_ms);
+  if (deadline.remaining_us() < dial.remaining_us()) dial = deadline;
+  Result<TcpConn> conn = TcpConn::Connect(ep.host, ep.port, dial);
+  if (!conn.ok()) return conn.status();
+  slot.conn = std::move(conn).value();
+  nm.connections->Add(1);
+
+  // Hello pins the router's generation (0 on first contact adopts the
+  // server's current one); the server refuses a pin it cannot serve, so
+  // a failover never silently lands on a stale replica.
+  BufferWriter hello_req;
+  EncodeHello(HelloRequest{generation_}, &hello_req);
+  std::vector<std::uint8_t> payload;
+  INFLUMAX_RETURN_IF_ERROR(DoRequest(slot, MsgType::kHello, hello_req,
+                                     MsgType::kHelloOk, &payload, deadline));
+  BufferReader reader(payload);
+  Result<HelloResponse> hello = DecodeHelloOk(&reader);
+  if (!hello.ok()) return hello.status();
+  if (generation_ != 0 && hello->generation != generation_) {
+    return Status::FailedPrecondition(
+        "replica serves generation " + std::to_string(hello->generation) +
+        ", session is pinned to " + std::to_string(generation_));
+  }
+  if (num_users_ != 0 &&
+      (hello->num_users != num_users_ || hello->num_actions != num_actions_ ||
+       hello->graph_fingerprint != graph_fingerprint_ ||
+       hello->log_fingerprint != log_fingerprint_)) {
+    return Status::FailedPrecondition(
+        "replica serves a different dataset than the session was built "
+        "against");
+  }
+  if (slot.range_known && (hello->action_begin != slot.action_begin ||
+                           hello->action_end != slot.action_end)) {
+    return Status::FailedPrecondition(
+        "replica covers actions [" + std::to_string(hello->action_begin) +
+        ", " + std::to_string(hello->action_end) + ") but its slot owns [" +
+        std::to_string(slot.action_begin) + ", " +
+        std::to_string(slot.action_end) + ")");
+  }
+  slot.hello = std::move(hello).value();
+  slot.action_begin = slot.hello.action_begin;
+  slot.action_end = slot.hello.action_end;
+  slot.hello_done = true;
+
+  // The server-side session behind this connection is brand new, so the
+  // client's committed seeds are replayed in commit order — an exact
+  // rebuild (commits are deterministic state transitions), which is why
+  // failover can resume a half-done query bit-identically.
+  for (NodeId x : committed_) {
+    BufferWriter commit_req;
+    EncodeCommit(CommitRequest{x}, &commit_req);
+    std::vector<std::uint8_t> commit_payload;
+    if (Status st = DoRequest(slot, MsgType::kCommit, commit_req,
+                              MsgType::kCommitOk, &commit_payload, deadline);
+        !st.ok()) {
+      slot.hello_done = false;
+      return st;
+    }
+    nm.commit_replays->Increment();
+  }
+  if (slot.ever_connected) nm.reconnects->Increment();
+  slot.ever_connected = true;
+  return Status::OK();
+}
+
+Status RemoteShardRouter::DoRequest(Slot& slot, MsgType type,
+                                    const BufferWriter& request,
+                                    MsgType ok_type,
+                                    std::vector<std::uint8_t>* response,
+                                    const Deadline& deadline) {
+  const NetMetrics& nm = GetNetMetrics();
+  nm.rpc_count->Increment();
+  const std::uint64_t t0 = MonotonicNowNs();
+  Frame frame;
+  frame.header.type = static_cast<std::uint8_t>(type);
+  frame.header.kernel_mode = static_cast<std::uint8_t>(kernel_mode_);
+  frame.header.generation = generation_;
+  frame.header.deadline_us = deadline.remaining_us();
+  frame.payload = request.buffer();
+  INFLUMAX_RETURN_IF_ERROR(SendFrame(slot.conn, std::move(frame), deadline));
+  Result<Frame> resp = RecvFrame(slot.conn, deadline);
+  if (!resp.ok()) return resp.status();
+  nm.rpc_latency->Record(MonotonicNowNs() - t0);
+  if (resp->header.type == static_cast<std::uint8_t>(MsgType::kError)) {
+    BufferReader reader(resp->payload);
+    Result<ErrorResponse> error = DecodeError(&reader);
+    if (!error.ok()) return error.status();
+    Status st = StatusFromError(*error);
+    // An OK-coded error frame is a protocol violation, not a success.
+    return st.ok() ? Status::Corruption("error frame carrying OK status")
+                   : st;
+  }
+  if (resp->header.type != static_cast<std::uint8_t>(ok_type)) {
+    return Status::Corruption(
+        "unexpected response type " + std::to_string(resp->header.type) +
+        " to request type " +
+        std::to_string(static_cast<int>(static_cast<std::uint8_t>(type))));
+  }
+  if (response != nullptr) *response = std::move(resp->payload);
+  return Status::OK();
+}
+
+Status RemoteShardRouter::CallSlot(std::size_t s, MsgType type,
+                                   const BufferWriter& request,
+                                   MsgType ok_type,
+                                   std::vector<std::uint8_t>* response) {
+  Slot& slot = slots_[s];
+  const NetMetrics& nm = GetNetMetrics();
+  const Deadline deadline = RpcDeadline();
+  // RunWithRetry's counter bumps on EVERY attempt; net.rpc.retries
+  // should count only the re-attempts, so count rounds ourselves.
+  std::size_t rounds = 0;
+  const auto attempt = [&]() -> Status {
+    if (++rounds > 1) nm.rpc_retries->Increment();
+    // One round: each replica of the slot gets one chance, starting from
+    // the active one. Deterministic application errors return
+    // immediately; transport failures advance the replica cursor.
+    Status last = Status::Unavailable("slot " + std::to_string(s) +
+                                      ": no replica answered");
+    for (std::size_t tried = 0; tried < slot.replicas.size(); ++tried) {
+      Status st;
+      if (!slot.hello_done) st = ConnectActiveReplica(slot, deadline);
+      if (st.ok()) {
+        st = DoRequest(slot, type, request, ok_type, response, deadline);
+        if (st.ok()) return st;
+        if (!IsFailoverTrigger(st)) return st;
+      }
+      last = st;
+      DropConn(slot);
+      if (slot.replicas.size() > 1) {
+        slot.active = (slot.active + 1) % slot.replicas.size();
+        nm.failovers->Increment();
+      }
+      if (deadline.expired()) break;
+    }
+    return last;
+  };
+  Status st = RunWithRetry(options_.retry, attempt, nullptr, {}, deadline);
+  if (!st.ok()) nm.rpc_errors->Increment();
+  return st;
+}
+
+Status RemoteShardRouter::CheckNotPoisoned() const {
+  if (poisoned_.ok()) return Status::OK();
+  return Status::FailedPrecondition(
+      "session poisoned by a failed commit (" + poisoned_.message() +
+      "); ResetSession() or Refresh() to recover");
+}
+
+Result<double> RemoteShardRouter::RemoteGain(NodeId x) {
+  // The gain-merge fold of docs/sharding.md stretched over sockets:
+  // chaining the accumulator through the slots in range order replays
+  // the monolithic engine's exact floating-point addition sequence. A
+  // failover inside CallSlot re-issues only the failed slot's step with
+  // the accumulator it already had — completed prefixes are never
+  // recomputed, so the sequence survives the failover unchanged.
+  double acc = 0.0;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    BufferWriter request;
+    EncodeFold(FoldRequest{x, acc}, &request);
+    std::vector<std::uint8_t> payload;
+    INFLUMAX_RETURN_IF_ERROR(
+        CallSlot(s, MsgType::kFold, request, MsgType::kFoldOk, &payload));
+    BufferReader reader(payload);
+    Result<FoldResponse> resp = DecodeFoldOk(&reader);
+    if (!resp.ok()) return resp.status();
+    acc = resp->acc;
+  }
+  return acc;
+}
+
+Result<double> RemoteShardRouter::MarginalGain(NodeId x) {
+  INFLUMAX_RETURN_IF_ERROR(CheckNotPoisoned());
+  // The router guard, verbatim (ShardRouter::MarginalGain): seeds and
+  // inactive users answer 0.0 locally, no RPC.
+  if (x >= num_users_ || is_seed_[x] || au_[x] == 0) return 0.0;
+  return RemoteGain(x);
+}
+
+Status RemoteShardRouter::CommitSeed(NodeId x) {
+  INFLUMAX_RETURN_IF_ERROR(CheckNotPoisoned());
+  if (x >= num_users_ || is_seed_[x]) return Status::OK();
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    BufferWriter request;
+    EncodeCommit(CommitRequest{x}, &request);
+    std::vector<std::uint8_t> payload;
+    if (Status st = CallSlot(s, MsgType::kCommit, request, MsgType::kCommitOk,
+                             &payload);
+        !st.ok()) {
+      // Some slots may have applied the commit, some not: the fold chain
+      // would mix seed sets, so the session is poisoned until
+      // ResetSession()/Refresh() rebuilds a consistent one. Degradation
+      // is a refusal, never a partial answer.
+      poisoned_ = st;
+      return st;
+    }
+  }
+  is_seed_[x] = 1;
+  committed_.push_back(x);
+  return Status::OK();
+}
+
+Result<double> RemoteShardRouter::SpreadOf(std::span<const NodeId> seeds) {
+  // Theorem 3 telescopes, exactly as ShardRouter::SpreadOf.
+  INFLUMAX_RETURN_IF_ERROR(ResetSession());
+  double total = 0.0;
+  for (NodeId seed : seeds) {
+    Result<double> gain = MarginalGain(seed);
+    if (!gain.ok()) return gain.status();
+    total += gain.value();
+    INFLUMAX_RETURN_IF_ERROR(CommitSeed(seed));
+  }
+  return total;
+}
+
+Status RemoteShardRouter::PrefetchGains(const std::vector<NodeId>& nodes) {
+  for (std::size_t begin = 0; begin < nodes.size();
+       begin += kFoldBatchChunk) {
+    const std::size_t end = std::min(nodes.size(), begin + kFoldBatchChunk);
+    FoldBatchRequest batch;
+    batch.nodes.assign(nodes.begin() + static_cast<std::ptrdiff_t>(begin),
+                       nodes.begin() + static_cast<std::ptrdiff_t>(end));
+    batch.accs.assign(end - begin, 0.0);
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      BufferWriter request;
+      EncodeFoldBatch(batch, &request);
+      std::vector<std::uint8_t> payload;
+      INFLUMAX_RETURN_IF_ERROR(CallSlot(s, MsgType::kFoldBatch, request,
+                                        MsgType::kFoldBatchOk, &payload));
+      BufferReader reader(payload);
+      Result<FoldBatchResponse> resp = DecodeFoldBatchOk(&reader);
+      if (!resp.ok()) return resp.status();
+      if (resp->accs.size() != batch.accs.size()) {
+        return Status::Corruption(
+            "fold batch: " + std::to_string(resp->accs.size()) +
+            " accumulators returned for " +
+            std::to_string(batch.accs.size()) + " nodes");
+      }
+      batch.accs = std::move(resp->accs);
+    }
+    for (std::size_t i = 0; i < batch.nodes.size(); ++i) {
+      prefetch_gain_[batch.nodes[i]] = batch.accs[i];
+      prefetch_valid_[batch.nodes[i]] = 1;
+    }
+  }
+  return Status::OK();
+}
+
+Result<SnapshotSeedSelection> RemoteShardRouter::TopKSeeds(
+    NodeId k, double spread_budget) {
+  INFLUMAX_RETURN_IF_ERROR(ResetSession());
+
+  // Prefetch the CELF initial pass: every active non-seed's gain via one
+  // batched fold chain per slot (seeds answer 0.0 from the local guard,
+  // as in ShardRouter). Each node's fold is independent, so batching
+  // changes round trips, never bits.
+  std::vector<NodeId> nodes;
+  for (NodeId x = 0; x < num_users_; ++x) {
+    if (au_[x] != 0 && !is_seed_[x]) nodes.push_back(x);
+  }
+  std::fill(prefetch_valid_.begin(), prefetch_valid_.end(), 0);
+  INFLUMAX_RETURN_IF_ERROR(PrefetchGains(nodes));
+  prefetch_commits_ = committed_.size();
+
+  // The shared CELF driver, serial (workers = 1): the same initial pass
+  // over active users, heap build order, and consumption discipline as
+  // every other caller, so seeds, gains, and evaluation counts are
+  // bit-identical to ShardRouter::TopKSeeds. Network errors cannot
+  // propagate out of the driver's callbacks, so they stick in net_error:
+  // gains degrade to 0.0 (terminating the greedy via the gain <= 0
+  // break) and the error — not a partial selection — is returned.
+  SnapshotSeedSelection selection;
+  Status net_error;
+  RunCelfTopK(
+      k, spread_budget, /*num_workers=*/1, num_users_,
+      [](std::size_t total, const auto& body) {
+        for (std::size_t i = 0; i < total; ++i) body(std::size_t{0}, i);
+      },
+      [this](NodeId x) { return au_[x] != 0; },
+      [&](NodeId x) -> double {
+        if (!net_error.ok()) return 0.0;
+        if (x >= num_users_ || is_seed_[x] || au_[x] == 0) return 0.0;
+        if (prefetch_valid_[x] && committed_.size() == prefetch_commits_) {
+          return prefetch_gain_[x];
+        }
+        Result<double> gain = RemoteGain(x);
+        if (!gain.ok()) {
+          net_error = gain.status();
+          return 0.0;
+        }
+        return gain.value();
+      },
+      [&](NodeId x) {
+        if (!net_error.ok()) return;
+        if (Status st = CommitSeed(x); !st.ok()) net_error = st;
+      },
+      &heap_, &memo_gain_, &memo_stamp_, &batch_, &gains_, &selection);
+  if (!net_error.ok()) return net_error;
+  return selection;
+}
+
+Status RemoteShardRouter::ResetSession() {
+  for (Slot& slot : slots_) {
+    if (!slot.hello_done) continue;
+    BufferWriter empty;
+    std::vector<std::uint8_t> payload;
+    if (Status st = DoRequest(slot, MsgType::kReset, empty, MsgType::kResetOk,
+                              &payload, RpcDeadline());
+        !st.ok()) {
+      // Dropping the connection is an equivalent reset: the reconnect
+      // replays the (now empty) commit list onto a fresh server session.
+      DropConn(slot);
+    }
+  }
+  committed_.clear();
+  is_seed_ = is_frozen_;
+  poisoned_ = Status::OK();
+  return Status::OK();
+}
+
+Result<bool> RemoteShardRouter::Refresh() {
+  const std::uint64_t before = generation_;
+  INFLUMAX_RETURN_IF_ERROR(ConnectAll(0));
+  return generation_ != before;
+}
+
+std::vector<ReplicaHealth> RemoteShardRouter::ProbeReplicas() {
+  std::vector<ReplicaHealth> out;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    for (std::size_t r = 0; r < slots_[s].replicas.size(); ++r) {
+      ReplicaHealth health;
+      health.slot = s;
+      health.replica = r;
+      // A fresh connection per probe: the health of a replica is "can a
+      // NEW client use it", not "is my cached socket still warm".
+      const std::uint64_t budget_ms =
+          options_.rpc_deadline_ms != 0 ? options_.rpc_deadline_ms
+          : options_.connect_timeout_ms != 0 ? options_.connect_timeout_ms
+                                             : 2000;
+      const Deadline deadline = Deadline::AfterMs(budget_ms);
+      const RemoteEndpoint& ep = slots_[s].replicas[r];
+      Result<TcpConn> conn = TcpConn::Connect(ep.host, ep.port, deadline);
+      if (conn.ok()) {
+        Frame frame;
+        frame.header.type = static_cast<std::uint8_t>(MsgType::kPing);
+        frame.header.deadline_us = deadline.remaining_us();
+        if (SendFrame(conn.value(), std::move(frame), deadline).ok()) {
+          Result<Frame> resp = RecvFrame(conn.value(), deadline);
+          if (resp.ok() &&
+              resp->header.type == static_cast<std::uint8_t>(MsgType::kPong)) {
+            BufferReader reader(resp->payload);
+            Result<PongResponse> pong = DecodePong(&reader);
+            if (pong.ok()) {
+              health.healthy = true;
+              health.generation = pong->generation;
+              health.sessions_active = pong->sessions_active;
+            }
+          }
+        }
+      }
+      out.push_back(health);
+    }
+  }
+  return out;
+}
+
+}  // namespace influmax

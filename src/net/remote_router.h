@@ -1,0 +1,234 @@
+#ifndef INFLUMAX_NET_REMOTE_ROUTER_H_
+#define INFLUMAX_NET_REMOTE_ROUTER_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "core/celf.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/query_engine.h"
+
+namespace influmax {
+
+/// One replica of one range slot.
+struct RemoteEndpoint {
+  std::string host;
+  int port = 0;
+};
+
+/// Parses "host:port[|host:port...][,host:port[|...]]...": commas
+/// separate range slots IN RANGE ORDER, '|' separates replicas of one
+/// slot (tried in order, first healthy wins).
+Result<std::vector<std::vector<RemoteEndpoint>>> ParseEndpointSpec(
+    const std::string& spec);
+
+struct RemoteRouterOptions {
+  /// replica_sets[i] = the replicas serving range slot i; slot order
+  /// must match ascending action-range order (validated at Connect from
+  /// the hellos' action_begin/end).
+  std::vector<std::vector<RemoteEndpoint>> replica_sets;
+  /// 0 pins whatever generation the servers currently serve (they must
+  /// agree); nonzero demands exactly that generation.
+  std::uint64_t generation_pin = 0;
+  GainKernelMode kernel_mode = GainKernelMode::kExact;
+  /// Per-RPC deadline; 0 = none. Propagated in every frame header and
+  /// enforced server-side too.
+  std::uint64_t rpc_deadline_ms = 0;
+  std::uint64_t connect_timeout_ms = 2000;
+  /// Governs reconnect/failover rounds: one "attempt" tries every
+  /// replica of the slot once; backoff (deterministic jitter,
+  /// deadline-aware) separates rounds.
+  RetryPolicy retry;
+};
+
+/// Per-replica health probe result (ProbeReplicas).
+struct ReplicaHealth {
+  std::size_t slot = 0;
+  std::size_t replica = 0;
+  bool healthy = false;
+  std::uint64_t generation = 0;
+  std::uint32_t sessions_active = 0;
+};
+
+/// ShardRouter over sockets (docs/networking.md): each range slot is a
+/// replica set of shard_server processes, and every query chains the
+/// per-slot AccumulateGainTerms fold through the slots in range order —
+/// the same serial fold ShardRouter runs in-process, so MarginalGain /
+/// SpreadOf / CommitSeed / TopKSeeds return bit-identical seeds, gains,
+/// and evaluation counts (the chained-fold argument of docs/sharding.md
+/// does not care whether a fold step crosses a function call or a
+/// socket).
+///
+/// TopKSeeds runs the engine's own RunCelfTopK verbatim (workers = 1,
+/// serial loop) with the initial gain pass answered from one batched
+/// fold chain per slot — each node's fold is independent, so batching
+/// changes round trips, never bits. The consumption loop's stale
+/// re-evaluations go over the wire one fold chain each.
+///
+/// Robustness contract:
+///  * Transport failures (timeout, torn/corrupt frame, connection loss,
+///    a replica at capacity) fail over to the next replica of that
+///    slot: the connection is re-dialed under RetryPolicy, the session
+///    re-pinned to the SAME generation, committed seeds replayed in
+///    order, and the failed request re-issued — the chained fold
+///    restarts from the failed slot with the accumulator it already
+///    had, so FP order is preserved across the failover.
+///  * Deterministic errors (InvalidArgument, a generation-pin mismatch)
+///    surface to the caller unchanged.
+///  * A slot with no live replica fails the query with Unavailable
+///    after one bounded retry schedule — fast degradation, never a
+///    partial answer: queries return values only when every slot
+///    answered.
+///  * A failed CommitSeed poisons the session (replicas may disagree on
+///    the seed set); every later query returns FailedPrecondition until
+///    ResetSession()/Refresh() rebuilds a consistent state.
+///
+/// Concurrency contract: one router per thread, like ShardRouter.
+class RemoteShardRouter {
+ public:
+  /// Dials every slot, validates the topology (one generation, ranges
+  /// contiguous ascending and covering, matching fingerprints), and
+  /// pulls the global A_u + frozen seeds from slot 0's hello.
+  static Result<std::unique_ptr<RemoteShardRouter>> Connect(
+      const RemoteRouterOptions& options);
+
+  ~RemoteShardRouter();
+
+  RemoteShardRouter(const RemoteShardRouter&) = delete;
+  RemoteShardRouter& operator=(const RemoteShardRouter&) = delete;
+
+  /// The chained remote fold; bit-identical to ShardRouter::MarginalGain.
+  Result<double> MarginalGain(NodeId x);
+
+  /// Commits x on every slot (every replica set), in slot order.
+  Status CommitSeed(NodeId x);
+
+  /// sigma_cd of `seeds` committed in order over a fresh session.
+  Result<double> SpreadOf(std::span<const NodeId> seeds);
+
+  /// CELF greedy top-k from a fresh session; bit-identical to
+  /// ShardRouter::TopKSeeds (which is bit-identical to the monolithic
+  /// engine).
+  Result<SnapshotSeedSelection> TopKSeeds(
+      NodeId k,
+      double spread_budget = std::numeric_limits<double>::infinity());
+
+  /// Fresh session on every slot. Always clears local state; a slot
+  /// whose reset RPC fails just drops its connection — the reconnect
+  /// replays an empty commit list, which IS a fresh session.
+  Status ResetSession();
+
+  /// Re-pins the router to whatever generation the servers now serve
+  /// (drops the session, like GenerationManager::Session::Refresh).
+  /// True when the generation changed.
+  Result<bool> Refresh();
+
+  /// Pings every replica of every slot (no session) within the RPC
+  /// deadline each.
+  std::vector<ReplicaHealth> ProbeReplicas();
+
+  std::uint64_t generation() const { return generation_; }
+  NodeId num_users() const { return num_users_; }
+  ActionId num_actions() const { return num_actions_; }
+  std::size_t num_slots() const { return slots_.size(); }
+  std::span<const NodeId> session_seeds() const { return committed_; }
+
+  void set_kernel_mode(GainKernelMode mode) { kernel_mode_ = mode; }
+  GainKernelMode kernel_mode() const { return kernel_mode_; }
+
+ private:
+  struct Slot {
+    std::vector<RemoteEndpoint> replicas;
+    std::size_t active = 0;  ///< index of the replica currently used
+    TcpConn conn;
+    bool hello_done = false;
+    bool ever_connected = false;  ///< gates the reconnects counter
+    bool range_known = false;     ///< topology validated once
+    ActionId action_begin = 0;
+    ActionId action_end = 0;
+    HelloResponse hello;  ///< last accepted hello from this slot
+  };
+
+  RemoteShardRouter() = default;
+
+  Deadline RpcDeadline() const;
+
+  /// (Re)connects every slot with `pin` (0 = adopt slot 0's current
+  /// generation) and validates the topology; Connect and Refresh share
+  /// it. Clears the session.
+  Status ConnectAll(std::uint64_t pin);
+
+  /// Sends `request` to slot `s` (dialing/re-helloing as needed) and
+  /// decodes a response of `ok_type` into `*response`. Implements the
+  /// whole robustness ladder: replica cycling, RetryPolicy rounds,
+  /// commit replay, fast Unavailable when nothing is live.
+  Status CallSlot(std::size_t s, MsgType type, const BufferWriter& request,
+                  MsgType ok_type, std::vector<std::uint8_t>* response);
+
+  /// One send+recv on an established connection. Transient-network /
+  /// Corruption statuses mean "this replica is suspect" (CallSlot fails
+  /// over on them); decoded error frames surface as-is.
+  Status DoRequest(Slot& slot, MsgType type, const BufferWriter& request,
+                   MsgType ok_type, std::vector<std::uint8_t>* response,
+                   const Deadline& deadline);
+
+  /// Dials slot.replicas[slot.active], hellos with the pinned
+  /// generation, replays committed seeds. On success the slot is ready
+  /// for requests.
+  Status ConnectActiveReplica(Slot& slot, const Deadline& deadline);
+
+  void DropConn(Slot& slot);
+
+  /// The chained fold without the seed/range guards (callers own them,
+  /// like AccumulateGainTerms).
+  Result<double> RemoteGain(NodeId x);
+
+  /// Batched chained fold for `nodes` (already filtered to active
+  /// non-seeds) into prefetch_gain_/prefetch_valid_.
+  Status PrefetchGains(const std::vector<NodeId>& nodes);
+
+  Status CheckNotPoisoned() const;
+
+  RemoteRouterOptions options_;
+  std::vector<Slot> slots_;
+  std::uint64_t generation_ = 0;
+  NodeId num_users_ = 0;
+  ActionId num_actions_ = 0;
+  std::uint64_t graph_fingerprint_ = 0;
+  std::uint64_t log_fingerprint_ = 0;
+  std::vector<std::uint32_t> au_;
+  GainKernelMode kernel_mode_ = GainKernelMode::kExact;
+
+  std::vector<std::uint8_t> is_seed_;  ///< frozen + session seeds [U]
+  std::vector<std::uint8_t> is_frozen_;
+  std::vector<NodeId> committed_;      ///< session seeds, commit order
+  Status poisoned_;                    ///< non-OK after a failed commit
+
+  // TopKSeeds prefetch: prefetch_gain_[x] valid for the seed-set size
+  // it was computed at (prefetch_commits_) — exactly the CELF initial
+  // pass, fetched in batches instead of one RPC per candidate.
+  std::vector<double> prefetch_gain_;
+  std::vector<std::uint8_t> prefetch_valid_;
+  std::uint64_t prefetch_commits_ = 0;
+
+  // CELF scratch, mirroring ShardRouter's (the shared RunCelfTopK
+  // machinery needs caller-owned arrays).
+  std::vector<CelfQueueEntry> heap_;
+  std::vector<CelfQueueEntry> batch_;
+  std::vector<double> memo_gain_;
+  std::vector<std::uint64_t> memo_stamp_;
+  std::vector<double> gains_;
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_NET_REMOTE_ROUTER_H_

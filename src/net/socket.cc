@@ -1,0 +1,285 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace influmax {
+namespace {
+
+/// The transient-network errno class: failures a different replica (or
+/// a later retry) might not share. Everything else on a socket is
+/// treated as a local/programming problem.
+bool IsTransientErrno(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == ETIMEDOUT ||
+         err == EPIPE || err == ENETUNREACH || err == EHOSTUNREACH ||
+         err == ECONNABORTED || err == ENOTCONN;
+}
+
+Status ErrnoStatus(const std::string& op, int err) {
+  const std::string msg = op + ": " + std::strerror(err);
+  return IsTransientErrno(err) ? Status::Unavailable(msg)
+                               : Status::IoError(msg);
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)", errno);
+  }
+  return Status::OK();
+}
+
+/// Waits for `events` on `fd` until the deadline. Unavailable on
+/// timeout; IoError on poll failure. POLLERR/POLLHUP are left for the
+/// subsequent recv/send to diagnose (they read the real errno).
+Status PollWait(int fd, short events, const Deadline& deadline,
+                const char* what) {
+  for (;;) {
+    struct pollfd pfd { fd, events, 0 };
+    int timeout_ms = -1;
+    if (!deadline.infinite()) {
+      const std::uint64_t rem = deadline.remaining_ms();
+      if (rem == 0) {
+        return Status::Unavailable(std::string(what) + ": deadline expired");
+      }
+      timeout_ms = rem > 1u << 30 ? (1 << 30) : static_cast<int>(rem);
+    }
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      if (deadline.expired()) {
+        return Status::Unavailable(std::string(what) + ": deadline expired");
+      }
+      continue;  // clamped slice of a huge deadline elapsed; wait again
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus(std::string(what) + ": poll", errno);
+  }
+}
+
+}  // namespace
+
+TcpConn::TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpConn> TcpConn::Connect(const std::string& host, int port,
+                                 const Deadline& deadline) {
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    struct addrinfo hints {};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+      return Status::Unavailable("connect: cannot resolve '" + host + "'");
+    }
+    addr.sin_addr =
+        reinterpret_cast<struct sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  TcpConn conn(fd);
+  if (Status st = SetNonBlocking(fd); !st.ok()) return st;
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) return ErrnoStatus("connect", errno);
+    INFLUMAX_RETURN_IF_ERROR(PollWait(fd, POLLOUT, deadline, "connect"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)", errno);
+    }
+    if (err != 0) return ErrnoStatus("connect", err);
+  }
+  return conn;
+}
+
+Status TcpConn::SendAll(const void* data, std::size_t bytes,
+                        const Deadline& deadline) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < bytes) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE -> Unavailable,
+    // not kill the serving process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, p + sent, bytes - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      INFLUMAX_RETURN_IF_ERROR(PollWait(fd_, POLLOUT, deadline, "send"));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Status st = ErrnoStatus("send", n < 0 ? errno : EPIPE);
+    return st.code() == StatusCode::kUnavailable
+               ? Status::Unavailable(st.message() + " after " +
+                                     std::to_string(sent) + " of " +
+                                     std::to_string(bytes) + " bytes")
+               : st;
+  }
+  return Status::OK();
+}
+
+Status TcpConn::RecvAll(void* data, std::size_t bytes, const Deadline& deadline,
+                        std::size_t* received) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  if (received != nullptr) *received = 0;
+  while (got < bytes) {
+    const ssize_t n = ::recv(fd_, p + got, bytes - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      if (received != nullptr) *received = got;
+      continue;
+    }
+    if (n == 0) {
+      // Orderly shutdown mid-read: the peer died (or was killed)
+      // between frames or inside one — the caller knows which from the
+      // offset.
+      return Status::Unavailable("connection closed by peer after " +
+                                 std::to_string(got) + " of " +
+                                 std::to_string(bytes) + " bytes");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      INFLUMAX_RETURN_IF_ERROR(PollWait(fd_, POLLIN, deadline, "recv"));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv", errno);
+  }
+  return Status::OK();
+}
+
+Result<std::size_t> TcpConn::RecvSome(void* data, std::size_t max_bytes,
+                                      const Deadline& deadline) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, max_bytes, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      INFLUMAX_RETURN_IF_ERROR(PollWait(fd_, POLLIN, deadline, "recv"));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv", errno);
+  }
+}
+
+void TcpConn::Abort() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Bind(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket", errno);
+  TcpListener listener(fd, 0);
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (Status st = SetNonBlocking(fd); !st.ok()) return st;
+
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (::listen(fd, 64) < 0) return ErrnoStatus("listen", errno);
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpConn> TcpListener::Accept(const Deadline& deadline) {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      TcpConn conn(fd);
+      if (Status st = SetNonBlocking(fd); !st.ok()) return st;
+      const int nodelay = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+      return conn;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      INFLUMAX_RETURN_IF_ERROR(PollWait(fd_, POLLIN, deadline, "accept"));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    // An aborted (shutdown) listener reports EINVAL on Linux — that is
+    // the orderly "stop accepting" path, not an I/O fault.
+    if (errno == EINVAL) {
+      return Status::Unavailable("accept: listener shut down");
+    }
+    return ErrnoStatus("accept", errno);
+  }
+}
+
+void TcpListener::Abort() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace influmax

@@ -1,0 +1,123 @@
+#ifndef INFLUMAX_NET_SOCKET_H_
+#define INFLUMAX_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace influmax {
+
+/// Thin RAII wrappers over POSIX TCP sockets (docs/networking.md).
+///
+/// Error taxonomy — the part that matters for robustness: every failure
+/// a different replica might not share (refused/reset/timed-out
+/// connections, a peer gone mid-stream, a deadline hit while blocked)
+/// maps to Status::Unavailable, the transient-network class
+/// IsTransientError treats as retryable; programming-level socket
+/// errors map to IoError. The distinction drives the failover loop in
+/// RemoteShardRouter: Unavailable means "try the next replica",
+/// anything deterministic surfaces to the caller.
+///
+/// All blocking waits are poll(2)-based against a common/timer.h
+/// Deadline, so one deadline bounds a whole connect + send + recv
+/// sequence instead of resetting per call.
+
+/// A connected TCP stream. Move-only; the destructor closes. Abort() is
+/// the thread-safe cancel: it shuts the socket down (waking any blocked
+/// poll on another thread with "connection lost") without racing the
+/// owner's close — chaos tests use it as the "replica dies mid-request"
+/// lever.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  ~TcpConn() { Close(); }
+
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Connects to host:port (numeric IPv4 or a resolvable name) within
+  /// `deadline`. TCP_NODELAY is set — frames are request/response
+  /// sized, Nagle only adds latency.
+  static Result<TcpConn> Connect(const std::string& host, int port,
+                                 const Deadline& deadline);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Sends exactly `bytes` or fails: Unavailable on peer loss/deadline
+  /// (with the byte offset reached), IoError otherwise.
+  Status SendAll(const void* data, std::size_t bytes,
+                 const Deadline& deadline);
+
+  /// Receives exactly `bytes` or fails; `*received` (optional) reports
+  /// how many bytes arrived before the failure so framing errors can
+  /// name the exact stream offset.
+  Status RecvAll(void* data, std::size_t bytes, const Deadline& deadline,
+                 std::size_t* received = nullptr);
+
+  /// Receives whatever is available, up to `max_bytes` (at least one
+  /// byte, or 0 on orderly peer close). The HTTP metrics listener uses
+  /// it — HTTP has no length prefix to RecvAll against.
+  Result<std::size_t> RecvSome(void* data, std::size_t max_bytes,
+                               const Deadline& deadline);
+
+  /// Shuts down both directions without releasing the fd. Safe to call
+  /// from another thread while the owner is blocked in Send/Recv.
+  void Abort();
+
+  void Close();
+
+  int fd() const { return fd_; }
+
+ private:
+  friend class TcpListener;  // Accept constructs the connection
+
+  explicit TcpConn(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1. Move-only. Close() (or
+/// Abort() from another thread) wakes a blocked Accept with
+/// Unavailable.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on loopback `port`; 0 picks an ephemeral port
+  /// (read it back from port() — tests and the tools print it).
+  static Result<TcpListener> Bind(int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+
+  /// Accepts one connection within `deadline` (Unavailable on timeout
+  /// or an aborted listener).
+  Result<TcpConn> Accept(const Deadline& deadline);
+
+  /// Thread-safe wake for a blocked Accept; the listener stays
+  /// constructed but permanently refuses.
+  void Abort();
+
+  void Close();
+
+ private:
+  TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_NET_SOCKET_H_

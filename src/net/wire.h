@@ -1,0 +1,203 @@
+#ifndef INFLUMAX_NET_WIRE_H_
+#define INFLUMAX_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "net/socket.h"
+
+namespace influmax {
+
+/// The shard-serving wire protocol (docs/networking.md): length-prefixed
+/// binary frames over TCP, one request frame -> one response frame per
+/// RPC, payloads serialized with common/binary_io's BufferWriter/
+/// BufferReader (the same typed-section grammar as every on-disk
+/// container).
+///
+/// Frame layout (little-endian, host == wire like the snapshot files):
+///   u32 payload_len      bytes after this 32-byte header
+///   u8  version          kWireVersion; mismatch rejected before payload
+///   u8  type             MsgType
+///   u8  kernel_mode      GainKernelMode for this request (requests only)
+///   u8  reserved
+///   u64 generation       the client's generation pin (0 = none/hello)
+///   u64 deadline_us      REMAINING budget at send; kNoDeadlineUs = none.
+///                        Remaining-not-absolute because two machines
+///                        share no monotonic epoch; the receiver rebuilds
+///                        Deadline::AfterUs(deadline_us) at receipt.
+///   u64 fingerprint      FNV-1a over the header (this field zeroed) +
+///                        payload; a torn or bit-flipped frame fails
+///                        closed as Corruption, which the client treats
+///                        as a failover trigger.
+///
+/// Defensive bounds mirror the snapshot readers: payload_len is checked
+/// against kMaxFramePayloadBytes BEFORE any allocation, and every
+/// variable-length payload field re-validates its own length against
+/// both a semantic cap and the bytes actually present.
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderBytes = 32;
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 256u << 20;
+/// Caps every user/seed vector a frame can carry.
+inline constexpr std::uint64_t kMaxWireElements = 1u << 28;
+inline constexpr std::uint64_t kMaxWireMessageBytes = 1u << 16;
+
+enum class MsgType : std::uint8_t {
+  kError = 0,
+  kHello = 1,
+  kHelloOk = 2,
+  kPing = 3,
+  kPong = 4,
+  kFold = 5,
+  kFoldOk = 6,
+  kFoldBatch = 7,
+  kFoldBatchOk = 8,
+  kCommit = 9,
+  kCommitOk = 10,
+  kReset = 11,
+  kResetOk = 12,
+};
+
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  std::uint8_t version = kWireVersion;
+  std::uint8_t type = 0;
+  std::uint8_t kernel_mode = 0;
+  std::uint8_t reserved = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t deadline_us = Deadline::kNoDeadlineUs;
+  std::uint64_t fingerprint = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// FNV-1a 64 of the header (fingerprint field zeroed) + payload.
+std::uint64_t FingerprintFrame(const FrameHeader& header,
+                               std::span<const std::uint8_t> payload);
+
+/// Sends one frame (header fingerprint filled in here) within
+/// `deadline`. `failpoint_site` names the failpoint consulted per send
+/// — "net.frame.send" for client requests, "net.server.send" for server
+/// responses, so a chaos test can tear one side's stream without
+/// touching the other (the registry is process-global and loopback
+/// tests host both sides). Effects: error fails the send, torn cuts the
+/// encoded frame at byte offset `arg` and drops the stream — the peer
+/// sees a short read at that exact offset (tests/net_fault_test.cc).
+Status SendFrame(TcpConn& conn, Frame frame, const Deadline& deadline,
+                 const char* failpoint_site = "net.frame.send");
+
+/// Receives one frame within `deadline`, validating version, payload
+/// bound (before allocation), and fingerprint. Unavailable on peer
+/// loss/deadline (byte offset named), Corruption on a malformed or
+/// fingerprint-mismatched frame. Failpoint site "net.frame.recv".
+Result<Frame> RecvFrame(TcpConn& conn, const Deadline& deadline);
+
+// ----------------------------------------------------------- messages
+
+/// Client -> server, once per connection. generation_pin = 0 accepts
+/// whatever the server currently serves; nonzero demands exactly that
+/// generation (the re-pin across reconnect path).
+struct HelloRequest {
+  std::uint64_t generation_pin = 0;
+};
+
+/// The server's identity card: everything the client needs to run the
+/// CELF machinery locally (global A_u, frozen seeds) and to place this
+/// server in the range order (action_begin/end of ITS shards).
+struct HelloResponse {
+  std::uint64_t generation = 0;
+  NodeId num_users = 0;
+  ActionId num_actions = 0;
+  ActionId action_begin = 0;
+  ActionId action_end = 0;
+  std::uint64_t graph_fingerprint = 0;
+  std::uint64_t log_fingerprint = 0;
+  double truncation_threshold = 0.0;
+  std::vector<std::uint32_t> au;
+  std::vector<NodeId> frozen_seeds;
+};
+
+/// Health probe; carried state lets the prober double as a generation
+/// watcher.
+struct PongResponse {
+  std::uint64_t generation = 0;
+  ActionId action_begin = 0;
+  ActionId action_end = 0;
+  std::uint32_t sessions_active = 0;
+};
+
+/// One chained-fold step: fold x's gain terms over this server's shards
+/// (ascending range order) into acc.
+struct FoldRequest {
+  NodeId node = 0;
+  double acc = 0.0;
+};
+
+struct FoldResponse {
+  double acc = 0.0;
+};
+
+/// The same fold for many nodes in one round trip (the CELF initial
+/// pass): accs[i] is chained for nodes[i] independently, so batching
+/// changes round trips, never bits.
+struct FoldBatchRequest {
+  std::vector<NodeId> nodes;
+  std::vector<double> accs;
+};
+
+struct FoldBatchResponse {
+  std::vector<double> accs;
+};
+
+struct CommitRequest {
+  NodeId node = 0;
+};
+
+struct CommitResponse {
+  std::uint32_t session_seeds = 0;
+};
+
+/// Status carried over the wire; code round-trips through StatusCode's
+/// integer values.
+struct ErrorResponse {
+  std::uint32_t code = 0;
+  std::string message;
+};
+
+void EncodeHello(const HelloRequest& msg, BufferWriter* out);
+Result<HelloRequest> DecodeHello(BufferReader* in);
+void EncodeHelloOk(const HelloResponse& msg, BufferWriter* out);
+Result<HelloResponse> DecodeHelloOk(BufferReader* in);
+void EncodePong(const PongResponse& msg, BufferWriter* out);
+Result<PongResponse> DecodePong(BufferReader* in);
+void EncodeFold(const FoldRequest& msg, BufferWriter* out);
+Result<FoldRequest> DecodeFold(BufferReader* in);
+void EncodeFoldOk(const FoldResponse& msg, BufferWriter* out);
+Result<FoldResponse> DecodeFoldOk(BufferReader* in);
+void EncodeFoldBatch(const FoldBatchRequest& msg, BufferWriter* out);
+Result<FoldBatchRequest> DecodeFoldBatch(BufferReader* in);
+void EncodeFoldBatchOk(const FoldBatchResponse& msg, BufferWriter* out);
+Result<FoldBatchResponse> DecodeFoldBatchOk(BufferReader* in);
+void EncodeCommit(const CommitRequest& msg, BufferWriter* out);
+Result<CommitRequest> DecodeCommit(BufferReader* in);
+void EncodeCommitOk(const CommitResponse& msg, BufferWriter* out);
+Result<CommitResponse> DecodeCommitOk(BufferReader* in);
+void EncodeError(const ErrorResponse& msg, BufferWriter* out);
+Result<ErrorResponse> DecodeError(BufferReader* in);
+
+/// ErrorResponse <-> Status. Unknown codes decode as Internal (a newer
+/// peer), never silently as OK.
+ErrorResponse ErrorFromStatus(const Status& status);
+Status StatusFromError(const ErrorResponse& error);
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_NET_WIRE_H_

@@ -1,0 +1,59 @@
+#ifndef INFLUMAX_OBS_NET_METRICS_H_
+#define INFLUMAX_OBS_NET_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace influmax {
+
+/// Network-serving telemetry (docs/networking.md), the same
+/// lambda-interned-struct pattern as the generation-lifecycle metrics:
+/// one registry lookup per name for the process lifetime, then lock-free
+/// handles. Everything here is on RPC paths — per-request, not
+/// per-gain-term — so always-on recording is cheap relative to a socket
+/// round trip.
+struct NetMetrics {
+  // Client side (RemoteShardRouter).
+  Counter* rpc_count;          // requests sent (including retries)
+  Counter* rpc_errors;         // requests that failed all replicas
+  Counter* rpc_retries;        // reconnect attempts under RetryPolicy
+  Counter* failovers;          // replica switches (timeout/torn/lost conn)
+  Counter* reconnects;         // successful re-dials (hello completed)
+  Counter* commit_replays;     // seeds replayed onto a fresh replica
+  Timer* rpc_latency;          // whole-RPC round trip, first byte to last
+  Gauge* connections;          // open client connections
+
+  // Server side (ShardServer).
+  Counter* server_requests;    // frames handled
+  Counter* server_errors;      // error frames sent
+  Counter* server_rejected;    // connections refused (session capacity)
+  Counter* deadline_exceeded;  // requests dropped server-side as too late
+  Timer* server_latency;       // frame receipt -> response queued
+  Gauge* server_connections;   // live server connections
+};
+
+inline const NetMetrics& GetNetMetrics() {
+  static const NetMetrics metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return NetMetrics{
+        reg.FindOrCreateCounter("net.rpc.count"),
+        reg.FindOrCreateCounter("net.rpc.errors"),
+        reg.FindOrCreateCounter("net.rpc.retries"),
+        reg.FindOrCreateCounter("net.failovers"),
+        reg.FindOrCreateCounter("net.reconnects"),
+        reg.FindOrCreateCounter("net.commit_replays"),
+        reg.FindOrCreateTimer("net.rpc.latency"),
+        reg.FindOrCreateGauge("net.conn.client"),
+        reg.FindOrCreateCounter("net.server.requests"),
+        reg.FindOrCreateCounter("net.server.errors"),
+        reg.FindOrCreateCounter("net.server.rejected"),
+        reg.FindOrCreateCounter("net.server.deadline_exceeded"),
+        reg.FindOrCreateTimer("net.server.latency"),
+        reg.FindOrCreateGauge("net.conn.server"),
+    };
+  }();
+  return metrics;
+}
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_OBS_NET_METRICS_H_

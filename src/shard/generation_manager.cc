@@ -351,7 +351,7 @@ Status GenerationManager::IngestLogImpl(
   return Status::OK();
 }
 
-Result<bool> GenerationManager::RefreshFromDisk() {
+Result<bool> GenerationManager::RefreshFromDisk(const Deadline& deadline) {
   std::string manifest_name;
   bool unchanged = false;
   std::optional<ShardedSnapshot> shards;
@@ -372,8 +372,8 @@ Result<bool> GenerationManager::RefreshFromDisk() {
     shards = std::move(opened).value();
     return Status::OK();
   };
-  const Status status =
-      RunWithRetry(retry_policy_, attempt, GetGenMetrics().retry_attempts);
+  const Status status = RunWithRetry(
+      retry_policy_, attempt, GetGenMetrics().retry_attempts, {}, deadline);
   if (!status.ok()) {
     // A generation still Corruption after retries is damaged on disk,
     // not in flight — quarantine it so recovery and scans skip it. The
@@ -454,7 +454,12 @@ void GenerationManager::WatchLoop(
     }
     // Reload under retry. A reload error (the log no longer parses, the
     // file went unreadable) is a real failure, counted separately from
-    // the "no change" nullopt a healthy idle tick returns.
+    // the "no change" nullopt a healthy idle tick returns. Both retry
+    // loops below share one tick-wide deadline: a transient that needs
+    // longer than a poll interval to clear is better served by the NEXT
+    // tick's fresh attempt than by backoffs bleeding into it.
+    const Deadline tick_deadline = Deadline::AfterMs(
+        static_cast<std::uint64_t>(poll_interval.count()));
     std::optional<ActionLog> log;
     Status status = RunWithRetry(
         retry_policy_,
@@ -465,7 +470,7 @@ void GenerationManager::WatchLoop(
           log = std::move(reloaded).value();
           return Status::OK();
         },
-        GetGenMetrics().retry_attempts, interruptible_sleep);
+        GetGenMetrics().retry_attempts, interruptible_sleep, tick_deadline);
     if (!status.ok()) {
       GetGenMetrics().reload_errors->Increment();
     } else if (log.has_value()) {
@@ -478,7 +483,7 @@ void GenerationManager::WatchLoop(
             return IngestLog(*log, graph, credit_model, config,
                              shard_threads);
           },
-          GetGenMetrics().retry_attempts, interruptible_sleep);
+          GetGenMetrics().retry_attempts, interruptible_sleep, tick_deadline);
       if (status.ok() && current_generation() != before) {
         watch_ingests_.fetch_add(1);
         if constexpr (kObsEnabled) {

@@ -123,8 +123,11 @@ class GenerationManager {
   /// errors are retried under retry_policy(); a generation that still
   /// fails as Corruption after retries is quarantined
   /// (docs/durability.md) and the error returned — the published
-  /// generation keeps serving either way.
-  Result<bool> RefreshFromDisk();
+  /// generation keeps serving either way. `deadline` bounds the retry
+  /// schedule (common/timer.h): backoffs that would overshoot it are
+  /// skipped, so a caller with its own budget (an RPC handler, a
+  /// watcher tick) gets the last status back in time to degrade.
+  Result<bool> RefreshFromDisk(const Deadline& deadline = Deadline::Infinite());
 
   /// Backoff schedule shared by RefreshFromDisk and the watcher loop.
   void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }

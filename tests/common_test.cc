@@ -571,6 +571,39 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_LT(timer.ElapsedSeconds(), 1.0);
 }
 
+TEST(DeadlineTest, InfiniteNeverExpiresAndSaturates) {
+  const Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_us(), Deadline::kNoDeadlineUs);
+  EXPECT_EQ(d.remaining_ms(), Deadline::kNoDeadlineUs);
+}
+
+TEST(DeadlineTest, FiniteDeadlineCountsDownAndExpires) {
+  const Deadline d = Deadline::AfterMs(60000);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_us(), 0u);
+  EXPECT_LE(d.remaining_us(), 60000u * 1000u);
+  EXPECT_LE(d.remaining_ms(), 60000u);
+
+  const Deadline past = Deadline::AfterUs(0);
+  EXPECT_TRUE(past.expired());
+  EXPECT_EQ(past.remaining_us(), 0u);
+  EXPECT_EQ(past.remaining_ms(), 0u);
+}
+
+TEST(DeadlineTest, WireEncodingRoundTrips) {
+  // Frame headers carry remaining_us(); the sentinel must decode back
+  // to Infinite — that is what lets "no deadline" cross the wire.
+  EXPECT_TRUE(Deadline::AfterUs(Deadline::kNoDeadlineUs).infinite());
+  const Deadline rebuilt =
+      Deadline::AfterUs(Deadline::AfterMs(5000).remaining_us());
+  EXPECT_FALSE(rebuilt.infinite());
+  EXPECT_FALSE(rebuilt.expired());
+  EXPECT_LE(rebuilt.remaining_ms(), 5000u);
+}
+
 // ----------------------------------------------------------------- Retry
 
 TEST(RetryTest, RetriesTransientIoErrorUntilSuccess) {
@@ -647,6 +680,42 @@ TEST(RetryTest, BackoffIsBoundedDeterministicAndBudgetCapped) {
       reseeded, [] { return Status::IoError("always"); }, nullptr,
       [&](std::uint64_t ms) { other.push_back(ms); });
   EXPECT_NE(first, other) << "seed must steer the jitter stream";
+}
+
+TEST(RetryTest, TransientClassCoversNetworkUnavailability) {
+  // The widened classifier (src/net): kUnavailable joins kIoError in
+  // the heal-by-retry class; deterministic failures stay out of it.
+  EXPECT_TRUE(IsTransientError(Status::IoError("EIO")));
+  EXPECT_TRUE(IsTransientError(Status::Unavailable("connection refused")));
+  EXPECT_FALSE(IsTransientError(Status::NotFound("x")));
+  EXPECT_FALSE(IsTransientError(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsTransientError(Status::Corruption("x")));
+  EXPECT_FALSE(IsTransientError(Status::FailedPrecondition("x")));
+  EXPECT_FALSE(IsTransientError(Status::OK()));
+  // The historical disk-only name is now the same classifier.
+  EXPECT_TRUE(IsTransientIoError(Status::Unavailable("refused")));
+}
+
+TEST(RetryTest, StopsBeforeBackoffWouldOvershootDeadline) {
+  RetryPolicy policy;
+  policy.max_attempts = 32;
+  policy.initial_backoff_ms = 50;
+  policy.max_backoff_ms = 50;
+  policy.budget_ms = 10000;
+  int calls = 0;
+  std::vector<std::uint64_t> sleeps;
+  const Status status = RunWithRetry(
+      policy,
+      [&]() -> Status { return Status::Unavailable(std::to_string(++calls)); },
+      nullptr, [&](std::uint64_t ms) { sleeps.push_back(ms); },
+      Deadline::AfterMs(20));
+  // The first backoff (>= 25ms after jitter) would overshoot the 20ms
+  // deadline, so the loop stops after the first attempt without
+  // sleeping at all — and reports that attempt's status.
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty())
+      << "must not sleep past the caller's deadline";
 }
 
 TEST(RetryTest, CountsEveryAttemptInTheRegistry) {

@@ -1,0 +1,632 @@
+// Cross-process shard serving (src/net/, docs/networking.md): the wire
+// framing contract (torn frames name their byte offset, hostile length
+// prefixes are rejected before allocation), the endpoint-spec grammar,
+// and the headline determinism claim — a RemoteShardRouter chaining the
+// gain fold through loopback shard servers returns bit-identical seeds,
+// gains, and evaluation counts to the in-process ShardRouter for shard
+// counts {1, 2, 3}.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/logging.h"
+#include "core/cd_model.h"
+#include "core/direct_credit.h"
+#include "datagen/cascade_generator.h"
+#include "net/remote_router.h"
+#include "net/shard_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/query_engine.h"
+#include "shard/generation_manager.h"
+#include "shard/shard_manifest.h"
+#include "shard/shard_router.h"
+#include "shard/shard_writer.h"
+#include "test_fixtures.h"
+
+namespace influmax {
+namespace {
+
+std::string MakeTempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+CreditDistributionModel BuildModel(const Graph& graph, const ActionLog& log,
+                                   const DirectCreditModel& credit,
+                                   double lambda = 0.0) {
+  CdConfig config;
+  config.truncation_threshold = lambda;
+  auto model = CreditDistributionModel::Build(graph, log, credit, config);
+  INFLUMAX_CHECK(model.ok());
+  return std::move(model).value();
+}
+
+SyntheticDataset MakeDataset(double scale = 0.1) {
+  auto data = BuildPresetDataset(FlixsterSmallPreset(scale));
+  INFLUMAX_CHECK(data.ok());
+  return std::move(data).value();
+}
+
+/// Splits `model` into a generation directory GenerationManager (and so
+/// ShardServer) can open.
+void WriteGenerationDir(const CreditDistributionModel& model,
+                        const std::string& dir, std::size_t shards,
+                        std::uint64_t generation = 1) {
+  ShardedSnapshotWriter writer(dir, shards);
+  ASSERT_TRUE(writer.WriteFromModel(model, generation).ok());
+  ASSERT_TRUE(
+      WriteCurrentManifestName(dir, ManifestFileName(generation)).ok());
+}
+
+/// One in-process ShardServer per shard of `dir`, each on an ephemeral
+/// loopback port, plus the matching single-replica endpoint spec.
+struct ServerFleet {
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::vector<std::vector<RemoteEndpoint>> replica_sets;
+};
+
+ServerFleet StartFleet(const std::string& dir, std::size_t shards) {
+  ServerFleet fleet;
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardServerOptions options;
+    options.dir = dir;
+    options.shard = static_cast<int>(i);
+    auto server = ShardServer::Start(options);
+    INFLUMAX_CHECK(server.ok());
+    fleet.replica_sets.push_back({{"127.0.0.1", (*server)->port()}});
+    fleet.servers.push_back(std::move(*server));
+  }
+  return fleet;
+}
+
+/// A connected loopback client/server socket pair.
+struct SocketPair {
+  TcpListener listener;
+  TcpConn client;
+  TcpConn server;
+};
+
+SocketPair MakeSocketPair() {
+  SocketPair pair;
+  auto listener = TcpListener::Bind(0);
+  INFLUMAX_CHECK(listener.ok());
+  pair.listener = std::move(*listener);
+  auto client = TcpConn::Connect("127.0.0.1", pair.listener.port(),
+                                 Deadline::AfterMs(2000));
+  INFLUMAX_CHECK(client.ok());
+  pair.client = std::move(*client);
+  auto server = pair.listener.Accept(Deadline::AfterMs(2000));
+  INFLUMAX_CHECK(server.ok());
+  pair.server = std::move(*server);
+  return pair;
+}
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// ---------------------------------------------------- payload framing
+
+TEST(BufferIoTest, ShortReadNamesByteOffset) {
+  BufferWriter writer;
+  writer.WriteU32(7);
+  writer.WriteU64(9);  // 12 bytes total
+  const std::vector<std::uint8_t> bytes = writer.buffer();
+
+  // Truncate mid-u64: the reader must name the offset it stopped at.
+  BufferReader reader(std::span(bytes.data(), 8));
+  EXPECT_EQ(reader.ReadU32(), 7u);
+  reader.ReadU64();
+  const Status st = reader.Finish();
+  ASSERT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_NE(st.message().find("byte offset 4"), std::string::npos)
+      << st.message();
+  // Errors are sticky: later reads keep the first failure.
+  reader.ReadDouble();
+  EXPECT_EQ(reader.Finish().message(), st.message());
+}
+
+TEST(BufferIoTest, OversizedVectorRejectedBeforeAllocation) {
+  // A length prefix claiming ~2^61 elements: both the semantic cap and
+  // the bytes-remaining check must fire before any resize.
+  BufferWriter writer;
+  writer.WriteU64(std::uint64_t{1} << 61);
+  const std::vector<std::uint8_t> bytes = writer.buffer();
+
+  {
+    BufferReader reader(bytes);
+    reader.ReadVector<double>(/*max_elements=*/1024);
+    const Status st = reader.Finish();
+    ASSERT_EQ(st.code(), StatusCode::kCorruption);
+    EXPECT_NE(st.message().find("exceeds limit 1024"), std::string::npos)
+        << st.message();
+  }
+  {
+    // Even with a permissive cap, the buffer only holds 0 payload bytes.
+    BufferReader reader(bytes);
+    reader.ReadVector<double>(/*max_elements=*/std::uint64_t{1} << 62);
+    EXPECT_EQ(reader.Finish().code(), StatusCode::kCorruption);
+  }
+  {
+    BufferReader reader(bytes);
+    reader.ReadString(/*max_bytes=*/16);
+    EXPECT_EQ(reader.Finish().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(BufferIoTest, VectorRoundTripsThroughWriter) {
+  BufferWriter writer;
+  writer.WriteVector<std::uint32_t>({1, 2, 3});
+  writer.WriteString("hello");
+  const std::vector<std::uint8_t> bytes = writer.buffer();
+  BufferReader reader(bytes);
+  EXPECT_EQ(reader.ReadVector<std::uint32_t>(16),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(reader.ReadString(16), "hello");
+  EXPECT_TRUE(reader.Finish().ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+// ------------------------------------------------------- wire framing
+
+TEST(WireTest, FrameRoundTripsOverLoopback) {
+  SocketPair pair = MakeSocketPair();
+  Frame frame;
+  frame.header.type = static_cast<std::uint8_t>(MsgType::kFold);
+  frame.header.kernel_mode = 1;
+  frame.header.generation = 42;
+  frame.header.deadline_us = 123456;
+  BufferWriter payload;
+  EncodeFold(FoldRequest{7, 2.5}, &payload);
+  frame.payload = payload.TakeBuffer();
+
+  ASSERT_TRUE(
+      SendFrame(pair.client, frame, Deadline::AfterMs(2000)).ok());
+  auto received = RecvFrame(pair.server, Deadline::AfterMs(2000));
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received->header.type,
+            static_cast<std::uint8_t>(MsgType::kFold));
+  EXPECT_EQ(received->header.kernel_mode, 1);
+  EXPECT_EQ(received->header.generation, 42u);
+  EXPECT_EQ(received->header.deadline_us, 123456u);
+  BufferReader reader(received->payload);
+  auto fold = DecodeFold(&reader);
+  ASSERT_TRUE(fold.ok());
+  EXPECT_EQ(fold->node, 7u);
+  EXPECT_EQ(fold->acc, 2.5);
+}
+
+TEST(WireTest, TornHeaderNamesByteOffset) {
+  SocketPair pair = MakeSocketPair();
+  const std::uint8_t junk[10] = {};
+  ASSERT_TRUE(
+      pair.client.SendAll(junk, sizeof(junk), Deadline::AfterMs(2000)).ok());
+  pair.client.Close();
+  auto received = RecvFrame(pair.server, Deadline::AfterMs(2000));
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(received.status().message().find("byte offset 10 of 32"),
+            std::string::npos)
+      << received.status().message();
+}
+
+/// Sends the raw 32 wire bytes of `header` (fingerprint already set by
+/// the caller) plus `payload`, optionally truncating the stream.
+void SendRawFrame(TcpConn& conn, FrameHeader header,
+                  std::span<const std::uint8_t> payload,
+                  std::size_t truncate_at = SIZE_MAX) {
+  std::vector<std::uint8_t> encoded(kWireHeaderBytes + payload.size());
+  std::memcpy(encoded.data() + 0, &header.payload_len, 4);
+  encoded[4] = header.version;
+  encoded[5] = header.type;
+  encoded[6] = header.kernel_mode;
+  encoded[7] = header.reserved;
+  std::memcpy(encoded.data() + 8, &header.generation, 8);
+  std::memcpy(encoded.data() + 16, &header.deadline_us, 8);
+  std::memcpy(encoded.data() + 24, &header.fingerprint, 8);
+  if (!payload.empty()) {
+    std::memcpy(encoded.data() + kWireHeaderBytes, payload.data(),
+                payload.size());
+  }
+  const std::size_t send = std::min(truncate_at, encoded.size());
+  ASSERT_TRUE(conn.SendAll(encoded.data(), send, Deadline::AfterMs(2000))
+                  .ok());
+  conn.Close();
+}
+
+TEST(WireTest, TornPayloadNamesByteOffset) {
+  SocketPair pair = MakeSocketPair();
+  const std::vector<std::uint8_t> payload(100, 0xAB);
+  FrameHeader header;
+  header.payload_len = 100;
+  header.type = static_cast<std::uint8_t>(MsgType::kFoldOk);
+  header.fingerprint = FingerprintFrame(header, payload);
+  SendRawFrame(pair.client, header, payload, /*truncate_at=*/32 + 20);
+  auto received = RecvFrame(pair.server, Deadline::AfterMs(2000));
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(received.status().message().find("byte offset 52 of 132"),
+            std::string::npos)
+      << received.status().message();
+}
+
+TEST(WireTest, OversizedPayloadLengthRejectedBeforeAllocation) {
+  SocketPair pair = MakeSocketPair();
+  FrameHeader header;
+  header.payload_len = kMaxFramePayloadBytes + 1;
+  header.type = static_cast<std::uint8_t>(MsgType::kFoldOk);
+  // No payload follows — if the receiver tried to allocate/read it the
+  // test would hang or OOM instead of failing cleanly.
+  SendRawFrame(pair.client, header, {});
+  auto received = RecvFrame(pair.server, Deadline::AfterMs(2000));
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(received.status().message().find("exceeds limit"),
+            std::string::npos)
+      << received.status().message();
+}
+
+TEST(WireTest, VersionMismatchRejected) {
+  SocketPair pair = MakeSocketPair();
+  FrameHeader header;
+  header.version = kWireVersion + 1;
+  SendRawFrame(pair.client, header, {});
+  auto received = RecvFrame(pair.server, Deadline::AfterMs(2000));
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(received.status().message().find("version"), std::string::npos);
+}
+
+TEST(WireTest, FingerprintMismatchRejectedAsCorruption) {
+  SocketPair pair = MakeSocketPair();
+  std::vector<std::uint8_t> payload(16, 0x11);
+  FrameHeader header;
+  header.payload_len = 16;
+  header.type = static_cast<std::uint8_t>(MsgType::kPong);
+  header.fingerprint = FingerprintFrame(header, payload);
+  payload[3] ^= 0x40;  // one bit flipped after signing
+  SendRawFrame(pair.client, header, payload);
+  auto received = RecvFrame(pair.server, Deadline::AfterMs(2000));
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(received.status().message().find("fingerprint"),
+            std::string::npos)
+      << received.status().message();
+}
+
+TEST(WireTest, ErrorResponseRoundTripsEveryStatusCode) {
+  for (const Status& st :
+       {Status::InvalidArgument("bad arg"), Status::NotFound("gone"),
+        Status::IoError("io"), Status::Corruption("bits"),
+        Status::FailedPrecondition("pin"), Status::Unavailable("down")}) {
+    const ErrorResponse encoded = ErrorFromStatus(st);
+    const Status decoded = StatusFromError(encoded);
+    EXPECT_EQ(decoded.code(), st.code());
+    EXPECT_EQ(decoded.message(), st.message());
+  }
+}
+
+// ------------------------------------------------------ endpoint spec
+
+TEST(EndpointSpecTest, ParsesSlotsAndReplicas) {
+  auto sets = ParseEndpointSpec("a:1|b:2,c:3,d:4|e:5|f:6");
+  ASSERT_TRUE(sets.ok()) << sets.status().ToString();
+  ASSERT_EQ(sets->size(), 3u);
+  ASSERT_EQ((*sets)[0].size(), 2u);
+  EXPECT_EQ((*sets)[0][0].host, "a");
+  EXPECT_EQ((*sets)[0][0].port, 1);
+  EXPECT_EQ((*sets)[0][1].host, "b");
+  ASSERT_EQ((*sets)[1].size(), 1u);
+  EXPECT_EQ((*sets)[1][0].port, 3);
+  ASSERT_EQ((*sets)[2].size(), 3u);
+  EXPECT_EQ((*sets)[2][2].port, 6);
+}
+
+TEST(EndpointSpecTest, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "hostonly", "host:", ":123", "a:1,,b:2",
+                          "a:1|", "a:notaport", "a:-1"}) {
+    EXPECT_FALSE(ParseEndpointSpec(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+// ---------------------------------------------- remote vs in-process
+
+TEST(RemoteRouterTest, BitIdenticalToShardRouterAcrossShardCounts) {
+  auto data = MakeDataset();
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+
+  for (std::size_t shards : {1u, 2u, 3u}) {
+    const std::string dir =
+        MakeTempDir("net_bitident_s" + std::to_string(shards));
+    WriteGenerationDir(model, dir, shards);
+    ServerFleet fleet = StartFleet(dir, shards);
+
+    auto manager = GenerationManager::Open(dir);
+    ASSERT_TRUE(manager.ok());
+    GenerationManager::Session session(**manager);
+    ShardRouter& local = session.router();
+
+    RemoteRouterOptions options;
+    options.replica_sets = fleet.replica_sets;
+    auto remote_or = RemoteShardRouter::Connect(options);
+    ASSERT_TRUE(remote_or.ok()) << remote_or.status().ToString();
+    RemoteShardRouter& remote = **remote_or;
+    EXPECT_EQ(remote.generation(), 1u);
+    EXPECT_EQ(remote.num_users(), data.log.num_users());
+    EXPECT_EQ(remote.num_slots(), shards);
+
+    // Gains for every user, fresh session, bit-compared.
+    for (NodeId x = 0; x < data.log.num_users(); ++x) {
+      auto gain = remote.MarginalGain(x);
+      ASSERT_TRUE(gain.ok()) << gain.status().ToString();
+      ASSERT_TRUE(SameBits(*gain, local.MarginalGain(x)))
+          << "node " << x << " with " << shards << " shards";
+    }
+
+    // The full CELF selection: seeds, gains, spreads, and the counted
+    // evaluations — the strongest determinism witness the engine has.
+    const auto expected = local.TopKSeeds(10);
+    auto routed = remote.TopKSeeds(10);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    ASSERT_GT(expected.seeds.size(), 0u);
+    EXPECT_EQ(routed->seeds, expected.seeds) << shards << " shards";
+    EXPECT_EQ(routed->marginal_gains, expected.marginal_gains);
+    EXPECT_EQ(routed->cumulative_spread, expected.cumulative_spread);
+    EXPECT_EQ(routed->gain_evaluations, expected.gain_evaluations)
+        << shards << " shards";
+
+    // Committed-session parity: spread of a prefix, then gains against
+    // the partial seed set.
+    std::vector<NodeId> seeds(expected.seeds.begin(),
+                              expected.seeds.begin() + 3);
+    local.ResetSession();
+    ASSERT_TRUE(remote.ResetSession().ok());
+    auto remote_spread = remote.SpreadOf(seeds);
+    ASSERT_TRUE(remote_spread.ok());
+    EXPECT_TRUE(SameBits(*remote_spread, local.SpreadOf(seeds)));
+    EXPECT_EQ(remote.session_seeds().size(), 3u);
+    for (NodeId x = 0; x < data.log.num_users(); x += 7) {
+      auto gain = remote.MarginalGain(x);
+      ASSERT_TRUE(gain.ok());
+      ASSERT_TRUE(SameBits(*gain, local.MarginalGain(x)))
+          << "post-commit node " << x << " with " << shards << " shards";
+    }
+
+    fleet.servers.clear();  // stop before the dir goes away
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(RemoteRouterTest, WholeGenerationServerMatchesShardedFleet) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_whole_gen");
+  WriteGenerationDir(model, dir, 3);
+
+  // One server with shard = -1 serves all three shards as a single
+  // range slot; the fold chains through its engines server-side.
+  ShardServerOptions options;
+  options.dir = dir;
+  auto server = ShardServer::Start(options);
+  ASSERT_TRUE(server.ok());
+
+  auto manager = GenerationManager::Open(dir);
+  ASSERT_TRUE(manager.ok());
+  GenerationManager::Session session(**manager);
+
+  RemoteRouterOptions ropts;
+  ropts.replica_sets = {{{"127.0.0.1", (*server)->port()}}};
+  auto remote = RemoteShardRouter::Connect(ropts);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  const auto expected = session.router().TopKSeeds(5);
+  auto routed = (*remote)->TopKSeeds(5);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed->seeds, expected.seeds);
+  EXPECT_EQ(routed->marginal_gains, expected.marginal_gains);
+  EXPECT_EQ(routed->gain_evaluations, expected.gain_evaluations);
+}
+
+// --------------------------------------------------------- robustness
+
+TEST(RemoteRouterTest, GenerationPinMismatchIsDeterministic) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_pin_mismatch");
+  WriteGenerationDir(model, dir, 2);
+  ServerFleet fleet = StartFleet(dir, 2);
+
+  RemoteRouterOptions options;
+  options.replica_sets = fleet.replica_sets;
+  options.generation_pin = 999;
+  options.retry.max_attempts = 4;  // must NOT be retried anyway
+  options.retry.initial_backoff_ms = 1;
+  auto remote = RemoteShardRouter::Connect(options);
+  ASSERT_FALSE(remote.ok());
+  EXPECT_EQ(remote.status().code(), StatusCode::kFailedPrecondition)
+      << remote.status().ToString();
+}
+
+TEST(RemoteRouterTest, SessionCapacityRefusedAsUnavailable) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_capacity");
+  WriteGenerationDir(model, dir, 1);
+
+  ShardServerOptions sopts;
+  sopts.dir = dir;
+  sopts.max_sessions = 1;
+  auto server = ShardServer::Start(sopts);
+  ASSERT_TRUE(server.ok());
+
+  RemoteRouterOptions options;
+  options.replica_sets = {{{"127.0.0.1", (*server)->port()}}};
+  options.retry.max_attempts = 1;
+  options.retry.initial_backoff_ms = 1;
+  options.retry.budget_ms = 50;
+  auto first = RemoteShardRouter::Connect(options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = RemoteShardRouter::Connect(options);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(second.status().message().find("capacity"), std::string::npos)
+      << second.status().ToString();
+
+  // Releasing the first session frees the slot for a new client (the
+  // server's handler releases it asynchronously when it notices the
+  // closed socket, hence the bounded re-poll).
+  first->reset();
+  Status third_status;
+  for (int i = 0; i < 200; ++i) {
+    auto third = RemoteShardRouter::Connect(options);
+    third_status = third.status();
+    if (third_status.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(third_status.ok()) << third_status.ToString();
+}
+
+TEST(RemoteRouterTest, DeadServerFailsFastWithUnavailable) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_dead_server");
+  WriteGenerationDir(model, dir, 1);
+  ServerFleet fleet = StartFleet(dir, 1);
+
+  RemoteRouterOptions options;
+  options.replica_sets = fleet.replica_sets;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 1;
+  options.retry.budget_ms = 20;
+  options.connect_timeout_ms = 200;
+  auto remote = RemoteShardRouter::Connect(options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  fleet.servers[0]->Kill();
+  auto gain = (*remote)->MarginalGain(0);
+  ASSERT_FALSE(gain.ok());
+  EXPECT_EQ(gain.status().code(), StatusCode::kUnavailable)
+      << gain.status().ToString();
+}
+
+TEST(RemoteRouterTest, ProbeReplicasReportsHealthPerReplica) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_probe");
+  WriteGenerationDir(model, dir, 1);
+  ServerFleet fleet = StartFleet(dir, 1);
+  // A second, dead endpoint on the same slot.
+  fleet.replica_sets[0].push_back({"127.0.0.1", 1});
+
+  RemoteRouterOptions options;
+  options.replica_sets = fleet.replica_sets;
+  options.rpc_deadline_ms = 500;
+  auto remote = RemoteShardRouter::Connect(options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  const auto health = (*remote)->ProbeReplicas();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_TRUE(health[0].healthy);
+  EXPECT_EQ(health[0].generation, 1u);
+  EXPECT_FALSE(health[1].healthy);
+}
+
+TEST(ShardServerTest, MetricsEndpointServesHealthAndPrometheus) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_http_metrics");
+  WriteGenerationDir(model, dir, 1);
+
+  ShardServerOptions options;
+  options.dir = dir;
+  options.metrics_port = 0;
+  auto server = ShardServer::Start(options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_GT((*server)->metrics_port(), 0);
+
+  const auto http_get = [&](const std::string& path) -> std::string {
+    auto conn = TcpConn::Connect("127.0.0.1", (*server)->metrics_port(),
+                                 Deadline::AfterMs(2000));
+    INFLUMAX_CHECK(conn.ok());
+    const std::string request =
+        "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+    INFLUMAX_CHECK(conn->SendAll(request.data(), request.size(),
+                                 Deadline::AfterMs(2000))
+                       .ok());
+    std::string body;
+    char buf[4096];
+    for (;;) {
+      auto got = conn->RecvSome(buf, sizeof(buf), Deadline::AfterMs(2000));
+      if (!got.ok() || *got == 0) break;
+      body.append(buf, *got);
+    }
+    return body;
+  };
+
+  const std::string health = http_get("/healthz");
+  EXPECT_NE(health.find("200"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok generation=1"), std::string::npos) << health;
+  const std::string metrics = http_get("/metrics");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_NE(metrics.find("influmax_net_server_requests_total"),
+            std::string::npos);
+  const std::string missing = http_get("/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+}
+
+TEST(ShardServerTest, RefreshFollowsCurrentPointerWithoutMovingPins) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_server_refresh");
+  WriteGenerationDir(model, dir, 2, /*generation=*/1);
+
+  ShardServerOptions options;
+  options.dir = dir;
+  auto server = ShardServer::Start(options);
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ((*server)->current_generation(), 1u);
+
+  RemoteRouterOptions ropts;
+  ropts.replica_sets = {{{"127.0.0.1", (*server)->port()}}};
+  auto remote = RemoteShardRouter::Connect(ropts);
+  ASSERT_TRUE(remote.ok());
+  auto before = (*remote)->MarginalGain(0);
+  ASSERT_TRUE(before.ok());
+
+  // Publish generation 2 and refresh the server: new hellos see it, the
+  // pinned client keeps answering (and keeps its bits) on generation 1.
+  WriteGenerationDir(model, dir, 2, /*generation=*/2);
+  auto swapped = (*server)->Refresh();
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_TRUE(*swapped);
+  EXPECT_EQ((*server)->current_generation(), 2u);
+  EXPECT_EQ((*remote)->generation(), 1u);
+  auto after = (*remote)->MarginalGain(0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(SameBits(*after, *before));
+
+  // Client-side Refresh re-pins to the new generation.
+  auto moved = (*remote)->Refresh();
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  EXPECT_TRUE(*moved);
+  EXPECT_EQ((*remote)->generation(), 2u);
+}
+
+}  // namespace
+}  // namespace influmax

@@ -42,8 +42,19 @@
 // Latency report (per-thread histograms merged with LatencyHistogram::
 // Merge, per-shard gain-term p50/p95/p99 in --json):
 //   serve_shards --bench --dir=D [--threads=4 --k=50 --json=out.json]
+//
+// Cross-process serving (docs/networking.md). Connect the same REPL to
+// running shard_server processes — one slot per action-range shard in
+// range order, '|'-separated replicas per slot:
+//   serve_shards --connect="host:p0|host:p0b,host:p1" [--rpc_deadline_ms=N]
+// and a loopback net bench that spins up one in-process ShardServer per
+// shard, routes through RemoteShardRouter, checks the answers are
+// bit-identical to the in-process ShardRouter, and records remote vs
+// local percentiles to --json:
+//   serve_shards --bench_net --dir=D [--k=50 --json=out.json]
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <limits>
@@ -64,6 +75,8 @@
 #include "core/cd_model.h"
 #include "core/direct_credit.h"
 #include "graph/graph_io.h"
+#include "net/remote_router.h"
+#include "net/shard_server.h"
 #include "probability/time_params.h"
 #include "serve/gain_kernel.h"
 #include "serve_common.h"
@@ -425,7 +438,8 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
           "retired=%llu pinned_sessions=%lld swaps=%llu ingests=%llu "
           "replayed_tuples=%llu watch_ticks=%llu watch_errors=%llu "
           "ingest_failures=%llu recovery_events=%llu quarantined=%llu "
-          "pool_jobs=%llu\n",
+          "pool_jobs=%llu net_rpc=%llu net_rpc_errors=%llu "
+          "net_failovers=%llu net_reconnects=%llu\n",
           static_cast<unsigned long long>(session.generation()),
           static_cast<unsigned long long>(manager.current_generation()),
           m.num_shards(), m.num_users, m.num_actions,
@@ -445,7 +459,11 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
           static_cast<unsigned long long>(counter_of("gen.ingest_failures")),
           static_cast<unsigned long long>(counter_of("gen.recovery_events")),
           static_cast<unsigned long long>(counter_of("gen.quarantined")),
-          static_cast<unsigned long long>(counter_of("pool.jobs")));
+          static_cast<unsigned long long>(counter_of("pool.jobs")),
+          static_cast<unsigned long long>(counter_of("net.rpc.count")),
+          static_cast<unsigned long long>(counter_of("net.rpc.errors")),
+          static_cast<unsigned long long>(counter_of("net.failovers")),
+          static_cast<unsigned long long>(counter_of("net.reconnects")));
     }
     std::fflush(stdout);
   }
@@ -640,6 +658,313 @@ int RunBench(GenerationManager& manager, std::size_t threads, int k,
   return rc;
 }
 
+/// --connect: the serving REPL over RemoteShardRouter — same query
+/// vocabulary as RunServe, answered by shard_server processes. `probe`
+/// pings every replica of every slot; `stats` adds the client-side
+/// net.rpc.* counters.
+int RunConnect(const std::string& spec, GainKernelMode kernel_mode,
+               int rpc_deadline_ms, const MetricsDump& dump) {
+  auto endpoints = ParseEndpointSpec(spec);
+  if (!endpoints.ok()) return Fail(endpoints.status());
+  RemoteRouterOptions options;
+  options.replica_sets = std::move(*endpoints);
+  options.kernel_mode = kernel_mode;
+  options.rpc_deadline_ms = static_cast<std::uint64_t>(rpc_deadline_ms);
+  auto router_or = RemoteShardRouter::Connect(options);
+  if (!router_or.ok()) return Fail(router_or.status());
+  RemoteShardRouter& router = **router_or;
+  std::fprintf(stderr,
+               "connected: generation %llu, %u users, %u actions over %zu "
+               "range slot(s), kernel %s\n",
+               static_cast<unsigned long long>(router.generation()),
+               router.num_users(), router.num_actions(), router.num_slots(),
+               GainKernelModeName(kernel_mode));
+  SpanRing ring(256);  // --connect records no spans; metrics-dump plumbing
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty() || command[0] == '#') continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "topk") {
+      NodeId k = 0;
+      in >> k;
+      double budget;
+      if (!(in >> budget)) budget = std::numeric_limits<double>::infinity();
+      if (k == 0) {
+        std::printf("! usage: topk K [BUDGET]\n");
+        std::fflush(stdout);
+        continue;
+      }
+      auto selection = router.TopKSeeds(k, budget);
+      if (!selection.ok()) {
+        std::printf("! %s\n", selection.status().ToString().c_str());
+      } else {
+        PrintSelection(*selection);
+      }
+    } else if (command == "gain" || command == "commit") {
+      NodeId x = kInvalidNode;
+      if (!(in >> x)) {
+        std::printf("! usage: %s NODE\n", command.c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      if (command == "commit") {
+        if (Status status = router.CommitSeed(x); !status.ok()) {
+          std::printf("! %s\n", status.ToString().c_str());
+        } else {
+          std::printf("# %zu session seeds\n", router.session_seeds().size());
+        }
+      } else {
+        auto gain = router.MarginalGain(x);
+        if (!gain.ok()) {
+          std::printf("! %s\n", gain.status().ToString().c_str());
+        } else {
+          std::printf("%.6f\n", *gain);
+        }
+      }
+    } else if (command == "spread") {
+      std::vector<NodeId> seeds;
+      NodeId x;
+      while (in >> x) seeds.push_back(x);
+      auto spread = router.SpreadOf(seeds);
+      if (!spread.ok()) {
+        std::printf("! %s\n", spread.status().ToString().c_str());
+      } else {
+        std::printf("%.6f\n", *spread);
+      }
+    } else if (command == "reset") {
+      router.ResetSession();
+      std::printf("# session reset\n");
+    } else if (command == "refresh") {
+      auto moved = router.Refresh();
+      if (!moved.ok()) {
+        std::printf("! %s\n", moved.status().ToString().c_str());
+      } else {
+        std::printf("# generation %llu%s\n",
+                    static_cast<unsigned long long>(router.generation()),
+                    *moved ? " (swapped)" : " (unchanged)");
+      }
+    } else if (command == "probe") {
+      for (const ReplicaHealth& h : router.ProbeReplicas()) {
+        std::printf("slot %zu replica %zu\t%s\tgeneration=%llu sessions=%u\n",
+                    h.slot, h.replica, h.healthy ? "healthy" : "DOWN",
+                    static_cast<unsigned long long>(h.generation),
+                    h.sessions_active);
+      }
+    } else if (command == "metrics") {
+      HandleMetricsCommand(in, ring, dump);
+    } else if (command == "stats") {
+      const MetricsSnapshot snap = MetricsRegistry::Global().Scrape();
+      const auto counter_of = [&snap](const char* name) {
+        const auto* c = snap.FindCounter(name);
+        return c != nullptr ? c->value : 0;
+      };
+      std::printf(
+          "generation=%llu slots=%zu users=%u actions=%u session_seeds=%zu "
+          "net_rpc=%llu net_rpc_errors=%llu net_rpc_retries=%llu "
+          "net_failovers=%llu net_reconnects=%llu net_commit_replays=%llu\n",
+          static_cast<unsigned long long>(router.generation()),
+          router.num_slots(), router.num_users(), router.num_actions(),
+          router.session_seeds().size(),
+          static_cast<unsigned long long>(counter_of("net.rpc.count")),
+          static_cast<unsigned long long>(counter_of("net.rpc.errors")),
+          static_cast<unsigned long long>(counter_of("net.rpc.retries")),
+          static_cast<unsigned long long>(counter_of("net.failovers")),
+          static_cast<unsigned long long>(counter_of("net.reconnects")),
+          static_cast<unsigned long long>(counter_of("net.commit_replays")));
+    } else {
+      std::printf("! unknown command '%s' (topk | gain | commit | spread | "
+                  "reset | refresh | probe | stats | metrics [prom] | "
+                  "quit)\n",
+                  command.c_str());
+    }
+    std::fflush(stdout);
+  }
+  return dump.DumpAll();
+}
+
+/// --bench_net: loopback remote-vs-local comparison. Starts one
+/// in-process ShardServer per shard of the generation, routes through
+/// RemoteShardRouter, and measures routed gains and topk against the
+/// in-process ShardRouter on the same directory — failing loudly if any
+/// answer is not bit-identical, so the archived BENCH_net.json numbers
+/// always describe a correct configuration.
+int RunBenchNet(GenerationManager& manager, const std::string& dir, int k,
+                std::size_t samples, GainKernelMode kernel_mode,
+                int rpc_deadline_ms, const std::string& json_path,
+                const MetricsDump& dump) {
+  std::vector<BenchJsonRecord> records;
+  GenerationManager::Session local_session(manager);
+  local_session.router().set_kernel_mode(kernel_mode);
+  ShardRouter& local = local_session.router();
+  const ShardManifest& m = local_session.shards().manifest;
+  PrintManifest(m, "bench_net");
+
+  // One server process-equivalent per shard, each on an ephemeral
+  // loopback port with its own GenerationManager over the same
+  // directory (read-only mmaps of the same pinned generation).
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::string spec;
+  for (std::size_t i = 0; i < m.num_shards(); ++i) {
+    ShardServerOptions so;
+    so.dir = dir;
+    so.shard = static_cast<int>(i);
+    so.port = 0;
+    auto server = ShardServer::Start(so);
+    if (!server.ok()) return Fail(server.status());
+    if (i != 0) spec += ',';
+    spec += "127.0.0.1:" + std::to_string((*server)->port());
+    servers.push_back(std::move(*server));
+  }
+  auto endpoints = ParseEndpointSpec(spec);
+  if (!endpoints.ok()) return Fail(endpoints.status());
+  RemoteRouterOptions options;
+  options.replica_sets = std::move(*endpoints);
+  options.kernel_mode = kernel_mode;
+  options.rpc_deadline_ms = static_cast<std::uint64_t>(rpc_deadline_ms);
+  auto router_or = RemoteShardRouter::Connect(options);
+  if (!router_or.ok()) return Fail(router_or.status());
+  RemoteShardRouter& remote = **router_or;
+  std::printf("%zu loopback shard server(s), kernel %s\n", servers.size(),
+              GainKernelModeName(kernel_mode));
+
+  std::vector<NodeId> active;
+  for (NodeId x = 0; x < m.num_users; ++x) {
+    if (m.au[x] != 0) active.push_back(x);
+  }
+  if (active.empty()) {
+    std::fprintf(stderr, "no active users, nothing to bench\n");
+    return 1;
+  }
+  // Each remote gain is one fold chain (num_shards round trips); cap the
+  // sweep so the bench stays seconds, not minutes, on big corpora.
+  constexpr std::size_t kMaxSweep = 4096;
+  if (active.size() > kMaxSweep) active.resize(kMaxSweep);
+
+  const auto print_hist = [](const char* label,
+                             const LatencyHistogram& hist) {
+    std::printf("  %s: p50 %.3f us, p95 %.3f us, p99 %.3f us (%llu "
+                "samples)\n",
+                label, hist.Percentile(50.0) / 1e3,
+                hist.Percentile(95.0) / 1e3, hist.Percentile(99.0) / 1e3,
+                static_cast<unsigned long long>(hist.count()));
+  };
+  const auto same_bits = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+
+  // Routed gains, local vs remote, bit-compared per node.
+  LatencyHistogram local_hist;
+  LatencyHistogram remote_hist;
+  std::vector<double> local_gain(active.size(), 0.0);
+  WallTimer timer;
+  WallTimer query_timer;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    query_timer.Reset();
+    local_gain[i] = local.MarginalGain(active[i]);
+    local_hist.Record(query_timer.ElapsedSeconds() * 1e9);
+  }
+  const double local_ns =
+      timer.ElapsedSeconds() * 1e9 / static_cast<double>(active.size());
+  timer.Reset();
+  std::size_t gain_mismatches = 0;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    query_timer.Reset();
+    auto gain = remote.MarginalGain(active[i]);
+    remote_hist.Record(query_timer.ElapsedSeconds() * 1e9);
+    if (!gain.ok()) return Fail(gain.status());
+    if (!same_bits(*gain, local_gain[i])) ++gain_mismatches;
+  }
+  const double remote_ns =
+      timer.ElapsedSeconds() * 1e9 / static_cast<double>(active.size());
+  std::printf("routed gain over %zu active users: local %.3f us/query, "
+              "remote %.3f us/query (%.2fx)\n",
+              active.size(), local_ns / 1e3, remote_ns / 1e3,
+              local_ns > 0 ? remote_ns / local_ns : 0.0);
+  print_hist("net_gain_local", local_hist);
+  print_hist("net_gain_remote", remote_hist);
+  if (gain_mismatches != 0) {
+    std::fprintf(stderr, "FAIL: %zu of %zu remote gains differ from the "
+                 "in-process router\n", gain_mismatches, active.size());
+    return 1;
+  }
+  BenchJsonRecord local_record =
+      WithPercentiles({"net_gain_local", local_ns, 0, 1}, local_hist);
+  local_record.mode = GainKernelModeName(kernel_mode);
+  records.push_back(std::move(local_record));
+  BenchJsonRecord remote_record =
+      WithPercentiles({"net_gain_remote", remote_ns, 0, 1}, remote_hist);
+  remote_record.mode = GainKernelModeName(kernel_mode);
+  records.push_back(std::move(remote_record));
+
+  // Topk, remote timed over `samples` runs, first run bit-compared
+  // against the in-process selection (seeds, gains, spreads, and the
+  // evaluation count — the full determinism contract).
+  const SnapshotSeedSelection local_sel =
+      local.TopKSeeds(static_cast<NodeId>(k));
+  LatencyHistogram topk_hist;
+  SnapshotSeedSelection remote_sel;
+  for (std::size_t sample = 0; sample < samples; ++sample) {
+    query_timer.Reset();
+    auto current = remote.TopKSeeds(static_cast<NodeId>(k));
+    topk_hist.Record(query_timer.ElapsedSeconds() * 1e9);
+    if (!current.ok()) return Fail(current.status());
+    if (sample == 0) remote_sel = std::move(*current);
+  }
+  bool topk_identical =
+      remote_sel.seeds == local_sel.seeds &&
+      remote_sel.gain_evaluations == local_sel.gain_evaluations &&
+      remote_sel.marginal_gains.size() == local_sel.marginal_gains.size();
+  if (topk_identical) {
+    for (std::size_t i = 0; i < local_sel.seeds.size(); ++i) {
+      topk_identical =
+          topk_identical &&
+          same_bits(remote_sel.marginal_gains[i],
+                    local_sel.marginal_gains[i]) &&
+          same_bits(remote_sel.cumulative_spread[i],
+                    local_sel.cumulative_spread[i]);
+    }
+  }
+  std::printf("topk(%d): %zu seeds, %llu gain evaluations, remote %s the "
+              "in-process router\n",
+              k, remote_sel.seeds.size(),
+              static_cast<unsigned long long>(remote_sel.gain_evaluations),
+              topk_identical ? "bit-identical to" : "DIVERGES from");
+  print_hist("net_topk_remote", topk_hist);
+  if (!topk_identical) {
+    std::fprintf(stderr, "FAIL: remote topk diverges from the in-process "
+                 "router\n");
+    return 1;
+  }
+  records.push_back(WithPercentiles(
+      {"net_topk_remote", topk_hist.Percentile(50.0), 0, 1}, topk_hist));
+
+  // Client-side RPC counters for the archived record: the trajectory
+  // catches a config that silently started retrying or failing over.
+  {
+    const MetricsSnapshot snap = MetricsRegistry::Global().Scrape();
+    const auto counter_record = [&snap](const char* name) {
+      const auto* counter = snap.FindCounter(name);
+      BenchJsonRecord record{name, 0.0, 0, 1};
+      record.has_value = true;
+      record.value =
+          counter != nullptr ? static_cast<double>(counter->value) : 0.0;
+      return record;
+    };
+    records.push_back(counter_record("net.rpc.count"));
+    records.push_back(counter_record("net.rpc.errors"));
+    records.push_back(counter_record("net.failovers"));
+    records.push_back(counter_record("net.reconnects"));
+  }
+
+  int rc = 0;
+  if (!json_path.empty()) rc = WriteBenchJson(json_path, records);
+  rc |= dump.DumpAll();
+  return rc;
+}
+
 int Main(int argc, char** argv) {
   std::string dir;
   std::string snapshot_path;
@@ -658,12 +983,16 @@ int Main(int argc, char** argv) {
   int threads = 1;
   int samples = 3;
   int poll_ms = 500;
+  int max_sessions = 64;
+  int rpc_deadline_ms = 0;
   bool split = false;
   bool build = false;
   bool ingest = false;
   bool watch = false;
   bool bench = false;
+  bool bench_net = false;
   bool recover = false;
+  std::string connect_spec;
   std::string failpoints_spec;
   FlagParser flags;
   flags.AddString("dir", &dir, "sharded generation directory");
@@ -684,6 +1013,15 @@ int Main(int argc, char** argv) {
   flags.AddInt("threads", &threads, "--bench: concurrent serving sessions");
   flags.AddInt("samples", &samples, "--bench: topk latency samples");
   flags.AddInt("poll_ms", &poll_ms, "--watch: log poll interval");
+  flags.AddInt("max_sessions", &max_sessions,
+               "generation-manager session-table size (a --bench run pins "
+               "--threads + 1 sessions)");
+  flags.AddInt("rpc_deadline_ms", &rpc_deadline_ms,
+               "--connect/--bench_net: per-RPC deadline, propagated in "
+               "every frame (0 = none)");
+  flags.AddString("connect", &connect_spec,
+                  "serve remotely from shard_server processes: "
+                  "\"host:port[|replica...][,slot...]\" in range order");
   flags.AddString("json", &json_path,
                   "--bench: write machine-readable results here");
   flags.AddString("metrics_json", &metrics_json,
@@ -696,6 +1034,9 @@ int Main(int argc, char** argv) {
   flags.AddBool("ingest", &ingest, "one-shot: ingest the log and exit");
   flags.AddBool("watch", &watch, "serve + tail the log into generations");
   flags.AddBool("bench", &bench, "report query latency");
+  flags.AddBool("bench_net", &bench_net,
+                "loopback net bench: in-process shard servers vs the local "
+                "router, bit-identity checked (docs/networking.md)");
   flags.AddBool("recover", &recover,
                 "run crash recovery on --dir before opening "
                 "(docs/durability.md)");
@@ -711,15 +1052,31 @@ int Main(int argc, char** argv) {
     std::printf("%s", flags.Usage(argv[0]).c_str());
     return 0;
   }
-  if (dir.empty()) {
-    std::fprintf(stderr, "--dir is required\n");
+  if (dir.empty() && connect_spec.empty()) {
+    std::fprintf(stderr, "--dir is required (or --connect for remote "
+                 "serving)\n");
     return 1;
   }
   if (shards < 1 || generation < 1 || threads < 1 || samples < 1 ||
-      poll_ms < 1 || pool_threads < 0) {
+      poll_ms < 1 || pool_threads < 0 || max_sessions < 1 ||
+      rpc_deadline_ms < 0) {
     std::fprintf(stderr,
-                 "--shards, --generation, --threads, --samples, and "
-                 "--poll_ms must be >= 1; --pool_threads must be >= 0\n%s",
+                 "--shards, --generation, --threads, --samples, --poll_ms, "
+                 "and --max_sessions must be >= 1; --pool_threads and "
+                 "--rpc_deadline_ms must be >= 0\n%s",
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  // A --bench run pins threads + 1 sessions (the stripes plus the main
+  // session). Refuse up front rather than silently growing the table —
+  // the operator sized --max_sessions deliberately, and overshooting it
+  // at runtime would CHECK-abort inside the manager.
+  if (bench && static_cast<std::size_t>(threads) + 1 >
+                   static_cast<std::size_t>(max_sessions)) {
+    std::fprintf(stderr,
+                 "--bench with --threads=%d pins %d sessions but "
+                 "--max_sessions=%d allows fewer; raise --max_sessions\n%s",
+                 threads, threads + 1, max_sessions,
                  flags.Usage(argv[0]).c_str());
     return 1;
   }
@@ -737,6 +1094,10 @@ int Main(int argc, char** argv) {
     if (Status status = ArmFailpointsFromSpec(failpoints_spec); !status.ok()) {
       return Fail(status);
     }
+  }
+  if (!connect_spec.empty()) {
+    return RunConnect(connect_spec, *kernel_mode, rpc_deadline_ms,
+                      MetricsDump{metrics_json, metrics_prom});
   }
   if (split) {
     if (build ? (graph_path.empty() || log_path.empty())
@@ -757,10 +1118,8 @@ int Main(int argc, char** argv) {
     PrintRecoveryReport(*report);
   }
 
-  // --bench pins threads + 1 sessions at once; size the session table so
-  // a large --threads degrades into an error, never an aborting CHECK.
   auto manager = GenerationManager::Open(
-      dir, std::max<std::size_t>(64, static_cast<std::size_t>(threads) + 8));
+      dir, static_cast<std::size_t>(max_sessions));
   if (!manager.ok()) return Fail(manager.status());
   if (ingest) {
     if (graph_path.empty() || log_path.empty()) {
@@ -770,6 +1129,10 @@ int Main(int argc, char** argv) {
     return RunIngest(**manager, graph_path, log_path, credit_name);
   }
   const MetricsDump dump{metrics_json, metrics_prom};
+  if (bench_net) {
+    return RunBenchNet(**manager, dir, k, static_cast<std::size_t>(samples),
+                       *kernel_mode, rpc_deadline_ms, json_path, dump);
+  }
   if (bench) {
     return RunBench(**manager, static_cast<std::size_t>(threads), k,
                     static_cast<std::size_t>(samples), *kernel_mode,
