@@ -1,0 +1,181 @@
+#include "net/fed_metrics.h"
+
+#include <cstddef>
+#include <set>
+#include <utility>
+
+namespace influmax {
+
+namespace {
+
+/// `name{labels} value` or `name value` -> the same line with
+/// `instance="<label>"` injected into (or as) the label set.
+std::string InjectInstanceLabel(const std::string& line,
+                                const std::string& instance) {
+  const std::string label = "instance=\"" + instance + "\"";
+  const std::size_t brace = line.find('{');
+  const std::size_t space = line.find(' ');
+  if (brace != std::string::npos &&
+      (space == std::string::npos || brace < space)) {
+    // Existing label set: name{le="10"} 5 -> name{instance="x",le="10"} 5
+    return line.substr(0, brace + 1) + label + "," + line.substr(brace + 1);
+  }
+  if (space != std::string::npos) {
+    // Bare sample: name 5 -> name{instance="x"} 5
+    return line.substr(0, space) + "{" + label + "}" + line.substr(space);
+  }
+  return line;  // not a sample line; pass through untouched
+}
+
+}  // namespace
+
+Result<std::string> HttpGetBody(const std::string& host, int port,
+                                const std::string& path,
+                                const Deadline& deadline) {
+  auto conn_or = TcpConn::Connect(host, port, deadline);
+  INFLUMAX_RETURN_IF_ERROR(conn_or.status());
+  TcpConn conn = std::move(conn_or).value();
+
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  INFLUMAX_RETURN_IF_ERROR(
+      conn.SendAll(request.data(), request.size(), deadline));
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    auto n = conn.RecvSome(buf, sizeof(buf), deadline);
+    INFLUMAX_RETURN_IF_ERROR(n.status());
+    if (*n == 0) break;  // orderly close = end of an HTTP/1.0 response
+    response.append(buf, *n);
+  }
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Unavailable("http response from " + host + ":" +
+                               std::to_string(port) + " has no header end");
+  }
+  // Status line: "HTTP/1.0 200 OK".
+  const std::size_t code_at = response.find(' ');
+  if (code_at == std::string::npos ||
+      response.compare(code_at + 1, 3, "200") != 0) {
+    return Status::Unavailable(
+        "http status '" + response.substr(0, response.find("\r\n")) +
+        "' from " + host + ":" + std::to_string(port) + path);
+  }
+  return response.substr(header_end + 4);
+}
+
+std::string MergePrometheusBodies(
+    const std::vector<std::pair<std::string, std::string>>& bodies) {
+  std::string out;
+  std::set<std::string> comments_seen;
+  for (const auto& [instance, body] : bodies) {
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+      std::size_t eol = body.find('\n', pos);
+      if (eol == std::string::npos) eol = body.size();
+      const std::string line = body.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        // One HELP/TYPE per metric across the fleet; a duplicate TYPE
+        // line would make the merged exposition invalid.
+        if (comments_seen.insert(line).second) {
+          out += line;
+          out += '\n';
+        }
+        continue;
+      }
+      out += InjectInstanceLabel(line, instance);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<FleetMetricsServer>> FleetMetricsServer::Start(
+    int port, std::vector<FleetTarget> targets) {
+  auto listener_or = TcpListener::Bind(port);
+  INFLUMAX_RETURN_IF_ERROR(listener_or.status());
+
+  std::unique_ptr<FleetMetricsServer> server(new FleetMetricsServer());
+  server->targets_ = std::move(targets);
+  server->listener_ = std::move(listener_or).value();
+  server->port_ = server->listener_.port();
+  server->thread_ = std::thread([s = server.get()] { s->ServeLoop(); });
+  return server;
+}
+
+FleetMetricsServer::~FleetMetricsServer() { Stop(); }
+
+void FleetMetricsServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  listener_.Abort();
+  if (thread_.joinable()) thread_.join();
+  listener_.Close();
+}
+
+void FleetMetricsServer::ServeLoop() {
+  for (;;) {
+    auto conn_or = listener_.Accept(Deadline::Infinite());
+    {
+      std::lock_guard<std::mutex> lock(stop_mu_);
+      if (stopping_) return;
+    }
+    if (!conn_or.ok()) return;
+    HandleConn(std::move(conn_or).value());
+  }
+}
+
+void FleetMetricsServer::HandleConn(TcpConn conn) {
+  const Deadline deadline = Deadline::AfterMs(5000);
+  std::string request;
+  char buf[1024];
+  while (request.size() < 4096 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    auto n = conn.RecvSome(buf, sizeof(buf), deadline);
+    if (!n.ok() || *n == 0) break;
+    request.append(buf, *n);
+  }
+
+  std::string path = "/";
+  if (request.rfind("GET ", 0) == 0) {
+    const std::size_t end = request.find(' ', 4);
+    if (end != std::string::npos) path = request.substr(4, end - 4);
+  }
+
+  std::string status_line = "HTTP/1.0 200 OK";
+  std::string body;
+  if (path == "/metrics") {
+    std::vector<std::pair<std::string, std::string>> bodies;
+    std::string failures;
+    for (const FleetTarget& target : targets_) {
+      auto scraped = HttpGetBody(target.host, target.port, "/metrics",
+                                 Deadline::AfterMs(2000));
+      if (scraped.ok()) {
+        bodies.emplace_back(target.instance, std::move(scraped).value());
+      } else {
+        failures += "# fleet scrape failed instance=\"" + target.instance +
+                    "\": " + scraped.status().message() + "\n";
+      }
+    }
+    body = MergePrometheusBodies(bodies) + failures;
+  } else if (path == "/healthz") {
+    body = "ok targets=" + std::to_string(targets_.size()) + "\n";
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "not found\n";
+  }
+  const std::string response = status_line +
+                               "\r\nContent-Type: text/plain; version=0.0.4" +
+                               "\r\nContent-Length: " +
+                               std::to_string(body.size()) +
+                               "\r\nConnection: close\r\n\r\n" + body;
+  (void)conn.SendAll(response.data(), response.size(), deadline);
+}
+
+}  // namespace influmax

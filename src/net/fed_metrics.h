@@ -1,0 +1,90 @@
+#ifndef INFLUMAX_NET_FED_METRICS_H_
+#define INFLUMAX_NET_FED_METRICS_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "net/socket.h"
+
+namespace influmax {
+
+/// Fleet metrics federation (docs/observability.md): `serve_shards
+/// --connect` discovers every replica's /metrics port from its pong
+/// (PongResponse::metrics_port, wire v2), scrapes them all on demand,
+/// and re-exposes one fleet-wide Prometheus endpoint with per-replica
+/// `instance` labels — so one scrape config covers the whole fleet and
+/// per-replica skew is a label filter away.
+
+/// One scrape target: a replica's metrics listener plus the label value
+/// identifying it ("host:rpc_port" — unique per replica by
+/// construction).
+struct FleetTarget {
+  std::string host;
+  int port = 0;          ///< the replica's /metrics HTTP port
+  std::string instance;  ///< instance label value in the merged output
+};
+
+/// Minimal HTTP/1.0 GET over TcpConn: connects, requests `path`, reads
+/// to connection close, and returns the body of a 200 response.
+/// Unavailable on connect/transport/deadline failure or a non-200
+/// status. Exactly the client the shard server's HandleMetricsConn
+/// serves.
+Result<std::string> HttpGetBody(const std::string& host, int port,
+                                const std::string& path,
+                                const Deadline& deadline);
+
+/// Merges per-replica Prometheus exposition bodies into one, injecting
+/// `instance="<label>"` into every sample line. `# HELP` / `# TYPE`
+/// comment lines are emitted once (first instance wins); sample lines
+/// keep their relative order per instance.
+std::string MergePrometheusBodies(
+    const std::vector<std::pair<std::string, std::string>>& bodies);
+
+/// The fleet-wide Prometheus endpoint: a loopback HTTP listener that
+/// scrapes every target on each GET /metrics and serves the merged
+/// exposition. Scrapes are on-demand (no background poller): a fleet
+/// view is only as fresh as its request, and an idle endpoint costs
+/// nothing. A target that fails to scrape degrades to a
+/// `# fleet scrape failed` comment instead of failing the whole page.
+/// /healthz reports the target count. Serial request handling, same
+/// rationale as the shard server's metrics loop.
+class FleetMetricsServer {
+ public:
+  /// Binds loopback `port` (0 = ephemeral) and starts serving.
+  static Result<std::unique_ptr<FleetMetricsServer>> Start(
+      int port, std::vector<FleetTarget> targets);
+
+  ~FleetMetricsServer();
+
+  FleetMetricsServer(const FleetMetricsServer&) = delete;
+  FleetMetricsServer& operator=(const FleetMetricsServer&) = delete;
+
+  int port() const { return port_; }
+  std::size_t num_targets() const { return targets_.size(); }
+
+  /// Graceful shutdown; idempotent (also run by the destructor).
+  void Stop();
+
+ private:
+  FleetMetricsServer() = default;
+
+  void ServeLoop();
+  void HandleConn(TcpConn conn);
+
+  std::vector<FleetTarget> targets_;
+  TcpListener listener_;
+  int port_ = 0;
+  std::thread thread_;
+  std::mutex stop_mu_;
+  bool stopping_ = false;  ///< guarded by stop_mu_
+};
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_NET_FED_METRICS_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/net_metrics.h"
+#include "obs/span_names.h"
 
 namespace influmax {
 namespace {
@@ -90,6 +91,7 @@ Result<std::unique_ptr<RemoteShardRouter>> RemoteShardRouter::Connect(
   router->slots_.resize(options.replica_sets.size());
   for (std::size_t s = 0; s < options.replica_sets.size(); ++s) {
     router->slots_[s].replicas = options.replica_sets[s];
+    router->slots_[s].index = s;
   }
   INFLUMAX_RETURN_IF_ERROR(router->ConnectAll(options.generation_pin));
   return router;
@@ -274,6 +276,8 @@ Status RemoteShardRouter::DoRequest(Slot& slot, MsgType type,
                                     const Deadline& deadline) {
   const NetMetrics& nm = GetNetMetrics();
   nm.rpc_count->Increment();
+  const bool traced = trace_ != nullptr && trace_->active();
+  std::uint64_t rpc_span_id = 0;
   const std::uint64_t t0 = MonotonicNowNs();
   Frame frame;
   frame.header.type = static_cast<std::uint8_t>(type);
@@ -281,10 +285,47 @@ Status RemoteShardRouter::DoRequest(Slot& slot, MsgType type,
   frame.header.generation = generation_;
   frame.header.deadline_us = deadline.remaining_us();
   frame.payload = request.buffer();
+  if (traced) {
+    // The net.rpc span adopts the server's span subtree: its id rides in
+    // the trace-context prefix and comes back as the server.request
+    // span's parent (docs/tracing.md).
+    rpc_span_id = trace_->NextSpanId();
+    frame.header.flags |= kFrameFlagTraced;
+    PrependTraceContext(TraceContext{trace_->trace_id(), rpc_span_id},
+                        &frame.payload);
+  }
   INFLUMAX_RETURN_IF_ERROR(SendFrame(slot.conn, std::move(frame), deadline));
   Result<Frame> resp = RecvFrame(slot.conn, deadline);
   if (!resp.ok()) return resp.status();
-  nm.rpc_latency->Record(MonotonicNowNs() - t0);
+  const std::uint64_t t1 = MonotonicNowNs();
+  nm.rpc_latency->Record(t1 - t0);
+
+  // A traced response's span-block prefix is stripped whatever the
+  // local trace state — error frames carry one too, and the message
+  // codecs below must see a bare payload.
+  SpanBlock block;
+  bool have_block = false;
+  if ((resp->header.flags & kFrameFlagTraced) != 0) {
+    Result<SpanBlock> stripped = StripSpanBlock(&resp->payload);
+    if (!stripped.ok()) return stripped.status();
+    block = std::move(stripped).value();
+    have_block = true;
+  }
+  if (traced) {
+    SpanRecord rpc_rec{};
+    rpc_rec.name_id = kSpanNetRpc;
+    rpc_rec.start_ns = t0;
+    rpc_rec.duration_ns = t1 - t0;
+    rpc_rec.detail = static_cast<std::uint64_t>(
+        static_cast<std::uint8_t>(type));
+    trace_->AddSpan(rpc_span_id, trace_->root_span_id(), rpc_rec);
+    if (have_block) {
+      StitchSpanBlock(slot, block, t0, t1, /*extra_flags=*/0);
+      if ((resp->header.flags & kFrameFlagTraceOverflow) != 0) {
+        FetchOverflowSpans(slot, t0, t1, deadline);
+      }
+    }
+  }
   if (resp->header.type == static_cast<std::uint8_t>(MsgType::kError)) {
     BufferReader reader(resp->payload);
     Result<ErrorResponse> error = DecodeError(&reader);
@@ -302,6 +343,69 @@ Status RemoteShardRouter::DoRequest(Slot& slot, MsgType type,
   }
   if (response != nullptr) *response = std::move(resp->payload);
   return Status::OK();
+}
+
+void RemoteShardRouter::StitchSpanBlock(const Slot& slot,
+                                        const SpanBlock& block,
+                                        std::uint64_t t0, std::uint64_t t1,
+                                        std::uint16_t extra_flags) {
+  // Clock re-anchoring (docs/tracing.md): the two machines share no
+  // monotonic epoch, but the RPC's client midpoint and the server's
+  // handling midpoint name (approximately) the same instant — their
+  // difference maps server timestamps onto this process's timeline,
+  // symmetric-latency error bounded by half the network round trip.
+  const std::int64_t offset =
+      static_cast<std::int64_t>((t0 + t1) / 2) -
+      static_cast<std::int64_t>(
+          (block.server_recv_ns + block.server_send_ns) / 2);
+  const std::uint32_t origin =
+      (static_cast<std::uint32_t>(slot.index + 1) << 8) |
+      static_cast<std::uint32_t>(slot.active & 0xff);
+  for (const TraceSpan& span : block.spans) {
+    SpanRecord rec = span.rec;
+    rec.flags = static_cast<std::uint16_t>(rec.flags | kSpanFlagRemote |
+                                           extra_flags);
+    rec.origin = origin;
+    rec.start_ns = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(rec.start_ns) + offset);
+    trace_->AddSpan(span.span_id, span.parent_span_id, rec);
+  }
+}
+
+void RemoteShardRouter::FetchOverflowSpans(Slot& slot, std::uint64_t t0,
+                                           std::uint64_t t1,
+                                           const Deadline& deadline) {
+  const std::uint64_t f0 = MonotonicNowNs();
+  Frame frame;
+  frame.header.type = static_cast<std::uint8_t>(MsgType::kTraceFetch);
+  frame.header.deadline_us = deadline.remaining_us();
+  // Best-effort throughout: a failed fetch loses detail spans, never the
+  // query. The stream may be desynced mid-fetch though, so any failure
+  // drops the connection — the next request re-dials and replays commits
+  // like any failover.
+  if (!SendFrame(slot.conn, std::move(frame), deadline).ok()) {
+    DropConn(slot);
+    return;
+  }
+  Result<Frame> resp = RecvFrame(slot.conn, deadline);
+  if (!resp.ok() || resp->header.type !=
+                        static_cast<std::uint8_t>(MsgType::kTraceFetchOk)) {
+    DropConn(slot);
+    return;
+  }
+  BufferReader reader(resp->payload);
+  Result<SpanBlock> fetched = DecodeSpanBlock(&reader);
+  if (!fetched.ok()) return;
+  // The parked block kept the ORIGINAL request's clock anchors, so the
+  // original envelope's midpoint offset still applies.
+  StitchSpanBlock(slot, *fetched, t0, t1, kSpanFlagFetched);
+  SpanRecord rec{};
+  rec.name_id = kSpanNetTraceFetch;
+  rec.start_ns = f0;
+  rec.duration_ns = MonotonicNowNs() - f0;
+  rec.detail = fetched->spans.size();
+  trace_->AddSpan(trace_->NextSpanId(), trace_->root_span_id(), rec);
+  trace_->NoteFetch();
 }
 
 Status RemoteShardRouter::CallSlot(std::size_t s, MsgType type,
@@ -332,6 +436,19 @@ Status RemoteShardRouter::CallSlot(std::size_t s, MsgType type,
       last = st;
       DropConn(slot);
       if (slot.replicas.size() > 1) {
+        if (trace_ != nullptr && trace_->active()) {
+          // Point span naming the replica being abandoned, so a stitched
+          // trace shows WHERE the fold chain switched replicas.
+          SpanRecord rec{};
+          rec.name_id = kSpanNetFailover;
+          rec.flags = kSpanFlagFailover;
+          rec.origin = (static_cast<std::uint32_t>(slot.index + 1) << 8) |
+                       static_cast<std::uint32_t>(slot.active & 0xff);
+          rec.start_ns = MonotonicNowNs();
+          rec.detail = s;
+          trace_->AddSpan(trace_->NextSpanId(), trace_->root_span_id(), rec);
+          trace_->NoteFailover();
+        }
         slot.active = (slot.active + 1) % slot.replicas.size();
         nm.failovers->Increment();
       }
@@ -558,6 +675,7 @@ std::vector<ReplicaHealth> RemoteShardRouter::ProbeReplicas() {
               health.healthy = true;
               health.generation = pong->generation;
               health.sessions_active = pong->sessions_active;
+              health.metrics_port = pong->metrics_port;
             }
           }
         }

@@ -15,6 +15,7 @@
 #include "core/celf.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "serve/query_engine.h"
 
 namespace influmax {
@@ -57,6 +58,10 @@ struct ReplicaHealth {
   bool healthy = false;
   std::uint64_t generation = 0;
   std::uint32_t sessions_active = 0;
+  /// The replica's HTTP /metrics port from its pong (wire v2); -1 when
+  /// the replica runs without a metrics listener or speaks wire v1.
+  /// Feeds fleet metrics federation (net/fed_metrics.h).
+  int metrics_port = -1;
 };
 
 /// ShardRouter over sockets (docs/networking.md): each range slot is a
@@ -145,9 +150,18 @@ class RemoteShardRouter {
   void set_kernel_mode(GainKernelMode mode) { kernel_mode_ = mode; }
   GainKernelMode kernel_mode() const { return kernel_mode_; }
 
+  /// Attaches a trace collector (docs/tracing.md). While the collector
+  /// has an active trace, every RPC carries the trace context in its
+  /// frame, records a client-side net.rpc span, and stitches the
+  /// server's returned span block under that span — remote timestamps
+  /// re-anchored to this process's clock via the RPC midpoint. nullptr
+  /// detaches; the router never owns the collector.
+  void set_trace_collector(TraceCollector* collector) { trace_ = collector; }
+
  private:
   struct Slot {
     std::vector<RemoteEndpoint> replicas;
+    std::size_t index = 0;   ///< position in slots_ (origin stamping)
     std::size_t active = 0;  ///< index of the replica currently used
     TcpConn conn;
     bool hello_done = false;
@@ -198,6 +212,19 @@ class RemoteShardRouter {
 
   Status CheckNotPoisoned() const;
 
+  /// Stitches a response's span block into the active trace: remote
+  /// start times shifted by the midpoint clock offset, origins stamped
+  /// with the slot/replica the block came from, kSpanFlagRemote set.
+  void StitchSpanBlock(const Slot& slot, const SpanBlock& block,
+                       std::uint64_t t0, std::uint64_t t1,
+                       std::uint16_t extra_flags);
+
+  /// Issues kTraceFetch on the slot's connection to pull a parked
+  /// oversized span set (kFrameFlagTraceOverflow). Best-effort: a
+  /// failed fetch loses detail spans, never the query.
+  void FetchOverflowSpans(Slot& slot, std::uint64_t t0, std::uint64_t t1,
+                          const Deadline& deadline);
+
   RemoteRouterOptions options_;
   std::vector<Slot> slots_;
   std::uint64_t generation_ = 0;
@@ -207,6 +234,7 @@ class RemoteShardRouter {
   std::uint64_t log_fingerprint_ = 0;
   std::vector<std::uint32_t> au_;
   GainKernelMode kernel_mode_ = GainKernelMode::kExact;
+  TraceCollector* trace_ = nullptr;  ///< not owned; may be nullptr
 
   std::vector<std::uint8_t> is_seed_;  ///< frozen + session seeds [U]
   std::vector<std::uint8_t> is_frozen_;

@@ -84,6 +84,9 @@ Result<std::unique_ptr<ShardServer>> ShardServer::Start(
     INFLUMAX_RETURN_IF_ERROR(metrics_or.status());
     server->metrics_listener_ = std::move(metrics_or).value();
     server->metrics_port_ = server->metrics_listener_.port();
+    // Advertise the bound port in every pong — the discovery hook fleet
+    // metrics federation scrapes by (docs/observability.md).
+    server->pong_state_.metrics_port = server->metrics_port_;
     server->metrics_thread_ =
         std::thread([s = server.get()] { s->MetricsLoop(); });
   }
@@ -196,6 +199,43 @@ void ShardServer::HandleConn(Conn* conn) {
   std::uint32_t session_seeds = 0;
   GainKernelMode mode = GainKernelMode::kExact;
 
+  // Tracing state (docs/tracing.md). reply_* is per-request; pending_
+  // trace survives across requests until the client's kTraceFetch.
+  TraceContext tctx;
+  bool reply_traced = false;
+  SpanBlock reply_block;
+  SpanBlock pending_trace;
+  std::uint64_t request_span_id = 0;
+  std::uint64_t request_t0 = 0;
+  std::uint64_t trace_seq = 0;
+
+  // Server-minted span ids: bit 63 set (client ids are small sequential
+  // integers — disjoint by construction) over an FNV mix of the trace
+  // context and a per-connection sequence, so two hops of one trace
+  // cannot collide.
+  const auto server_span_id = [&]() -> std::uint64_t {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ULL;
+      }
+    };
+    mix(tctx.trace_id);
+    mix(tctx.parent_span_id);
+    mix(++trace_seq);
+    return h | (1ull << 63);
+  };
+  // Closes a child span started at t0 under the current request span.
+  const auto trace_child = [&](std::uint16_t name_id, std::uint64_t t0,
+                               std::uint64_t detail) {
+    if (!reply_traced) return;
+    reply_block.spans.push_back(
+        TraceSpan{server_span_id(), request_span_id,
+                  SpanRecord{name_id, 0, 0, t0, MonotonicNowNs() - t0,
+                             detail}});
+  };
+
   const auto send_response = [&](MsgType type, BufferWriter payload,
                                  const Deadline& deadline) -> bool {
     Frame out;
@@ -204,6 +244,36 @@ void ShardServer::HandleConn(Conn* conn) {
         session.has_value() ? session->generation() : std::uint64_t{0};
     out.header.deadline_us = deadline.remaining_us();
     out.payload = payload.TakeBuffer();
+    if (reply_traced) {
+      // server.send marks response serialization: the block ships inside
+      // the frame it describes, so the socket write itself can never be
+      // inside its own span — it is a point marker, not an interval.
+      const std::uint64_t now = MonotonicNowNs();
+      reply_block.spans.push_back(
+          TraceSpan{server_span_id(), request_span_id,
+                    SpanRecord{kSpanServerSend, 0, 0, now, 0,
+                               out.payload.size()}});
+      // The request span itself closes at block build.
+      reply_block.spans.push_back(
+          TraceSpan{request_span_id, tctx.parent_span_id,
+                    SpanRecord{kSpanServerRequest, 0, 0, request_t0,
+                               now - request_t0, out.header.type}});
+      reply_block.server_send_ns = now;
+      out.header.flags |= kFrameFlagTraced;
+      if (reply_block.spans.size() > options_.trace_piggyback_spans) {
+        // Over the piggyback cap: ship only the clock anchors, park the
+        // spans for the client's kTraceFetch.
+        out.header.flags |= kFrameFlagTraceOverflow;
+        SpanBlock anchors;
+        anchors.server_recv_ns = reply_block.server_recv_ns;
+        anchors.server_send_ns = reply_block.server_send_ns;
+        pending_trace = std::move(reply_block);
+        PrependSpanBlock(anchors, &out.payload);
+      } else {
+        PrependSpanBlock(reply_block, &out.payload);
+      }
+      reply_block = SpanBlock{};
+    }
     return SendFrame(conn->sock, std::move(out), deadline, "net.server.send")
         .ok();
   };
@@ -221,6 +291,26 @@ void ShardServer::HandleConn(Conn* conn) {
     Frame& frame = *frame_or;
     const std::uint64_t handle_t0 = kObsEnabled ? MonotonicNowNs() : 0;
     if constexpr (kObsEnabled) net.server_requests->Increment();
+
+    // v2 trace context: stripped UNCONDITIONALLY — an OBS_OFF build must
+    // still leave the payload decodable — but spans are only recorded
+    // when observability is compiled in.
+    reply_traced = false;
+    reply_block = SpanBlock{};
+    if (frame.header.flags & kFrameFlagTraced) {
+      auto ctx_or = StripTraceContext(&frame.payload);
+      if (!ctx_or.ok()) {
+        if (!send_error(ctx_or.status(), Deadline::AfterMs(1000))) break;
+        continue;
+      }
+      if constexpr (kObsEnabled) {
+        tctx = *ctx_or;
+        reply_traced = true;
+        request_t0 = handle_t0;
+        request_span_id = server_span_id();
+        reply_block.server_recv_ns = handle_t0;
+      }
+    }
 
     // The "server died before answering" site: error drops the
     // connection with no response; delay injects handling latency (what
@@ -259,9 +349,11 @@ void ShardServer::HandleConn(Conn* conn) {
 
     // Generation pin: every post-hello request must name the pinned
     // generation — a client that reconnected around a swap finds out
-    // here, not from silently different bits.
+    // here, not from silently different bits. (kTraceFetch stays
+    // outside this list: retrieving parked spans needs no session.)
     if (type == MsgType::kFold || type == MsgType::kFoldBatch ||
         type == MsgType::kCommit || type == MsgType::kReset) {
+      const std::uint64_t pin_t0 = reply_traced ? MonotonicNowNs() : 0;
       if (!session.has_value()) {
         if (!send_error(Status::FailedPrecondition("no session: hello first"),
                         deadline)) {
@@ -280,6 +372,7 @@ void ShardServer::HandleConn(Conn* conn) {
         }
         continue;
       }
+      trace_child(kSpanServerPin, pin_t0, frame.header.generation);
     }
 
     BufferReader reader(frame.payload);
@@ -387,11 +480,13 @@ void ShardServer::HandleConn(Conn* conn) {
       }
 
       case MsgType::kFold: {
+        const std::uint64_t decode_t0 = reply_traced ? MonotonicNowNs() : 0;
         auto fold_or = DecodeFold(&reader);
         if (!fold_or.ok()) {
           sent = send_error(fold_or.status(), deadline);
           break;
         }
+        trace_child(kSpanServerDecode, decode_t0, frame.payload.size());
         if (fold_or->node >= num_users) {
           sent = send_error(Status::InvalidArgument(
                                 "node " + std::to_string(fold_or->node) +
@@ -401,6 +496,7 @@ void ShardServer::HandleConn(Conn* conn) {
         }
         double acc = fold_or->acc;
         bool dropped = false;
+        std::size_t slot_index = shard_begin;
         for (SnapshotQueryEngine& engine : engines) {
           // The mid-fold crash site: a multi-shard server dying between
           // two shards' fold segments.
@@ -408,7 +504,9 @@ void ShardServer::HandleConn(Conn* conn) {
             dropped = true;
             break;
           }
+          const std::uint64_t fold_t0 = reply_traced ? MonotonicNowNs() : 0;
           acc = engine.AccumulateGainTerms(fold_or->node, acc);
+          trace_child(kSpanServerFold, fold_t0, slot_index++);
         }
         if (dropped) {
           sent = false;
@@ -421,15 +519,24 @@ void ShardServer::HandleConn(Conn* conn) {
       }
 
       case MsgType::kFoldBatch: {
+        const std::uint64_t decode_t0 = reply_traced ? MonotonicNowNs() : 0;
         auto batch_or = DecodeFoldBatch(&reader);
         if (!batch_or.ok()) {
           sent = send_error(batch_or.status(), deadline);
           break;
         }
+        trace_child(kSpanServerDecode, decode_t0, frame.payload.size());
         FoldBatchResponse resp;
         resp.accs = std::move(batch_or->accs);
         bool dropped = false;
         bool too_late = false;
+        // Per-engine fold attribution for traced batches: one span per
+        // engine covering its slice of the whole batch (per-node spans
+        // would blow the span cap on a CELF prefetch batch).
+        std::vector<std::uint64_t> fold_start(
+            reply_traced ? engines.size() : 0, 0);
+        std::vector<std::uint64_t> fold_ns(reply_traced ? engines.size() : 0,
+                                           0);
         for (std::size_t i = 0; i < batch_or->nodes.size(); ++i) {
           // Server-side deadline enforcement inside the one genuinely
           // long request: a late batch stops folding and reports, it
@@ -448,16 +555,31 @@ void ShardServer::HandleConn(Conn* conn) {
             dropped = true;  // response already sent; skip the OK path
             break;
           }
-          for (SnapshotQueryEngine& engine : engines) {
+          for (std::size_t e = 0; e < engines.size(); ++e) {
             if (EvalDropSite("net.server.fold_step") ==
                 SiteOutcome::kDropConn) {
               sent = false;
               dropped = true;
               break;
             }
-            resp.accs[i] = engine.AccumulateGainTerms(node, resp.accs[i]);
+            const std::uint64_t fold_t0 =
+                reply_traced ? MonotonicNowNs() : 0;
+            resp.accs[i] = engines[e].AccumulateGainTerms(node, resp.accs[i]);
+            if (reply_traced) {
+              if (fold_start[e] == 0) fold_start[e] = fold_t0;
+              fold_ns[e] += MonotonicNowNs() - fold_t0;
+            }
           }
           if (dropped) break;
+        }
+        if (reply_traced) {
+          for (std::size_t e = 0; e < engines.size(); ++e) {
+            if (fold_start[e] == 0) continue;
+            reply_block.spans.push_back(
+                TraceSpan{server_span_id(), request_span_id,
+                          SpanRecord{kSpanServerFold, 0, 0, fold_start[e],
+                                     fold_ns[e], shard_begin + e}});
+          }
         }
         if (dropped) break;
         if (too_late) {
@@ -475,11 +597,13 @@ void ShardServer::HandleConn(Conn* conn) {
       }
 
       case MsgType::kCommit: {
+        const std::uint64_t decode_t0 = reply_traced ? MonotonicNowNs() : 0;
         auto commit_or = DecodeCommit(&reader);
         if (!commit_or.ok()) {
           sent = send_error(commit_or.status(), deadline);
           break;
         }
+        trace_child(kSpanServerDecode, decode_t0, frame.payload.size());
         if (commit_or->node >= num_users) {
           sent = send_error(
               Status::InvalidArgument("node " + std::to_string(commit_or->node) +
@@ -504,6 +628,19 @@ void ShardServer::HandleConn(Conn* conn) {
         }
         session_seeds = 0;
         sent = send_response(MsgType::kResetOk, BufferWriter(), deadline);
+        break;
+      }
+
+      case MsgType::kTraceFetch: {
+        // Hands over the span block a kFrameFlagTraceOverflow response
+        // parked. The fetch round-trip is bookkeeping, not query work —
+        // it is never traced itself.
+        reply_traced = false;
+        BufferWriter payload;
+        EncodeSpanBlock(pending_trace, &payload);
+        pending_trace = SpanBlock{};
+        sent =
+            send_response(MsgType::kTraceFetchOk, std::move(payload), deadline);
         break;
       }
 

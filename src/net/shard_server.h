@@ -27,6 +27,11 @@ struct ShardServerOptions {
   int shard = -1;
   std::size_t max_sessions = 64;  ///< concurrent pinned connections
   bool recover = false;           ///< RecoverGenerationDir on open
+  /// Span-count cap for the trace block piggybacked on a traced
+  /// response (docs/tracing.md); larger blocks stay server-side behind
+  /// kFrameFlagTraceOverflow until the client's kTraceFetch. Tests set
+  /// this to 0 to force the fetch path on every traced request.
+  std::size_t trace_piggyback_spans = 16;
 };
 
 /// One shard-serving process behind the wire protocol (net/wire.h,
@@ -48,6 +53,15 @@ struct ShardServerOptions {
 /// handler rebuilds the Deadline at receipt and refuses requests that
 /// are already (or become, mid-batch) too late with Unavailable — the
 /// client treats that as a failover trigger.
+///
+/// Tracing (docs/tracing.md): a request whose frame carries
+/// kFrameFlagTraced has its 16-byte trace context stripped
+/// unconditionally (even INFLUMAX_OBS_OFF builds must leave the payload
+/// decodable); when observability is compiled in, the handler records
+/// request / decode / pin / per-slot-fold / send child spans and ships
+/// them back as a span-block prefix on the response — or parks them
+/// behind kFrameFlagTraceOverflow for a kTraceFetch when they exceed
+/// trace_piggyback_spans.
 ///
 /// Failpoint sites (chaos matrix, tests/net_fault_test.cc):
 /// "net.server.request" (delay a request / drop the connection before

@@ -27,7 +27,7 @@ void EncodeHeader(const FrameHeader& header,
   out[4] = header.version;
   out[5] = header.type;
   out[6] = header.kernel_mode;
-  out[7] = header.reserved;
+  out[7] = header.flags;
   std::memcpy(out + 8, &header.generation, 8);
   std::memcpy(out + 16, &header.deadline_us, 8);
   std::memcpy(out + 24, &header.fingerprint, 8);
@@ -39,7 +39,7 @@ FrameHeader DecodeHeader(const std::uint8_t in[kWireHeaderBytes]) {
   header.version = in[4];
   header.type = in[5];
   header.kernel_mode = in[6];
-  header.reserved = in[7];
+  header.flags = in[7];
   std::memcpy(&header.generation, in + 8, 8);
   std::memcpy(&header.deadline_us, in + 16, 8);
   std::memcpy(&header.fingerprint, in + 24, 8);
@@ -124,10 +124,12 @@ Result<Frame> RecvFrame(TcpConn& conn, const Deadline& deadline) {
 
   Frame frame;
   frame.header = DecodeHeader(header_bytes);
-  if (frame.header.version != kWireVersion) {
+  if (frame.header.version < kWireMinVersion ||
+      frame.header.version > kWireVersion) {
     return Status::Corruption(
         "frame version " + std::to_string(frame.header.version) +
-        " != " + std::to_string(kWireVersion) + " at byte offset 4");
+        " outside supported [" + std::to_string(kWireMinVersion) + ", " +
+        std::to_string(kWireVersion) + "] at byte offset 4");
   }
   // The allocation guard: a hostile/corrupt length prefix is rejected
   // here, before any resize.
@@ -160,6 +162,102 @@ Result<Frame> RecvFrame(TcpConn& conn, const Deadline& deadline) {
                               "-byte payload)");
   }
   return frame;
+}
+
+// -------------------------------------------------- trace prefixes (v2)
+
+void EncodeSpanBlock(const SpanBlock& msg, BufferWriter* out) {
+  out->WriteU64(msg.server_recv_ns);
+  out->WriteU64(msg.server_send_ns);
+  out->WriteU64(msg.spans.size());
+  for (const TraceSpan& s : msg.spans) {
+    out->WriteU64(s.span_id);
+    out->WriteU64(s.parent_span_id);
+    out->WriteU32(static_cast<std::uint32_t>(s.rec.name_id) |
+                  (static_cast<std::uint32_t>(s.rec.flags) << 16));
+    out->WriteU32(s.rec.origin);
+    out->WriteU64(s.rec.start_ns);
+    out->WriteU64(s.rec.duration_ns);
+    out->WriteU64(s.rec.detail);
+  }
+}
+
+Result<SpanBlock> DecodeSpanBlock(BufferReader* in) {
+  SpanBlock msg;
+  msg.server_recv_ns = in->ReadU64();
+  msg.server_send_ns = in->ReadU64();
+  const std::uint64_t count = in->ReadU64();
+  INFLUMAX_RETURN_IF_ERROR(in->Finish());
+  if (count > kMaxWireSpans) {
+    return Status::Corruption("span block of " + std::to_string(count) +
+                              " spans exceeds limit " +
+                              std::to_string(kMaxWireSpans));
+  }
+  // 48 bytes of fixed fields per span; bound before the reserve so a
+  // hostile count cannot out-allocate the bytes actually present.
+  if (count > in->remaining() / 48) {
+    return Status::Corruption("span block of " + std::to_string(count) +
+                              " spans exceeds the " +
+                              std::to_string(in->remaining()) +
+                              " bytes remaining");
+  }
+  msg.spans.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceSpan s;
+    s.span_id = in->ReadU64();
+    s.parent_span_id = in->ReadU64();
+    const std::uint32_t packed = in->ReadU32();
+    s.rec.name_id = static_cast<std::uint16_t>(packed & 0xffffu);
+    s.rec.flags = static_cast<std::uint16_t>(packed >> 16);
+    s.rec.origin = in->ReadU32();
+    s.rec.start_ns = in->ReadU64();
+    s.rec.duration_ns = in->ReadU64();
+    s.rec.detail = in->ReadU64();
+    msg.spans.push_back(s);
+  }
+  INFLUMAX_RETURN_IF_ERROR(in->Finish());
+  return msg;
+}
+
+void PrependTraceContext(const TraceContext& ctx,
+                         std::vector<std::uint8_t>* payload) {
+  std::uint8_t prefix[kTraceContextBytes];
+  std::memcpy(prefix + 0, &ctx.trace_id, 8);
+  std::memcpy(prefix + 8, &ctx.parent_span_id, 8);
+  payload->insert(payload->begin(), prefix, prefix + kTraceContextBytes);
+}
+
+Result<TraceContext> StripTraceContext(std::vector<std::uint8_t>* payload) {
+  if (payload->size() < kTraceContextBytes) {
+    return Status::Corruption("traced frame payload of " +
+                              std::to_string(payload->size()) +
+                              " bytes is shorter than the " +
+                              std::to_string(kTraceContextBytes) +
+                              "-byte trace context");
+  }
+  TraceContext ctx;
+  std::memcpy(&ctx.trace_id, payload->data() + 0, 8);
+  std::memcpy(&ctx.parent_span_id, payload->data() + 8, 8);
+  payload->erase(payload->begin(), payload->begin() + kTraceContextBytes);
+  return ctx;
+}
+
+void PrependSpanBlock(const SpanBlock& block,
+                      std::vector<std::uint8_t>* payload) {
+  BufferWriter prefix;
+  EncodeSpanBlock(block, &prefix);
+  payload->insert(payload->begin(), prefix.buffer().begin(),
+                  prefix.buffer().end());
+}
+
+Result<SpanBlock> StripSpanBlock(std::vector<std::uint8_t>* payload) {
+  BufferReader reader(*payload);
+  Result<SpanBlock> block = DecodeSpanBlock(&reader);
+  if (!block.ok()) return block.status();
+  payload->erase(payload->begin(),
+                 payload->begin() +
+                     static_cast<std::ptrdiff_t>(reader.bytes_read()));
+  return block;
 }
 
 // ------------------------------------------------------------ messages
@@ -209,6 +307,7 @@ void EncodePong(const PongResponse& msg, BufferWriter* out) {
   out->WriteU32(msg.action_begin);
   out->WriteU32(msg.action_end);
   out->WriteU32(msg.sessions_active);
+  out->WriteU32(static_cast<std::uint32_t>(msg.metrics_port));
 }
 
 Result<PongResponse> DecodePong(BufferReader* in) {
@@ -217,6 +316,11 @@ Result<PongResponse> DecodePong(BufferReader* in) {
   msg.action_begin = in->ReadU32();
   msg.action_end = in->ReadU32();
   msg.sessions_active = in->ReadU32();
+  // v2 appended metrics_port; a v1 pong simply ends here, which decodes
+  // as "metrics endpoint unknown" rather than an error.
+  if (in->remaining() >= 4) {
+    msg.metrics_port = static_cast<std::int32_t>(in->ReadU32());
+  }
   INFLUMAX_RETURN_IF_ERROR(in->Finish());
   return msg;
 }

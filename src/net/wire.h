@@ -11,6 +11,7 @@
 #include "common/timer.h"
 #include "common/types.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 
 namespace influmax {
 
@@ -22,10 +23,16 @@ namespace influmax {
 ///
 /// Frame layout (little-endian, host == wire like the snapshot files):
 ///   u32 payload_len      bytes after this 32-byte header
-///   u8  version          kWireVersion; mismatch rejected before payload
+///   u8  version          sender's wire version; the receiver accepts
+///                        [kWireMinVersion, kWireVersion] so v1 frames
+///                        still parse (the flags byte below was v1's
+///                        always-zero reserved byte)
 ///   u8  type             MsgType
 ///   u8  kernel_mode      GainKernelMode for this request (requests only)
-///   u8  reserved
+///   u8  flags            kFrameFlag* bits; v2 (docs/tracing.md). A set
+///                        kFrameFlagTraced means the payload begins with
+///                        a trace-context prefix (requests) or a
+///                        span-block prefix (responses)
 ///   u64 generation       the client's generation pin (0 = none/hello)
 ///   u64 deadline_us      REMAINING budget at send; kNoDeadlineUs = none.
 ///                        Remaining-not-absolute because two machines
@@ -40,12 +47,27 @@ namespace influmax {
 /// against kMaxFramePayloadBytes BEFORE any allocation, and every
 /// variable-length payload field re-validates its own length against
 /// both a semantic cap and the bytes actually present.
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+/// Oldest version this build still accepts. v1 == v2 minus the trace
+/// machinery: a v1 frame's flags byte is zero, so it decodes as an
+/// untraced v2 frame bit-for-bit.
+inline constexpr std::uint8_t kWireMinVersion = 1;
 inline constexpr std::size_t kWireHeaderBytes = 32;
 inline constexpr std::uint32_t kMaxFramePayloadBytes = 256u << 20;
 /// Caps every user/seed vector a frame can carry.
 inline constexpr std::uint64_t kMaxWireElements = 1u << 28;
 inline constexpr std::uint64_t kMaxWireMessageBytes = 1u << 16;
+/// Caps the span count of one wire span block (trace piggyback / fetch).
+inline constexpr std::uint64_t kMaxWireSpans = 4096;
+
+/// FrameHeader::flags bits (wire v2, docs/tracing.md).
+/// kFrameFlagTraced: the payload carries a trace prefix — a 16-byte
+/// trace context on requests, a span block on responses.
+/// kFrameFlagTraceOverflow (responses): the span block exceeded the
+/// server's piggyback cap; the prefix carries only the clock anchors and
+/// the spans wait server-side for a kTraceFetch.
+inline constexpr std::uint8_t kFrameFlagTraced = 1u << 0;
+inline constexpr std::uint8_t kFrameFlagTraceOverflow = 1u << 1;
 
 enum class MsgType : std::uint8_t {
   kError = 0,
@@ -61,6 +83,10 @@ enum class MsgType : std::uint8_t {
   kCommitOk = 10,
   kReset = 11,
   kResetOk = 12,
+  // v2: retrieves the span block a kFrameFlagTraceOverflow response left
+  // behind. Session-free and generation-free, like kPing.
+  kTraceFetch = 13,
+  kTraceFetchOk = 14,
 };
 
 struct FrameHeader {
@@ -68,7 +94,7 @@ struct FrameHeader {
   std::uint8_t version = kWireVersion;
   std::uint8_t type = 0;
   std::uint8_t kernel_mode = 0;
-  std::uint8_t reserved = 0;
+  std::uint8_t flags = 0;
   std::uint64_t generation = 0;
   std::uint64_t deadline_us = Deadline::kNoDeadlineUs;
   std::uint64_t fingerprint = 0;
@@ -99,6 +125,47 @@ Status SendFrame(TcpConn& conn, Frame frame, const Deadline& deadline,
 /// loss/deadline (byte offset named), Corruption on a malformed or
 /// fingerprint-mismatched frame. Failpoint site "net.frame.recv".
 Result<Frame> RecvFrame(TcpConn& conn, const Deadline& deadline);
+
+// ------------------------------------------------- trace prefixes (v2)
+
+/// The distributed-tracing context a traced request carries as a 16-byte
+/// payload prefix (docs/tracing.md): which trace the work belongs to and
+/// which client-side span (the net.rpc span) adopts the server's spans.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+inline constexpr std::size_t kTraceContextBytes = 16;
+
+/// The spans a traced response carries back, prefixed to its payload (or
+/// fetched via kTraceFetch when over the piggyback cap). The two clock
+/// anchors are the server's MonotonicNowNs() at request receipt and at
+/// response build — the client re-anchors every span onto its own
+/// timeline via the RPC midpoint (docs/tracing.md has the math), so an
+/// overflowed block still normalizes even before its spans arrive.
+/// TraceSpan.rec.origin ships as 0; the client stamps it.
+struct SpanBlock {
+  std::uint64_t server_recv_ns = 0;
+  std::uint64_t server_send_ns = 0;
+  std::vector<TraceSpan> spans;
+};
+
+/// Span-block <-> typed sections, for the kTraceFetchOk payload.
+void EncodeSpanBlock(const SpanBlock& msg, BufferWriter* out);
+Result<SpanBlock> DecodeSpanBlock(BufferReader* in);
+
+/// Prefix helpers: Prepend inserts the encoded form at the front of an
+/// already-built payload; Strip decodes and removes it, leaving the
+/// payload the message codecs expect. Deliberately unconditional (not
+/// obs-gated): an INFLUMAX_OBS_OFF peer must still parse a traced
+/// frame's payload correctly even though it records nothing.
+void PrependTraceContext(const TraceContext& ctx,
+                         std::vector<std::uint8_t>* payload);
+Result<TraceContext> StripTraceContext(std::vector<std::uint8_t>* payload);
+void PrependSpanBlock(const SpanBlock& block,
+                      std::vector<std::uint8_t>* payload);
+Result<SpanBlock> StripSpanBlock(std::vector<std::uint8_t>* payload);
 
 // ----------------------------------------------------------- messages
 
@@ -132,6 +199,10 @@ struct PongResponse {
   ActionId action_begin = 0;
   ActionId action_end = 0;
   std::uint32_t sessions_active = 0;
+  /// Port of this server's /metrics HTTP listener; -1 when disabled.
+  /// v2 field (absent from v1 pongs, decoded as -1) — the discovery hook
+  /// for fleet metrics federation (docs/observability.md).
+  std::int32_t metrics_port = -1;
 };
 
 /// One chained-fold step: fold x's gain terms over this server's shards

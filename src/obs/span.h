@@ -5,24 +5,40 @@
 #include <vector>
 
 #ifndef INFLUMAX_OBS_OFF
+#include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <mutex>
 #endif
 
 #include "obs/metrics.h"
+#include "obs/span_names.h"
 
 namespace influmax {
 
-/// One completed trace span. `name` must be a string literal (spans are
-/// recorded on hot-ish paths; no ownership, no allocation). `detail` is
-/// a span-defined payload: the shard index for router fold spans, the
-/// node id for query spans, etc.
+/// Flags on a completed span (SpanRecord::flags).
+inline constexpr std::uint16_t kSpanFlagRemote = 1u << 0;
+inline constexpr std::uint16_t kSpanFlagFailover = 1u << 1;
+inline constexpr std::uint16_t kSpanFlagFetched = 1u << 2;
+
+/// One completed trace span. `name_id` is an interned id from the
+/// span-name catalog (obs/span_names.h) — a plain integer so a record
+/// can cross a process boundary on the wire; resolve with
+/// SpanNameString(). `origin` is 0 for spans recorded in this process;
+/// the remote router stamps remote spans with (slot + 1) << 8 | replica.
+/// `detail` is a span-defined payload: the shard index for router fold
+/// spans, the node id for query spans, etc. Trivially copyable — the
+/// span ring snapshots with one memcpy and the wire codec ships arrays
+/// of these directly.
 struct SpanRecord {
-  const char* name = "";
+  std::uint16_t name_id = kSpanUnknown;
+  std::uint16_t flags = 0;
+  std::uint32_t origin = 0;
   std::uint64_t start_ns = 0;
   std::uint64_t duration_ns = 0;
   std::uint64_t detail = 0;
 };
+static_assert(sizeof(SpanRecord) == 32);
 
 #ifndef INFLUMAX_OBS_OFF
 
@@ -47,19 +63,55 @@ class SpanRing {
       ring_[next_ % capacity_] = record;
     }
     ++next_;
+    ++total_;
   }
 
-  /// Retained spans, oldest to newest.
+  /// Retained spans, oldest to newest. The allocation and the rotation
+  /// into chronological order both happen outside the lock; the locked
+  /// region is a single memcpy of the raw ring (SpanRecord is trivially
+  /// copyable), so concurrent pushers stall for nanoseconds, not for an
+  /// allocator round-trip.
   std::vector<SpanRecord> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::vector<SpanRecord> out;
-    out.reserve(ring_.size());
-    if (ring_.size() < capacity_) {
-      out = ring_;
-    } else {
-      for (std::size_t i = 0; i < capacity_; ++i) {
-        out.push_back(ring_[(next_ + i) % capacity_]);
+    std::vector<SpanRecord> out(capacity_);
+    std::size_t count = 0;
+    std::uint64_t next = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      count = ring_.size();
+      next = next_;
+      if (count > 0) {
+        std::memcpy(out.data(), ring_.data(), count * sizeof(SpanRecord));
       }
+    }
+    out.resize(count);
+    if (count == capacity_) {
+      std::rotate(out.begin(),
+                  out.begin() + static_cast<std::ptrdiff_t>(next % capacity_),
+                  out.end());
+    }
+    return out;
+  }
+
+  /// Removes and returns the retained spans (oldest first), leaving the
+  /// ring empty — the trace collector's consume-once path. The
+  /// replacement buffer is allocated before the lock and the rotation
+  /// happens after it; the locked region is two vector swaps.
+  std::vector<SpanRecord> Drain() {
+    std::vector<SpanRecord> fresh;
+    fresh.reserve(capacity_);
+    std::vector<SpanRecord> out;
+    std::uint64_t next = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      next = next_;
+      out.swap(ring_);
+      ring_.swap(fresh);
+      next_ = 0;  // ring is empty again; the cursor restarts at slot 0
+    }
+    if (out.size() == capacity_) {
+      std::rotate(out.begin(),
+                  out.begin() + static_cast<std::ptrdiff_t>(next % capacity_),
+                  out.end());
     }
     return out;
   }
@@ -67,7 +119,7 @@ class SpanRing {
   /// Spans pushed over the ring's lifetime (>= Snapshot().size()).
   std::uint64_t total_pushed() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return next_;
+    return total_;
   }
 
   std::size_t capacity() const { return capacity_; }
@@ -76,7 +128,8 @@ class SpanRing {
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::vector<SpanRecord> ring_;
-  std::uint64_t next_ = 0;
+  std::uint64_t next_ = 0;   // ring cursor; reset by Drain
+  std::uint64_t total_ = 0;  // lifetime push count; never reset
 };
 
 /// RAII span: stamps MonotonicNowNs() at construction, and at
@@ -86,9 +139,11 @@ class SpanRing {
 /// histogram at once.
 class ObsSpan {
  public:
-  ObsSpan(SpanRing* ring, const char* name, std::uint64_t detail = 0,
+  ObsSpan(SpanRing* ring, std::uint16_t name_id, std::uint64_t detail = 0,
           Timer* timer = nullptr)
-      : ring_(ring), timer_(timer), rec_{name, MonotonicNowNs(), 0, detail} {}
+      : ring_(ring),
+        timer_(timer),
+        rec_{name_id, 0, 0, MonotonicNowNs(), 0, detail} {}
   ~ObsSpan() {
     rec_.duration_ns = MonotonicNowNs() - rec_.start_ns;
     if (ring_ != nullptr) ring_->Push(rec_);
@@ -113,13 +168,14 @@ class SpanRing {
   explicit SpanRing(std::size_t = 256) {}
   void Push(const SpanRecord&) {}
   std::vector<SpanRecord> Snapshot() const { return {}; }
+  std::vector<SpanRecord> Drain() { return {}; }
   std::uint64_t total_pushed() const { return 0; }
   std::size_t capacity() const { return 0; }
 };
 
 class ObsSpan {
  public:
-  ObsSpan(SpanRing*, const char*, std::uint64_t = 0, Timer* = nullptr) {}
+  ObsSpan(SpanRing*, std::uint16_t, std::uint64_t = 0, Timer* = nullptr) {}
   ObsSpan(const ObsSpan&) = delete;
   ObsSpan& operator=(const ObsSpan&) = delete;
   void set_detail(std::uint64_t) {}

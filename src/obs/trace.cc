@@ -1,0 +1,262 @@
+#ifndef INFLUMAX_OBS_OFF
+
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <utility>
+
+namespace influmax {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+}
+
+std::uint64_t Fnv1aMix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// One complete Chrome trace-event ("X" phase) line. `ts`/`dur` are in
+/// microseconds per the trace-event spec; raw monotonic nanoseconds fit
+/// a double losslessly enough at microsecond granularity.
+void AppendEvent(std::string* out, bool* first, const TraceRecord& trace,
+                 std::uint64_t span_id, std::uint64_t parent_span_id,
+                 const SpanRecord& rec) {
+  if (!*first) out->append(",\n");
+  *first = false;
+  const std::uint32_t pid = rec.origin >> 8;      // 0 = client, else slot+1
+  const std::uint32_t tid = rec.origin & 0xffu;   // replica index
+  AppendF(out,
+          "  {\"name\":\"%s\",\"cat\":\"influmax\",\"ph\":\"X\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%" PRIu32 ",\"tid\":%" PRIu32
+          ",\"args\":{\"trace_id\":\"0x%016" PRIx64 "\",\"span_id\":%" PRIu64
+          ",\"parent_span_id\":%" PRIu64 ",\"detail\":%" PRIu64
+          ",\"origin\":%" PRIu32 ",\"remote\":%s,\"failover\":%s,"
+          "\"fetched\":%s}}",
+          SpanNameString(rec.name_id), rec.start_ns / 1000.0,
+          rec.duration_ns / 1000.0, pid, tid, trace.trace_id, span_id,
+          parent_span_id, rec.detail, rec.origin,
+          (rec.flags & kSpanFlagRemote) ? "true" : "false",
+          (rec.flags & kSpanFlagFailover) ? "true" : "false",
+          (rec.flags & kSpanFlagFetched) ? "true" : "false");
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(TraceCollectorOptions options)
+    : options_([&] {
+        TraceCollectorOptions o = options;
+        if (o.sample_every == 0) o.sample_every = 1;
+        if (o.ring_capacity == 0) o.ring_capacity = 1;
+        if (o.slow_capacity == 0) o.slow_capacity = 1;
+        return o;
+      }()) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  traces_total_ = reg.FindOrCreateCounter("trace.count");
+  traces_slow_ = reg.FindOrCreateCounter("trace.slow");
+  spans_total_ = reg.FindOrCreateCounter("trace.spans");
+  spans_remote_ = reg.FindOrCreateCounter("trace.spans.remote");
+  spans_dropped_ = reg.FindOrCreateCounter("trace.spans.dropped");
+  fetches_ = reg.FindOrCreateCounter("trace.fetches");
+  failovers_ = reg.FindOrCreateCounter("trace.failovers");
+  slow_worst_ns_ = reg.FindOrCreateGauge("trace.slow.worst_ns");
+}
+
+bool TraceCollector::StartTrace(std::uint16_t name_id, std::uint64_t detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t seq = started_++;
+  if (seq % options_.sample_every != 0) {
+    active_ = false;
+    return false;
+  }
+  active_ = true;
+  span_seq_ = 0;
+  current_ = TraceRecord{};
+  std::uint64_t id = Fnv1aMix(Fnv1aMix(14695981039346656037ull,
+                                       MonotonicNowNs()),
+                              seq + 1);
+  if (id == 0) id = 1;
+  current_.trace_id = id;
+  current_.root_span_id = ++span_seq_;
+  current_.root_name_id = name_id;
+  current_.detail = detail;
+  current_.start_ns = MonotonicNowNs();
+  return true;
+}
+
+void TraceCollector::EndTrace() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_) return;
+  active_ = false;
+  current_.duration_ns = MonotonicNowNs() - current_.start_ns;
+  traces_total_->Increment();
+  spans_total_->Add(current_.spans.size() + 1);
+  spans_remote_->Add(current_.remote_spans);
+  FileTrace(std::move(current_));
+  current_ = TraceRecord{};
+}
+
+bool TraceCollector::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+std::uint64_t TraceCollector::trace_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_ ? current_.trace_id : 0;
+}
+
+std::uint64_t TraceCollector::root_span_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_ ? current_.root_span_id : 0;
+}
+
+std::uint64_t TraceCollector::NextSpanId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++span_seq_;
+}
+
+void TraceCollector::AddSpan(std::uint64_t span_id,
+                             std::uint64_t parent_span_id,
+                             const SpanRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_) return;
+  if (current_.spans.size() >= options_.max_spans_per_trace) {
+    spans_dropped_->Increment();
+    return;
+  }
+  current_.spans.push_back(TraceSpan{span_id, parent_span_id, rec});
+  if (rec.flags & kSpanFlagRemote) ++current_.remote_spans;
+}
+
+void TraceCollector::NoteFailover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  failovers_->Increment();
+  if (active_) ++current_.failovers;
+}
+
+void TraceCollector::NoteFetch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fetches_->Increment();
+  if (active_) ++current_.fetches;
+}
+
+void TraceCollector::FileTrace(TraceRecord&& trace) {
+  // Called with mu_ held (from EndTrace).
+  const bool slow_eligible = options_.slow_query_ns == 0 ||
+                             trace.duration_ns >= options_.slow_query_ns;
+  if (slow_eligible) {
+    traces_slow_->Increment();
+    slow_.push_back(trace);
+    std::stable_sort(slow_.begin(), slow_.end(),
+                     [](const TraceRecord& a, const TraceRecord& b) {
+                       return a.duration_ns > b.duration_ns;
+                     });
+    if (slow_.size() > options_.slow_capacity) {
+      slow_.resize(options_.slow_capacity);
+    }
+    slow_worst_ns_->Set(static_cast<std::int64_t>(slow_[0].duration_ns));
+  }
+  recent_.push_back(std::move(trace));
+  if (recent_.size() > options_.ring_capacity) {
+    recent_.erase(recent_.begin());
+  }
+}
+
+std::vector<TraceRecord> TraceCollector::Traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recent_;
+}
+
+std::vector<TraceRecord> TraceCollector::SlowTraces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+std::optional<TraceRecord> TraceCollector::FindTrace(
+    std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceRecord& t : recent_) {
+    if (t.trace_id == trace_id) return t;
+  }
+  for (const TraceRecord& t : slow_) {
+    if (t.trace_id == trace_id) return t;
+  }
+  return std::nullopt;
+}
+
+std::string TraceCollector::TraceEventJson() const {
+  std::vector<TraceRecord> traces;
+  std::set<std::uint32_t> origins;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::set<std::uint64_t> seen;
+    traces.reserve(recent_.size() + slow_.size());
+    for (const TraceRecord& t : recent_) {
+      if (seen.insert(t.trace_id).second) traces.push_back(t);
+    }
+    for (const TraceRecord& t : slow_) {
+      if (seen.insert(t.trace_id).second) traces.push_back(t);
+    }
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceRecord& t : traces) {
+    SpanRecord root;
+    root.name_id = t.root_name_id;
+    root.start_ns = t.start_ns;
+    root.duration_ns = t.duration_ns;
+    root.detail = t.detail;
+    AppendEvent(&out, &first, t, t.root_span_id, 0, root);
+    origins.insert(0);
+    for (const TraceSpan& s : t.spans) {
+      AppendEvent(&out, &first, t, s.span_id, s.parent_span_id, s.rec);
+      origins.insert(s.rec.origin);
+    }
+  }
+  // process_name metadata so Perfetto labels each clock-domain track.
+  for (std::uint32_t origin : origins) {
+    if (!first) out.append(",\n");
+    first = false;
+    const std::uint32_t pid = origin >> 8;
+    if (pid == 0) {
+      AppendF(&out,
+              "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+              "\"args\":{\"name\":\"client\"}}");
+    } else {
+      AppendF(&out,
+              "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRIu32
+              ",\"args\":{\"name\":\"shard slot %" PRIu32 "\"}}",
+              pid, pid - 1);
+    }
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+Status TraceCollector::WriteTraceJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << TraceEventJson();
+  out.flush();
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_OBS_OFF

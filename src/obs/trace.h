@@ -1,0 +1,185 @@
+#ifndef INFLUMAX_OBS_TRACE_H_
+#define INFLUMAX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#ifndef INFLUMAX_OBS_OFF
+#include <mutex>
+#endif
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/span_names.h"
+
+namespace influmax {
+
+/// One span inside an assembled trace: a SpanRecord plus its position in
+/// the span tree. Remote spans (rec.flags & kSpanFlagRemote) have been
+/// re-anchored onto the client's MonotonicNowNs() timeline by the remote
+/// router (docs/tracing.md covers the clock math); rec.origin says which
+/// (slot, replica) produced them.
+struct TraceSpan {
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  SpanRecord rec;
+};
+
+/// One completed end-to-end trace: the root query span plus every child
+/// span stitched under it, local and remote, on one timeline. Plain
+/// data — identical in ON and OFF builds (OFF collectors just never
+/// produce any).
+struct TraceRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t root_span_id = 0;
+  std::uint16_t root_name_id = kSpanUnknown;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint64_t detail = 0;
+  std::uint32_t failovers = 0;     // replica failovers during the trace
+  std::uint32_t fetches = 0;       // kTraceFetch round-trips
+  std::uint32_t remote_spans = 0;  // spans carrying kSpanFlagRemote
+  std::vector<TraceSpan> spans;    // excludes the root (held above)
+};
+
+struct TraceCollectorOptions {
+  /// Trace 1 in N StartTrace calls (1 = every query). Span bookkeeping
+  /// is a handful of clock reads + vector pushes per RPC — well under
+  /// the <2% overhead gate at 1 for socket-bound queries; raise it for
+  /// in-process workloads.
+  std::uint64_t sample_every = 1;
+  /// Slow-query threshold. Traces at least this long enter the slow
+  /// ring; 0 means every trace competes (the ring then simply holds the
+  /// N slowest ever seen) — the slow log is always on.
+  std::uint64_t slow_query_ns = 0;
+  std::size_t ring_capacity = 64;  // most recent finished traces kept
+  std::size_t slow_capacity = 8;   // N slowest traces kept
+  std::size_t max_spans_per_trace = 4096;  // AddSpan drops beyond this
+};
+
+#ifndef INFLUMAX_OBS_OFF
+
+/// Assembles end-to-end traces for the serving stack (docs/tracing.md).
+/// The CLI wraps each query in StartTrace/EndTrace; the remote router
+/// adds one net.rpc span per RPC and stitches the span block each shard
+/// server ships back (re-anchored to this process's clock) under it.
+/// Finished traces land in two rings — most recent, and N slowest (the
+/// always-on slow-query log) — and export as Chrome trace-event JSON
+/// that Perfetto / chrome://tracing load directly.
+///
+/// Internally synchronized, but traces themselves are sequential: one
+/// StartTrace/EndTrace pair at a time per collector (the REPL and the
+/// benches drive one query at a time). Readers (stats, trace REPL
+/// command, JSON export) may run concurrently with tracing.
+class TraceCollector {
+ public:
+  explicit TraceCollector(TraceCollectorOptions options = {});
+
+  /// Opens a trace rooted at a query span named `name_id`. Returns true
+  /// iff this query was sampled — when false the collector stays
+  /// inactive and every other call is a cheap no-op until the next
+  /// StartTrace.
+  bool StartTrace(std::uint16_t name_id, std::uint64_t detail = 0);
+
+  /// Closes the root span, assembles the TraceRecord, files it into the
+  /// recent/slow rings, and updates the trace.* metrics. No-op when the
+  /// current query was not sampled.
+  void EndTrace();
+
+  /// True between a sampled StartTrace and its EndTrace — the remote
+  /// router's "should I propagate trace context" check.
+  bool active() const;
+
+  std::uint64_t trace_id() const;
+  std::uint64_t root_span_id() const;
+
+  /// Fresh client-side span id, unique within the current trace.
+  std::uint64_t NextSpanId();
+
+  /// Adds a completed span under `parent_span_id`. Remote spans must
+  /// already be re-anchored to this process's timeline. Spans beyond
+  /// max_spans_per_trace are counted but dropped.
+  void AddSpan(std::uint64_t span_id, std::uint64_t parent_span_id,
+               const SpanRecord& rec);
+
+  /// Failover / kTraceFetch attribution for the current trace.
+  void NoteFailover();
+  void NoteFetch();
+
+  /// Retained traces, oldest first / slowest first.
+  std::vector<TraceRecord> Traces() const;
+  std::vector<TraceRecord> SlowTraces() const;
+
+  /// Looks a retained trace up by id (recent ring first, then slow).
+  std::optional<TraceRecord> FindTrace(std::uint64_t trace_id) const;
+
+  /// Chrome trace-event JSON over every retained trace (recent + slow,
+  /// deduplicated). Load in Perfetto (ui.perfetto.dev) or
+  /// chrome://tracing. Client spans render under pid 0; each remote
+  /// (slot, replica) renders under pid slot+1 / tid replica.
+  std::string TraceEventJson() const;
+
+  /// TraceEventJson() to a file.
+  Status WriteTraceJson(const std::string& path) const;
+
+  const TraceCollectorOptions& options() const { return options_; }
+
+ private:
+  void FileTrace(TraceRecord&& trace);
+
+  const TraceCollectorOptions options_;
+  Counter* traces_total_;
+  Counter* traces_slow_;
+  Counter* spans_total_;
+  Counter* spans_remote_;
+  Counter* spans_dropped_;
+  Counter* fetches_;
+  Counter* failovers_;
+  Gauge* slow_worst_ns_;
+
+  mutable std::mutex mu_;
+  std::uint64_t started_ = 0;  // StartTrace calls (sampling denominator)
+  bool active_ = false;
+  TraceRecord current_;
+  std::uint64_t span_seq_ = 0;
+  std::vector<TraceRecord> recent_;  // oldest first, ring_capacity cap
+  std::vector<TraceRecord> slow_;    // slowest first, slow_capacity cap
+};
+
+#else  // INFLUMAX_OBS_OFF — same surface, compiles to nothing.
+
+class TraceCollector {
+ public:
+  explicit TraceCollector(TraceCollectorOptions options = {})
+      : options_(options) {}
+
+  bool StartTrace(std::uint16_t, std::uint64_t = 0) { return false; }
+  void EndTrace() {}
+  bool active() const { return false; }
+  std::uint64_t trace_id() const { return 0; }
+  std::uint64_t root_span_id() const { return 0; }
+  std::uint64_t NextSpanId() { return 0; }
+  void AddSpan(std::uint64_t, std::uint64_t, const SpanRecord&) {}
+  void NoteFailover() {}
+  void NoteFetch() {}
+  std::vector<TraceRecord> Traces() const { return {}; }
+  std::vector<TraceRecord> SlowTraces() const { return {}; }
+  std::optional<TraceRecord> FindTrace(std::uint64_t) const {
+    return std::nullopt;
+  }
+  std::string TraceEventJson() const { return "{\"traceEvents\":[]}\n"; }
+  Status WriteTraceJson(const std::string&) const { return Status::OK(); }
+  const TraceCollectorOptions& options() const { return options_; }
+
+ private:
+  TraceCollectorOptions options_;
+};
+
+#endif  // INFLUMAX_OBS_OFF
+
+}  // namespace influmax
+
+#endif  // INFLUMAX_OBS_TRACE_H_

@@ -124,14 +124,16 @@ double ShardRouter::TimedMarginalGain(NodeId x) const {
       const std::uint64_t dt = t1 - t0;
       m.shard_fold->Record(dt);
       if (i < kPerShardTimers) m.shard_fold_by_index[i]->Record(dt);
-      if (ring_ != nullptr) ring_->Push({"router.shard_fold", t0, dt, i});
+      if (ring_ != nullptr) {
+        ring_->Push({kSpanRouterShardFold, 0, 0, t0, dt, i});
+      }
       t0 = t1;
     }
   }
   const std::uint64_t q1 = MonotonicNowNs();
   m.gain_latency->Record(q1 - q0);
   m.gain_queries->Add(kObsSampleEvery);
-  if (ring_ != nullptr) ring_->Push({"router.gain", q0, q1 - q0, x});
+  if (ring_ != nullptr) ring_->Push({kSpanRouterGain, 0, 0, q0, q1 - q0, x});
   return mg;
 }
 
@@ -156,7 +158,7 @@ void ShardRouter::CommitSeed(NodeId x) {
   if (x >= num_users_ || is_seed_[x]) return;
   const RouterMetrics& m = GetRouterMetrics();
   m.commits->Increment();
-  ObsSpan span(ring_, "router.commit", x, m.commit_latency);
+  ObsSpan span(ring_, kSpanRouterCommit, x, m.commit_latency);
   // Algorithm 5 decomposes by action: each shard's commit touches only
   // its own overlay and SC shadow, so the fan-out is exact (and each
   // engine's internal commit stays serial — gain_threads defaults to 1).
@@ -184,7 +186,7 @@ SnapshotSeedSelection ShardRouter::TopKSeeds(NodeId k, double spread_budget) {
   // counts are bit-identical for any shard count and any pool size.
   const RouterMetrics& m = GetRouterMetrics();
   m.topk_queries->Increment();
-  ObsSpan span(ring_, "router.topk", k, m.topk_latency);
+  ObsSpan span(ring_, kSpanRouterTopk, k, m.topk_latency);
   ResetSession();
   SnapshotSeedSelection selection;
   const auto au = au_;

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/span_names.h"
+#include "obs/trace.h"
 #include "shard/generation_manager.h"
 #include "shard/shard_manifest.h"
 #include "shard/shard_router.h"
@@ -296,6 +299,68 @@ TEST(NetChaosTest, FailedCommitPoisonsSessionUntilReset) {
   ASSERT_FALSE(after.ok());
   EXPECT_EQ(after.status().code(), StatusCode::kUnavailable)
       << after.status().ToString();
+}
+
+// ------------------------------------------------ tracing under chaos
+
+TEST(NetChaosTest, FailoverMidChainYieldsOneStitchedTrace) {
+  const ChaosFixture& fixture = ChaosFixture::Get();
+  ReplicatedFleet fleet = StartReplicatedFleet(fixture.dir, 2);
+  auto remote =
+      RemoteShardRouter::Connect(FastRetryOptions(fleet.replica_sets));
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  TraceCollector collector;
+  (*remote)->set_trace_collector(&collector);
+
+  // A seed node's gain is nonzero, so the query crosses the wire. One
+  // trace scope covers two gains: the first records the active replicas'
+  // spans, then the fold is broken mid-chain — slot 0's active replica
+  // drops the connection between fold steps — and the second gain fails
+  // over. The result must be the exact bits, inside ONE stitched trace
+  // holding spans from BOTH replicas of the failed slot plus an
+  // annotated failover marker.
+  const NodeId node = fixture.expected.seeds[0];
+  ASSERT_TRUE(collector.StartTrace(kSpanQueryGain, node));
+  auto before = (*remote)->MarginalGain(node);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  auto spec = ParseFailpointSpec("error@0#1");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(ArmFailpoint("net.server.fold_step", *spec).ok());
+  auto gain = (*remote)->MarginalGain(node);
+  collector.EndTrace();
+  DisarmAllFailpoints();
+  ASSERT_TRUE(gain.ok()) << gain.status().ToString();
+  EXPECT_TRUE(SameBits(*gain, fixture.expected_gains[node]));
+  EXPECT_TRUE(SameBits(*before, *gain));
+
+  const std::vector<TraceRecord> traces = collector.Traces();
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceRecord& trace = traces[0];
+  EXPECT_GE(trace.failovers, 1u);
+  EXPECT_GT(trace.remote_spans, 0u);
+
+  bool has_failover_span = false;
+  std::set<std::uint32_t> failed_slot_replicas;
+  std::uint32_t failover_slot = 0;
+  for (const TraceSpan& s : trace.spans) {
+    if (s.rec.name_id == kSpanNetFailover) {
+      has_failover_span = true;
+      EXPECT_NE(s.rec.flags & kSpanFlagFailover, 0);
+      failover_slot = s.rec.origin >> 8;  // the replica being abandoned
+      EXPECT_GT(failover_slot, 0u);
+    }
+  }
+  ASSERT_TRUE(has_failover_span);
+  for (const TraceSpan& s : trace.spans) {
+    if ((s.rec.flags & kSpanFlagRemote) != 0 &&
+        (s.rec.origin >> 8) == failover_slot) {
+      failed_slot_replicas.insert(s.rec.origin & 0xffu);
+    }
+  }
+  // The failed attempt's spans (shipped on the error response) and the
+  // surviving replica's spans live in the same stitched trace.
+  EXPECT_GE(failed_slot_replicas.size(), 2u);
 }
 
 // -------------------------------------------------- deadline handling

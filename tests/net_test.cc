@@ -10,7 +10,9 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,7 +22,10 @@
 #include "core/cd_model.h"
 #include "core/direct_credit.h"
 #include "datagen/cascade_generator.h"
+#include "net/fed_metrics.h"
 #include "net/remote_router.h"
+#include "obs/span_names.h"
+#include "obs/trace.h"
 #include "net/shard_server.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -230,7 +235,7 @@ void SendRawFrame(TcpConn& conn, FrameHeader header,
   encoded[4] = header.version;
   encoded[5] = header.type;
   encoded[6] = header.kernel_mode;
-  encoded[7] = header.reserved;
+  encoded[7] = header.flags;
   std::memcpy(encoded.data() + 8, &header.generation, 8);
   std::memcpy(encoded.data() + 16, &header.deadline_us, 8);
   std::memcpy(encoded.data() + 24, &header.fingerprint, 8);
@@ -285,6 +290,79 @@ TEST(WireTest, VersionMismatchRejected) {
   ASSERT_FALSE(received.ok());
   EXPECT_EQ(received.status().code(), StatusCode::kCorruption);
   EXPECT_NE(received.status().message().find("version"), std::string::npos);
+}
+
+TEST(WireTest, V1FrameStillAccepted) {
+  // A v1 peer's frame — version byte 1, flags byte zero (v1's reserved
+  // byte) — must decode as an untraced v2 frame bit-for-bit.
+  SocketPair pair = MakeSocketPair();
+  BufferWriter payload_writer;
+  EncodeFold(FoldRequest{3, 1.5}, &payload_writer);
+  const std::vector<std::uint8_t> payload = payload_writer.buffer();
+  FrameHeader header;
+  header.version = kWireMinVersion;
+  header.type = static_cast<std::uint8_t>(MsgType::kFold);
+  header.payload_len = static_cast<std::uint32_t>(payload.size());
+  header.fingerprint = FingerprintFrame(header, payload);
+  SendRawFrame(pair.client, header, payload);
+  auto received = RecvFrame(pair.server, Deadline::AfterMs(2000));
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received->header.version, kWireMinVersion);
+  EXPECT_EQ(received->header.flags, 0);
+  BufferReader reader(received->payload);
+  auto fold = DecodeFold(&reader);
+  ASSERT_TRUE(fold.ok());
+  EXPECT_EQ(fold->node, 3u);
+}
+
+TEST(WireTest, TracePrefixesRoundTripAndStrip) {
+  // Request side: a 16-byte trace context prepends and strips cleanly.
+  BufferWriter payload_writer;
+  EncodeFold(FoldRequest{9, 0.25}, &payload_writer);
+  std::vector<std::uint8_t> payload = payload_writer.buffer();
+  const std::size_t bare_size = payload.size();
+  PrependTraceContext(TraceContext{0xAABB, 0x17}, &payload);
+  EXPECT_EQ(payload.size(), bare_size + kTraceContextBytes);
+  auto ctx = StripTraceContext(&payload);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  EXPECT_EQ(ctx->trace_id, 0xAABBu);
+  EXPECT_EQ(ctx->parent_span_id, 0x17u);
+  EXPECT_EQ(payload.size(), bare_size);
+  BufferReader reader(payload);
+  auto fold = DecodeFold(&reader);
+  ASSERT_TRUE(fold.ok());
+  EXPECT_EQ(fold->node, 9u);
+
+  // Response side: a span block with anchors and two spans.
+  SpanBlock block;
+  block.server_recv_ns = 100;
+  block.server_send_ns = 300;
+  TraceSpan span;
+  span.span_id = 5;
+  span.parent_span_id = 2;
+  span.rec.name_id = kSpanServerFold;
+  span.rec.start_ns = 150;
+  span.rec.duration_ns = 50;
+  span.rec.detail = 1;
+  block.spans = {span, span};
+  PrependSpanBlock(block, &payload);
+  auto stripped = StripSpanBlock(&payload);
+  ASSERT_TRUE(stripped.ok()) << stripped.status().ToString();
+  EXPECT_EQ(stripped->server_recv_ns, 100u);
+  EXPECT_EQ(stripped->server_send_ns, 300u);
+  ASSERT_EQ(stripped->spans.size(), 2u);
+  EXPECT_EQ(stripped->spans[0].span_id, 5u);
+  EXPECT_EQ(stripped->spans[0].rec.name_id, kSpanServerFold);
+  EXPECT_EQ(stripped->spans[0].rec.duration_ns, 50u);
+  EXPECT_EQ(payload.size(), bare_size);
+
+  // A hostile span count is bounded before any allocation.
+  BufferWriter hostile;
+  hostile.WriteU64(0);
+  hostile.WriteU64(0);
+  hostile.WriteU64(kMaxWireSpans + 1);
+  BufferReader hostile_reader(hostile.buffer());
+  EXPECT_FALSE(DecodeSpanBlock(&hostile_reader).ok());
 }
 
 TEST(WireTest, FingerprintMismatchRejectedAsCorruption) {
@@ -626,6 +704,258 @@ TEST(ShardServerTest, RefreshFollowsCurrentPointerWithoutMovingPins) {
   ASSERT_TRUE(moved.ok()) << moved.status().ToString();
   EXPECT_TRUE(*moved);
   EXPECT_EQ((*remote)->generation(), 2u);
+}
+
+// ------------------------------------------------- distributed tracing
+
+/// Runs traced MarginalGain queries against `remote` until one actually
+/// crosses the wire (inactive users short-circuit locally) and returns
+/// that trace.
+TraceRecord TraceOneRemoteGain(RemoteShardRouter& remote,
+                               TraceCollector& collector) {
+  for (NodeId x = 0; x < remote.num_users(); ++x) {
+    INFLUMAX_CHECK(collector.StartTrace(kSpanQueryGain, x));
+    auto gain = remote.MarginalGain(x);
+    collector.EndTrace();
+    INFLUMAX_CHECK(gain.ok());
+    const std::vector<TraceRecord> traces = collector.Traces();
+    INFLUMAX_CHECK(!traces.empty());
+    if (!traces.back().spans.empty()) return traces.back();
+  }
+  INFLUMAX_CHECK(false);  // dataset always has active users
+  return {};
+}
+
+TEST(TracingTest, RemoteGainTraceStitchesClientAndServerSpans) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_trace_stitch");
+  WriteGenerationDir(model, dir, 2);
+  ServerFleet fleet = StartFleet(dir, 2);
+
+  RemoteRouterOptions options;
+  options.replica_sets = fleet.replica_sets;
+  auto remote = RemoteShardRouter::Connect(options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  TraceCollector collector;
+  (*remote)->set_trace_collector(&collector);
+  const TraceRecord trace = TraceOneRemoteGain(**remote, collector);
+
+  EXPECT_EQ(trace.root_name_id, kSpanQueryGain);
+  EXPECT_EQ(trace.failovers, 0u);
+  ASSERT_GT(trace.spans.size(), 0u);
+
+  // Index by span id for parent walks.
+  std::map<std::uint64_t, const TraceSpan*> by_id;
+  for (const TraceSpan& s : trace.spans) by_id[s.span_id] = &s;
+
+  // One client net.rpc span per slot, parented under the query root.
+  std::size_t rpc_spans = 0, server_requests = 0, server_folds = 0;
+  std::uint32_t remote_flagged = 0;
+  std::set<std::uint32_t> origins;
+  for (const TraceSpan& s : trace.spans) {
+    if ((s.rec.flags & kSpanFlagRemote) != 0) {
+      ++remote_flagged;
+      origins.insert(s.rec.origin);
+      EXPECT_NE(s.rec.origin, 0u);  // origin stamped by the stitcher
+
+      // Every remote span lies inside its enclosing client RPC's
+      // envelope on the client's clock (the re-anchoring claim; 1us
+      // slack absorbs midpoint integer truncation).
+      const TraceSpan* rpc = &s;
+      for (int depth = 0; depth < 8 && rpc != nullptr &&
+                          rpc->rec.name_id != kSpanNetRpc;
+           ++depth) {
+        auto it = by_id.find(rpc->parent_span_id);
+        rpc = it == by_id.end() ? nullptr : it->second;
+      }
+      ASSERT_NE(rpc, nullptr) << "remote span with no net.rpc ancestor";
+      constexpr std::uint64_t kSlackNs = 1000;
+      EXPECT_GE(s.rec.start_ns + kSlackNs, rpc->rec.start_ns);
+      EXPECT_LE(s.rec.start_ns + s.rec.duration_ns,
+                rpc->rec.start_ns + rpc->rec.duration_ns + kSlackNs);
+    } else {
+      EXPECT_EQ(s.rec.origin, 0u);  // local spans stay origin 0
+    }
+    if (s.rec.name_id == kSpanNetRpc) {
+      ++rpc_spans;
+      EXPECT_EQ(s.parent_span_id, trace.root_span_id);
+      EXPECT_EQ(s.rec.flags & kSpanFlagRemote, 0);
+    }
+    if (s.rec.name_id == kSpanServerRequest) ++server_requests;
+    if (s.rec.name_id == kSpanServerFold) ++server_folds;
+  }
+  // The fold chains through both slots: a client RPC and a remote
+  // server.request + server.fold from each.
+  EXPECT_EQ(rpc_spans, 2u);
+  EXPECT_EQ(server_requests, 2u);
+  EXPECT_EQ(server_folds, 2u);
+  EXPECT_EQ(origins.size(), 2u);  // distinct (slot, replica) origins
+  EXPECT_EQ(trace.remote_spans, remote_flagged);
+  EXPECT_EQ(trace.fetches, 0u);  // small blocks piggyback by default
+
+  // The trace exports as Chrome trace-event JSON with both sides named.
+  const std::string json = collector.TraceEventJson();
+  EXPECT_NE(json.find("\"net.rpc\""), std::string::npos);
+  EXPECT_NE(json.find("\"server.fold\""), std::string::npos);
+}
+
+TEST(TracingTest, OversizedSpanBlocksArriveViaTraceFetch) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_trace_fetch");
+  WriteGenerationDir(model, dir, 1);
+
+  // Piggyback budget 0: every traced response overflows, so the client
+  // must recover the spans with an explicit kTraceFetch round-trip.
+  ShardServerOptions sopts;
+  sopts.dir = dir;
+  sopts.shard = 0;
+  sopts.trace_piggyback_spans = 0;
+  auto server = ShardServer::Start(sopts);
+  ASSERT_TRUE(server.ok());
+
+  RemoteRouterOptions options;
+  options.replica_sets = {{{"127.0.0.1", (*server)->port()}}};
+  auto remote = RemoteShardRouter::Connect(options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  TraceCollector collector;
+  (*remote)->set_trace_collector(&collector);
+  const TraceRecord trace = TraceOneRemoteGain(**remote, collector);
+
+  EXPECT_GE(trace.fetches, 1u);
+  std::size_t fetched = 0, fetch_rpcs = 0;
+  for (const TraceSpan& s : trace.spans) {
+    if ((s.rec.flags & kSpanFlagFetched) != 0) {
+      ++fetched;
+      EXPECT_NE(s.rec.flags & kSpanFlagRemote, 0);
+    }
+    if (s.rec.name_id == kSpanNetTraceFetch) ++fetch_rpcs;
+  }
+  EXPECT_GE(fetched, 2u);  // server.request + children came via fetch
+  EXPECT_EQ(fetch_rpcs, trace.fetches);
+
+  // The fetched spans are real server spans, not placeholders.
+  bool has_server_request = false;
+  for (const TraceSpan& s : trace.spans) {
+    if (s.rec.name_id == kSpanServerRequest &&
+        (s.rec.flags & kSpanFlagFetched) != 0) {
+      has_server_request = true;
+    }
+  }
+  EXPECT_TRUE(has_server_request);
+}
+
+TEST(RemoteRouterTest, ProbeReportsMetricsPortFromPong) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_probe_mport");
+  WriteGenerationDir(model, dir, 1);
+
+  // Replica A exposes a metrics listener; replica B does not.
+  ShardServerOptions with_metrics;
+  with_metrics.dir = dir;
+  with_metrics.shard = 0;
+  with_metrics.metrics_port = 0;
+  auto a = ShardServer::Start(with_metrics);
+  ASSERT_TRUE(a.ok());
+  ASSERT_GT((*a)->metrics_port(), 0);
+  ShardServerOptions without_metrics;
+  without_metrics.dir = dir;
+  without_metrics.shard = 0;
+  auto b = ShardServer::Start(without_metrics);
+  ASSERT_TRUE(b.ok());
+
+  RemoteRouterOptions options;
+  options.replica_sets = {
+      {{"127.0.0.1", (*a)->port()}, {"127.0.0.1", (*b)->port()}}};
+  auto remote = RemoteShardRouter::Connect(options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  const auto health = (*remote)->ProbeReplicas();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_TRUE(health[0].healthy);
+  EXPECT_EQ(health[0].metrics_port, (*a)->metrics_port());
+  EXPECT_TRUE(health[1].healthy);
+  EXPECT_EQ(health[1].metrics_port, -1);
+}
+
+// --------------------------------------------------- fleet federation
+
+TEST(FedMetricsTest, MergeInjectsInstanceLabelsAndDedupsComments) {
+  const std::string merged = MergePrometheusBodies(
+      {{"s0:1",
+        "# TYPE influmax_x_total counter\n"
+        "influmax_x_total 5\n"
+        "influmax_h{le=\"10\"} 2\n"},
+       {"s1:2",
+        "# TYPE influmax_x_total counter\n"
+        "influmax_x_total 7\n"}});
+  EXPECT_NE(merged.find("influmax_x_total{instance=\"s0:1\"} 5"),
+            std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find("influmax_h{instance=\"s0:1\",le=\"10\"} 2"),
+            std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find("influmax_x_total{instance=\"s1:2\"} 7"),
+            std::string::npos)
+      << merged;
+  // The TYPE comment appears exactly once.
+  const std::string type_line = "# TYPE influmax_x_total counter";
+  const std::size_t first = merged.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(merged.find(type_line, first + 1), std::string::npos);
+}
+
+TEST(FedMetricsTest, FleetEndpointFederatesReplicaMetrics) {
+  auto data = MakeDataset(0.05);
+  EqualDirectCredit credit;
+  const auto model = BuildModel(data.graph, data.log, credit, 0.001);
+  const std::string dir = MakeTempDir("net_fleet_metrics");
+  WriteGenerationDir(model, dir, 2);
+
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  std::vector<FleetTarget> targets;
+  for (int shard = 0; shard < 2; ++shard) {
+    ShardServerOptions options;
+    options.dir = dir;
+    options.shard = shard;
+    options.metrics_port = 0;
+    auto server = ShardServer::Start(options);
+    ASSERT_TRUE(server.ok());
+    ASSERT_GT((*server)->metrics_port(), 0);
+    targets.push_back({"127.0.0.1", (*server)->metrics_port(),
+                       "shard" + std::to_string(shard)});
+    servers.push_back(std::move(*server));
+  }
+  // A dead target must degrade to a comment, not fail the page.
+  targets.push_back({"127.0.0.1", 1, "dead"});
+
+  auto fleet = FleetMetricsServer::Start(0, targets);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  ASSERT_GT((*fleet)->port(), 0);
+  EXPECT_EQ((*fleet)->num_targets(), 3u);
+
+  auto merged = HttpGetBody("127.0.0.1", (*fleet)->port(), "/metrics",
+                            Deadline::AfterMs(5000));
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_NE(merged->find("instance=\"shard0\""), std::string::npos);
+  EXPECT_NE(merged->find("instance=\"shard1\""), std::string::npos);
+  EXPECT_NE(merged->find("# fleet scrape failed instance=\"dead\""),
+            std::string::npos);
+
+  auto health = HttpGetBody("127.0.0.1", (*fleet)->port(), "/healthz",
+                            Deadline::AfterMs(5000));
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(*health, "ok targets=3\n");
+
+  auto missing = HttpGetBody("127.0.0.1", (*fleet)->port(), "/nope",
+                             Deadline::AfterMs(5000));
+  EXPECT_FALSE(missing.ok());
 }
 
 }  // namespace

@@ -6,11 +6,14 @@
 // definitions of the obs inline classes (ODR).
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/prom_text.h"
 #include "obs/span.h"
+#include "obs/span_names.h"
+#include "obs/trace.h"
 
 namespace influmax {
 namespace {
@@ -46,15 +49,47 @@ TEST(ObsOffTest, ScrapeIsEmpty) {
 
 TEST(ObsOffTest, SpanRingAndObsSpanNoOp) {
   SpanRing ring(4);
-  ring.Push({"s", 1, 2, 3});
+  ring.Push({kSpanRouterGain, 0, 0, 1, 2, 3});
   {
-    ObsSpan span(&ring, "scope", 7,
+    ObsSpan span(&ring, kSpanQueryTopk, 7,
                  MetricsRegistry::Global().FindOrCreateTimer("off.t"));
     span.set_detail(9);
   }
   EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_TRUE(ring.Drain().empty());
   EXPECT_EQ(ring.total_pushed(), 0u);
   EXPECT_EQ(ring.capacity(), 0u);
+}
+
+TEST(ObsOffTest, SpanNameCatalogIsUnconditional) {
+  // The catalog is plain data: OFF-built tools still resolve ids in
+  // traces produced by ON-built peers.
+  EXPECT_STREQ(SpanNameString(kSpanNetRpc), "net.rpc");
+  EXPECT_STREQ(SpanNameString(kSpanServerRequest), "server.request");
+  EXPECT_STREQ(SpanNameString(4242), "span.unknown");
+}
+
+TEST(ObsOffTest, TraceCollectorNoOp) {
+  TraceCollectorOptions opts;
+  opts.slow_query_ns = 5;
+  TraceCollector collector(opts);
+  EXPECT_EQ(collector.options().slow_query_ns, 5u);
+
+  // The entire tracing surface compiles and no-ops.
+  EXPECT_FALSE(collector.StartTrace(kSpanQueryTopk, 3));
+  EXPECT_FALSE(collector.active());
+  EXPECT_EQ(collector.trace_id(), 0u);
+  EXPECT_EQ(collector.root_span_id(), 0u);
+  EXPECT_EQ(collector.NextSpanId(), 0u);
+  collector.AddSpan(1, 0, SpanRecord{});
+  collector.NoteFailover();
+  collector.NoteFetch();
+  collector.EndTrace();
+  EXPECT_TRUE(collector.Traces().empty());
+  EXPECT_TRUE(collector.SlowTraces().empty());
+  EXPECT_FALSE(collector.FindTrace(1).has_value());
+  EXPECT_EQ(collector.TraceEventJson(), "{\"traceEvents\":[]}\n");
+  EXPECT_TRUE(collector.WriteTraceJson("/dev/null").ok());
 }
 
 TEST(ObsOffTest, ExpositionsAreEmpty) {

@@ -21,6 +21,8 @@
 #include "obs/metrics.h"
 #include "obs/prom_text.h"
 #include "obs/span.h"
+#include "obs/span_names.h"
+#include "obs/trace.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot_view.h"
 #include "shard/generation_manager.h"
@@ -204,7 +206,7 @@ TEST(MetricsRegistryTest, ShardsAreReusedAcrossSequentialThreads) {
 TEST(SpanRingTest, WrapsAroundKeepingNewestOldestFirst) {
   SpanRing ring(4);
   for (std::uint64_t i = 1; i <= 6; ++i) {
-    ring.Push({"s", i * 10, i, i});
+    ring.Push({kSpanRouterGain, 0, 0, i * 10, i, i});
   }
   EXPECT_EQ(ring.total_pushed(), 6u);
   EXPECT_EQ(ring.capacity(), 4u);
@@ -221,7 +223,7 @@ TEST(SpanRingTest, ConcurrentPushesAreSafeAndCounted) {
   for (int t = 0; t < 4; ++t) {
     workers.emplace_back([&ring, t] {
       for (std::uint64_t i = 0; i < 100; ++i) {
-        ring.Push({"w", i, 1, static_cast<std::uint64_t>(t)});
+        ring.Push({kSpanRouterGain, 0, 0, i, 1, static_cast<std::uint64_t>(t)});
       }
     });
   }
@@ -230,23 +232,179 @@ TEST(SpanRingTest, ConcurrentPushesAreSafeAndCounted) {
   EXPECT_EQ(ring.Snapshot().size(), 16u);
 }
 
+TEST(SpanRingTest, DrainEmptiesRingButKeepsLifetimeCount) {
+  SpanRing ring(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    ring.Push({kSpanRouterCommit, 0, 0, i * 10, i, i});
+  }
+  const std::vector<SpanRecord> drained = ring.Drain();
+  ASSERT_EQ(drained.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(drained[i].detail, i + 3) << "slot " << i;  // oldest first
+  }
+  // The ring is empty, the cursor restarts, but total_pushed is a
+  // lifetime count.
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_TRUE(ring.Drain().empty());
+  EXPECT_EQ(ring.total_pushed(), 6u);
+  ring.Push({kSpanRouterCommit, 0, 0, 70, 7, 7});
+  const std::vector<SpanRecord> after = ring.Snapshot();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].detail, 7u);
+  EXPECT_EQ(ring.total_pushed(), 7u);
+}
+
 TEST(ObsSpanTest, PushesRecordAndFeedsTimer) {
   MetricsRegistry reg;
   Timer* t = reg.FindOrCreateTimer("span.t");
   SpanRing ring(8);
   {
-    ObsSpan span(&ring, "scope", 7, t);
+    ObsSpan span(&ring, kSpanQueryTopk, 7, t);
     span.set_detail(9);
   }
   const std::vector<SpanRecord> spans = ring.Snapshot();
   ASSERT_EQ(spans.size(), 1u);
-  EXPECT_STREQ(spans[0].name, "scope");
+  EXPECT_EQ(spans[0].name_id, kSpanQueryTopk);
+  EXPECT_STREQ(SpanNameString(spans[0].name_id), "query.topk");
   EXPECT_EQ(spans[0].detail, 9u);
   const MetricsSnapshot snap = reg.Scrape();
   EXPECT_EQ(snap.FindTimer("span.t")->hist.count(), 1u);
   // Null sinks are legal: the span is a no-op.
-  { ObsSpan null_span(nullptr, "nothing"); }
+  { ObsSpan null_span(nullptr, kSpanUnknown); }
   EXPECT_EQ(ring.total_pushed(), 1u);
+}
+
+TEST(SpanNamesTest, CatalogResolvesAndUnknownDegrades) {
+  EXPECT_STREQ(SpanNameString(kSpanNetRpc), "net.rpc");
+  EXPECT_STREQ(SpanNameString(kSpanServerFold), "server.fold");
+  EXPECT_STREQ(SpanNameString(kSpanUnknown), "span.unknown");
+  // A newer peer's id this build doesn't know degrades to a label.
+  EXPECT_STREQ(SpanNameString(4242), "span.unknown");
+}
+
+// --------------------------------------------------- trace collector
+
+TEST(TraceCollectorTest, AssemblesTraceWithSpansAndAttribution) {
+  TraceCollectorOptions opts;
+  opts.ring_capacity = 4;
+  TraceCollector collector(opts);
+  EXPECT_FALSE(collector.active());
+  EXPECT_EQ(collector.trace_id(), 0u);
+
+  ASSERT_TRUE(collector.StartTrace(kSpanQueryTopk, 10));
+  EXPECT_TRUE(collector.active());
+  EXPECT_NE(collector.trace_id(), 0u);
+  const std::uint64_t root = collector.root_span_id();
+  ASSERT_NE(root, 0u);
+
+  const std::uint64_t rpc_id = collector.NextSpanId();
+  SpanRecord rpc{};
+  rpc.name_id = kSpanNetRpc;
+  rpc.start_ns = MonotonicNowNs();
+  rpc.duration_ns = 5000;
+  collector.AddSpan(rpc_id, root, rpc);
+  SpanRecord srv{};
+  srv.name_id = kSpanServerFold;
+  srv.flags = kSpanFlagRemote;
+  srv.origin = (1u << 8) | 0u;  // slot 0, replica 0
+  collector.AddSpan(collector.NextSpanId(), rpc_id, srv);
+  collector.NoteFailover();
+  collector.NoteFetch();
+  collector.EndTrace();
+  EXPECT_FALSE(collector.active());
+
+  const std::vector<TraceRecord> traces = collector.Traces();
+  ASSERT_EQ(traces.size(), 1u);
+  const TraceRecord& t = traces[0];
+  EXPECT_EQ(t.root_name_id, kSpanQueryTopk);
+  EXPECT_EQ(t.detail, 10u);
+  ASSERT_EQ(t.spans.size(), 2u);
+  EXPECT_EQ(t.spans[0].parent_span_id, root);
+  EXPECT_EQ(t.spans[1].parent_span_id, rpc_id);
+  EXPECT_EQ(t.remote_spans, 1u);
+  EXPECT_EQ(t.failovers, 1u);
+  EXPECT_EQ(t.fetches, 1u);
+
+  auto found = collector.FindTrace(t.trace_id);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->root_span_id, t.root_span_id);
+  EXPECT_FALSE(collector.FindTrace(t.trace_id ^ 0x5555).has_value());
+
+  // Chrome trace-event export: both sides named, remote span under the
+  // shard-slot pid, client spans under pid 0.
+  const std::string json = collector.TraceEventJson();
+  EXPECT_NE(json.find("\"name\":\"query.topk\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"net.rpc\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"server.fold\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard slot 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"client\""), std::string::npos);
+}
+
+TEST(TraceCollectorTest, SamplingSkipsUnsampledQueries) {
+  TraceCollectorOptions opts;
+  opts.sample_every = 4;
+  TraceCollector collector(opts);
+  int sampled = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (collector.StartTrace(kSpanQueryGain, i)) {
+      ++sampled;
+      EXPECT_TRUE(collector.active());
+      collector.EndTrace();
+    } else {
+      EXPECT_FALSE(collector.active());
+      // Everything is a no-op until the next sampled StartTrace.
+      collector.AddSpan(1, 0, SpanRecord{});
+      collector.EndTrace();
+    }
+  }
+  EXPECT_EQ(sampled, 4);
+  EXPECT_EQ(collector.Traces().size(), 4u);
+}
+
+TEST(TraceCollectorTest, SlowRingKeepsSlowestAndRecentRingRotates) {
+  TraceCollectorOptions opts;
+  opts.ring_capacity = 2;
+  opts.slow_capacity = 2;
+  opts.slow_query_ns = 0;  // always-on slow log: every trace competes
+  TraceCollector collector(opts);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(collector.StartTrace(kSpanQueryGain, i));
+    // Vary the duration via a busy-wait so slow ordering is observable.
+    const std::uint64_t start = MonotonicNowNs();
+    while (MonotonicNowNs() - start < static_cast<std::uint64_t>(
+                                          (i % 3) * 200'000)) {
+    }
+    collector.EndTrace();
+  }
+  // Recent ring holds only the newest two (details 3, 4).
+  const std::vector<TraceRecord> recent = collector.Traces();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].detail, 3u);
+  EXPECT_EQ(recent[1].detail, 4u);
+  // Slow ring holds the two slowest, slowest first.
+  const std::vector<TraceRecord> slow = collector.SlowTraces();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_GE(slow[0].duration_ns, slow[1].duration_ns);
+
+  // A trace evicted from the recent ring but retained in the slow ring
+  // is still findable (the slow-query log outlives rotation).
+  EXPECT_TRUE(collector.FindTrace(slow[0].trace_id).has_value());
+}
+
+TEST(TraceCollectorTest, SpanCapDropsButCounts) {
+  TraceCollectorOptions opts;
+  opts.max_spans_per_trace = 2;
+  TraceCollector collector(opts);
+  ASSERT_TRUE(collector.StartTrace(kSpanQueryGain, 0));
+  const std::uint64_t root = collector.root_span_id();
+  for (int i = 0; i < 5; ++i) {
+    collector.AddSpan(collector.NextSpanId(), root, SpanRecord{});
+  }
+  collector.EndTrace();
+  const std::vector<TraceRecord> traces = collector.Traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].spans.size(), 2u);
 }
 
 // ------------------------------------------------------- expositions

@@ -7,7 +7,10 @@ serve_credit --bench --json emit (src/common/bench_json.h):
     { "BM_Name/arg": {"ns_per_op": 123.4, "bytes": 0, "threads": 4, ...} }
 
 Extra keys (p50_ns/p95_ns/p99_ns, future additions) are ignored, so
-records with and without percentiles mix freely.
+records with and without percentiles mix freely. Records named
+"trace.*" are skipped entirely: they are tracing counters riding along
+in BENCH_net.json (docs/tracing.md) — occurrence counts, not timings —
+and must not enter the regression diff.
 
 Usage:
     tools/bench_compare.py --baseline bench/BENCH_baseline.json \
@@ -43,6 +46,8 @@ def load(path):
         sys.exit(2)
     out = {}
     for name, record in data.items():
+        if name.startswith("trace."):
+            continue  # tracing counters, not benchmark timings
         if not isinstance(record, dict) or "ns_per_op" not in record:
             print(f"bench_compare: {path}: '{name}' has no ns_per_op",
                   file=sys.stderr)

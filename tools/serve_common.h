@@ -170,7 +170,8 @@ inline void PrintSpans(const SpanRing& ring) {
   std::printf("last %zu spans (of %llu pushed, oldest first):\n", spans.size(),
               static_cast<unsigned long long>(ring.total_pushed()));
   for (const SpanRecord& s : spans) {
-    std::printf("  %-20s start_ns=%llu dur_ns=%llu detail=%llu\n", s.name,
+    std::printf("  %-20s start_ns=%llu dur_ns=%llu detail=%llu\n",
+                SpanNameString(s.name_id),
                 static_cast<unsigned long long>(s.start_ns),
                 static_cast<unsigned long long>(s.duration_ns),
                 static_cast<unsigned long long>(s.detail));

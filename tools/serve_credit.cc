@@ -177,7 +177,7 @@ int RunServe(const std::string& snapshot_path, std::size_t gain_threads,
       }
       SnapshotSeedSelection selection;
       {
-        ObsSpan span(&ring, "query.topk", k, qm.topk);
+        ObsSpan span(&ring, kSpanQueryTopk, k, qm.topk);
         selection = engine.TopKSeeds(k, budget);
       }
       (engine.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
@@ -196,7 +196,7 @@ int RunServe(const std::string& snapshot_path, std::size_t gain_threads,
       if (command == "gain") {
         double gain = 0.0;
         {
-          ObsSpan span(&ring, "query.gain", x, qm.gain);
+          ObsSpan span(&ring, kSpanQueryGain, x, qm.gain);
           gain = engine.MarginalGain(x);
         }
         (engine.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
@@ -205,7 +205,7 @@ int RunServe(const std::string& snapshot_path, std::size_t gain_threads,
         std::printf("%.6f\n", gain);
       } else {
         {
-          ObsSpan span(&ring, "query.commit", x, qm.commit);
+          ObsSpan span(&ring, kSpanQueryCommit, x, qm.commit);
           engine.CommitSeed(x);
         }
         std::printf("# %zu session seeds\n", engine.session_seeds().size());
@@ -216,7 +216,7 @@ int RunServe(const std::string& snapshot_path, std::size_t gain_threads,
       while (in >> x) seeds.push_back(x);
       double spread = 0.0;
       {
-        ObsSpan span(&ring, "query.spread", seeds.size(), qm.spread);
+        ObsSpan span(&ring, kSpanQuerySpread, seeds.size(), qm.spread);
         spread = engine.SpreadOf(seeds);
       }
       (engine.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
@@ -225,7 +225,7 @@ int RunServe(const std::string& snapshot_path, std::size_t gain_threads,
       std::printf("%.6f\n", spread);
     } else if (command == "reset") {
       {
-        ObsSpan span(&ring, "query.reset", 0, qm.reset);
+        ObsSpan span(&ring, kSpanQueryReset, 0, qm.reset);
         engine.ResetSession();
       }
       std::printf("# session reset\n");

@@ -47,6 +47,13 @@
 // running shard_server processes — one slot per action-range shard in
 // range order, '|'-separated replicas per slot:
 //   serve_shards --connect="host:p0|host:p0b,host:p1" [--rpc_deadline_ms=N]
+// Every --connect query runs under the distributed trace collector
+// (docs/tracing.md): `trace` lists the recent + slow rings, `trace ID`
+// prints one stitched timeline, `trace json [PATH]` / --trace_json=PATH
+// export Perfetto-loadable Chrome trace JSON, --slow_query_ms tunes the
+// slow ring's threshold. --fleet_port=N additionally serves one
+// fleet-merged Prometheus /metrics federating every replica's endpoint
+// (docs/observability.md).
 // and a loopback net bench that spins up one in-process ShardServer per
 // shard, routes through RemoteShardRouter, checks the answers are
 // bit-identical to the in-process ShardRouter, and records remote vs
@@ -54,10 +61,12 @@
 //   serve_shards --bench_net --dir=D [--k=50 --json=out.json]
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -75,8 +84,10 @@
 #include "core/cd_model.h"
 #include "core/direct_credit.h"
 #include "graph/graph_io.h"
+#include "net/fed_metrics.h"
 #include "net/remote_router.h"
 #include "net/shard_server.h"
+#include "obs/trace.h"
 #include "probability/time_params.h"
 #include "serve/gain_kernel.h"
 #include "serve_common.h"
@@ -307,7 +318,7 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
       }
       SnapshotSeedSelection selection;
       {
-        ObsSpan span(&ring, "query.topk", k, qm.topk);
+        ObsSpan span(&ring, kSpanQueryTopk, k, qm.topk);
         selection = router.TopKSeeds(k, budget);
       }
       (router.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
@@ -326,14 +337,14 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
       }
       if (command == "commit") {
         {
-          ObsSpan span(&ring, "query.commit", x, qm.commit);
+          ObsSpan span(&ring, kSpanQueryCommit, x, qm.commit);
           router.CommitSeed(x);
         }
         std::printf("# %zu session seeds\n", router.session_seeds().size());
       } else {
         double gain = 0.0;
         {
-          ObsSpan span(&ring, "query.gain", x, qm.gain);
+          ObsSpan span(&ring, kSpanQueryGain, x, qm.gain);
           gain = command == "gain" ? router.MarginalGain(x)
                                    : router.MarginalGainParallel(x);
         }
@@ -348,7 +359,7 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
       while (in >> x) seeds.push_back(x);
       double spread = 0.0;
       {
-        ObsSpan span(&ring, "query.spread", seeds.size(), qm.spread);
+        ObsSpan span(&ring, kSpanQuerySpread, seeds.size(), qm.spread);
         spread = router.SpreadOf(seeds);
       }
       (router.kernel_mode() == GainKernelMode::kFastMath ? qm.kernel_fast
@@ -357,7 +368,7 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
       std::printf("%.6f\n", spread);
     } else if (command == "reset") {
       {
-        ObsSpan span(&ring, "query.reset", 0, qm.reset);
+        ObsSpan span(&ring, kSpanQueryReset, 0, qm.reset);
         router.ResetSession();
       }
       std::printf("# session reset\n");
@@ -439,7 +450,9 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
           "replayed_tuples=%llu watch_ticks=%llu watch_errors=%llu "
           "ingest_failures=%llu recovery_events=%llu quarantined=%llu "
           "pool_jobs=%llu net_rpc=%llu net_rpc_errors=%llu "
-          "net_failovers=%llu net_reconnects=%llu\n",
+          "net_failovers=%llu net_reconnects=%llu "
+          "net_server_requests=%llu net_server_errors=%llu "
+          "net_server_rejected=%llu net_server_deadline_exceeded=%llu\n",
           static_cast<unsigned long long>(session.generation()),
           static_cast<unsigned long long>(manager.current_generation()),
           m.num_shards(), m.num_users, m.num_actions,
@@ -463,7 +476,12 @@ int RunServe(GenerationManager& manager, WorkerPool* pool,
           static_cast<unsigned long long>(counter_of("net.rpc.count")),
           static_cast<unsigned long long>(counter_of("net.rpc.errors")),
           static_cast<unsigned long long>(counter_of("net.failovers")),
-          static_cast<unsigned long long>(counter_of("net.reconnects")));
+          static_cast<unsigned long long>(counter_of("net.reconnects")),
+          static_cast<unsigned long long>(counter_of("net.server.requests")),
+          static_cast<unsigned long long>(counter_of("net.server.errors")),
+          static_cast<unsigned long long>(counter_of("net.server.rejected")),
+          static_cast<unsigned long long>(
+              counter_of("net.server.deadline_exceeded")));
     }
     std::fflush(stdout);
   }
@@ -658,16 +676,95 @@ int RunBench(GenerationManager& manager, std::size_t threads, int k,
   return rc;
 }
 
+/// One line per retained trace: id, root name, duration, span counts,
+/// failover/fetch attribution (the `trace` REPL command).
+void PrintTraceLine(const TraceRecord& t) {
+  std::printf("  %016llx %-14s %10.3f ms  spans=%zu remote=%u failovers=%u "
+              "fetches=%u detail=%llu\n",
+              static_cast<unsigned long long>(t.trace_id),
+              SpanNameString(t.root_name_id),
+              static_cast<double>(t.duration_ns) / 1e6, t.spans.size(),
+              t.remote_spans, t.failovers, t.fetches,
+              static_cast<unsigned long long>(t.detail));
+}
+
+/// `trace` REPL command (--connect, docs/tracing.md): no operand lists
+/// the recent and slow rings; `trace json [PATH]` exports Chrome
+/// trace-event JSON (stdout when PATH is omitted); any other operand is
+/// a hex trace id, printed span by span on the stitched timeline.
+void HandleTraceCommand(std::istringstream& in,
+                        const TraceCollector& collector) {
+  std::string arg;
+  in >> arg;
+  if (arg.empty()) {
+    const std::vector<TraceRecord> recent = collector.Traces();
+    const std::vector<TraceRecord> slow = collector.SlowTraces();
+    if (recent.empty() && slow.empty()) {
+      std::printf("no traces recorded%s\n",
+                  kObsEnabled ? "" : " (built with INFLUMAX_OBS_OFF)");
+      return;
+    }
+    std::printf("recent traces (oldest first):\n");
+    for (const TraceRecord& t : recent) PrintTraceLine(t);
+    std::printf("slow traces (slowest first; the slow-query log):\n");
+    for (const TraceRecord& t : slow) PrintTraceLine(t);
+    return;
+  }
+  if (arg == "json") {
+    std::string path;
+    in >> path;
+    if (path.empty()) {
+      const std::string json = collector.TraceEventJson();
+      std::fwrite(json.data(), 1, json.size(), stdout);
+    } else if (Status st = collector.WriteTraceJson(path); !st.ok()) {
+      std::printf("! %s\n", st.ToString().c_str());
+    } else {
+      std::printf("# wrote %s\n", path.c_str());
+    }
+    return;
+  }
+  const std::uint64_t id = std::strtoull(arg.c_str(), nullptr, 16);
+  const std::optional<TraceRecord> trace = collector.FindTrace(id);
+  if (!trace.has_value()) {
+    std::printf("! no retained trace %s (ids are hex; bare `trace` lists "
+                "them)\n",
+                arg.c_str());
+    return;
+  }
+  PrintTraceLine(*trace);
+  for (const TraceSpan& s : trace->spans) {
+    // start offset is signed: clock re-anchoring can land a remote span
+    // a hair before the root's first local timestamp.
+    const double start_ms =
+        static_cast<double>(
+            static_cast<std::int64_t>(s.rec.start_ns - trace->start_ns)) /
+        1e6;
+    std::printf("    %-18s origin=%u/%u start%+.3f ms dur %.3f ms "
+                "detail=%llu%s%s%s\n",
+                SpanNameString(s.rec.name_id), s.rec.origin >> 8,
+                s.rec.origin & 0xffu, start_ms,
+                static_cast<double>(s.rec.duration_ns) / 1e6,
+                static_cast<unsigned long long>(s.rec.detail),
+                (s.rec.flags & kSpanFlagRemote) != 0 ? " remote" : "",
+                (s.rec.flags & kSpanFlagFailover) != 0 ? " FAILOVER" : "",
+                (s.rec.flags & kSpanFlagFetched) != 0 ? " fetched" : "");
+  }
+}
+
 /// --connect: the serving REPL over RemoteShardRouter — same query
-/// vocabulary as RunServe, answered by shard_server processes. `probe`
-/// pings every replica of every slot; `stats` adds the client-side
-/// net.rpc.* counters.
+/// vocabulary as RunServe, answered by shard_server processes. Every
+/// query runs under the trace collector (docs/tracing.md); `trace`
+/// inspects the stitched results. `probe` pings every replica of every
+/// slot; `stats` adds the client-side net.rpc.* counters. With
+/// --fleet_port the process also serves one fleet-merged Prometheus
+/// endpoint federating every replica's /metrics.
 int RunConnect(const std::string& spec, GainKernelMode kernel_mode,
-               int rpc_deadline_ms, const MetricsDump& dump) {
+               int rpc_deadline_ms, int slow_query_ms, int fleet_port,
+               const std::string& trace_json, const MetricsDump& dump) {
   auto endpoints = ParseEndpointSpec(spec);
   if (!endpoints.ok()) return Fail(endpoints.status());
   RemoteRouterOptions options;
-  options.replica_sets = std::move(*endpoints);
+  options.replica_sets = *endpoints;  // fleet discovery reuses the hosts
   options.kernel_mode = kernel_mode;
   options.rpc_deadline_ms = static_cast<std::uint64_t>(rpc_deadline_ms);
   auto router_or = RemoteShardRouter::Connect(options);
@@ -679,7 +776,35 @@ int RunConnect(const std::string& spec, GainKernelMode kernel_mode,
                static_cast<unsigned long long>(router.generation()),
                router.num_users(), router.num_actions(), router.num_slots(),
                GainKernelModeName(kernel_mode));
-  SpanRing ring(256);  // --connect records no spans; metrics-dump plumbing
+
+  TraceCollectorOptions trace_options;
+  trace_options.slow_query_ns =
+      static_cast<std::uint64_t>(slow_query_ms) * 1000000ull;
+  TraceCollector collector(trace_options);
+  router.set_trace_collector(&collector);
+
+  // Fleet metrics federation (docs/observability.md): every healthy
+  // replica that advertised a metrics port in its pong becomes a scrape
+  // target of one merged endpoint, instance-labeled host:rpc_port.
+  std::unique_ptr<FleetMetricsServer> fleet;
+  if (fleet_port >= 0) {
+    std::vector<FleetTarget> targets;
+    for (const ReplicaHealth& h : router.ProbeReplicas()) {
+      if (!h.healthy || h.metrics_port < 0) continue;
+      const RemoteEndpoint& ep = (*endpoints)[h.slot][h.replica];
+      targets.push_back(FleetTarget{ep.host, h.metrics_port,
+                                    ep.host + ":" +
+                                        std::to_string(ep.port)});
+    }
+    auto fleet_or = FleetMetricsServer::Start(fleet_port, std::move(targets));
+    if (!fleet_or.ok()) return Fail(fleet_or.status());
+    fleet = std::move(*fleet_or);
+    std::fprintf(stderr,
+                 "fleet /metrics on 127.0.0.1:%d federating %zu replica "
+                 "endpoint(s)\n",
+                 fleet->port(), fleet->num_targets());
+  }
+  SpanRing ring(256);  // metrics-dump plumbing; traces carry the spans
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
@@ -697,7 +822,9 @@ int RunConnect(const std::string& spec, GainKernelMode kernel_mode,
         std::fflush(stdout);
         continue;
       }
+      collector.StartTrace(kSpanQueryTopk, k);
       auto selection = router.TopKSeeds(k, budget);
+      collector.EndTrace();
       if (!selection.ok()) {
         std::printf("! %s\n", selection.status().ToString().c_str());
       } else {
@@ -711,13 +838,18 @@ int RunConnect(const std::string& spec, GainKernelMode kernel_mode,
         continue;
       }
       if (command == "commit") {
-        if (Status status = router.CommitSeed(x); !status.ok()) {
+        collector.StartTrace(kSpanQueryCommit, x);
+        const Status status = router.CommitSeed(x);
+        collector.EndTrace();
+        if (!status.ok()) {
           std::printf("! %s\n", status.ToString().c_str());
         } else {
           std::printf("# %zu session seeds\n", router.session_seeds().size());
         }
       } else {
+        collector.StartTrace(kSpanQueryGain, x);
         auto gain = router.MarginalGain(x);
+        collector.EndTrace();
         if (!gain.ok()) {
           std::printf("! %s\n", gain.status().ToString().c_str());
         } else {
@@ -728,14 +860,18 @@ int RunConnect(const std::string& spec, GainKernelMode kernel_mode,
       std::vector<NodeId> seeds;
       NodeId x;
       while (in >> x) seeds.push_back(x);
+      collector.StartTrace(kSpanQuerySpread, seeds.size());
       auto spread = router.SpreadOf(seeds);
+      collector.EndTrace();
       if (!spread.ok()) {
         std::printf("! %s\n", spread.status().ToString().c_str());
       } else {
         std::printf("%.6f\n", *spread);
       }
     } else if (command == "reset") {
+      collector.StartTrace(kSpanQueryReset);
       router.ResetSession();
+      collector.EndTrace();
       std::printf("# session reset\n");
     } else if (command == "refresh") {
       auto moved = router.Refresh();
@@ -748,11 +884,14 @@ int RunConnect(const std::string& spec, GainKernelMode kernel_mode,
       }
     } else if (command == "probe") {
       for (const ReplicaHealth& h : router.ProbeReplicas()) {
-        std::printf("slot %zu replica %zu\t%s\tgeneration=%llu sessions=%u\n",
+        std::printf("slot %zu replica %zu\t%s\tgeneration=%llu sessions=%u "
+                    "metrics_port=%d\n",
                     h.slot, h.replica, h.healthy ? "healthy" : "DOWN",
                     static_cast<unsigned long long>(h.generation),
-                    h.sessions_active);
+                    h.sessions_active, h.metrics_port);
       }
+    } else if (command == "trace") {
+      HandleTraceCommand(in, collector);
     } else if (command == "metrics") {
       HandleMetricsCommand(in, ring, dump);
     } else if (command == "stats") {
@@ -764,7 +903,10 @@ int RunConnect(const std::string& spec, GainKernelMode kernel_mode,
       std::printf(
           "generation=%llu slots=%zu users=%u actions=%u session_seeds=%zu "
           "net_rpc=%llu net_rpc_errors=%llu net_rpc_retries=%llu "
-          "net_failovers=%llu net_reconnects=%llu net_commit_replays=%llu\n",
+          "net_failovers=%llu net_reconnects=%llu net_commit_replays=%llu "
+          "net_server_requests=%llu net_server_errors=%llu "
+          "net_server_rejected=%llu net_server_deadline_exceeded=%llu "
+          "trace_count=%llu trace_slow=%llu trace_fetches=%llu\n",
           static_cast<unsigned long long>(router.generation()),
           router.num_slots(), router.num_users(), router.num_actions(),
           router.session_seeds().size(),
@@ -773,16 +915,31 @@ int RunConnect(const std::string& spec, GainKernelMode kernel_mode,
           static_cast<unsigned long long>(counter_of("net.rpc.retries")),
           static_cast<unsigned long long>(counter_of("net.failovers")),
           static_cast<unsigned long long>(counter_of("net.reconnects")),
-          static_cast<unsigned long long>(counter_of("net.commit_replays")));
+          static_cast<unsigned long long>(counter_of("net.commit_replays")),
+          static_cast<unsigned long long>(counter_of("net.server.requests")),
+          static_cast<unsigned long long>(counter_of("net.server.errors")),
+          static_cast<unsigned long long>(counter_of("net.server.rejected")),
+          static_cast<unsigned long long>(
+              counter_of("net.server.deadline_exceeded")),
+          static_cast<unsigned long long>(counter_of("trace.count")),
+          static_cast<unsigned long long>(counter_of("trace.slow")),
+          static_cast<unsigned long long>(counter_of("trace.fetches")));
     } else {
       std::printf("! unknown command '%s' (topk | gain | commit | spread | "
-                  "reset | refresh | probe | stats | metrics [prom] | "
-                  "quit)\n",
+                  "reset | refresh | probe | trace [ID|json [PATH]] | stats "
+                  "| metrics [prom] | quit)\n",
                   command.c_str());
     }
     std::fflush(stdout);
   }
-  return dump.DumpAll();
+  int rc = dump.DumpAll();
+  if (!trace_json.empty()) {
+    if (Status st = collector.WriteTraceJson(trace_json); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 /// --bench_net: loopback remote-vs-local comparison. Starts one
@@ -793,7 +950,8 @@ int RunConnect(const std::string& spec, GainKernelMode kernel_mode,
 /// always describe a correct configuration.
 int RunBenchNet(GenerationManager& manager, const std::string& dir, int k,
                 std::size_t samples, GainKernelMode kernel_mode,
-                int rpc_deadline_ms, const std::string& json_path,
+                int rpc_deadline_ms, int slow_query_ms,
+                const std::string& trace_json, const std::string& json_path,
                 const MetricsDump& dump) {
   std::vector<BenchJsonRecord> records;
   GenerationManager::Session local_session(manager);
@@ -829,6 +987,16 @@ int RunBenchNet(GenerationManager& manager, const std::string& dir, int k,
   RemoteShardRouter& remote = **router_or;
   std::printf("%zu loopback shard server(s), kernel %s\n", servers.size(),
               GainKernelModeName(kernel_mode));
+
+  // Every bench query traced (sample_every defaults to 1) so the run
+  // doubles as the tracing acceptance check: the validation block below
+  // demands stitched client+server spans on one normalized timeline in
+  // every retained trace.
+  TraceCollectorOptions trace_options;
+  trace_options.slow_query_ns =
+      static_cast<std::uint64_t>(slow_query_ms) * 1000000ull;
+  TraceCollector collector(trace_options);
+  remote.set_trace_collector(&collector);
 
   std::vector<NodeId> active;
   for (NodeId x = 0; x < m.num_users; ++x) {
@@ -872,7 +1040,9 @@ int RunBenchNet(GenerationManager& manager, const std::string& dir, int k,
   std::size_t gain_mismatches = 0;
   for (std::size_t i = 0; i < active.size(); ++i) {
     query_timer.Reset();
+    collector.StartTrace(kSpanQueryGain, active[i]);
     auto gain = remote.MarginalGain(active[i]);
+    collector.EndTrace();
     remote_hist.Record(query_timer.ElapsedSeconds() * 1e9);
     if (!gain.ok()) return Fail(gain.status());
     if (!same_bits(*gain, local_gain[i])) ++gain_mismatches;
@@ -908,7 +1078,9 @@ int RunBenchNet(GenerationManager& manager, const std::string& dir, int k,
   SnapshotSeedSelection remote_sel;
   for (std::size_t sample = 0; sample < samples; ++sample) {
     query_timer.Reset();
+    collector.StartTrace(kSpanQueryTopk, static_cast<std::uint64_t>(k));
     auto current = remote.TopKSeeds(static_cast<NodeId>(k));
+    collector.EndTrace();
     topk_hist.Record(query_timer.ElapsedSeconds() * 1e9);
     if (!current.ok()) return Fail(current.status());
     if (sample == 0) remote_sel = std::move(*current);
@@ -941,6 +1113,73 @@ int RunBenchNet(GenerationManager& manager, const std::string& dir, int k,
   records.push_back(WithPercentiles(
       {"net_topk_remote", topk_hist.Percentile(50.0), 0, 1}, topk_hist));
 
+  // Tracing acceptance check (docs/tracing.md): every retained trace
+  // must carry client net.rpc spans AND re-anchored server spans, every
+  // remote span must land inside its enclosing RPC's client-side
+  // envelope, and one hop's fold spans must sum to no more than that
+  // envelope. A broken clock re-anchoring or span stitch fails the
+  // bench, not just a log line.
+  {
+    constexpr std::uint64_t kSlackNs = 1000;  // integer-midpoint rounding
+    std::size_t checked = 0;
+    std::size_t bad = 0;
+    for (const TraceRecord& trace : collector.Traces()) {
+      ++checked;
+      std::map<std::uint64_t, const TraceSpan*> by_id;
+      for (const TraceSpan& s : trace.spans) by_id[s.span_id] = &s;
+      const auto enclosing_rpc =
+          [&by_id](const TraceSpan& s) -> const TraceSpan* {
+        const TraceSpan* cur = &s;
+        for (int depth = 0; depth < 8 && cur != nullptr; ++depth) {
+          if (cur->rec.name_id == kSpanNetRpc) return cur;
+          const auto it = by_id.find(cur->parent_span_id);
+          cur = it == by_id.end() ? nullptr : it->second;
+        }
+        return nullptr;
+      };
+      bool has_rpc = false;
+      bool has_remote = false;
+      bool well_formed = true;
+      std::map<std::uint64_t, std::uint64_t> fold_ns;  // rpc span -> sum
+      for (const TraceSpan& s : trace.spans) {
+        if (s.rec.name_id == kSpanNetRpc) has_rpc = true;
+        if ((s.rec.flags & kSpanFlagRemote) == 0) continue;
+        has_remote = true;
+        const TraceSpan* rpc = enclosing_rpc(s);
+        if (rpc == nullptr) {
+          well_formed = false;  // orphaned: lost its net.rpc ancestor
+          continue;
+        }
+        const std::uint64_t lo = rpc->rec.start_ns - kSlackNs;
+        const std::uint64_t hi =
+            rpc->rec.start_ns + rpc->rec.duration_ns + kSlackNs;
+        if (s.rec.start_ns < lo ||
+            s.rec.start_ns + s.rec.duration_ns > hi) {
+          well_formed = false;  // outside the normalized envelope
+        }
+        if (s.rec.name_id == kSpanServerFold) {
+          fold_ns[rpc->span_id] += s.rec.duration_ns;
+        }
+      }
+      for (const auto& [rpc_id, sum] : fold_ns) {
+        if (sum > by_id[rpc_id]->rec.duration_ns + kSlackNs) {
+          well_formed = false;  // folds exceed their RPC envelope
+        }
+      }
+      if (!has_rpc || !has_remote || !well_formed) ++bad;
+    }
+    std::printf("traces: %zu retained, %zu with client+server spans "
+                "stitched inside the RPC envelope\n",
+                checked, checked - bad);
+    if (kObsEnabled && (bad != 0 || checked == 0)) {
+      std::fprintf(stderr,
+                   "FAIL: %zu of %zu traces missing client/server spans or "
+                   "breaking the normalized-timeline envelope\n",
+                   bad, checked);
+      return 1;
+    }
+  }
+
   // Client-side RPC counters for the archived record: the trajectory
   // catches a config that silently started retrying or failing over.
   {
@@ -957,10 +1196,23 @@ int RunBenchNet(GenerationManager& manager, const std::string& dir, int k,
     records.push_back(counter_record("net.rpc.errors"));
     records.push_back(counter_record("net.failovers"));
     records.push_back(counter_record("net.reconnects"));
+    // trace.* records ride along for the archive; bench_compare.py
+    // skips them (no latency semantics to regress).
+    records.push_back(counter_record("trace.count"));
+    records.push_back(counter_record("trace.spans"));
+    records.push_back(counter_record("trace.spans.remote"));
   }
 
   int rc = 0;
   if (!json_path.empty()) rc = WriteBenchJson(json_path, records);
+  if (!trace_json.empty()) {
+    if (Status st = collector.WriteTraceJson(trace_json); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("trace JSON: %s\n", trace_json.c_str());
+    }
+  }
   rc |= dump.DumpAll();
   return rc;
 }
@@ -985,6 +1237,9 @@ int Main(int argc, char** argv) {
   int poll_ms = 500;
   int max_sessions = 64;
   int rpc_deadline_ms = 0;
+  int slow_query_ms = 0;
+  int fleet_port = -1;
+  std::string trace_json;
   bool split = false;
   bool build = false;
   bool ingest = false;
@@ -1019,6 +1274,17 @@ int Main(int argc, char** argv) {
   flags.AddInt("rpc_deadline_ms", &rpc_deadline_ms,
                "--connect/--bench_net: per-RPC deadline, propagated in "
                "every frame (0 = none)");
+  flags.AddInt("slow_query_ms", &slow_query_ms,
+               "--connect/--bench_net: slow-query threshold for the trace "
+               "slow ring (0 = keep the N slowest regardless — "
+               "docs/tracing.md)");
+  flags.AddInt("fleet_port", &fleet_port,
+               "--connect: serve a fleet-merged Prometheus /metrics on "
+               "this loopback port, federating every replica's endpoint "
+               "(0 = ephemeral, <0 disables — docs/observability.md)");
+  flags.AddString("trace_json", &trace_json,
+                  "--connect/--bench_net: write Chrome trace-event JSON of "
+                  "every retained trace here at exit (Perfetto-loadable)");
   flags.AddString("connect", &connect_spec,
                   "serve remotely from shard_server processes: "
                   "\"host:port[|replica...][,slot...]\" in range order");
@@ -1059,11 +1325,11 @@ int Main(int argc, char** argv) {
   }
   if (shards < 1 || generation < 1 || threads < 1 || samples < 1 ||
       poll_ms < 1 || pool_threads < 0 || max_sessions < 1 ||
-      rpc_deadline_ms < 0) {
+      rpc_deadline_ms < 0 || slow_query_ms < 0) {
     std::fprintf(stderr,
                  "--shards, --generation, --threads, --samples, --poll_ms, "
-                 "and --max_sessions must be >= 1; --pool_threads and "
-                 "--rpc_deadline_ms must be >= 0\n%s",
+                 "and --max_sessions must be >= 1; --pool_threads, "
+                 "--rpc_deadline_ms, and --slow_query_ms must be >= 0\n%s",
                  flags.Usage(argv[0]).c_str());
     return 1;
   }
@@ -1097,6 +1363,7 @@ int Main(int argc, char** argv) {
   }
   if (!connect_spec.empty()) {
     return RunConnect(connect_spec, *kernel_mode, rpc_deadline_ms,
+                      slow_query_ms, fleet_port, trace_json,
                       MetricsDump{metrics_json, metrics_prom});
   }
   if (split) {
@@ -1131,7 +1398,8 @@ int Main(int argc, char** argv) {
   const MetricsDump dump{metrics_json, metrics_prom};
   if (bench_net) {
     return RunBenchNet(**manager, dir, k, static_cast<std::size_t>(samples),
-                       *kernel_mode, rpc_deadline_ms, json_path, dump);
+                       *kernel_mode, rpc_deadline_ms, slow_query_ms,
+                       trace_json, json_path, dump);
   }
   if (bench) {
     return RunBench(**manager, static_cast<std::size_t>(threads), k,
